@@ -1,0 +1,64 @@
+//! Microbenchmarks of UMI's hot paths: the mini cache simulator (the
+//! analyzer's inner loop) and the underlying set-associative cache.
+//!
+//! The paper's practicality claim rests on the analyzer being cheap
+//! relative to the profiled execution; these benches quantify the
+//! reproduction's per-reference analysis cost.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use umi_cache::{CacheConfig, SetAssocCache};
+use umi_core::{MiniSimulator, ProfileStore};
+use umi_dbi::TraceId;
+use umi_ir::Pc;
+
+/// One full address profile: 16 ops × 256 rows of strided references.
+fn build_profile() -> Vec<(TraceId, umi_core::AddressProfile)> {
+    let ops: Vec<Pc> = (0..16).map(|i| Pc(0x40_0000 + 4 * i)).collect();
+    let mut store = ProfileStore::new(1 << 20, 256);
+    let t = TraceId(0);
+    store.register(t, ops);
+    for row in 0..256u64 {
+        store.begin_row(t);
+        for op in 0..16u16 {
+            store.record(t, op, 0x100_0000 + row * 64 + op as u64 * 8, false);
+        }
+    }
+    store.drain()
+}
+
+fn bench_minisim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minisim");
+    let profiles = build_profile();
+    let refs = 16 * 256;
+    group.throughput(Throughput::Elements(refs));
+    group.bench_function("analyze_16ops_x_256rows", |b| {
+        b.iter_batched(
+            || MiniSimulator::new(CacheConfig::pentium4_l2(), 2, Some(1_000_000)),
+            |mut sim| sim.analyze(&profiles, 0, |_| true),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.throughput(Throughput::Elements(1));
+    let mut lru = SetAssocCache::new(CacheConfig::pentium4_l2());
+    let mut addr = 0u64;
+    group.bench_function("l2_access_streaming", |b| {
+        b.iter(|| {
+            addr = addr.wrapping_add(64) & 0xf_ffff;
+            lru.access(std::hint::black_box(0x100_0000 + addr))
+        });
+    });
+    let mut hot = SetAssocCache::new(CacheConfig::pentium4_l2());
+    hot.access(0x5000);
+    group.bench_function("l2_access_hit", |b| {
+        b.iter(|| hot.access(std::hint::black_box(0x5000)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_minisim, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end throughput of the execution stack: bare interpreter, DBI
+//! dispatcher, and full UMI introspection — the reproduction's analogue
+//! of the paper's overhead story at microbenchmark granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use umi_core::{UmiConfig, UmiRuntime};
+use umi_dbi::{CostModel, DbiRuntime};
+use umi_ir::Program;
+use umi_vm::{NullSink, Vm};
+use umi_workloads::kernels::{stream, StreamParams};
+
+fn workload() -> Program {
+    stream("bench-stream", StreamParams {
+        elems: 16 * 1024,
+        passes: 4,
+        stride: 1,
+        stores: true,
+        compute_nops: 1,
+    })
+}
+
+fn insns(p: &Program) -> u64 {
+    let mut vm = Vm::new(p);
+    vm.run(&mut NullSink, u64::MAX).stats.insns
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let program = workload();
+    let n = insns(&program);
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(n));
+    group.sample_size(10);
+
+    group.bench_function("native_vm", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&program);
+            vm.run(&mut NullSink, u64::MAX)
+        });
+    });
+    group.bench_function("dbi", |b| {
+        b.iter(|| {
+            let mut rt = DbiRuntime::new(&program, CostModel::default());
+            rt.run(&mut NullSink, u64::MAX)
+        });
+    });
+    group.bench_function("umi_no_sampling", |b| {
+        b.iter(|| {
+            let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
+            umi.run(&mut NullSink, u64::MAX)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Ablations of UMI's design choices (DESIGN.md §5), measured on a
+//! representative cross-section of the suite:
+//!
+//! * adaptive per-trace delinquency threshold vs a single global one
+//!   (§7.1: 56.76% vs 82.61% false positives);
+//! * warm-up rows 0 / 2 / 4 (§5: "cache miss accounting only starts after
+//!   the first few accesses");
+//! * periodic analyzer-cache flush on / off (§5: "to avoid long term
+//!   contamination");
+//! * the stack/static operation filter on / off (§4.1).
+
+use umi_bench::{mean, scale_from_env};
+use umi_cache::FullSimulator;
+use umi_core::{PredictionQuality, UmiConfig, UmiRuntime};
+use umi_vm::{NullSink, Vm};
+use umi_workloads::build;
+
+const SUBSET: [&str; 8] =
+    ["181.mcf", "179.art", "171.swim", "197.parser", "164.gzip", "em3d", "ft", "300.twolf"];
+
+struct Measure {
+    recall: f64,
+    false_pos: f64,
+    umi_ratio_err: f64,
+    overhead: u64,
+}
+
+fn measure(name: &str, config: UmiConfig, full: &FullSimulator) -> Measure {
+    let program = build(name, scale_from_env_static()).expect("known workload");
+    let truth = full.delinquent_set(0.90);
+    let mut umi = UmiRuntime::new(&program, config);
+    let report = umi.run(&mut NullSink, u64::MAX);
+    let q = PredictionQuality::compute(
+        &report.predicted,
+        &truth,
+        full.per_pc(),
+        program.static_loads(),
+    );
+    Measure {
+        recall: q.recall,
+        false_pos: q.false_positive,
+        umi_ratio_err: (report.umi_miss_ratio - full.l2_miss_ratio()).abs(),
+        overhead: report.umi_overhead_cycles,
+    }
+}
+
+fn scale_from_env_static() -> umi_workloads::Scale {
+    scale_from_env()
+}
+
+fn summarize(label: &str, configs: &[(&str, UmiConfig)]) {
+    println!("=== {label} ===");
+    println!("{:<28} {:>8} {:>10} {:>10} {:>14}", "variant", "recall", "false-pos", "|Δratio|", "UMI overhead");
+    for (vlabel, cfg) in configs {
+        let mut recalls = Vec::new();
+        let mut fps = Vec::new();
+        let mut errs = Vec::new();
+        let mut oh = 0u64;
+        for name in SUBSET {
+            let program = build(name, scale_from_env_static()).expect("known workload");
+            let mut full = FullSimulator::pentium4();
+            Vm::new(&program).run(&mut full, u64::MAX);
+            let m = measure(name, cfg.clone(), &full);
+            recalls.push(m.recall);
+            fps.push(m.false_pos);
+            errs.push(m.umi_ratio_err);
+            oh += m.overhead;
+        }
+        println!(
+            "{:<28} {:>7.1}% {:>9.1}% {:>10.4} {:>14}",
+            vlabel,
+            100.0 * mean(&recalls),
+            100.0 * mean(&fps),
+            mean(&errs),
+            oh
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let base = UmiConfig::no_sampling();
+
+    let global = {
+        let mut c = base.clone();
+        c.adaptive_threshold = false;
+        c
+    };
+    summarize(
+        "Delinquency threshold: adaptive per-trace vs global 0.90",
+        &[("adaptive (paper)", base.clone()), ("global 0.90", global)],
+    );
+
+    let warmups: Vec<(&str, UmiConfig)> = [0usize, 2, 4]
+        .iter()
+        .map(|w| {
+            let mut c = base.clone();
+            c.warmup_rows = *w;
+            (match w { 0 => "warmup 0", 2 => "warmup 2 (paper)", _ => "warmup 4" }, c)
+        })
+        .collect();
+    summarize("Mini-simulation warm-up rows", &warmups);
+
+    let noflush = {
+        let mut c = base.clone();
+        c.flush_after_cycles = None;
+        c
+    };
+    summarize(
+        "Analyzer cache flush",
+        &[("flush >1M cycles (paper)", base.clone()), ("never flush", noflush)],
+    );
+
+    let nofilter = {
+        let mut c = base.clone();
+        c.operation_filter = false;
+        c
+    };
+    summarize(
+        "Operation filter (skip stack/static refs)",
+        &[("filter on (paper)", base), ("filter off", nofilter)],
+    );
+}

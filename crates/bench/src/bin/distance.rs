@@ -1,0 +1,39 @@
+//! Prefetch-distance sweep (§8: "the performance of ft ... was very
+//! sensitive to the choice of prefetch distances. It turns out that UMI
+//! was able to pick a prefetch distance that is closer to the optimal
+//! prefetching distance compared to the hardware prefetcher").
+
+use umi_bench::scale_from_env;
+use umi_core::UmiConfig;
+use umi_hw::{Platform, PrefetchSetting};
+use umi_prefetch::harness::{run_native, run_umi_prefetch};
+use umi_workloads::build;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Prefetch-distance sweep (normalized running time, P4, HW prefetch off)");
+    print!("{:<12}", "workload");
+    let distances = [2i64, 4, 8, 16, 32, 64, 128];
+    for d in distances {
+        print!(" {d:>7}");
+    }
+    println!();
+    for name in ["ft", "179.art", "470.lbm", "171.swim"] {
+        let program = build(name, scale).expect("known workload");
+        let native = run_native(&program, Platform::pentium4(), PrefetchSetting::Off);
+        print!("{name:<12}");
+        for d in distances {
+            let (opt, _, _) = run_umi_prefetch(
+                &program,
+                UmiConfig::no_sampling(),
+                Platform::pentium4(),
+                PrefetchSetting::Off,
+                d,
+            );
+            print!(" {:>7.3}", opt.relative_to(&native));
+        }
+        println!();
+    }
+    println!("\n(the best distance sits in the middle of the sweep; too short is");
+    println!(" not timely, too long pollutes and overruns the stream)");
+}

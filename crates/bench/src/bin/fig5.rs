@@ -1,0 +1,32 @@
+//! Figure 5: running time on Pentium 4 with hardware prefetching
+//! enabled — software prefetching, hardware prefetching, and the
+//! combination, normalized to native execution with no prefetching.
+
+use umi_bench::study::prefetch_study;
+use umi_bench::{geomean, sampled_config, scale_from_env};
+use umi_hw::Platform;
+
+fn main() {
+    let scale = scale_from_env();
+    let rows = prefetch_study(scale, Platform::pentium4(), sampled_config(scale));
+    println!("Figure 5 — Running time on Pentium 4, normalized to native (no prefetch)");
+    println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "UMI+SW", "HW", "UMI+SW+HW");
+    let (mut sw, mut hw, mut both) = (Vec::new(), Vec::new(), Vec::new());
+    for r in &rows {
+        let s = r.umi_sw_off.relative_to(&r.native_off);
+        let h = r.native_hw.relative_to(&r.native_off);
+        let b = r.umi_sw_hw.relative_to(&r.native_off);
+        println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", r.spec.name, s, h, b);
+        sw.push(s);
+        hw.push(h);
+        both.push(b);
+    }
+    println!(
+        "\ngeomean: SW {:.3}  HW {:.3}  SW+HW {:.3}",
+        geomean(&sw),
+        geomean(&hw),
+        geomean(&both)
+    );
+    println!("(paper: software prefetching is competitive with the P4 hardware");
+    println!(" prefetcher; combining them does NOT yield cumulative time gains)");
+}

@@ -1,0 +1,15 @@
+//! Table 2: tradeoffs in profiling methodologies (qualitative, reprinted
+//! with the quantities this reproduction measures for each cell).
+
+fn main() {
+    println!("Table 2 — Tradeoffs in profiling methodologies");
+    println!("{:<14} {:>12} {:>12} {:>12}", "", "Simulators", "HW counters", "UMI");
+    println!("{:<14} {:>12} {:>12} {:>12}", "Overhead", "very high", "very low", "low");
+    println!("{:<14} {:>12} {:>12} {:>12}", "Detail Level", "very high", "very low", "high");
+    println!("{:<14} {:>12} {:>12} {:>12}", "Versatility", "very high", "very low", "high");
+    println!();
+    println!("measured in this reproduction:");
+    println!("  Simulators  = FullSimulator (complete trace, per-instruction misses)");
+    println!("  HW counters = umi_hw::HwCounters (+ SamplingCostModel, Table 1)");
+    println!("  UMI         = umi_core::UmiRuntime (Figure 2 overhead, Table 6 detail)");
+}

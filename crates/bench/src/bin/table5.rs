@@ -1,0 +1,43 @@
+//! Table 5: SPEC CPU2006 coefficients of correlation (Pentium 4 with
+//! hardware prefetching enabled).
+
+use umi_bench::scale_from_env;
+use umi_core::{pearson, UmiConfig, UmiRuntime};
+use umi_hw::{Platform, PrefetchSetting};
+use umi_prefetch::harness::run_native;
+use umi_vm::NullSink;
+use umi_workloads::{spec2006, Suite};
+
+fn main() {
+    let scale = scale_from_env();
+    let mut data: Vec<(Suite, f64, f64)> = Vec::new();
+    for spec in spec2006() {
+        let program = spec.build(scale);
+        let hw = run_native(&program, Platform::pentium4(), PrefetchSetting::Full)
+            .counters
+            .l2_miss_ratio();
+        let umi = {
+            let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
+            umi.run(&mut NullSink, u64::MAX).umi_miss_ratio
+        };
+        println!("{:<16} hw {:>7.4} umi {:>7.4}", spec.name, hw, umi);
+        data.push((spec.suite, umi, hw));
+    }
+    let corr = |suite: Option<Suite>| {
+        let (xs, ys): (Vec<f64>, Vec<f64>) = data
+            .iter()
+            .filter(|(s, _, _)| suite.is_none_or(|want| *s == want))
+            .map(|(_, u, h)| (*u, *h))
+            .unzip();
+        pearson(&xs, &ys)
+    };
+    println!("\nTable 5 — SPEC2006 coefficients of correlation (P4, HW prefetch on)");
+    println!("{:>10} {:>10} {:>10}", "CFP2006", "CINT2006", "SPEC2006");
+    println!(
+        "{:>10.2} {:>10.2} {:>10.2}",
+        corr(Some(Suite::Cfp2006)),
+        corr(Some(Suite::Cint2006)),
+        corr(None)
+    );
+    println!("\n(paper: 0.94 / 0.79 / 0.85)");
+}

@@ -1,0 +1,80 @@
+//! Shared measurement procedure for the prefetching figures (3–6).
+
+use umi_core::UmiConfig;
+use umi_hw::{Platform, PrefetchSetting};
+use umi_prefetch::harness::{run_native, run_umi, run_umi_prefetch, RunOutcome};
+use umi_prefetch::{inject_prefetches, PrefetchPlan};
+use umi_workloads::{all32, Scale, WorkloadSpec};
+
+/// Measurements for one prefetch-friendly workload.
+pub struct PrefetchRow {
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// Number of loads the plan prefetches.
+    pub planned: usize,
+    /// Native, all prefetching off — the normalization baseline.
+    pub native_off: RunOutcome,
+    /// UMI introspection only, HW prefetch off (Fig. 3/4, first bar).
+    pub umi_only_off: RunOutcome,
+    /// UMI + SW prefetch, HW prefetch off (Fig. 3/4, second bar; Fig. 5
+    /// "SW" bar).
+    pub umi_sw_off: RunOutcome,
+    /// Native with the platform's HW prefetchers (Fig. 5 "HW" bar); equals
+    /// `native_off` on platforms without HW prefetch (K7).
+    pub native_hw: RunOutcome,
+    /// UMI + SW prefetch with HW prefetch on (Fig. 5 "SW+HW" bar).
+    pub umi_sw_hw: RunOutcome,
+}
+
+/// Runs the §8 study on every workload with a prefetching opportunity.
+///
+/// "Of the 32 benchmarks in our suite, we discovered prefetching
+/// opportunities for 11 of them" — here the set is whatever the planner
+/// finds a confident stride for.
+pub fn prefetch_study(scale: Scale, platform: Platform, config: UmiConfig) -> Vec<PrefetchRow> {
+    let mut rows = Vec::new();
+    for spec in all32() {
+        let program = spec.build(scale);
+        // Plan from an introspection pass with HW prefetch off (prefetch
+        // does not change what UMI sees anyway — it ignores prefetch side
+        // effects).
+        let (umi_sw_off, report, plan) = run_umi_prefetch(
+            &program,
+            config.clone(),
+            platform.clone(),
+            PrefetchSetting::Off,
+            32,
+        );
+        if plan.is_empty() {
+            continue;
+        }
+        let native_off = run_native(&program, platform.clone(), PrefetchSetting::Off);
+        let (umi_only_off, _) =
+            run_umi(&program, config.clone(), platform.clone(), PrefetchSetting::Off);
+        let native_hw = run_native(&program, platform.clone(), PrefetchSetting::Full);
+        let optimized = inject_prefetches(&program, &plan);
+        let (umi_sw_hw, _) =
+            run_umi(&optimized, config.clone(), platform.clone(), PrefetchSetting::Full);
+        let _ = &report;
+        rows.push(PrefetchRow {
+            spec,
+            planned: plan.len(),
+            native_off,
+            umi_only_off,
+            umi_sw_off,
+            native_hw,
+            umi_sw_hw,
+        });
+    }
+    rows
+}
+
+/// Re-plans a single workload (used by ablations that vary the distance).
+pub fn plan_for(
+    program: &umi_ir::Program,
+    config: UmiConfig,
+    distance_refs: i64,
+) -> PrefetchPlan {
+    let (_, report) = run_umi(program, config, Platform::pentium4(), PrefetchSetting::Off);
+    PrefetchPlan::from_report(&report, distance_refs)
+}

@@ -1,0 +1,160 @@
+//! Cache geometry and replacement policy.
+
+use std::fmt;
+
+/// Replacement policy for a [`SetAssocCache`](crate::SetAssocCache).
+///
+/// The paper's mini-simulator "implements an LRU replacement policy
+/// although other schemes are possible" (§5); FIFO and pseudo-random are
+/// provided for the ablation benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used (the paper's choice; the default).
+    #[default]
+    Lru,
+    /// First-in-first-out (insertion order).
+    Fifo,
+    /// Pseudo-random victim selection (deterministic xorshift).
+    Random,
+}
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes; must be a power of two.
+    pub line_size: u64,
+    /// Victim selection policy.
+    pub policy: ReplacementPolicy,
+}
+
+impl CacheConfig {
+    /// Creates a config from explicit geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_size` is not a power of two, or any
+    /// dimension is zero.
+    pub fn new(sets: usize, ways: usize, line_size: u64) -> CacheConfig {
+        assert!(sets.is_power_of_two(), "sets {sets} not a power of two");
+        assert!(line_size.is_power_of_two(), "line size {line_size} not a power of two");
+        assert!(ways > 0, "associativity must be positive");
+        CacheConfig { sets, ways, line_size, policy: ReplacementPolicy::Lru }
+    }
+
+    /// Creates a config from total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into a power-of-two number
+    /// of sets.
+    pub fn with_capacity(capacity: u64, ways: usize, line_size: u64) -> CacheConfig {
+        let sets = capacity / (ways as u64 * line_size);
+        CacheConfig::new(sets as usize, ways, line_size)
+    }
+
+    /// Overrides the replacement policy (builder-style).
+    pub fn policy(mut self, policy: ReplacementPolicy) -> CacheConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_size - 1)
+    }
+
+    /// The set index for `addr`.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_size) as usize) & (self.sets - 1)
+    }
+
+    /// The tag for `addr`.
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_size / self.sets as u64
+    }
+
+    // === The memory systems evaluated in the paper (§6) ===
+
+    /// Pentium 4 L1 data cache: 8 KB, 4-way, 64-byte lines.
+    pub fn pentium4_l1d() -> CacheConfig {
+        CacheConfig::with_capacity(8 << 10, 4, 64)
+    }
+
+    /// Pentium 4 unified L2: 512 KB, 8-way, 64-byte lines.
+    pub fn pentium4_l2() -> CacheConfig {
+        CacheConfig::with_capacity(512 << 10, 8, 64)
+    }
+
+    /// AMD Athlon K7 L1 data cache: 64 KB, 2-way, 64-byte lines.
+    pub fn k7_l1d() -> CacheConfig {
+        CacheConfig::with_capacity(64 << 10, 2, 64)
+    }
+
+    /// AMD Athlon K7 unified L2: 256 KB, 16-way, 64-byte lines.
+    pub fn k7_l2() -> CacheConfig {
+        CacheConfig::with_capacity(256 << 10, 16, 64)
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}-way/{}B ({:?})",
+            self.capacity() >> 10,
+            self.ways,
+            self.line_size,
+            self.policy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::pentium4_l1d().capacity(), 8 << 10);
+        assert_eq!(CacheConfig::pentium4_l1d().ways, 4);
+        assert_eq!(CacheConfig::pentium4_l2().capacity(), 512 << 10);
+        assert_eq!(CacheConfig::pentium4_l2().sets, 1024);
+        assert_eq!(CacheConfig::k7_l1d().ways, 2);
+        assert_eq!(CacheConfig::k7_l2().ways, 16);
+        assert_eq!(CacheConfig::k7_l2().capacity(), 256 << 10);
+    }
+
+    #[test]
+    fn index_tag_line_math() {
+        let c = CacheConfig::new(64, 4, 64);
+        assert_eq!(c.line_addr(0x12345), 0x12340);
+        assert_eq!(c.set_index(0x12345), (0x12345 / 64) & 63);
+        // Two addresses a full cache stride apart share a set, not a tag.
+        let a = 0x1000u64;
+        let b = a + (64 * 64);
+        assert_eq!(c.set_index(a), c.set_index(b));
+        assert_ne!(c.tag(a), c.tag(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = CacheConfig::new(3, 4, 64);
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let s = CacheConfig::pentium4_l2().to_string();
+        assert!(s.contains("512KB"), "{s}");
+        assert!(s.contains("8-way"), "{s}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Delinquent-load set extraction (paper §7).
+
+use crate::per_insn::PerPcStats;
+use umi_ir::Pc;
+
+/// The set `C` of delinquent loads: the minimal set of load instructions
+/// that together account for at least `x` of the application's L2 load
+/// misses, plus bookkeeping used by the prediction-quality metrics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DelinquentSet {
+    /// Members, ordered by descending miss count.
+    pub pcs: Vec<Pc>,
+    /// Total L2 load misses in the application.
+    pub total_misses: u64,
+    /// L2 load misses accounted for by the members.
+    pub covered_misses: u64,
+    /// The coverage target `x` that was requested.
+    pub target: f64,
+}
+
+impl DelinquentSet {
+    /// Whether `pc` is in the set.
+    pub fn contains(&self, pc: Pc) -> bool {
+        self.pcs.contains(&pc)
+    }
+
+    /// `|C|`.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the set is empty (application had no load misses).
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// Achieved coverage fraction of total misses, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total_misses == 0 {
+            0.0
+        } else {
+            self.covered_misses as f64 / self.total_misses as f64
+        }
+    }
+}
+
+/// Computes the delinquent set exactly as the paper does (§7): sort
+/// instructions by descending L2 load-miss count, then take the shortest
+/// prefix whose cumulative misses reach `x` (e.g. `0.90`) of the total.
+///
+/// Ties are broken by ascending `Pc` so the result is deterministic.
+///
+/// # Panics
+///
+/// Panics if `x` is not within `(0, 1]`.
+pub fn delinquent_set(stats: &PerPcStats, x: f64) -> DelinquentSet {
+    assert!(x > 0.0 && x <= 1.0, "coverage target {x} out of (0, 1]");
+    let mut by_misses: Vec<(Pc, u64)> = stats
+        .iter()
+        .filter(|(_, s)| s.load_misses > 0)
+        .map(|(pc, s)| (pc, s.load_misses))
+        .collect();
+    by_misses.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let total: u64 = by_misses.iter().map(|(_, m)| m).sum();
+    let needed = (x * total as f64).ceil() as u64;
+    let mut covered = 0u64;
+    let mut pcs = Vec::new();
+    for (pc, misses) in by_misses {
+        if covered >= needed {
+            break;
+        }
+        covered += misses;
+        pcs.push(pc);
+    }
+    DelinquentSet { pcs, total_misses: total, covered_misses: covered, target: x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::per_insn::PcMissStats;
+
+    fn stats(entries: &[(u64, u64)]) -> PerPcStats {
+        entries
+            .iter()
+            .map(|&(pc, misses)| {
+                (
+                    Pc(pc),
+                    PcMissStats {
+                        load_accesses: misses.max(1) * 2,
+                        load_misses: misses,
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covers_at_least_target_and_is_minimal() {
+        // misses: 50, 30, 15, 5 — total 100. 90% needs {50,30,15}.
+        let s = stats(&[(1, 50), (2, 30), (3, 15), (4, 5)]);
+        let c = delinquent_set(&s, 0.90);
+        assert_eq!(c.pcs, vec![Pc(1), Pc(2), Pc(3)]);
+        assert_eq!(c.covered_misses, 95);
+        assert!(c.coverage() >= 0.90);
+        // Removing the last member drops below target -> minimal.
+        assert!((c.covered_misses - 15) < 90);
+    }
+
+    #[test]
+    fn single_dominant_instruction() {
+        // Like 164.gzip: one instruction causes >90% of misses.
+        let s = stats(&[(1, 95), (2, 3), (3, 2)]);
+        let c = delinquent_set(&s, 0.90);
+        assert_eq!(c.pcs, vec![Pc(1)]);
+    }
+
+    #[test]
+    fn no_misses_yields_empty_set() {
+        let s = stats(&[(1, 0), (2, 0)]);
+        let c = delinquent_set(&s, 0.90);
+        assert!(c.is_empty());
+        assert_eq!(c.total_misses, 0);
+        assert_eq!(c.coverage(), 0.0);
+    }
+
+    #[test]
+    fn full_coverage_takes_every_missing_load() {
+        let s = stats(&[(1, 10), (2, 1), (3, 0)]);
+        let c = delinquent_set(&s, 1.0);
+        assert_eq!(c.len(), 2, "zero-miss loads are never members");
+        assert_eq!(c.covered_misses, c.total_misses);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let s = stats(&[(7, 10), (3, 10), (5, 10)]);
+        let c = delinquent_set(&s, 0.5);
+        assert_eq!(c.pcs, vec![Pc(3), Pc(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0, 1]")]
+    fn rejects_zero_target() {
+        let _ = delinquent_set(&PerPcStats::new(), 0.0);
+    }
+}

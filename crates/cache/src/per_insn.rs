@@ -1,0 +1,151 @@
+//! Per-instruction (per-`Pc`) miss accounting.
+
+use std::collections::HashMap;
+use umi_ir::Pc;
+
+/// Access/miss counters for a single instruction, split by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PcMissStats {
+    /// Loads issued by this instruction.
+    pub load_accesses: u64,
+    /// Loads that missed.
+    pub load_misses: u64,
+    /// Stores issued by this instruction.
+    pub store_accesses: u64,
+    /// Stores that missed.
+    pub store_misses: u64,
+}
+
+impl PcMissStats {
+    /// Load miss ratio in `[0, 1]`.
+    pub fn load_miss_ratio(&self) -> f64 {
+        if self.load_accesses == 0 {
+            0.0
+        } else {
+            self.load_misses as f64 / self.load_accesses as f64
+        }
+    }
+
+    /// Total accesses (loads + stores).
+    pub fn accesses(&self) -> u64 {
+        self.load_accesses + self.store_accesses
+    }
+
+    /// Total misses (loads + stores).
+    pub fn misses(&self) -> u64 {
+        self.load_misses + self.store_misses
+    }
+}
+
+/// A map from instruction address to its miss statistics.
+///
+/// This is the structure both the full simulator and UMI's mini-simulator
+/// produce; delinquent-load analysis (§7) consumes it.
+#[derive(Clone, Debug, Default)]
+pub struct PerPcStats {
+    map: HashMap<Pc, PcMissStats>,
+}
+
+impl PerPcStats {
+    /// Creates an empty map.
+    pub fn new() -> PerPcStats {
+        PerPcStats::default()
+    }
+
+    /// Records one load by `pc`.
+    pub fn record_load(&mut self, pc: Pc, missed: bool) {
+        let e = self.map.entry(pc).or_default();
+        e.load_accesses += 1;
+        e.load_misses += missed as u64;
+    }
+
+    /// Records one store by `pc`.
+    pub fn record_store(&mut self, pc: Pc, missed: bool) {
+        let e = self.map.entry(pc).or_default();
+        e.store_accesses += 1;
+        e.store_misses += missed as u64;
+    }
+
+    /// Statistics for one instruction (zeros if never seen).
+    pub fn get(&self, pc: Pc) -> PcMissStats {
+        self.map.get(&pc).copied().unwrap_or_default()
+    }
+
+    /// Iterates over `(pc, stats)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &PcMissStats)> + '_ {
+        self.map.iter().map(|(pc, s)| (*pc, s))
+    }
+
+    /// Number of distinct instructions observed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no instruction has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sum of load misses over all instructions.
+    pub fn total_load_misses(&self) -> u64 {
+        self.map.values().map(|s| s.load_misses).sum()
+    }
+
+    /// Sum of load accesses over all instructions.
+    pub fn total_load_accesses(&self) -> u64 {
+        self.map.values().map(|s| s.load_accesses).sum()
+    }
+
+    /// Clears all statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+impl FromIterator<(Pc, PcMissStats)> for PerPcStats {
+    fn from_iter<T: IntoIterator<Item = (Pc, PcMissStats)>>(iter: T) -> PerPcStats {
+        PerPcStats { map: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_ratios() {
+        let mut s = PerPcStats::new();
+        let pc = Pc(0x400000);
+        s.record_load(pc, true);
+        s.record_load(pc, false);
+        s.record_load(pc, true);
+        s.record_store(pc, true);
+        let st = s.get(pc);
+        assert_eq!(st.load_accesses, 3);
+        assert_eq!(st.load_misses, 2);
+        assert_eq!(st.store_misses, 1);
+        assert!((st.load_miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(st.accesses(), 4);
+        assert_eq!(st.misses(), 3);
+    }
+
+    #[test]
+    fn totals_sum_across_pcs() {
+        let mut s = PerPcStats::new();
+        s.record_load(Pc(1), true);
+        s.record_load(Pc(2), true);
+        s.record_load(Pc(2), false);
+        assert_eq!(s.total_load_misses(), 2);
+        assert_eq!(s.total_load_accesses(), 3);
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unknown_pc_is_zero() {
+        let s = PerPcStats::new();
+        assert_eq!(s.get(Pc(0xdead)), PcMissStats::default());
+        assert_eq!(s.get(Pc(0xdead)).load_miss_ratio(), 0.0);
+    }
+}

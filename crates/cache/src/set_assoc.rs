@@ -1,0 +1,267 @@
+//! The set-associative cache.
+
+use crate::config::{CacheConfig, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// Result of one cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the reference hit.
+    pub hit: bool,
+    /// Line-aligned address of a line evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Whether the line has been written since it was filled.
+    dirty: bool,
+    /// Logical insertion/use time, from the per-cache access counter.
+    time: u64,
+}
+
+const EMPTY: Line = Line { tag: 0, valid: false, dirty: false, time: 0 };
+
+/// A set-associative cache over line-aligned addresses.
+///
+/// Mirrors the paper's mini-simulator (§5): each reference maps to a set,
+/// the tag is compared against every line in the set; on a hit the line's
+/// recorded time is updated; on a miss an empty or the oldest line receives
+/// the tag. Time is a logical counter.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+    /// xorshift state for [`ReplacementPolicy::Random`].
+    rng: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> SetAssocCache {
+        SetAssocCache {
+            config,
+            lines: vec![EMPTY; config.sets * config.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+            rng: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics, keeping cache contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let s = self.config.set_index(addr);
+        s * self.config.ways..(s + 1) * self.config.ways
+    }
+
+    /// References `addr` as a read, updating replacement state and
+    /// statistics.
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        self.access_rw(addr, false)
+    }
+
+    /// References `addr` as a write: like [`access`](Self::access), and
+    /// additionally marks the line dirty (write-back, write-allocate).
+    pub fn access_write(&mut self, addr: u64) -> AccessOutcome {
+        self.access_rw(addr, true)
+    }
+
+    fn access_rw(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let tag = self.config.tag(addr);
+        let clock = self.clock;
+        let range = self.set_range(addr);
+        let policy = self.config.policy;
+        let set = &mut self.lines[range];
+
+        self.stats.accesses += 1;
+        for line in set.iter_mut() {
+            if line.valid && line.tag == tag {
+                if policy == ReplacementPolicy::Lru {
+                    line.time = clock; // LRU refresh; FIFO keeps insert time
+                }
+                line.dirty |= write;
+                return AccessOutcome { hit: true, evicted: None };
+            }
+        }
+        self.stats.misses += 1;
+
+        // Miss: prefer an invalid line, else the policy's victim.
+        let victim = match set.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => match policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.time)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set"),
+                ReplacementPolicy::Random => {
+                    // xorshift64*
+                    self.rng ^= self.rng << 13;
+                    self.rng ^= self.rng >> 7;
+                    self.rng ^= self.rng << 17;
+                    (self.rng % set.len() as u64) as usize
+                }
+            },
+        };
+        let old = set[victim];
+        set[victim] = Line { tag, valid: true, dirty: write, time: clock };
+        if old.valid && old.dirty {
+            self.stats.writebacks += 1;
+        }
+        let evicted = old.valid.then(|| self.reconstruct_addr(addr, old.tag));
+        AccessOutcome { hit: false, evicted }
+    }
+
+    /// Inserts the line containing `addr` without counting an access or a
+    /// miss — used to model prefetch fills.
+    pub fn fill(&mut self, addr: u64) -> Option<u64> {
+        let was = self.stats;
+        let out = self.access(addr);
+        self.stats = was; // fills are not demand traffic
+        out.evicted
+    }
+
+    /// Whether the line containing `addr` is present, without touching
+    /// replacement state or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let tag = self.config.tag(addr);
+        self.lines[self.set_range(addr)].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line (the analyzer's periodic flush, §5).
+    pub fn flush(&mut self) {
+        self.lines.fill(EMPTY);
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    fn reconstruct_addr(&self, probe_addr: u64, tag: u64) -> u64 {
+        let set = self.config.set_index(probe_addr) as u64;
+        (tag * self.config.sets as u64 + set) * self.config.line_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(policy: ReplacementPolicy) -> SetAssocCache {
+        // 2 sets, 2 ways, 64B lines: easy to force conflicts.
+        SetAssocCache::new(CacheConfig::new(2, 2, 64).policy(policy))
+    }
+
+    /// Address landing in set 0 with distinct tag `t`.
+    fn set0(t: u64) -> u64 {
+        t * 2 * 64
+    }
+
+    #[test]
+    fn compulsory_miss_then_hit() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        assert!(!c.access(0x0).hit);
+        assert!(c.access(0x3f).hit, "same line");
+        assert!(!c.access(0x40).hit, "next line misses");
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(set0(1));
+        c.access(set0(2));
+        c.access(set0(1)); // refresh tag 1
+        let out = c.access(set0(3)); // evicts tag 2
+        assert_eq!(out.evicted, Some(set0(2)));
+        assert!(c.probe(set0(1)));
+        assert!(!c.probe(set0(2)));
+    }
+
+    #[test]
+    fn fifo_ignores_refreshes() {
+        let mut c = tiny(ReplacementPolicy::Fifo);
+        c.access(set0(1));
+        c.access(set0(2));
+        c.access(set0(1)); // would refresh under LRU, not FIFO
+        let out = c.access(set0(3)); // evicts tag 1 (oldest insert)
+        assert_eq!(out.evicted, Some(set0(1)));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_valid() {
+        let mut a = tiny(ReplacementPolicy::Random);
+        let mut b = tiny(ReplacementPolicy::Random);
+        for t in 0..100 {
+            assert_eq!(a.access(set0(t)).evicted, b.access(set0(t)).evicted);
+        }
+        assert_eq!(a.resident_lines(), 2);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(set0(1));
+        c.access(set0(2));
+        assert!(c.probe(set0(1))); // must NOT refresh
+        let out = c.access(set0(3));
+        assert_eq!(out.evicted, Some(set0(1)), "probe refreshed LRU state");
+    }
+
+    #[test]
+    fn fill_does_not_count_stats() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill(set0(1));
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.probe(set0(1)));
+        assert!(c.access(set0(1)).hit, "fill installed the line");
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(0x0);
+        c.access(0x40);
+        assert_eq!(c.resident_lines(), 2);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(0x0).hit);
+    }
+
+    #[test]
+    fn evicted_address_is_line_aligned_and_same_set() {
+        let cfg = CacheConfig::new(16, 2, 64);
+        let mut c = SetAssocCache::new(cfg);
+        let a1 = 0x1040;
+        let a2 = a1 + 16 * 64;
+        let a3 = a2 + 16 * 64;
+        c.access(a1);
+        c.access(a2);
+        let out = c.access(a3);
+        let ev = out.evicted.expect("full set must evict");
+        assert_eq!(ev, cfg.line_addr(a1));
+        assert_eq!(cfg.set_index(ev), cfg.set_index(a3));
+    }
+}

@@ -1,0 +1,55 @@
+//! Aggregate cache statistics.
+
+/// Hit/miss counters for one cache (or one class of traffic).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand references observed.
+    pub accesses: u64,
+    /// Demand references that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction (write-back policy).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Hits (accesses − misses).
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulates another statistics block into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.accesses += other.accesses;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_hits() {
+        let s = CacheStats { accesses: 10, misses: 3, writebacks: 0 };
+        assert_eq!(s.hits(), 7);
+        assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats { accesses: 5, misses: 1, writebacks: 1 };
+        a.merge(CacheStats { accesses: 3, misses: 2, writebacks: 2 });
+        assert_eq!(a, CacheStats { accesses: 8, misses: 3, writebacks: 3 });
+    }
+}

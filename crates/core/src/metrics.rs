@@ -1,0 +1,181 @@
+//! Prediction-quality metrics (Table 6) and the correlation coefficient
+//! (Tables 4/5).
+
+use std::collections::HashSet;
+use umi_cache::{DelinquentSet, PerPcStats};
+use umi_ir::Pc;
+
+/// Pearson's coefficient of correlation between two equal-length samples.
+///
+/// The paper's printed formula (§6.2) omits the separate square roots in
+/// the denominator; this is the standard definition, which is what the
+/// reported values are consistent with. Returns 0 when either sample has
+/// zero variance or fewer than two points.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must pair up");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    // Clamp away floating-point excursions just beyond ±1.
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// The quality of a delinquent-load prediction `P` against the
+/// ground-truth set `C` from full simulation — the columns of Table 6.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PredictionQuality {
+    /// `|P|` — predicted delinquent loads.
+    pub p_size: usize,
+    /// `|C|` — ground-truth delinquent loads (90% miss coverage).
+    pub c_size: usize,
+    /// `|P ∩ C|`.
+    pub intersection: usize,
+    /// `|P| / total static loads` (Table 6, "Ratio of |P| to total # of
+    /// loads").
+    pub p_to_total_loads: f64,
+    /// Fraction of all load misses covered by members of `P`.
+    pub p_miss_coverage: f64,
+    /// Fraction of all load misses covered by members of `P ∩ C`.
+    pub pc_miss_coverage: f64,
+    /// Recall `|P ∩ C| / |C|`.
+    pub recall: f64,
+    /// False-positive ratio `|P − C| / |P|`.
+    pub false_positive: f64,
+}
+
+impl PredictionQuality {
+    /// Computes the metrics. `ground_per_pc` is the full simulator's
+    /// per-instruction statistics (used for miss coverage);
+    /// `total_static_loads` is the program's static load count.
+    pub fn compute(
+        predicted: &HashSet<Pc>,
+        truth: &DelinquentSet,
+        ground_per_pc: &PerPcStats,
+        total_static_loads: usize,
+    ) -> PredictionQuality {
+        let c: HashSet<Pc> = truth.pcs.iter().copied().collect();
+        let intersection = predicted.intersection(&c).count();
+        let total_misses = ground_per_pc.total_load_misses();
+        let coverage = |set: &dyn Fn(Pc) -> bool| -> f64 {
+            if total_misses == 0 {
+                return 0.0;
+            }
+            let covered: u64 = ground_per_pc
+                .iter()
+                .filter(|(pc, _)| set(*pc))
+                .map(|(_, s)| s.load_misses)
+                .sum();
+            covered as f64 / total_misses as f64
+        };
+        let p_cov = coverage(&|pc| predicted.contains(&pc));
+        let pc_cov = coverage(&|pc| predicted.contains(&pc) && c.contains(&pc));
+        PredictionQuality {
+            p_size: predicted.len(),
+            c_size: c.len(),
+            intersection,
+            p_to_total_loads: if total_static_loads == 0 {
+                0.0
+            } else {
+                predicted.len() as f64 / total_static_loads as f64
+            },
+            p_miss_coverage: p_cov,
+            pc_miss_coverage: pc_cov,
+            recall: if c.is_empty() { 0.0 } else { intersection as f64 / c.len() as f64 },
+            false_positive: if predicted.is_empty() {
+                0.0
+            } else {
+                (predicted.len() - intersection) as f64 / predicted.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_cache::{delinquent_set, PcMissStats};
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let z = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[], &[]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[3.0, 3.0], &[1.0, 2.0]), 0.0, "zero variance");
+    }
+
+    #[test]
+    fn pearson_is_scale_invariant() {
+        let x = [0.1, 0.7, 0.3, 0.9, 0.2];
+        let y = [1.0, 6.8, 3.1, 9.2, 2.2];
+        let r1 = pearson(&x, &y);
+        let y10: Vec<f64> = y.iter().map(|v| v * 10.0 + 3.0).collect();
+        let r2 = pearson(&x, &y10);
+        assert!((r1 - r2).abs() < 1e-12);
+        assert!(r1 > 0.99);
+    }
+
+    fn ground(entries: &[(u64, u64)]) -> PerPcStats {
+        entries
+            .iter()
+            .map(|&(pc, misses)| {
+                (
+                    Pc(pc),
+                    PcMissStats { load_accesses: misses + 1, load_misses: misses, ..Default::default() },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn quality_metrics_match_hand_computation() {
+        // Truth misses: pc1=60, pc2=30, pc3=10 → C(90%) = {1, 2}.
+        let g = ground(&[(1, 60), (2, 30), (3, 10)]);
+        let c = delinquent_set(&g, 0.90);
+        assert_eq!(c.len(), 2);
+        // Predicted {1, 3}: one true positive, one false positive.
+        let p: HashSet<Pc> = [Pc(1), Pc(3)].into_iter().collect();
+        let q = PredictionQuality::compute(&p, &c, &g, 100);
+        assert_eq!(q.p_size, 2);
+        assert_eq!(q.c_size, 2);
+        assert_eq!(q.intersection, 1);
+        assert!((q.recall - 0.5).abs() < 1e-12);
+        assert!((q.false_positive - 0.5).abs() < 1e-12);
+        assert!((q.p_miss_coverage - 0.70).abs() < 1e-12);
+        assert!((q.pc_miss_coverage - 0.60).abs() < 1e-12);
+        assert!((q.p_to_total_loads - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_do_not_divide_by_zero() {
+        let g = ground(&[]);
+        let c = delinquent_set(&g, 0.90);
+        let q = PredictionQuality::compute(&HashSet::new(), &c, &g, 0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.false_positive, 0.0);
+        assert_eq!(q.p_miss_coverage, 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Reference-pattern classification and working-set estimation.
+//!
+//! Beyond delinquency, the paper motivates UMI with "locality enhancing
+//! optimizations [that] can significantly benefit from accurate
+//! measurements of the working sets size and characterization of their
+//! predominant reference patterns" (§1). These analyses run over the same
+//! address-profile columns the delinquency analysis uses.
+
+use crate::profiles::AddressProfile;
+use crate::stride::detect_stride;
+use std::collections::HashSet;
+
+/// The predominant reference pattern of one instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefPattern {
+    /// Repeatedly references the same address (e.g. a spilled scalar).
+    Constant,
+    /// A dominant non-zero stride — amenable to stride prefetching.
+    Strided,
+    /// Irregular but confined to a small footprint (hash/table lookups).
+    IrregularLocal,
+    /// Irregular over a large footprint (pointer chasing, large hashes) —
+    /// the delinquent-but-unprefetchable class.
+    IrregularWide,
+}
+
+/// Classifies one address-profile column.
+///
+/// `local_footprint` is the span (bytes) under which irregular streams
+/// still count as local; the default used by [`classify_default`] is the
+/// host L2 capacity.
+pub fn classify(column: &[u64], local_footprint: u64) -> Option<RefPattern> {
+    if column.len() < 4 {
+        return None;
+    }
+    if column.windows(2).all(|w| w[0] == w[1]) {
+        return Some(RefPattern::Constant);
+    }
+    if detect_stride(column, 3, 0.6).is_some() {
+        return Some(RefPattern::Strided);
+    }
+    let lo = *column.iter().min().expect("non-empty");
+    let hi = *column.iter().max().expect("non-empty");
+    if hi - lo <= local_footprint {
+        Some(RefPattern::IrregularLocal)
+    } else {
+        Some(RefPattern::IrregularWide)
+    }
+}
+
+/// [`classify`] with the Pentium 4 L2 capacity as the locality bound.
+pub fn classify_default(column: &[u64]) -> Option<RefPattern> {
+    classify(column, 512 << 10)
+}
+
+/// An estimate of a profile's working set: distinct cache lines touched,
+/// in lines and bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkingSet {
+    /// Distinct 64-byte lines referenced.
+    pub lines: usize,
+    /// `lines * 64`.
+    pub bytes: u64,
+    /// Total references observed.
+    pub refs: u64,
+}
+
+impl WorkingSet {
+    /// References per distinct line — a crude reuse indicator (1.0 means
+    /// pure streaming; large values mean a hot resident set).
+    pub fn reuse_factor(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.refs as f64 / self.lines as f64
+        }
+    }
+}
+
+/// Estimates the working set of a batch of profiles at line granularity.
+///
+/// This measures the *sampled* working set; with bursty sampling it is a
+/// lower bound on the program's, but ratios between code regions are
+/// meaningful (the quantity locality optimizations need).
+pub fn working_set<'a, I>(profiles: I) -> WorkingSet
+where
+    I: IntoIterator<Item = &'a AddressProfile>,
+{
+    let mut lines = HashSet::new();
+    let mut refs = 0u64;
+    for p in profiles {
+        for row in p.rows() {
+            for r in row {
+                lines.insert(r.addr / 64);
+                refs += 1;
+            }
+        }
+    }
+    WorkingSet { lines: lines.len(), bytes: lines.len() as u64 * 64, refs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ProfileStore;
+    use umi_dbi::TraceId;
+    use umi_ir::Pc;
+
+    #[test]
+    fn classifies_constant() {
+        let col = vec![0x1000u64; 8];
+        assert_eq!(classify_default(&col), Some(RefPattern::Constant));
+    }
+
+    #[test]
+    fn classifies_strided() {
+        let col: Vec<u64> = (0..16).map(|i| 0x1000 + i * 8).collect();
+        assert_eq!(classify_default(&col), Some(RefPattern::Strided));
+    }
+
+    #[test]
+    fn classifies_irregular_by_footprint() {
+        // xorshift addresses inside 64 KB vs spread over 64 MB.
+        let mut x = 0x1234_5678u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let local: Vec<u64> = (0..32).map(|_| 0x10_0000 + step() % (64 << 10)).collect();
+        let wide: Vec<u64> = (0..32).map(|_| 0x10_0000 + step() % (64 << 20)).collect();
+        assert_eq!(classify_default(&local), Some(RefPattern::IrregularLocal));
+        assert_eq!(classify_default(&wide), Some(RefPattern::IrregularWide));
+    }
+
+    #[test]
+    fn short_columns_are_unclassified() {
+        assert_eq!(classify_default(&[1, 2, 3]), None);
+        assert_eq!(classify_default(&[]), None);
+    }
+
+    #[test]
+    fn working_set_counts_distinct_lines() {
+        let mut store = ProfileStore::new(1 << 10, 1 << 10);
+        let t = TraceId(0);
+        store.register(t, vec![Pc(1)]);
+        for i in 0..100u64 {
+            store.begin_row(t);
+            // 50 distinct lines, each touched twice.
+            store.record(t, 0, (i % 50) * 64, false);
+        }
+        let drained = store.drain();
+        let ws = working_set(drained.iter().map(|(_, p)| p));
+        assert_eq!(ws.lines, 50);
+        assert_eq!(ws.bytes, 50 * 64);
+        assert_eq!(ws.refs, 100);
+        assert!((ws.reuse_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_working_set() {
+        let ws = working_set(std::iter::empty());
+        assert_eq!(ws.lines, 0);
+        assert_eq!(ws.reuse_factor(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The end-of-run introspection report.
+
+use crate::stride::StrideInfo;
+use std::collections::{HashMap, HashSet};
+use umi_cache::PerPcStats;
+use umi_dbi::DbiStats;
+use umi_ir::Pc;
+use umi_vm::VmStats;
+
+/// Everything a UMI run learned, plus its accounting — the raw material
+/// for Tables 3, 4 and 6 and Figures 2–6.
+#[derive(Clone, Debug)]
+pub struct UmiReport {
+    /// Name of the profiled program.
+    pub program_name: String,
+    /// The mini-simulation L2 miss ratio `s_i` (cumulative, post-warm-up).
+    pub umi_miss_ratio: f64,
+    /// Predicted delinquent loads `P`.
+    pub predicted: HashSet<Pc>,
+    /// Detected reference strides for predicted loads (input to the
+    /// software prefetcher).
+    pub strides: HashMap<Pc, StrideInfo>,
+    /// Cumulative per-instruction mini-simulation statistics.
+    pub per_pc: PerPcStats,
+    /// Address profiles handed to the analyzer ("Profiles Collected",
+    /// Table 3).
+    pub profiles_collected: u64,
+    /// Analyzer invocations ("Analyzer Invocations", Table 3).
+    pub analyzer_invocations: u64,
+    /// Analyzer logical-cache flushes.
+    pub cache_flushes: u64,
+    /// Distinct traces instrumented at least once.
+    pub instrumented_traces: usize,
+    /// Distinct static instructions selected for profiling ("Profiled
+    /// Operations", Table 3).
+    pub profiled_ops: usize,
+    /// Program static loads (Table 3, "Static Loads").
+    pub static_loads: usize,
+    /// Program static stores (Table 3, "Static Stores").
+    pub static_stores: usize,
+    /// Cycles of UMI overhead: instrumentation, profiling writes, prolog
+    /// checks, analyzer runs and context switches.
+    pub umi_overhead_cycles: u64,
+    /// Cycles of DBI overhead (translation, dispatch, trace building,
+    /// indirect lookups).
+    pub dbi_overhead_cycles: u64,
+    /// PC samples taken by the region selector.
+    pub samples_taken: u64,
+    /// Architectural execution statistics.
+    pub vm_stats: VmStats,
+    /// DBI execution statistics.
+    pub dbi_stats: DbiStats,
+}
+
+impl UmiReport {
+    /// "% Profiled" of Table 3: profiled operations over the program's
+    /// static memory instructions.
+    pub fn percent_profiled(&self) -> f64 {
+        let total = self.static_loads + self.static_stores;
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.profiled_ops as f64 / total as f64
+        }
+    }
+
+    /// Total non-native cycles (DBI + UMI overhead).
+    pub fn total_overhead_cycles(&self) -> u64 {
+        self.umi_overhead_cycles + self.dbi_overhead_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blank() -> UmiReport {
+        UmiReport {
+            program_name: "t".into(),
+            umi_miss_ratio: 0.0,
+            predicted: HashSet::new(),
+            strides: HashMap::new(),
+            per_pc: PerPcStats::new(),
+            profiles_collected: 0,
+            analyzer_invocations: 0,
+            cache_flushes: 0,
+            instrumented_traces: 0,
+            profiled_ops: 25,
+            static_loads: 60,
+            static_stores: 40,
+            umi_overhead_cycles: 10,
+            dbi_overhead_cycles: 5,
+            samples_taken: 0,
+            vm_stats: VmStats::default(),
+            dbi_stats: DbiStats::default(),
+        }
+    }
+
+    #[test]
+    fn percent_profiled_uses_loads_plus_stores() {
+        let r = blank();
+        assert!((r.percent_profiled() - 25.0).abs() < 1e-12);
+        assert_eq!(r.total_overhead_cycles(), 15);
+    }
+
+    #[test]
+    fn zero_static_ops_is_zero_percent() {
+        let mut r = blank();
+        r.static_loads = 0;
+        r.static_stores = 0;
+        assert_eq!(r.percent_profiled(), 0.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! The UMI runtime: region selection, instrumentation, profiling, and
+//! analysis over a live DBI execution.
+
+use crate::config::{SamplingMode, UmiConfig};
+use crate::delinquency::DelinquencyTracker;
+use crate::instrumentor::{Instrumentor, TraceInstrumentation};
+use crate::minisim::MiniSimulator;
+use crate::profiles::ProfileStore;
+use crate::report::UmiReport;
+use crate::selector::RegionSelector;
+use crate::stride::{detect_stride, StrideInfo};
+use std::collections::{HashMap, HashSet};
+use umi_dbi::{CostModel, DbiRuntime, TraceId};
+use umi_ir::{MemAccess, Pc, Program};
+use umi_vm::AccessSink;
+
+/// A running UMI session over one program.
+///
+/// Drives the [`DbiRuntime`] block by block; on each step it feeds the
+/// region selector, instruments freshly selected traces, records the
+/// accesses of instrumented traces into the two-level profiles, and
+/// invokes the mini-simulator when a profile fills. At the end,
+/// [`report`](Self::report) summarizes everything.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct UmiRuntime<'p> {
+    dbi: DbiRuntime<'p>,
+    config: UmiConfig,
+    selector: RegionSelector,
+    instrumentor: Instrumentor,
+    store: ProfileStore,
+    minisim: MiniSimulator,
+    tracker: DelinquencyTracker,
+    /// Instrumentation plans, kept across activation episodes.
+    plans: HashMap<TraceId, TraceInstrumentation>,
+    /// Traces currently profiling (instrumented fragment `T` installed).
+    active: HashSet<TraceId>,
+    /// Traces whose plan has no profitable operations.
+    barren: HashSet<TraceId>,
+    /// Executions remaining before a de-instrumented trace is
+    /// re-instrumented (bursty profiling, `SamplingMode::Off` only).
+    cooldown: HashMap<TraceId, u64>,
+    is_load_map: HashMap<Pc, bool>,
+    strides: HashMap<Pc, StrideInfo>,
+    profiles_collected: u64,
+    umi_overhead: u64,
+    next_sample: u64,
+    instrumented_traces: HashSet<TraceId>,
+    profiled_pcs: HashSet<Pc>,
+    /// xorshift state for sampling/burst jitter. Real deployments get
+    /// jitter for free from the OS timer; a deterministic simulation must
+    /// inject it or periodic profiling phase-locks against loop periods
+    /// and can systematically miss reuse.
+    jitter: u64,
+}
+
+impl<'p> UmiRuntime<'p> {
+    /// Creates a UMI session with the default DBI cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(program: &'p Program, config: UmiConfig) -> UmiRuntime<'p> {
+        UmiRuntime::with_dbi(DbiRuntime::new(program, CostModel::default()), config)
+    }
+
+    /// Creates a UMI session over an existing (unstarted) DBI runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_dbi(dbi: DbiRuntime<'p>, config: UmiConfig) -> UmiRuntime<'p> {
+        if let Err(e) = config.validate() {
+            panic!("invalid UMI configuration: {e}");
+        }
+        let program = dbi.program();
+        let mut is_load_map = HashMap::new();
+        for block in &program.blocks {
+            for (pc, insn) in block.iter_with_pc() {
+                if insn.accesses_memory() {
+                    is_load_map.insert(pc, insn.is_load());
+                }
+            }
+        }
+        let next_sample = match config.sampling {
+            SamplingMode::Off => u64::MAX,
+            SamplingMode::Periodic { period_insns } => period_insns,
+        };
+        UmiRuntime {
+            selector: RegionSelector::new(config.frequency_threshold),
+            instrumentor: Instrumentor::new(config.operation_filter, config.addr_profile_ops),
+            store: ProfileStore::new(config.trace_profile_capacity, config.addr_profile_rows),
+            minisim: {
+                let mut m = MiniSimulator::with_l1_filter(
+                    config.effective_sim_cache(),
+                    config.effective_l1_filter(),
+                    config.warmup_rows,
+                    config.flush_after_cycles,
+                );
+                m.set_exclude_compulsory(config.exclude_compulsory);
+                m
+            },
+            tracker: DelinquencyTracker::new(
+                config.delinquency_initial,
+                config.delinquency_step,
+                config.delinquency_floor,
+                config.adaptive_threshold,
+            ),
+            plans: HashMap::new(),
+            active: HashSet::new(),
+            barren: HashSet::new(),
+            cooldown: HashMap::new(),
+            is_load_map,
+            strides: HashMap::new(),
+            profiles_collected: 0,
+            umi_overhead: 0,
+            next_sample,
+            instrumented_traces: HashSet::new(),
+            profiled_pcs: HashSet::new(),
+            jitter: 0x853c_49e6_748f_ea9b,
+            dbi,
+            config,
+        }
+    }
+
+    /// Whether the program has finished.
+    pub fn finished(&self) -> bool {
+        self.dbi.finished()
+    }
+
+    /// The underlying DBI runtime.
+    pub fn dbi(&self) -> &DbiRuntime<'p> {
+        &self.dbi
+    }
+
+    /// UMI overhead cycles so far (profiling + analysis + instrumentation).
+    pub fn umi_overhead_cycles(&self) -> u64 {
+        self.umi_overhead
+    }
+
+    /// The mini-simulator (cumulative introspection results).
+    pub fn minisim(&self) -> &MiniSimulator {
+        &self.minisim
+    }
+
+    /// The predicted delinquent loads so far.
+    pub fn predicted(&self) -> &HashSet<Pc> {
+        self.tracker.predicted()
+    }
+
+    /// Runs the program to completion (or `max_insns`), performing
+    /// introspection throughout, then drains any residual profiles through
+    /// one final analyzer invocation. Returns the report.
+    pub fn run<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> UmiReport {
+        while !self.finished() && self.dbi.vm_stats().insns < max_insns {
+            self.step(sink);
+        }
+        if self.store.drain_would_yield() {
+            self.run_analyzer(None);
+        }
+        self.report()
+    }
+
+    /// Executes one basic block with introspection.
+    pub fn step<S: AccessSink>(&mut self, sink: &mut S) {
+        let mut deferred_row: Option<(TraceId, Vec<MemAccess>)> = None;
+        let mut reinstrument: Option<TraceId> = None;
+        let (created, current_trace) = {
+            let info = self.dbi.step(sink);
+
+            if let Some(tid) = info.trace {
+                if info.entered_trace && !self.active.contains(&tid) {
+                    // Bursty profiling: count down toward re-instrumentation.
+                    if let Some(gap) = self.cooldown.get_mut(&tid) {
+                        *gap = gap.saturating_sub(1);
+                        if *gap == 0 {
+                            self.cooldown.remove(&tid);
+                            reinstrument = Some(tid);
+                        }
+                    }
+                }
+                if self.active.contains(&tid) {
+                    let plan = &self.plans[&tid];
+                    if info.entered_trace {
+                        self.umi_overhead += self.config.prolog_cost;
+                        if self.store.trigger(tid).is_some() {
+                            // The prolog (or the guard page) fires: the
+                            // analyzer must run before this execution's
+                            // row can be recorded.
+                            deferred_row = Some((tid, info.accesses.to_vec()));
+                        } else {
+                            self.store.begin_row(tid);
+                        }
+                    }
+                    if deferred_row.is_none() {
+                        for a in info.accesses.iter().filter(|a| a.is_demand()) {
+                            if let Some(op) = plan.op_of(a.pc) {
+                                self.store.record(
+                                    tid,
+                                    op,
+                                    a.addr,
+                                    a.kind == umi_ir::AccessKind::Store,
+                                );
+                                self.umi_overhead += self.config.record_cost;
+                            }
+                        }
+                    }
+                }
+            }
+            (info.trace_created, info.trace)
+        };
+
+        if let Some((tid, accesses)) = deferred_row {
+            self.run_analyzer(Some(tid));
+            if self.active.contains(&tid) {
+                self.store.begin_row(tid);
+                let plan = &self.plans[&tid];
+                for a in accesses.iter().filter(|a| a.is_demand()) {
+                    if let Some(op) = plan.op_of(a.pc) {
+                        self.store.record(tid, op, a.addr, a.kind == umi_ir::AccessKind::Store);
+                        self.umi_overhead += self.config.record_cost;
+                    }
+                }
+            }
+        }
+
+        // Without sampling, every new trace is instrumented immediately;
+        // de-instrumented traces come back after their burst gap.
+        if let Some(tid) = created {
+            if self.config.sampling == SamplingMode::Off {
+                self.instrument_trace(tid);
+            }
+        }
+        if let Some(tid) = reinstrument {
+            self.instrument_trace(tid);
+        }
+
+        // Sample-based reinforcement.
+        if let SamplingMode::Periodic { period_insns } = self.config.sampling {
+            let insns = self.dbi.vm_stats().insns;
+            while insns >= self.next_sample {
+                self.next_sample += self.jittered(period_insns);
+                if self.selector.sample(current_trace) {
+                    let tid = current_trace.expect("selected trace exists");
+                    self.instrument_trace(tid);
+                }
+            }
+        }
+    }
+
+    fn instrument_trace(&mut self, tid: TraceId) {
+        if self.active.contains(&tid) || self.barren.contains(&tid) {
+            return;
+        }
+        if !self.plans.contains_key(&tid) {
+            let trace = self.dbi.traces().trace(tid).clone();
+            let plan = self.instrumentor.instrument(self.dbi.program(), &trace);
+            if plan.ops.is_empty() {
+                // Nothing profitable to profile (all references filtered).
+                self.barren.insert(tid);
+                return;
+            }
+            self.plans.insert(tid, plan);
+        }
+        let plan = &self.plans[&tid];
+        self.store.register(tid, plan.ops.clone());
+        self.active.insert(tid);
+        self.instrumented_traces.insert(tid);
+        self.profiled_pcs.extend(plan.ops.iter().copied());
+        self.umi_overhead += self.config.instrument_cost_base
+            + self.config.instrument_cost_per_op * plan.op_count() as u64;
+    }
+
+    fn run_analyzer(&mut self, responsible: Option<TraceId>) {
+        // Context switch into the runtime and back (paper §3: the analyzer
+        // "performs a context switch to save the application state").
+        self.umi_overhead += self.dbi.costs().context_switch;
+        let drained = self.store.drain();
+        self.profiles_collected += drained.len() as u64;
+        let now = self.now_cycles();
+        let map = &self.is_load_map;
+        let result =
+            self.minisim.analyze(&drained, now, |pc| map.get(&pc).copied().unwrap_or(false));
+        self.umi_overhead += result.refs_simulated * self.config.analyze_cost_per_ref;
+        if let Some(r) = responsible {
+            self.tracker.decay(r);
+        }
+        self.tracker.label(&result);
+
+        // Stride discovery for every predicted load present in the drained
+        // profiles (the prefetcher's input).
+        for (_, profile) in &drained {
+            for (col, pc) in profile.ops.iter().enumerate() {
+                if self.tracker.predicted().contains(pc) {
+                    let column = profile.column(col as u16);
+                    if let Some(s) = detect_stride(&column, 4, 0.5) {
+                        self.strides.insert(*pc, s);
+                    }
+                }
+            }
+        }
+
+        // Replace instrumented fragments `T` with their clean clones `T_c`
+        // (§3). With sampling, profiling stays off until the selector
+        // re-selects the trace; without sampling, bursty profiling brings
+        // the trace back after `burst_gap_execs` executions.
+        for (tid, _) in &drained {
+            self.store.unregister(*tid);
+            self.active.remove(tid);
+            if self.config.sampling == SamplingMode::Off {
+                let gap = self.jittered(self.config.burst_gap_execs.max(1));
+                self.cooldown.insert(*tid, gap);
+            }
+        }
+    }
+
+    /// A value in `[base/2, 3*base/2)`, deterministically pseudo-random.
+    fn jittered(&mut self, base: u64) -> u64 {
+        self.jitter ^= self.jitter << 13;
+        self.jitter ^= self.jitter >> 7;
+        self.jitter ^= self.jitter << 17;
+        let half = (base / 2).max(1);
+        half + self.jitter % base.max(1)
+    }
+
+    /// Virtual-time proxy used for the analyzer's flush policy: base
+    /// cycles (1 per instruction). Memory stalls are accounted by the
+    /// platform model downstream and are not visible here, exactly as the
+    /// real prototype's `rdtsc` reads wall time rather than stall
+    /// breakdowns.
+    fn now_cycles(&self) -> u64 {
+        self.dbi.vm_stats().insns
+    }
+
+    /// Builds the final report.
+    pub fn report(&self) -> UmiReport {
+        let program = self.dbi.program();
+        UmiReport {
+            program_name: program.name.clone(),
+            umi_miss_ratio: self.minisim.miss_ratio(),
+            predicted: self.tracker.predicted().clone(),
+            strides: self.strides.clone(),
+            per_pc: self.minisim.per_pc().clone(),
+            profiles_collected: self.profiles_collected,
+            analyzer_invocations: self.minisim.invocations(),
+            cache_flushes: self.minisim.flushes(),
+            instrumented_traces: self.instrumented_traces.len(),
+            profiled_ops: self.profiled_pcs.len(),
+            static_loads: program.static_loads(),
+            static_stores: program.static_stores(),
+            umi_overhead_cycles: self.umi_overhead,
+            dbi_overhead_cycles: self.dbi.overhead_cycles(),
+            samples_taken: self.selector.samples_taken(),
+            vm_stats: self.dbi.vm_stats(),
+            dbi_stats: self.dbi.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{ProgramBuilder, Reg, Width};
+    use umi_vm::NullSink;
+
+    /// Two passes of streaming over `elems` 8-byte slots (two passes so
+    /// that reuse exists for the compulsory-exclusion accounting).
+    fn streaming(elems: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        pb.name("stream");
+        let f = pb.begin_func("main");
+        let outer = pb.new_block();
+        let body = pb.new_block();
+        let next = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::R8, 0)
+            .alloc(Reg::ESI, elems * 8)
+            .jmp(outer);
+        pb.block(outer).movi(Reg::ECX, 0).jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .load(Reg::EBX, Reg::EBP + -16, Width::W8) // filtered stack ref
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, elems)
+            .br_lt(body, next);
+        pb.block(next).addi(Reg::R8, 1).cmpi(Reg::R8, 2).br_lt(outer, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn no_sampling_predicts_streaming_load() {
+        let p = streaming(200_000);
+        let mut umi = UmiRuntime::new(&p, UmiConfig::no_sampling());
+        let report = umi.run(&mut NullSink, u64::MAX);
+        assert_eq!(report.instrumented_traces, 1);
+        assert_eq!(report.profiled_ops, 1, "stack load is filtered");
+        assert!(report.analyzer_invocations >= 2);
+        assert!(report.profiles_collected >= report.analyzer_invocations);
+        assert_eq!(report.predicted.len(), 1);
+        let pc = *report.predicted.iter().next().expect("one predicted");
+        let s = report.strides.get(&pc).expect("stride detected");
+        assert_eq!(s.stride, 8);
+        assert!(report.umi_miss_ratio > 0.1, "streaming misses often");
+        assert!(report.umi_overhead_cycles > 0);
+    }
+
+    #[test]
+    fn sampling_mode_selects_hot_trace_eventually() {
+        let p = streaming(400_000);
+        let mut cfg = UmiConfig::sampled();
+        cfg.sampling = SamplingMode::Periodic { period_insns: 500 };
+        cfg.frequency_threshold = 8;
+        let mut umi = UmiRuntime::new(&p, cfg);
+        let report = umi.run(&mut NullSink, u64::MAX);
+        assert!(report.samples_taken > 0);
+        assert_eq!(report.instrumented_traces, 1);
+        assert_eq!(report.predicted.len(), 1);
+    }
+
+    #[test]
+    fn high_frequency_threshold_prevents_selection() {
+        let p = streaming(50_000);
+        let mut cfg = UmiConfig::sampled();
+        cfg.sampling = SamplingMode::Periodic { period_insns: 1_000 };
+        cfg.frequency_threshold = 1_000_000; // unreachable
+        let mut umi = UmiRuntime::new(&p, cfg);
+        let report = umi.run(&mut NullSink, u64::MAX);
+        assert_eq!(report.instrumented_traces, 0);
+        assert_eq!(report.analyzer_invocations, 0);
+        assert!(report.predicted.is_empty());
+        assert_eq!(report.umi_overhead_cycles, 0, "no instrumentation, no cost");
+    }
+
+    #[test]
+    fn low_miss_loop_is_not_delinquent() {
+        // Tiny working set: everything hits after warm-up.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 512).jmp(body);
+        pb.block(body)
+            .movi(Reg::EDX, 0)
+            .load(Reg::EAX, Reg::ESI + (Reg::EDX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 300_000)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let mut umi = UmiRuntime::new(&p, UmiConfig::no_sampling());
+        let report = umi.run(&mut NullSink, u64::MAX);
+        assert!(report.predicted.is_empty(), "hitting load wrongly predicted");
+        assert!(report.umi_miss_ratio < 0.01);
+    }
+
+    #[test]
+    fn introspection_is_architecturally_transparent() {
+        let p = streaming(100_000);
+        let mut plain = umi_vm::Vm::new(&p);
+        plain.run(&mut NullSink, u64::MAX);
+        let mut umi = UmiRuntime::new(&p, UmiConfig::no_sampling());
+        let report = umi.run(&mut NullSink, u64::MAX);
+        assert_eq!(plain.stats(), report.vm_stats);
+        assert_eq!(plain.reg(Reg::ECX), umi.dbi().vm().reg(Reg::ECX));
+    }
+
+    #[test]
+    fn table3_style_statistics_are_plumbed() {
+        let p = streaming(150_000);
+        let mut umi = UmiRuntime::new(&p, UmiConfig::no_sampling());
+        let report = umi.run(&mut NullSink, u64::MAX);
+        assert_eq!(report.static_loads, p.static_loads());
+        assert_eq!(report.static_stores, p.static_stores());
+        assert!(report.percent_profiled() > 0.0);
+        assert!(report.percent_profiled() <= 100.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Sample-based region-selection reinforcement (paper §2, §3).
+//!
+//! The DBI trace builder already finds hot code; sampling "serves to
+//! further bias the profiling toward frequently occurring instructions".
+//! Every sampling period the program counter is inspected, the counter of
+//! its parent trace is incremented, and a trace whose counter saturates at
+//! the *frequency threshold* is selected for instrumentation (the counter
+//! then resets for future periods).
+
+use std::collections::HashMap;
+use umi_dbi::TraceId;
+
+/// The sampling-driven trace selector.
+#[derive(Clone, Debug)]
+pub struct RegionSelector {
+    counters: HashMap<TraceId, u32>,
+    frequency_threshold: u32,
+    samples_taken: u64,
+}
+
+impl RegionSelector {
+    /// Creates a selector with the given frequency threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frequency_threshold` is zero.
+    pub fn new(frequency_threshold: u32) -> RegionSelector {
+        assert!(frequency_threshold > 0, "frequency threshold must be positive");
+        RegionSelector { counters: HashMap::new(), frequency_threshold, samples_taken: 0 }
+    }
+
+    /// Records one sample landing in `trace` (samples outside any trace are
+    /// recorded by the caller passing `None` and simply counted).
+    ///
+    /// Returns `true` when the trace's counter saturates — the trace is
+    /// selected and its counter resets.
+    pub fn sample(&mut self, trace: Option<TraceId>) -> bool {
+        self.samples_taken += 1;
+        let Some(tid) = trace else { return false };
+        let c = self.counters.entry(tid).or_insert(0);
+        *c += 1;
+        if *c >= self.frequency_threshold {
+            *c = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total samples observed.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Current counter of a trace (zero if never sampled).
+    pub fn counter(&self, trace: TraceId) -> u32 {
+        self.counters.get(&trace).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_selects_and_resets() {
+        let mut s = RegionSelector::new(3);
+        let t = TraceId(0);
+        assert!(!s.sample(Some(t)));
+        assert!(!s.sample(Some(t)));
+        assert!(s.sample(Some(t)), "third sample saturates");
+        assert_eq!(s.counter(t), 0, "counter resets after selection");
+        assert!(!s.sample(Some(t)), "counting starts over");
+    }
+
+    #[test]
+    fn traces_count_independently() {
+        let mut s = RegionSelector::new(2);
+        let (a, b) = (TraceId(0), TraceId(1));
+        assert!(!s.sample(Some(a)));
+        assert!(!s.sample(Some(b)));
+        assert!(s.sample(Some(a)));
+        assert_eq!(s.counter(b), 1);
+    }
+
+    #[test]
+    fn samples_outside_traces_never_select() {
+        let mut s = RegionSelector::new(1);
+        assert!(!s.sample(None));
+        assert!(!s.sample(None));
+        assert_eq!(s.samples_taken(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_rejected() {
+        let _ = RegionSelector::new(0);
+    }
+}

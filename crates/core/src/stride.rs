@@ -1,0 +1,109 @@
+//! Stride discovery from address-profile columns (paper §8).
+//!
+//! "We modified the profile analyzer to also calculate the stride distance
+//! between successive memory references for individual loads."
+
+/// A detected reference pattern for one instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StrideInfo {
+    /// Dominant distance, in bytes, between successive references.
+    pub stride: i64,
+    /// Fraction of observed deltas equal to the dominant one, in `(0, 1]`.
+    pub confidence: f64,
+    /// Number of deltas observed.
+    pub samples: usize,
+}
+
+/// Detects the dominant non-zero stride in an address sequence (one
+/// address-profile column).
+///
+/// Returns `None` when fewer than `min_samples` deltas exist or no single
+/// non-zero delta reaches `min_confidence` of the observations —
+/// irregular (pointer-chasing) streams yield no stride and are left to
+/// other prefetch strategies, exactly as a stride prefetcher would skip
+/// them.
+pub fn detect_stride(column: &[u64], min_samples: usize, min_confidence: f64) -> Option<StrideInfo> {
+    if column.len() < 2 {
+        return None;
+    }
+    let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+    let mut total = 0usize;
+    for w in column.windows(2) {
+        let delta = w[1] as i64 - w[0] as i64;
+        if delta != 0 {
+            *counts.entry(delta).or_insert(0) += 1;
+        }
+        total += 1;
+    }
+    if total < min_samples {
+        return None;
+    }
+    let (&stride, &count) = counts
+        .iter()
+        .max_by_key(|(delta, count)| (**count, -(delta.unsigned_abs() as i64)))?;
+    let confidence = count as f64 / total as f64;
+    (confidence >= min_confidence).then_some(StrideInfo { stride, confidence, samples: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_stride() {
+        let col: Vec<u64> = (0..32).map(|i| 0x1000 + i * 8).collect();
+        let s = detect_stride(&col, 4, 0.5).expect("stride");
+        assert_eq!(s.stride, 8);
+        assert_eq!(s.confidence, 1.0);
+        assert_eq!(s.samples, 31);
+    }
+
+    #[test]
+    fn negative_stride() {
+        let col: Vec<u64> = (0..16).map(|i| 0x8000 - i * 64).collect();
+        let s = detect_stride(&col, 4, 0.5).expect("stride");
+        assert_eq!(s.stride, -64);
+    }
+
+    #[test]
+    fn noisy_stride_above_threshold() {
+        // 3 of every 4 deltas are +64.
+        let mut col = Vec::new();
+        let mut a = 0x1000u64;
+        for i in 0..32 {
+            col.push(a);
+            a = if i % 4 == 3 { a + 4096 } else { a + 64 };
+        }
+        let s = detect_stride(&col, 4, 0.5).expect("stride");
+        assert_eq!(s.stride, 64);
+        assert!(s.confidence > 0.7 && s.confidence < 0.8);
+    }
+
+    #[test]
+    fn random_walk_has_no_stride() {
+        // Pseudo-random addresses: no delta dominates.
+        let mut x = 0x12345678u64;
+        let col: Vec<u64> = (0..64)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % (1 << 20)
+            })
+            .collect();
+        assert_eq!(detect_stride(&col, 4, 0.5), None);
+    }
+
+    #[test]
+    fn constant_address_has_no_stride() {
+        let col = vec![0x1000u64; 16];
+        assert_eq!(detect_stride(&col, 4, 0.5), None, "all deltas are zero");
+    }
+
+    #[test]
+    fn too_few_samples() {
+        assert_eq!(detect_stride(&[0x0, 0x40], 4, 0.5), None);
+        assert_eq!(detect_stride(&[], 1, 0.5), None);
+        assert_eq!(detect_stride(&[0x0], 0, 0.5), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! What-if analysis: one profile stream, many hypothetical caches.
+//!
+//! The paper closes §1.4 with: "As a radical example, UMI can be used to
+//! quickly evaluate speculative optimizations that consider multiple
+//! what-if scenarios." The recorded address profiles are architecture
+//! independent, so the analyzer can replay them against any number of
+//! hypothetical cache organizations at once — answering "what would the
+//! miss profile look like with a 1 MB L2? with 2-way associativity? with
+//! 128-byte lines?" online, without re-running the program.
+
+use crate::profiles::AddressProfile;
+use umi_cache::{CacheConfig, CacheStats, SetAssocCache};
+use umi_dbi::TraceId;
+
+/// One hypothetical scenario: a label, a cache, and its accumulated
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Human-readable label, e.g. `"1MB/8-way"`.
+    pub label: String,
+    cache: SetAssocCache,
+    stats: CacheStats,
+}
+
+impl Scenario {
+    /// The scenario's cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        self.cache.config()
+    }
+
+    /// Statistics accumulated across all analyzed profiles.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Miss ratio in `[0, 1]` over the profiled references.
+    pub fn miss_ratio(&self) -> f64 {
+        self.stats.miss_ratio()
+    }
+}
+
+/// Replays address profiles through several cache configurations in
+/// lockstep.
+///
+/// Like the production analyzer, each scenario's cache is a single
+/// logical cache whose state persists from one profile (and invocation)
+/// to the next; unlike it, no warm-up or first-touch tuning is applied —
+/// what-if comparisons are *relative* between scenarios fed identical
+/// references, so shared biases cancel.
+///
+/// ```
+/// use umi_cache::CacheConfig;
+/// use umi_core::WhatIfAnalyzer;
+///
+/// let mut wi = WhatIfAnalyzer::new();
+/// wi.add_scenario("512KB/8-way", CacheConfig::pentium4_l2());
+/// wi.add_scenario("1MB/8-way", CacheConfig::with_capacity(1 << 20, 8, 64));
+/// assert_eq!(wi.scenarios().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WhatIfAnalyzer {
+    scenarios: Vec<Scenario>,
+}
+
+impl WhatIfAnalyzer {
+    /// Creates an analyzer with no scenarios.
+    pub fn new() -> WhatIfAnalyzer {
+        WhatIfAnalyzer::default()
+    }
+
+    /// Adds a scenario; profiles analyzed afterwards feed it.
+    pub fn add_scenario(&mut self, label: &str, config: CacheConfig) -> &mut Self {
+        self.scenarios.push(Scenario {
+            label: label.to_string(),
+            cache: SetAssocCache::new(config),
+            stats: CacheStats::default(),
+        });
+        self
+    }
+
+    /// The scenarios with their current statistics.
+    pub fn scenarios(&self) -> &[Scenario] {
+        &self.scenarios
+    }
+
+    /// Replays the drained profiles through every scenario.
+    pub fn analyze(&mut self, profiles: &[(TraceId, AddressProfile)]) {
+        for (_, profile) in profiles {
+            for row in profile.rows() {
+                for r in row {
+                    for s in &mut self.scenarios {
+                        let hit = s.cache.access(r.addr).hit;
+                        s.stats.accesses += 1;
+                        s.stats.misses += (!hit) as u64;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The scenario with the lowest miss ratio (ties: first added), or
+    /// `None` if no scenario or no reference has been seen.
+    pub fn best(&self) -> Option<&Scenario> {
+        self.scenarios
+            .iter()
+            .filter(|s| s.stats.accesses > 0)
+            .min_by(|a, b| a.miss_ratio().total_cmp(&b.miss_ratio()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::ProfileStore;
+    use umi_ir::Pc;
+
+    /// Streaming profile over `lines` distinct cache lines, `passes` times.
+    fn profile(lines: u64, passes: usize) -> Vec<(TraceId, AddressProfile)> {
+        let mut store = ProfileStore::new(1 << 20, 1 << 20);
+        let t = TraceId(0);
+        store.register(t, vec![Pc(0x100)]);
+        for _ in 0..passes {
+            for l in 0..lines {
+                store.begin_row(t);
+                store.record(t, 0, 0x10_0000 + l * 64, false);
+            }
+        }
+        store.drain()
+    }
+
+    #[test]
+    fn bigger_cache_wins_on_capacity_bound_stream() {
+        let mut wi = WhatIfAnalyzer::new();
+        wi.add_scenario("64KB", CacheConfig::with_capacity(64 << 10, 8, 64));
+        wi.add_scenario("1MB", CacheConfig::with_capacity(1 << 20, 8, 64));
+        // 512 KB of data, revisited: fits the 1 MB cache, thrashes 64 KB.
+        wi.analyze(&profile(8192, 3));
+        let best = wi.best().expect("scenarios fed");
+        assert_eq!(best.label, "1MB");
+        let small = &wi.scenarios()[0];
+        assert!(small.miss_ratio() > best.miss_ratio() + 0.3);
+    }
+
+    #[test]
+    fn scenarios_see_identical_reference_counts() {
+        let mut wi = WhatIfAnalyzer::new();
+        wi.add_scenario("a", CacheConfig::pentium4_l2());
+        wi.add_scenario("b", CacheConfig::k7_l2());
+        wi.analyze(&profile(100, 2));
+        let [a, b] = wi.scenarios() else { panic!("two scenarios") };
+        assert_eq!(a.stats().accesses, 200);
+        assert_eq!(a.stats().accesses, b.stats().accesses);
+    }
+
+    #[test]
+    fn state_persists_across_analyze_calls() {
+        let mut wi = WhatIfAnalyzer::new();
+        wi.add_scenario("p4", CacheConfig::pentium4_l2());
+        wi.analyze(&profile(10, 1)); // cold: 10 misses
+        let first = wi.scenarios()[0].stats();
+        assert_eq!(first.misses, 10);
+        wi.analyze(&profile(10, 1)); // warm: same lines hit
+        let second = wi.scenarios()[0].stats();
+        assert_eq!(second.misses, 10, "no new misses on warm replay");
+        assert_eq!(second.accesses, 20);
+    }
+
+    #[test]
+    fn empty_analyzer_has_no_best() {
+        let wi = WhatIfAnalyzer::new();
+        assert!(wi.best().is_none());
+        let mut wi2 = WhatIfAnalyzer::new();
+        wi2.add_scenario("x", CacheConfig::pentium4_l2());
+        assert!(wi2.best().is_none(), "no references seen yet");
+    }
+}

@@ -1,0 +1,59 @@
+//! # umi-dbi — a DynamoRIO-like runtime code-manipulation substrate
+//!
+//! The UMI prototype is built on DynamoRIO (paper §3): the application's
+//! code is copied block by block into a *basic block cache*; frequently
+//! executed block sequences are stitched into single-entry multiple-exit
+//! *traces* held in a *trace cache*; all control flow is interposed on,
+//! which is what makes instrumentation possible; and the *trace builder*
+//! "implicitly serves as the UMI region selector".
+//!
+//! This crate reproduces that machinery over the `umi-vm` interpreter:
+//!
+//! * [`DbiRuntime`] steps the VM one block at a time, observing every
+//!   control transfer exactly like a code-cache dispatcher would;
+//! * a NET-style [`TraceBuilder`] promotes hot targets of backward/indirect
+//!   branches into [`Trace`]s;
+//! * a [`CostModel`] charges cycles for the things a real DBI pays for —
+//!   block translation, trace construction, indirect-branch lookups,
+//!   context switches — and credits the small layout benefit of traces
+//!   (the paper notes "some benchmarks actually run faster with DynamoRIO
+//!   because they benefit from code placement and trace optimizations").
+//!
+//! The UMI layer (`umi-core`) drives the runtime through [`DbiRuntime::step`]
+//! and inspects each [`StepInfo`] to implement region selection,
+//! instrumentation and analysis triggering.
+//!
+//! # Example
+//!
+//! ```
+//! use umi_dbi::{CostModel, DbiRuntime};
+//! use umi_ir::{ProgramBuilder, Reg};
+//! use umi_vm::NullSink;
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.begin_func("main");
+//! let body = pb.new_block();
+//! let done = pb.new_block();
+//! pb.block(main.entry()).movi(Reg::ECX, 0).jmp(body);
+//! pb.block(body).addi(Reg::ECX, 1).cmpi(Reg::ECX, 1000).br_lt(body, done);
+//! pb.block(done).ret();
+//! let program = pb.finish();
+//!
+//! let mut rt = DbiRuntime::new(&program, CostModel::default());
+//! let mut sink = NullSink;
+//! while !rt.finished() {
+//!     let _info = rt.step(&mut sink);
+//! }
+//! assert!(rt.stats().traces_built >= 1, "the hot loop must become a trace");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod runtime;
+mod trace;
+
+pub use cost::CostModel;
+pub use runtime::{DbiRuntime, DbiStats, StepInfo};
+pub use trace::{Trace, TraceBuilder, TraceCache, TraceId};

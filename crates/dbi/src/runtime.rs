@@ -1,0 +1,376 @@
+//! The code-cache dispatcher.
+
+use crate::cost::CostModel;
+use crate::trace::{TraceBuilder, TraceCache, TraceId};
+use umi_ir::{MemAccess, Program};
+use umi_vm::{AccessSink, BlockExit, Vm, VmStats};
+
+/// Execution statistics of the DBI layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbiStats {
+    /// Blocks executed from the basic-block cache.
+    pub blocks_from_bb_cache: u64,
+    /// Blocks executed from the trace cache.
+    pub blocks_from_trace_cache: u64,
+    /// Blocks translated (copied into the code cache).
+    pub blocks_translated: u64,
+    /// Traces constructed.
+    pub traces_built: u64,
+    /// Entries into trace heads.
+    pub trace_entries: u64,
+    /// Dynamic indirect control transfers.
+    pub indirect_branches: u64,
+    /// Context switches into the runtime requested by the client.
+    pub context_switches: u64,
+}
+
+impl DbiStats {
+    /// Fraction of block executions served from the trace cache — the
+    /// paper notes 176.gcc "spends less than 70% of its execution running
+    /// from the trace cache" while most benchmarks exceed 95%.
+    pub fn trace_cache_residency(&self) -> f64 {
+        let total = self.blocks_from_bb_cache + self.blocks_from_trace_cache;
+        if total == 0 {
+            0.0
+        } else {
+            self.blocks_from_trace_cache as f64 / total as f64
+        }
+    }
+}
+
+/// What happened during one [`DbiRuntime::step`].
+#[derive(Debug)]
+pub struct StepInfo<'r> {
+    /// The architectural block exit.
+    pub exit: BlockExit,
+    /// Trace context the block executed under (`None` = basic-block cache).
+    pub trace: Option<TraceId>,
+    /// Whether this step entered the head of that trace.
+    pub entered_trace: bool,
+    /// A trace completed by the builder during this step, if any.
+    pub trace_created: Option<TraceId>,
+    /// Memory accesses performed by the block, in order.
+    pub accesses: &'r [MemAccess],
+}
+
+/// Forwards accesses to the real sink while keeping a per-block copy for
+/// the client.
+struct TeeSink<'a, S> {
+    inner: &'a mut S,
+    buf: &'a mut Vec<MemAccess>,
+}
+
+impl<S: AccessSink> AccessSink for TeeSink<'_, S> {
+    fn access(&mut self, access: MemAccess) {
+        self.buf.push(access);
+        self.inner.access(access);
+    }
+}
+
+/// The DynamoRIO-like dispatcher: executes the program block by block,
+/// builds traces from hot control flow, charges DBI overhead cycles, and
+/// reports every step to the caller (the UMI layer).
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct DbiRuntime<'p> {
+    vm: Vm<'p>,
+    program: &'p Program,
+    cache: TraceCache,
+    builder: TraceBuilder,
+    costs: CostModel,
+    stats: DbiStats,
+    overhead: u64,
+    translated: Vec<bool>,
+    /// Trace context for the *next* block: (trace, position).
+    next_ctx: Option<(TraceId, usize)>,
+    /// Whether the edge into the next block was backward/indirect.
+    entered_backward: bool,
+    access_buf: Vec<MemAccess>,
+}
+
+impl<'p> DbiRuntime<'p> {
+    /// Creates a runtime with the default NET parameters (hot threshold 50,
+    /// 32-block traces).
+    pub fn new(program: &'p Program, costs: CostModel) -> DbiRuntime<'p> {
+        DbiRuntime::with_builder(program, costs, TraceBuilder::default())
+    }
+
+    /// Creates a runtime with a custom trace builder.
+    pub fn with_builder(
+        program: &'p Program,
+        costs: CostModel,
+        builder: TraceBuilder,
+    ) -> DbiRuntime<'p> {
+        DbiRuntime {
+            vm: Vm::new(program),
+            program,
+            cache: TraceCache::new(),
+            builder,
+            costs,
+            stats: DbiStats::default(),
+            overhead: 0,
+            translated: vec![false; program.blocks.len()],
+            next_ctx: None,
+            entered_backward: true, // program entry behaves like a head edge
+            access_buf: Vec::with_capacity(64),
+        }
+    }
+
+    /// Whether the program has finished.
+    pub fn finished(&self) -> bool {
+        self.vm.is_finished()
+    }
+
+    /// The underlying VM (registers, memory, architectural stats).
+    pub fn vm(&self) -> &Vm<'p> {
+        &self.vm
+    }
+
+    /// Architectural statistics (instructions, loads, stores…).
+    pub fn vm_stats(&self) -> VmStats {
+        self.vm.stats()
+    }
+
+    /// The program under execution.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// The trace cache.
+    pub fn traces(&self) -> &TraceCache {
+        &self.cache
+    }
+
+    /// DBI statistics.
+    pub fn stats(&self) -> DbiStats {
+        self.stats
+    }
+
+    /// Accumulated overhead cycles (DBI costs plus client charges).
+    pub fn overhead_cycles(&self) -> u64 {
+        self.overhead
+    }
+
+    /// Adds client-side overhead (instrumentation, analysis…) so that one
+    /// accumulator holds all non-native cycles.
+    pub fn charge(&mut self, cycles: u64) {
+        self.overhead += cycles;
+    }
+
+    /// Charges one context switch between code cache and runtime.
+    pub fn context_switch(&mut self) {
+        self.stats.context_switches += 1;
+        self.overhead += self.costs.context_switch;
+    }
+
+    /// The cost model in force.
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Executes one basic block under the dispatcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program already finished.
+    pub fn step<S: AccessSink>(&mut self, sink: &mut S) -> StepInfo<'_> {
+        let ctx = self.next_ctx;
+        let in_trace = ctx.map(|(t, _)| t);
+        let entering = matches!(ctx, Some((_, 0)));
+        if entering {
+            self.stats.trace_entries += 1;
+        }
+
+        self.access_buf.clear();
+        let exit = {
+            let mut tee = TeeSink { inner: sink, buf: &mut self.access_buf };
+            self.vm.step_block(&mut tee)
+        };
+
+        // --- cost accounting ---
+        let bi = exit.block.index();
+        if !self.translated[bi] {
+            self.translated[bi] = true;
+            self.stats.blocks_translated += 1;
+            self.overhead += self.costs.block_translation;
+        }
+        if in_trace.is_some() {
+            self.stats.blocks_from_trace_cache += 1;
+            self.overhead = self.overhead.saturating_sub(self.costs.trace_layout_credit);
+        } else {
+            self.stats.blocks_from_bb_cache += 1;
+            self.overhead += self.costs.bb_dispatch;
+        }
+        if exit.kind.is_indirect() {
+            self.stats.indirect_branches += 1;
+            self.overhead += self.costs.indirect_lookup;
+        }
+
+        // --- trace building (only while executing from the BB cache) ---
+        let mut trace_created = None;
+        if in_trace.is_none() {
+            if let Some(blocks) =
+                self.builder.observe(self.program, &self.cache, &exit, self.entered_backward)
+            {
+                let id = self.cache.insert(blocks);
+                self.stats.traces_built += 1;
+                self.overhead += self.costs.trace_build;
+                trace_created = Some(id);
+            }
+        }
+
+        // --- next trace context ---
+        self.next_ctx = match exit.next {
+            None => None,
+            Some(next) => {
+                let continued = ctx.and_then(|(tid, pos)| {
+                    let tr = self.cache.trace(tid);
+                    (tr.blocks.get(pos + 1) == Some(&next)).then_some((tid, pos + 1))
+                });
+                continued.or_else(|| self.cache.trace_at_head(next).map(|tid| (tid, 0)))
+            }
+        };
+
+        // Head heuristic for the next edge: backward/indirect transfers and
+        // trace exits feed head counters.
+        let backward_edge = match exit.next {
+            Some(next) => {
+                self.program.block(next).addr <= self.program.block(exit.block).addr
+            }
+            None => false,
+        };
+        let trace_exit = in_trace.is_some() && self.next_ctx.is_none();
+        self.entered_backward = exit.kind.is_indirect()
+            || matches!(exit.kind, umi_vm::ExitKind::Call | umi_vm::ExitKind::Ret)
+            || backward_edge
+            || trace_exit;
+
+        StepInfo {
+            exit,
+            trace: in_trace,
+            entered_trace: entering,
+            trace_created,
+            accesses: &self.access_buf,
+        }
+    }
+
+    /// Runs the program to completion (or until `max_insns`), discarding
+    /// step details. Returns the architectural stats.
+    pub fn run<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> VmStats {
+        while !self.finished() && self.vm.stats().insns < max_insns {
+            let _ = self.step(sink);
+        }
+        self.vm.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use umi_ir::{ProgramBuilder, Reg, Width};
+    use umi_vm::NullSink;
+
+    fn loop_program(iters: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 8192).jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, iters)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn execution_is_transparent() {
+        // The DBI layer must not change architectural results.
+        let p = loop_program(500);
+        let mut plain = umi_vm::Vm::new(&p);
+        plain.run(&mut NullSink, 1 << 20);
+        let mut rt = DbiRuntime::new(&p, CostModel::default());
+        let stats = rt.run(&mut NullSink, 1 << 20);
+        assert_eq!(plain.reg(Reg::ECX), rt.vm().reg(Reg::ECX));
+        assert_eq!(plain.stats(), stats);
+    }
+
+    #[test]
+    fn hot_loop_executes_from_trace_cache() {
+        let p = loop_program(10_000);
+        let mut rt = DbiRuntime::new(&p, CostModel::default());
+        rt.run(&mut NullSink, 1 << 24);
+        let s = rt.stats();
+        assert_eq!(s.traces_built, 1);
+        assert!(s.trace_cache_residency() > 0.95, "residency {}", s.trace_cache_residency());
+        assert!(s.trace_entries > 9_000);
+    }
+
+    #[test]
+    fn step_reports_trace_context_and_accesses() {
+        let p = loop_program(10_000);
+        let mut rt = DbiRuntime::new(&p, CostModel::default());
+        let mut sink = NullSink;
+        let mut saw_entered = false;
+        let mut in_trace_accesses = 0u64;
+        while !rt.finished() {
+            let info = rt.step(&mut sink);
+            if info.entered_trace {
+                saw_entered = true;
+                assert!(info.trace.is_some());
+            }
+            if info.trace.is_some() {
+                in_trace_accesses += info.accesses.len() as u64;
+            }
+        }
+        assert!(saw_entered);
+        assert!(in_trace_accesses > 9_000, "loop loads observed inside the trace");
+    }
+
+    #[test]
+    fn overhead_accumulates_and_client_can_charge() {
+        let p = loop_program(100);
+        let mut rt = DbiRuntime::new(&p, CostModel::default());
+        rt.run(&mut NullSink, 1 << 20);
+        let base = rt.overhead_cycles();
+        assert!(base > 0, "translation costs must appear");
+        rt.charge(123);
+        assert_eq!(rt.overhead_cycles(), base + 123);
+        rt.context_switch();
+        assert_eq!(rt.overhead_cycles(), base + 123 + rt.costs().context_switch);
+        assert_eq!(rt.stats().context_switches, 1);
+    }
+
+    #[test]
+    fn free_cost_model_still_builds_traces() {
+        let p = loop_program(1_000);
+        let mut rt = DbiRuntime::new(&p, CostModel::free());
+        rt.run(&mut NullSink, 1 << 22);
+        assert!(rt.stats().traces_built >= 1);
+        assert_eq!(rt.overhead_cycles(), 0);
+    }
+
+    #[test]
+    fn indirect_branches_are_counted() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let a = pb.new_block();
+        let b = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(a);
+        pb.block(a)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 200)
+            .br_ge(done, b);
+        pb.block(b).jmp_ind(Reg::ECX, vec![a, a]);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let mut rt = DbiRuntime::new(&p, CostModel::default());
+        rt.run(&mut NullSink, 1 << 20);
+        assert!(rt.stats().indirect_branches >= 199);
+    }
+}

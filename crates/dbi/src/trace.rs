@@ -1,0 +1,307 @@
+//! Traces and NET-style trace construction.
+
+use std::collections::HashMap;
+use umi_ir::{BlockId, Program};
+use umi_vm::BlockExit;
+
+/// Identifier of a trace in the [`TraceCache`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TraceId(pub u32);
+
+impl TraceId {
+    /// Index into the trace cache.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A single-entry, multiple-exits sequence of basic blocks, the unit UMI
+/// selects, instruments and optimizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trace {
+    /// Identifier.
+    pub id: TraceId,
+    /// Component blocks; `blocks[0]` is the entry (head).
+    pub blocks: Vec<BlockId>,
+}
+
+impl Trace {
+    /// The trace head (single entry).
+    pub fn head(&self) -> BlockId {
+        self.blocks[0]
+    }
+
+    /// Number of component blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Traces always contain at least their head.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total static instructions in the trace (bodies only), given the
+    /// program.
+    pub fn static_insns(&self, program: &Program) -> usize {
+        self.blocks.iter().map(|b| program.block(*b).insns.len()).sum()
+    }
+}
+
+/// The trace cache: completed traces plus a head-block index.
+#[derive(Clone, Debug, Default)]
+pub struct TraceCache {
+    traces: Vec<Trace>,
+    by_head: HashMap<BlockId, TraceId>,
+}
+
+impl TraceCache {
+    /// Creates an empty cache.
+    pub fn new() -> TraceCache {
+        TraceCache::default()
+    }
+
+    /// The trace with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn trace(&self, id: TraceId) -> &Trace {
+        &self.traces[id.index()]
+    }
+
+    /// The trace headed by `block`, if any.
+    pub fn trace_at_head(&self, block: BlockId) -> Option<TraceId> {
+        self.by_head.get(&block).copied()
+    }
+
+    /// Whether `block` heads a trace.
+    pub fn is_head(&self, block: BlockId) -> bool {
+        self.by_head.contains_key(&block)
+    }
+
+    /// Number of traces built.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether no trace has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterates over all traces.
+    pub fn iter(&self) -> impl Iterator<Item = &Trace> + '_ {
+        self.traces.iter()
+    }
+
+    /// Inserts a completed trace (first head registration wins).
+    pub fn insert(&mut self, blocks: Vec<BlockId>) -> TraceId {
+        debug_assert!(!blocks.is_empty());
+        let id = TraceId(self.traces.len() as u32);
+        self.by_head.entry(blocks[0]).or_insert(id);
+        self.traces.push(Trace { id, blocks });
+        id
+    }
+}
+
+/// NET-style ("next executing tail") trace construction, the scheme
+/// DynamoRIO uses: targets of backward or indirect branches accumulate an
+/// execution counter; when one saturates at the hot threshold, the blocks
+/// executed next are recorded until a trace-ending condition, and the
+/// result is promoted into the trace cache.
+#[derive(Clone, Debug)]
+pub struct TraceBuilder {
+    /// Execution counters for potential trace heads.
+    head_counters: HashMap<BlockId, u32>,
+    /// Blocks recorded so far when in recording mode.
+    recording: Option<Vec<BlockId>>,
+    /// Hot threshold (DynamoRIO's default is 50).
+    hot_threshold: u32,
+    /// Maximum blocks per trace.
+    max_blocks: usize,
+}
+
+impl Default for TraceBuilder {
+    fn default() -> TraceBuilder {
+        TraceBuilder::new(50, 32)
+    }
+}
+
+impl TraceBuilder {
+    /// Creates a builder with the given hot threshold and trace-length cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(hot_threshold: u32, max_blocks: usize) -> TraceBuilder {
+        assert!(hot_threshold > 0 && max_blocks > 0);
+        TraceBuilder {
+            head_counters: HashMap::new(),
+            recording: None,
+            hot_threshold,
+            max_blocks,
+        }
+    }
+
+    /// Whether a trace is currently being recorded.
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Observes that `exit` transferred control out of `exit.block`, where
+    /// the *previous* transfer entered it. `entered_backward` says whether
+    /// the entering edge was a backward or indirect transfer (the NET
+    /// head heuristic). Returns a completed block list when a trace closes.
+    ///
+    /// `cache` is consulted so recording stops at existing trace heads.
+    pub fn observe(
+        &mut self,
+        program: &Program,
+        cache: &TraceCache,
+        exit: &BlockExit,
+        entered_backward: bool,
+    ) -> Option<Vec<BlockId>> {
+        let block = exit.block;
+
+        if let Some(rec) = &mut self.recording {
+            rec.push(block);
+            let done = rec.len() >= self.max_blocks
+                || exit.kind.is_indirect()
+                || exit.next.is_none()
+                // Loop closure: backward transfer (to the head or elsewhere).
+                || exit
+                    .next
+                    .is_some_and(|n| program.block(n).addr <= program.block(block).addr)
+                // Stop at an existing trace head ("trace head" rule).
+                || exit.next.is_some_and(|n| cache.is_head(n));
+            if done {
+                let rec = self.recording.take().expect("recording");
+                self.head_counters.remove(&rec[0]);
+                return Some(rec);
+            }
+            return None;
+        }
+
+        // Not recording: is this block a potential head getting hot?
+        if entered_backward && !cache.is_head(block) {
+            let c = self.head_counters.entry(block).or_insert(0);
+            *c += 1;
+            if *c >= self.hot_threshold {
+                // Hot: start recording *with this execution's tail*,
+                // beginning from this block. Apply the trace-ending rules
+                // to this first element too (single-block loops close at
+                // their own backward branch).
+                self.recording = Some(vec![block]);
+                let done = exit.kind.is_indirect()
+                    || exit.next.is_none()
+                    || exit
+                        .next
+                        .is_some_and(|n| program.block(n).addr <= program.block(block).addr)
+                    || exit.next.is_some_and(|n| cache.is_head(n));
+                if done {
+                    let rec = self.recording.take().expect("recording");
+                    self.head_counters.remove(&rec[0]);
+                    return Some(rec);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{ProgramBuilder, Reg};
+    use umi_vm::{ExitKind, NullSink, Vm};
+
+    /// Drives a program and returns (cache, executions) after running it
+    /// with a plain trace-builder loop.
+    fn build_traces(program: &Program, threshold: u32) -> TraceCache {
+        let mut cache = TraceCache::new();
+        let mut tb = TraceBuilder::new(threshold, 32);
+        let mut vm = Vm::new(program);
+        let mut entered_backward = true; // program entry counts as a head edge
+        let mut sink = NullSink;
+        while !vm.is_finished() {
+            let exit = vm.step_block(&mut sink);
+            if let Some(blocks) = tb.observe(program, &cache, &exit, entered_backward) {
+                cache.insert(blocks);
+            }
+            entered_backward = exit.kind.is_indirect()
+                || exit.kind == ExitKind::Call
+                || exit.kind == ExitKind::Ret
+                || match exit.next {
+                    Some(n) => program.block(n).addr <= program.block(exit.block).addr,
+                    None => false,
+                };
+        }
+        cache
+    }
+
+    fn loop_program(iters: i64) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
+        pb.block(body).addi(Reg::ECX, 1).cmpi(Reg::ECX, iters).br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn hot_loop_head_becomes_a_trace() {
+        let p = loop_program(1000);
+        let cache = build_traces(&p, 50);
+        assert_eq!(cache.len(), 1, "exactly one hot loop");
+        let t = cache.trace(TraceId(0));
+        assert_eq!(t.head(), BlockId(1), "loop body is the head");
+        assert!(cache.is_head(BlockId(1)));
+    }
+
+    #[test]
+    fn cold_loop_never_promotes() {
+        let p = loop_program(10); // below the threshold of 50
+        let cache = build_traces(&p, 50);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn multi_block_loop_forms_multi_block_trace() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let head = pb.new_block();
+        let mid = pb.new_block();
+        let tail = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(head);
+        pb.block(head).addi(Reg::ECX, 1).jmp(mid);
+        pb.block(mid).nop().jmp(tail);
+        pb.block(tail).cmpi(Reg::ECX, 500).br_lt(head, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let cache = build_traces(&p, 50);
+        assert_eq!(cache.len(), 1);
+        let t = cache.trace(TraceId(0));
+        assert_eq!(t.blocks, vec![head, mid, tail]);
+        assert_eq!(t.static_insns(&p), 3);
+    }
+
+    #[test]
+    fn trace_length_is_capped() {
+        let tb = TraceBuilder::new(1, 4);
+        assert!(tb.hot_threshold == 1 && tb.max_blocks == 4);
+    }
+
+    #[test]
+    fn insert_first_head_wins() {
+        let mut cache = TraceCache::new();
+        let a = cache.insert(vec![BlockId(5), BlockId(6)]);
+        let b = cache.insert(vec![BlockId(5)]);
+        assert_ne!(a, b);
+        assert_eq!(cache.trace_at_head(BlockId(5)), Some(a));
+        assert_eq!(cache.iter().count(), 2);
+    }
+}

@@ -1,0 +1,36 @@
+//! # umi-hw — simulated hardware platforms
+//!
+//! The paper evaluates UMI against two real machines — a 3.06 GHz Intel
+//! Pentium 4 and a 1.2 GHz AMD Athlon MP (K7) — using their hardware
+//! performance counters as ground truth, and against the Pentium 4's two
+//! hardware L2 prefetchers (adjacent-cache-line and stride, §8). This
+//! crate models those machines:
+//!
+//! * [`Platform`] — cache geometry plus a simple in-order timing model;
+//! * [`Machine`] — an [`AccessSink`](umi_vm::AccessSink) that plays the
+//!   role of the real memory system: it simulates the hierarchy, charges
+//!   stall cycles, drives the hardware prefetchers, and updates the
+//!   [`HwCounters`];
+//! * [`AdjacentLinePrefetcher`] / [`StridePrefetcher`] — the Pentium 4's
+//!   documented L2 prefetch mechanisms (the K7 has none);
+//! * [`SamplingCostModel`] — the cost of counter-overflow interrupts, used
+//!   to reproduce Table 1 (hardware counters are prohibitively expensive at
+//!   fine sample sizes).
+//!
+//! Everything is deterministic virtual time; "running time" in the
+//! reproduced figures means cycles from this model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod machine;
+mod platform;
+mod prefetcher;
+mod sampling;
+
+pub use counters::HwCounters;
+pub use machine::{Machine, PrefetchSetting};
+pub use platform::Platform;
+pub use prefetcher::{AdjacentLinePrefetcher, PrefetchEngine, StridePrefetcher};
+pub use sampling::SamplingCostModel;

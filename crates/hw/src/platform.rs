@@ -1,0 +1,89 @@
+//! Platform descriptions: cache geometry and timing.
+
+use umi_cache::CacheConfig;
+
+/// A simulated evaluation platform (paper §6, "Experimental Methodology").
+///
+/// The timing model is deliberately simple and in-order: every retired
+/// instruction costs one base cycle; a demand reference additionally stalls
+/// for `l2_hit_cycles` when it misses L1 and for `memory_cycles` when it
+/// misses both levels. The reproduced figures are all *ratios* of running
+/// times, which this model preserves.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Platform {
+    /// Human-readable name, e.g. `"Pentium 4"`.
+    pub name: &'static str,
+    /// L1 data-cache geometry.
+    pub l1: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// Extra stall cycles for an L1-miss/L2-hit reference.
+    pub l2_hit_cycles: u64,
+    /// Extra stall cycles for a reference served from memory.
+    pub memory_cycles: u64,
+    /// Core clock in MHz (used to convert the paper's wall-clock
+    /// parameters, e.g. the 10 ms sampling period, into cycles).
+    pub clock_mhz: u64,
+    /// Whether the platform has hardware L2 prefetchers (Pentium 4: yes,
+    /// K7: "no documented hardware prefetching mechanisms").
+    pub has_hw_prefetch: bool,
+}
+
+impl Platform {
+    /// The paper's 3.06 GHz Intel Pentium 4: 8 KB 4-way L1D, 512 KB 8-way
+    /// unified L2, 64-byte lines, adjacent-line + stride HW prefetchers.
+    pub fn pentium4() -> Platform {
+        Platform {
+            name: "Pentium 4",
+            l1: CacheConfig::pentium4_l1d(),
+            l2: CacheConfig::pentium4_l2(),
+            l2_hit_cycles: 18,
+            memory_cycles: 250,
+            clock_mhz: 3060,
+            has_hw_prefetch: true,
+        }
+    }
+
+    /// The paper's 1.2 GHz AMD Athlon MP (K7): 64 KB 2-way L1D, 256 KB
+    /// 16-way unified L2, 64-byte lines, no hardware prefetch.
+    pub fn k7() -> Platform {
+        Platform {
+            name: "AMD K7",
+            l1: CacheConfig::k7_l1d(),
+            l2: CacheConfig::k7_l2(),
+            l2_hit_cycles: 12,
+            memory_cycles: 130,
+            clock_mhz: 1200,
+            has_hw_prefetch: false,
+        }
+    }
+
+    /// Cycles in `ms` milliseconds on this platform.
+    pub fn ms_to_cycles(&self, ms: u64) -> u64 {
+        ms * self.clock_mhz * 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platforms() {
+        let p4 = Platform::pentium4();
+        assert_eq!(p4.l1.capacity(), 8 << 10);
+        assert_eq!(p4.l2.capacity(), 512 << 10);
+        assert!(p4.has_hw_prefetch);
+        let k7 = Platform::k7();
+        assert_eq!(k7.l1.ways, 2);
+        assert_eq!(k7.l2.capacity(), 256 << 10);
+        assert!(!k7.has_hw_prefetch);
+        assert!(k7.l2.capacity() < p4.l2.capacity(), "K7 L2 is half of P4's");
+    }
+
+    #[test]
+    fn ms_conversion_uses_clock() {
+        assert_eq!(Platform::pentium4().ms_to_cycles(10), 10 * 3060 * 1000);
+        assert_eq!(Platform::k7().ms_to_cycles(1), 1_200_000);
+    }
+}

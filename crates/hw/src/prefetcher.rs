@@ -1,0 +1,220 @@
+//! Hardware L2 prefetchers (Pentium 4 style, paper §8).
+//!
+//! "It implements two prefetching algorithms for its L2 cache. They are
+//! *adjacent cache line* prefetching and *stride* prefetching. The latter
+//! can track up to 8 independent prefetch streams."
+
+use umi_ir::Pc;
+
+/// A hardware prefetch engine: observes demand references (at line
+/// granularity) and proposes line addresses to install into L2.
+pub trait PrefetchEngine {
+    /// Observes one demand reference; returns line addresses to prefetch.
+    ///
+    /// `line_addr` is the line-aligned address, `l2_miss` whether the
+    /// reference missed L2.
+    fn observe(&mut self, pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64>;
+
+    /// Resets all predictor state.
+    fn reset(&mut self);
+}
+
+/// Adjacent-cache-line prefetching: on an L2 demand miss, also fetch the
+/// other half of the aligned 128-byte pair (the line's "buddy").
+#[derive(Clone, Debug)]
+pub struct AdjacentLinePrefetcher {
+    line_size: u64,
+}
+
+impl AdjacentLinePrefetcher {
+    /// Creates the prefetcher for the given line size.
+    pub fn new(line_size: u64) -> AdjacentLinePrefetcher {
+        AdjacentLinePrefetcher { line_size }
+    }
+}
+
+impl PrefetchEngine for AdjacentLinePrefetcher {
+    fn observe(&mut self, _pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64> {
+        if l2_miss {
+            vec![line_addr ^ self.line_size]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Stream {
+    pc: Pc,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+    valid: bool,
+}
+
+/// IP-indexed stride prefetching with a fixed number of streams (8 on the
+/// Pentium 4). Two consecutive equal line-strides arm a stream; armed
+/// streams prefetch `distance` strides ahead.
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    streams: Vec<Stream>,
+    line_size: u64,
+    distance: u64,
+    clock: u64,
+}
+
+impl StridePrefetcher {
+    /// Pentium 4 configuration: 8 streams, prefetch 2 strides ahead.
+    pub fn pentium4(line_size: u64) -> StridePrefetcher {
+        StridePrefetcher::new(8, line_size, 2)
+    }
+
+    /// Creates a prefetcher with `streams` tracking slots and the given
+    /// prefetch `distance` (in strides).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero.
+    pub fn new(streams: usize, line_size: u64, distance: u64) -> StridePrefetcher {
+        assert!(streams > 0, "need at least one stream");
+        StridePrefetcher {
+            streams: vec![Stream::default(); streams],
+            line_size,
+            distance,
+            clock: 0,
+        }
+    }
+}
+
+impl PrefetchEngine for StridePrefetcher {
+    fn observe(&mut self, pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+
+        if let Some(s) = self.streams.iter_mut().find(|s| s.valid && s.pc == pc) {
+            s.lru = clock;
+            let delta = line_addr as i64 - s.last_line as i64;
+            s.last_line = line_addr;
+            if delta == 0 {
+                return Vec::new(); // same line; no new information
+            }
+            if delta == s.stride {
+                s.confidence = s.confidence.saturating_add(1);
+            } else {
+                s.stride = delta;
+                s.confidence = 1;
+            }
+            // Prefetches issue only on demand misses: real prefetchers
+            // are trained continuously but throttle issue, which is what
+            // keeps them from eliminating every streaming miss.
+            if !l2_miss {
+                return Vec::new();
+            }
+            if s.confidence >= 2 {
+                let mut out = Vec::with_capacity(self.distance as usize);
+                for k in 1..=self.distance {
+                    let target = line_addr as i64 + s.stride * k as i64;
+                    if target >= 0 {
+                        out.push(target as u64 & !(self.line_size - 1));
+                    }
+                }
+                return out;
+            }
+            return Vec::new();
+        }
+
+        // Allocate a new stream (reuse invalid or the least recently used).
+        let slot = self
+            .streams
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.lru } else { 0 })
+            .expect("at least one stream");
+        *slot = Stream { pc, last_line: line_addr, stride: 0, confidence: 0, lru: clock, valid: true };
+        Vec::new()
+    }
+
+    fn reset(&mut self) {
+        self.streams.iter_mut().for_each(|s| *s = Stream::default());
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_line_fetches_buddy_on_miss_only() {
+        let mut p = AdjacentLinePrefetcher::new(64);
+        assert_eq!(p.observe(Pc(1), 0x1000, true), vec![0x1040]);
+        assert_eq!(p.observe(Pc(1), 0x1040, true), vec![0x1000]);
+        assert!(p.observe(Pc(1), 0x1000, false).is_empty());
+    }
+
+    #[test]
+    fn stride_arms_after_two_equal_deltas() {
+        let mut p = StridePrefetcher::new(8, 64, 2);
+        assert!(p.observe(Pc(1), 0x0, true).is_empty()); // allocate
+        assert!(p.observe(Pc(1), 0x40, true).is_empty()); // first delta
+        let out = p.observe(Pc(1), 0x80, true); // second equal delta: armed
+        assert_eq!(out, vec![0xc0, 0x100]);
+    }
+
+    #[test]
+    fn stride_issues_only_on_misses() {
+        let mut p = StridePrefetcher::new(8, 64, 2);
+        p.observe(Pc(1), 0x0, true);
+        p.observe(Pc(1), 0x40, true);
+        // Armed, but this access hits: training continues, no issue.
+        assert!(p.observe(Pc(1), 0x80, false).is_empty());
+        // The next miss issues.
+        assert_eq!(p.observe(Pc(1), 0xc0, true), vec![0x100, 0x140]);
+    }
+
+    #[test]
+    fn stride_rearms_on_pattern_change() {
+        let mut p = StridePrefetcher::new(8, 64, 1);
+        p.observe(Pc(1), 0x0, true);
+        p.observe(Pc(1), 0x40, true);
+        assert!(!p.observe(Pc(1), 0x80, true).is_empty());
+        // Break the pattern: stride changes, confidence resets.
+        assert!(p.observe(Pc(1), 0x400, true).is_empty());
+        assert!(p.observe(Pc(1), 0x440, true).is_empty());
+        assert_eq!(p.observe(Pc(1), 0x480, true), vec![0x4c0]);
+    }
+
+    #[test]
+    fn stream_table_capacity_is_bounded() {
+        // With 2 streams, a third PC evicts the least recently used.
+        let mut p = StridePrefetcher::new(2, 64, 1);
+        for step in 0..3u64 {
+            p.observe(Pc(1), 0x1000 + step * 64, true);
+            p.observe(Pc(2), 0x8000 + step * 64, true);
+        }
+        assert!(!p.observe(Pc(1), 0x1000 + 3 * 64, true).is_empty());
+        // PC 3 evicts PC 2 (least recently used is deterministic here).
+        p.observe(Pc(3), 0x20000, true);
+        // PC 1 is still tracked and armed.
+        assert!(!p.observe(Pc(1), 0x1000 + 4 * 64, true).is_empty());
+    }
+
+    #[test]
+    fn negative_strides_prefetch_downward() {
+        let mut p = StridePrefetcher::new(8, 64, 1);
+        p.observe(Pc(1), 0x1000, true);
+        p.observe(Pc(1), 0xfc0, true);
+        assert_eq!(p.observe(Pc(1), 0xf80, true), vec![0xf40]);
+    }
+
+    #[test]
+    fn reset_clears_streams() {
+        let mut p = StridePrefetcher::new(8, 64, 1);
+        p.observe(Pc(1), 0x0, true);
+        p.observe(Pc(1), 0x40, true);
+        p.reset();
+        assert!(p.observe(Pc(1), 0x80, true).is_empty(), "state survived reset");
+    }
+}

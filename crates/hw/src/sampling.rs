@@ -1,0 +1,80 @@
+//! The cost of sampling hardware counters (Table 1).
+//!
+//! Hardware counters "generate interrupts when they saturate at a specified
+//! limit known as the sample size. The runtime overhead of using a counter
+//! increases dramatically as the sample size is decreased" (§1.2). The
+//! paper demonstrates this with 181.mcf on a Xeon using PAPI: a sample size
+//! of 10 costs a 20× slowdown.
+
+/// Models the overhead of counter-overflow sampling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplingCostModel {
+    /// Cycles consumed by one overflow interrupt (kernel entry, PMU
+    /// read-out, signal delivery to the profiler, return).
+    pub interrupt_cycles: u64,
+}
+
+impl SamplingCostModel {
+    /// A PAPI-like cost: overflow interrupts on the paper-era Linux kernel
+    /// cost on the order of several microseconds; at ~2–3 GHz that is
+    /// roughly 10⁴ cycles.
+    pub fn papi_like() -> SamplingCostModel {
+        SamplingCostModel { interrupt_cycles: 10_000 }
+    }
+
+    /// Overhead cycles for observing `events` occurrences at the given
+    /// sample size (one interrupt per `sample_size` events). A sample size
+    /// of 0 means sampling is disabled and costs nothing.
+    pub fn overhead_cycles(&self, events: u64, sample_size: u64) -> u64 {
+        if sample_size == 0 {
+            0
+        } else {
+            (events / sample_size) * self.interrupt_cycles
+        }
+    }
+
+    /// Slowdown factor (≥ 1.0) of a run with `base_cycles` of useful work.
+    pub fn slowdown(&self, base_cycles: u64, events: u64, sample_size: u64) -> f64 {
+        if base_cycles == 0 {
+            return 1.0;
+        }
+        let oh = self.overhead_cycles(events, sample_size);
+        (base_cycles + oh) as f64 / base_cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_scales_inversely_with_sample_size() {
+        let m = SamplingCostModel::papi_like();
+        let events = 1_000_000;
+        let s10 = m.overhead_cycles(events, 10);
+        let s1k = m.overhead_cycles(events, 1000);
+        let s1m = m.overhead_cycles(events, 1_000_000);
+        assert_eq!(s10, 100 * s1k);
+        assert_eq!(s1m, m.interrupt_cycles);
+        assert!(s10 > s1k && s1k > s1m);
+    }
+
+    #[test]
+    fn disabled_sampling_is_free() {
+        let m = SamplingCostModel::papi_like();
+        assert_eq!(m.overhead_cycles(1_000_000, 0), 0);
+        assert_eq!(m.slowdown(1000, 1_000_000, 0), 1.0);
+    }
+
+    #[test]
+    fn table1_shape_small_samples_are_catastrophic() {
+        // mcf-like: memory-bound, ~1 counted event per 30 cycles of work.
+        let m = SamplingCostModel::papi_like();
+        let base = 30_000_000u64;
+        let events = 1_000_000u64;
+        let slow10 = m.slowdown(base, events, 10);
+        let slow100k = m.slowdown(base, events, 100_000);
+        assert!(slow10 > 20.0, "paper saw 20x at sample size 10, got {slow10}");
+        assert!(slow100k < 1.05, "large samples are near-free, got {slow100k}");
+    }
+}

@@ -1,0 +1,186 @@
+//! Basic blocks and terminators.
+
+use crate::event::Pc;
+use crate::insn::{Cond, Insn};
+use crate::program::FuncId;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Identifier of a basic block within a [`Program`](crate::Program).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index into [`Program::blocks`](crate::Program::blocks).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional direct jump.
+    Jmp(BlockId),
+    /// Conditional direct branch on the current flags.
+    Br {
+        /// Branch condition.
+        cond: Cond,
+        /// Target when the condition holds.
+        taken: BlockId,
+        /// Target when it does not.
+        fallthrough: BlockId,
+    },
+    /// Indirect jump through a register: the register value (mod table
+    /// length) selects an entry of `table`. Models switch dispatch and
+    /// other indirect control flow (which ends DynamoRIO traces and costs
+    /// an indirect-branch lookup).
+    JmpInd {
+        /// Selector register.
+        sel: Reg,
+        /// Possible targets; must be non-empty.
+        table: Vec<BlockId>,
+    },
+    /// Direct call; control transfers to the callee's entry block, and its
+    /// `Ret` resumes at `ret_to`.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Resume block in the caller.
+        ret_to: BlockId,
+    },
+    /// Return to the most recent caller; ends the program when the call
+    /// stack is empty and this is the entry function.
+    Ret,
+    /// Stop execution.
+    Halt,
+}
+
+impl Terminator {
+    /// Direct successor blocks statically known from the terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jmp(t) => vec![*t],
+            Terminator::Br { taken, fallthrough, .. } => vec![*taken, *fallthrough],
+            Terminator::JmpInd { table, .. } => table.clone(),
+            Terminator::Call { ret_to, .. } => vec![*ret_to],
+            Terminator::Ret | Terminator::Halt => Vec::new(),
+        }
+    }
+
+    /// Whether this terminator is an indirect control transfer.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, Terminator::JmpInd { .. } | Terminator::Ret)
+    }
+}
+
+/// A single-entry, straight-line sequence of instructions plus terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// The block's identifier.
+    pub id: BlockId,
+    /// Virtual address of the first instruction.
+    pub addr: Pc,
+    /// Straight-line body.
+    pub insns: Vec<Insn>,
+    /// Control-flow exit.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Virtual address of the `i`-th instruction in the block.
+    ///
+    /// Instructions are laid out 4 bytes apart; the terminator occupies the
+    /// slot after the last body instruction.
+    pub fn insn_pc(&self, i: usize) -> Pc {
+        Pc(self.addr.0 + 4 * i as u64)
+    }
+
+    /// Virtual address of the terminator.
+    pub fn terminator_pc(&self) -> Pc {
+        self.insn_pc(self.insns.len())
+    }
+
+    /// Size of the block in address-space bytes (body + terminator).
+    pub fn byte_size(&self) -> u64 {
+        4 * (self.insns.len() as u64 + 1)
+    }
+
+    /// Iterates over `(pc, insn)` pairs for the body.
+    pub fn iter_with_pc(&self) -> impl Iterator<Item = (Pc, &Insn)> + '_ {
+        self.insns.iter().enumerate().map(|(i, insn)| (self.insn_pc(i), insn))
+    }
+
+    /// Number of static load instructions in the block body.
+    pub fn static_loads(&self) -> usize {
+        self.insns.iter().filter(|i| i.is_load()).count()
+    }
+
+    /// Number of static store instructions in the block body.
+    pub fn static_stores(&self) -> usize {
+        self.insns.iter().filter(|i| i.is_store()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operand::{MemRef, Width};
+
+    fn block() -> BasicBlock {
+        BasicBlock {
+            id: BlockId(0),
+            addr: Pc(0x40_0000),
+            insns: vec![
+                Insn::Load { dst: Reg::EAX, mem: MemRef::base(Reg::ESI), width: Width::W8 },
+                Insn::Nop,
+                Insn::Store {
+                    mem: MemRef::base(Reg::EDI),
+                    src: crate::Operand::Reg(Reg::EAX),
+                    width: Width::W8,
+                },
+            ],
+            terminator: Terminator::Jmp(BlockId(1)),
+        }
+    }
+
+    #[test]
+    fn pcs_are_stable_and_spaced() {
+        let b = block();
+        assert_eq!(b.insn_pc(0), Pc(0x40_0000));
+        assert_eq!(b.insn_pc(2), Pc(0x40_0008));
+        assert_eq!(b.terminator_pc(), Pc(0x40_000c));
+        assert_eq!(b.byte_size(), 16);
+    }
+
+    #[test]
+    fn static_counts() {
+        let b = block();
+        assert_eq!(b.static_loads(), 1);
+        assert_eq!(b.static_stores(), 1);
+    }
+
+    #[test]
+    fn successors_and_indirection() {
+        assert_eq!(Terminator::Jmp(BlockId(3)).successors(), vec![BlockId(3)]);
+        let br = Terminator::Br { cond: Cond::Eq, taken: BlockId(1), fallthrough: BlockId(2) };
+        assert_eq!(br.successors().len(), 2);
+        assert!(!br.is_indirect());
+        let ind = Terminator::JmpInd { sel: Reg::EAX, table: vec![BlockId(1)] };
+        assert!(ind.is_indirect());
+        assert!(Terminator::Ret.is_indirect());
+        assert!(Terminator::Halt.successors().is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Dynamic events: program counters and memory accesses.
+
+use std::fmt;
+
+/// The virtual address of an instruction.
+///
+/// Every static instruction in a [`Program`](crate::Program) has a unique,
+/// stable `Pc`; profiles and miss statistics are keyed by it, which is what
+/// gives UMI instruction-granularity results.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pc(pub u64);
+
+impl fmt::Debug for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// The kind of a memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+    /// A software prefetch hint (never profiled; consumed by the hardware
+    /// model only).
+    Prefetch,
+}
+
+/// One dynamic memory reference: the tuple `(pc, address)` the paper's
+/// profiling code records, plus width and kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemAccess {
+    /// Instruction performing the access.
+    pub pc: Pc,
+    /// Effective virtual address.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub width: u8,
+    /// Load, store, or prefetch.
+    pub kind: AccessKind,
+}
+
+impl MemAccess {
+    /// Whether this is a demand access (load or store), as opposed to a
+    /// prefetch hint.
+    pub fn is_demand(&self) -> bool {
+        matches!(self.kind, AccessKind::Load | AccessKind::Store)
+    }
+}
+
+impl fmt::Display for MemAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            AccessKind::Load => "L",
+            AccessKind::Store => "S",
+            AccessKind::Prefetch => "P",
+        };
+        write!(f, "{k} {} @{:#x} w{}", self.pc, self.addr, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_classification() {
+        let mk = |kind| MemAccess { pc: Pc(0x400000), addr: 0x10, width: 8, kind };
+        assert!(mk(AccessKind::Load).is_demand());
+        assert!(mk(AccessKind::Store).is_demand());
+        assert!(!mk(AccessKind::Prefetch).is_demand());
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = MemAccess { pc: Pc(0x400004), addr: 0x2000_0000, width: 4, kind: AccessKind::Load };
+        assert_eq!(a.to_string(), "L 0x400004 @0x20000000 w4");
+    }
+}

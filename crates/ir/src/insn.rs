@@ -1,0 +1,316 @@
+//! Instructions of the virtual ISA.
+
+use crate::operand::{MemRef, Operand, Width};
+use crate::reg::Reg;
+use std::fmt;
+
+/// A binary arithmetic/logic operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (quotient). Division by zero yields zero.
+    Div,
+    /// Remainder. Remainder by zero yields zero.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (by `src & 63`).
+    Shl,
+    /// Logical shift right (by `src & 63`).
+    Shr,
+}
+
+/// A unary operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Two's-complement negation.
+    Neg,
+    /// Bitwise complement.
+    Not,
+}
+
+/// A branch condition, evaluated against the flags set by the most recent
+/// [`Insn::Cmp`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition for a comparison of `a` against `b`.
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+        }
+    }
+
+    /// The negation of the condition.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+}
+
+/// A straight-line (non-terminator) instruction.
+///
+/// Like x86, most instruction kinds may carry a memory operand: `Binary`
+/// and `Cmp` accept [`Operand::Mem`] sources (a load folded into the
+/// operation), `Push` may push from memory, and `Load`/`Store` are the
+/// plain data movement forms.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// Register move or load-immediate: `dst <- src` (src is Reg or Imm).
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source register or immediate (not memory; use `Load`).
+        src: Operand,
+    },
+    /// Memory load: `dst <- width:[mem]` (zero-extended).
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Memory reference read.
+        mem: MemRef,
+        /// Access width.
+        width: Width,
+    },
+    /// Memory store: `width:[mem] <- src`.
+    Store {
+        /// Memory reference written.
+        mem: MemRef,
+        /// Source register or immediate.
+        src: Operand,
+        /// Access width.
+        width: Width,
+    },
+    /// Load effective address: `dst <- &mem` (no memory access).
+    Lea {
+        /// Destination register.
+        dst: Reg,
+        /// Memory reference whose address is computed.
+        mem: MemRef,
+    },
+    /// Binary operation: `dst <- dst op src`. A memory `src` is a load.
+    Binary {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left) operand register.
+        dst: Reg,
+        /// Right operand.
+        src: Operand,
+    },
+    /// Unary operation: `dst <- op dst`.
+    Unary {
+        /// The operation.
+        op: UnOp,
+        /// Operand register.
+        dst: Reg,
+    },
+    /// Comparison setting the flags: `flags <- a ? b`. Memory operands are
+    /// loads.
+    Cmp {
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Push onto the stack: `esp -= 8; [esp] <- src`. The store is
+    /// stack-relative and thus filtered by the instrumentor.
+    Push {
+        /// Value pushed.
+        src: Operand,
+    },
+    /// Pop from the stack: `dst <- [esp]; esp += 8`.
+    Pop {
+        /// Destination register.
+        dst: Reg,
+    },
+    /// Bump-allocate `size` bytes from the heap: `dst <- heap cursor`.
+    ///
+    /// Stands in for `malloc` in pointer-intensive workloads; the returned
+    /// block is 64-byte aligned when `align64` is set.
+    Alloc {
+        /// Receives the base address of the allocation.
+        dst: Reg,
+        /// Allocation size in bytes.
+        size: Operand,
+        /// Whether to align the block to a cache line.
+        align64: bool,
+    },
+    /// Software prefetch hint for `[mem]`; no architectural effect.
+    ///
+    /// Injected by the UMI software prefetcher (paper §8); the hardware
+    /// model moves the line toward the L2 cache.
+    Prefetch {
+        /// Prefetched reference.
+        mem: MemRef,
+    },
+    /// No operation (models filler/compute cost).
+    Nop,
+}
+
+impl Insn {
+    /// Memory references *read* by this instruction, with widths.
+    ///
+    /// `Prefetch` is not included: it is a hint, not an architectural
+    /// access, and is never profiled.
+    pub fn loads(&self) -> Vec<(MemRef, Width)> {
+        match self {
+            Insn::Load { mem, width, .. } => vec![(*mem, *width)],
+            Insn::Binary { src, .. } => src.mem().into_iter().collect(),
+            Insn::Cmp { a, b } => a.mem().into_iter().chain(b.mem()).collect(),
+            Insn::Push { src } => src.mem().into_iter().collect(),
+            Insn::Pop { .. } => vec![(MemRef::base(Reg::ESP), Width::W8)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Memory references *written* by this instruction, with widths.
+    pub fn stores(&self) -> Vec<(MemRef, Width)> {
+        match self {
+            Insn::Store { mem, width, .. } => vec![(*mem, *width)],
+            Insn::Push { .. } => vec![(MemRef::base_disp(Reg::ESP, -8), Width::W8)],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the instruction performs any load.
+    pub fn is_load(&self) -> bool {
+        !self.loads().is_empty()
+    }
+
+    /// Whether the instruction performs any store.
+    pub fn is_store(&self) -> bool {
+        !self.stores().is_empty()
+    }
+
+    /// Whether the instruction accesses memory at all (load or store).
+    pub fn accesses_memory(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// All memory references made by the instruction (loads then stores).
+    pub fn mem_refs(&self) -> Vec<(MemRef, Width)> {
+        let mut v = self.loads();
+        v.extend(self.stores());
+        v
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            Insn::Load { dst, mem, width } => write!(f, "load{width} {dst}, {mem}"),
+            Insn::Store { mem, src, width } => write!(f, "store{width} {mem}, {src}"),
+            Insn::Lea { dst, mem } => write!(f, "lea {dst}, {mem}"),
+            Insn::Binary { op, dst, src } => {
+                write!(f, "{} {dst}, {src}", format!("{op:?}").to_lowercase())
+            }
+            Insn::Unary { op, dst } => {
+                write!(f, "{} {dst}", format!("{op:?}").to_lowercase())
+            }
+            Insn::Cmp { a, b } => write!(f, "cmp {a}, {b}"),
+            Insn::Push { src } => write!(f, "push {src}"),
+            Insn::Pop { dst } => write!(f, "pop {dst}"),
+            Insn::Alloc { dst, size, align64 } => {
+                write!(f, "alloc {dst}, {size}{}", if *align64 { ", aligned" } else { "" })
+            }
+            Insn::Prefetch { mem } => write!(f, "prefetch {mem}"),
+            Insn::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_classification() {
+        let ld = Insn::Load { dst: Reg::EAX, mem: MemRef::base(Reg::ESI), width: Width::W8 };
+        assert!(ld.is_load() && !ld.is_store());
+
+        let st = Insn::Store {
+            mem: MemRef::base(Reg::EDI),
+            src: Operand::Reg(Reg::EAX),
+            width: Width::W4,
+        };
+        assert!(st.is_store() && !st.is_load());
+
+        let addm = Insn::Binary {
+            op: BinOp::Add,
+            dst: Reg::EAX,
+            src: Operand::Mem(MemRef::base(Reg::ESI), Width::W8),
+        };
+        assert!(addm.is_load(), "load-op binary must count as a load");
+
+        let push = Insn::Push { src: Operand::Reg(Reg::EAX) };
+        assert!(push.is_store());
+        assert!(push.stores()[0].0.is_stack(), "push writes the stack");
+
+        let pop = Insn::Pop { dst: Reg::EAX };
+        assert!(pop.is_load());
+        assert!(pop.loads()[0].0.is_stack());
+    }
+
+    #[test]
+    fn prefetch_is_not_an_access() {
+        let pf = Insn::Prefetch { mem: MemRef::base(Reg::ESI) };
+        assert!(!pf.accesses_memory());
+    }
+
+    #[test]
+    fn cmp_with_two_memory_operands_loads_twice() {
+        let c = Insn::Cmp {
+            a: Operand::Mem(MemRef::base(Reg::ESI), Width::W8),
+            b: Operand::Mem(MemRef::base(Reg::EDI), Width::W8),
+        };
+        assert_eq!(c.loads().len(), 2);
+    }
+
+    #[test]
+    fn cond_eval_and_negation() {
+        assert!(Cond::Lt.eval(1, 2));
+        assert!(!Cond::Lt.eval(2, 2));
+        assert!(Cond::Le.eval(2, 2));
+        assert!(Cond::Ne.eval(1, 2));
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            for (a, b) in [(0, 0), (1, 2), (-3, 2), (5, -5)] {
+                assert_eq!(c.negate().eval(a, b), !c.eval(a, b), "{c:?} ({a},{b})");
+            }
+        }
+    }
+}

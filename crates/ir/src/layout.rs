@@ -1,0 +1,30 @@
+//! Virtual address-space layout.
+//!
+//! Programs live in a conventional flat layout. The regions only matter to
+//! the VM (bounds for the bump allocator and stack) and to tests; the UMI
+//! instrumentor classifies references *syntactically* (by operand shape),
+//! not by region, exactly as the paper's x86 prototype does.
+
+/// Base of the code region; instruction [`Pc`](crate::Pc)s start here.
+pub const CODE_BASE: u64 = 0x0040_0000;
+
+/// Base of the static data region (globals, tables).
+pub const STATIC_BASE: u64 = 0x0800_0000;
+
+/// Base of the heap; `Alloc` bumps upward from here.
+pub const HEAP_BASE: u64 = 0x2000_0000;
+
+/// Initial stack pointer; the stack grows downward from here.
+pub const STACK_TOP: u64 = 0x7fff_f000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_ordered_and_disjoint() {
+        assert!(CODE_BASE < STATIC_BASE);
+        assert!(STATIC_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < STACK_TOP);
+    }
+}

@@ -1,0 +1,68 @@
+//! # umi-ir — virtual instruction set for the UMI reproduction
+//!
+//! The original UMI prototype [Zhao et al., CGO 2007] operates on x86
+//! binaries through DynamoRIO. This reproduction replaces raw x86 with a
+//! small x86-flavoured virtual ISA that preserves every property UMI's
+//! mechanisms depend on:
+//!
+//! * instructions have stable virtual addresses ([`Pc`]) so profiles can be
+//!   keyed per instruction;
+//! * memory operands use x86-style base+index*scale+displacement addressing
+//!   ([`MemRef`]) so the instrumentor's *operation filtering* heuristic
+//!   (skip `ESP`/`EBP`-relative and absolute/static references) can be
+//!   implemented literally;
+//! * programs are graphs of [`BasicBlock`]s with explicit terminators,
+//!   including indirect jumps, so a DynamoRIO-like trace builder can form
+//!   single-entry multi-exit traces;
+//! * most instruction kinds may carry a memory operand (as on x86, where
+//!   "most instructions [can] directly access memory", §4.1 of the paper).
+//!
+//! Programs are constructed with [`ProgramBuilder`], executed by the
+//! `umi-vm` crate, and observed by the DBI and UMI layers.
+//!
+//! # Example
+//!
+//! ```
+//! use umi_ir::{ProgramBuilder, Reg, Width};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.begin_func("main");
+//! let body = pb.new_block();
+//! let done = pb.new_block();
+//! // for i in 0..8 { load heap[8*i] }
+//! pb.block(main.entry())
+//!     .movi(Reg::ECX, 0)
+//!     .alloc(Reg::ESI, 64)
+//!     .jmp(body);
+//! pb.block(body)
+//!     .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+//!     .addi(Reg::ECX, 1)
+//!     .cmpi(Reg::ECX, 8)
+//!     .br_lt(body, done);
+//! pb.block(done).ret();
+//! let program = pb.finish();
+//! assert_eq!(program.static_loads(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod builder;
+mod event;
+mod insn;
+mod layout;
+mod listing;
+mod operand;
+mod program;
+mod reg;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use builder::{BlockBuilder, FuncHandle, ProgramBuilder};
+pub use event::{AccessKind, MemAccess, Pc};
+pub use insn::{BinOp, Cond, Insn, UnOp};
+pub use layout::{CODE_BASE, HEAP_BASE, STACK_TOP, STATIC_BASE};
+pub use listing::{cfg_dot, listing};
+pub use operand::{MemRef, Operand, Width};
+pub use program::{DataSegment, FuncId, Function, Program};
+pub use reg::Reg;

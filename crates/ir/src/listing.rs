@@ -1,0 +1,174 @@
+//! Program listings and CFG export — the introspection tooling a user of
+//! the library reaches for when inspecting what UMI selected and
+//! instrumented.
+
+use crate::block::Terminator;
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders a human-readable assembly listing of the whole program, with
+/// per-instruction virtual addresses (the `Pc`s profiling results refer
+/// to).
+///
+/// ```
+/// use umi_ir::{listing, ProgramBuilder, Reg};
+/// let mut pb = ProgramBuilder::new();
+/// let main = pb.begin_func("main");
+/// pb.block(main.entry()).movi(Reg::EAX, 7).ret();
+/// let text = listing(&pb.finish());
+/// assert!(text.contains("main:"));
+/// assert!(text.contains("mov eax, 7"));
+/// ```
+pub fn listing(program: &Program) -> String {
+    let mut out = String::new();
+    for func in &program.funcs {
+        let _ = writeln!(out, "{}:", func.name);
+        let mut emitted = std::collections::HashSet::new();
+        let mut work = vec![func.entry];
+        while let Some(id) = work.pop() {
+            if !emitted.insert(id) {
+                continue;
+            }
+            let block = program.block(id);
+            let _ = writeln!(out, "  {}: ; {}", block.id, block.addr);
+            for (pc, insn) in block.iter_with_pc() {
+                let _ = writeln!(out, "    {pc}  {insn}");
+            }
+            let _ = writeln!(
+                out,
+                "    {}  {}",
+                block.terminator_pc(),
+                describe_terminator(&block.terminator, program)
+            );
+            // Depth-first over intra-procedural successors.
+            let mut succs = block.terminator.successors();
+            succs.reverse();
+            work.extend(succs);
+        }
+    }
+    out
+}
+
+fn describe_terminator(t: &Terminator, program: &Program) -> String {
+    match t {
+        Terminator::Jmp(b) => format!("jmp {b}"),
+        Terminator::Br { cond, taken, fallthrough } => {
+            format!("br.{} {taken} else {fallthrough}", format!("{cond:?}").to_lowercase())
+        }
+        Terminator::JmpInd { sel, table } => {
+            format!("jmp* [{sel}] over {} targets", table.len())
+        }
+        Terminator::Call { func, ret_to } => {
+            format!("call {} -> {ret_to}", program.func(*func).name)
+        }
+        Terminator::Ret => "ret".to_string(),
+        Terminator::Halt => "halt".to_string(),
+    }
+}
+
+/// Renders the control-flow graph in Graphviz dot format (one node per
+/// basic block, labelled with its id and instruction count).
+pub fn cfg_dot(program: &Program) -> String {
+    let mut out = String::from("digraph cfg {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for block in &program.blocks {
+        let _ = writeln!(
+            out,
+            "  b{} [label=\"{} @{}\\n{} insns\"];",
+            block.id.0,
+            block.id,
+            block.addr,
+            block.insns.len()
+        );
+        match &block.terminator {
+            Terminator::Br { taken, fallthrough, .. } => {
+                let _ = writeln!(out, "  b{} -> b{} [label=\"T\"];", block.id.0, taken.0);
+                let _ = writeln!(out, "  b{} -> b{} [label=\"F\"];", block.id.0, fallthrough.0);
+            }
+            Terminator::JmpInd { table, .. } => {
+                // Collapse duplicate indirect targets.
+                let mut seen = std::collections::HashSet::new();
+                for t in table {
+                    if seen.insert(*t) {
+                        let _ = writeln!(
+                            out,
+                            "  b{} -> b{} [style=dashed];",
+                            block.id.0, t.0
+                        );
+                    }
+                }
+            }
+            other => {
+                for s in other.successors() {
+                    let _ = writeln!(out, "  b{} -> b{};", block.id.0, s.0);
+                }
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Reg, Width};
+
+    fn sample() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(main.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 64).jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 8)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn listing_contains_every_instruction_and_pc() {
+        let p = sample();
+        let text = listing(&p);
+        assert!(text.contains("main:"));
+        for block in &p.blocks {
+            for (pc, _) in block.iter_with_pc() {
+                assert!(text.contains(&pc.to_string()), "missing {pc}");
+            }
+        }
+        assert!(text.contains("br.lt"));
+        assert!(text.contains("ret"));
+    }
+
+    #[test]
+    fn listing_emits_each_block_once() {
+        let text = listing(&sample());
+        assert_eq!(text.matches("  b1: ;").count(), 1, "loop body listed once");
+    }
+
+    #[test]
+    fn dot_has_every_block_and_edge() {
+        let p = sample();
+        let dot = cfg_dot(&p);
+        assert!(dot.starts_with("digraph cfg {"));
+        for b in &p.blocks {
+            assert!(dot.contains(&format!("b{} [label", b.id.0)));
+        }
+        assert!(dot.contains("b1 -> b1 [label=\"T\"]"), "loop back-edge present");
+        assert!(dot.contains("b1 -> b2 [label=\"F\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_collapses_duplicate_indirect_targets() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let a = pb.new_block();
+        pb.block(main.entry()).movi(Reg::EAX, 0).jmp_ind(Reg::EAX, vec![a, a, a]);
+        pb.block(a).ret();
+        let dot = cfg_dot(&pb.finish());
+        assert_eq!(dot.matches("b0 -> b1").count(), 1);
+    }
+}

@@ -1,0 +1,259 @@
+//! Operands, memory references, and access widths.
+
+use crate::reg::Reg;
+use std::fmt;
+use std::ops;
+
+/// Width of a memory access, in bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Width {
+    /// One byte.
+    W1,
+    /// Two bytes.
+    W2,
+    /// Four bytes.
+    W4,
+    /// Eight bytes (the machine word; the default).
+    #[default]
+    W8,
+}
+
+impl Width {
+    /// The width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bytes())
+    }
+}
+
+/// An x86-style memory reference: `[base + index*scale + disp]`.
+///
+/// The *address class* of a reference is syntactic, exactly as in the
+/// paper's instrumentor (§4.1):
+///
+/// * [`MemRef::is_stack`] — the base register is `ESP` or `EBP`;
+/// * [`MemRef::is_absolute`] — no base and no index register (a static
+///   address, i.e. "a label with a literal offset").
+///
+/// Both classes are excluded from profiling by UMI's operation filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Optional base register.
+    pub base: Option<Reg>,
+    /// Optional index register with its scale factor (1, 2, 4 or 8).
+    pub index: Option<(Reg, u8)>,
+    /// Constant displacement.
+    pub disp: i64,
+}
+
+impl MemRef {
+    /// A reference through a base register only: `[base]`.
+    pub fn base(base: Reg) -> MemRef {
+        MemRef { base: Some(base), index: None, disp: 0 }
+    }
+
+    /// A reference with base and displacement: `[base + disp]`.
+    pub fn base_disp(base: Reg, disp: i64) -> MemRef {
+        MemRef { base: Some(base), index: None, disp }
+    }
+
+    /// A fully general reference: `[base + index*scale + disp]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8.
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> MemRef {
+        assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
+        MemRef { base: Some(base), index: Some((index, scale)), disp }
+    }
+
+    /// An absolute (static) reference: `[disp]`.
+    pub fn absolute(addr: u64) -> MemRef {
+        MemRef { base: None, index: None, disp: addr as i64 }
+    }
+
+    /// Whether the reference is stack-relative (`ESP`/`EBP` based).
+    pub fn is_stack(&self) -> bool {
+        self.base.is_some_and(Reg::is_stack_reg)
+            || self.index.is_some_and(|(r, _)| r.is_stack_reg())
+    }
+
+    /// Whether the reference is an absolute static address.
+    pub fn is_absolute(&self) -> bool {
+        self.base.is_none() && self.index.is_none()
+    }
+
+    /// Whether UMI's operation filter would *exclude* this reference from
+    /// profiling (stack-relative or absolute, paper §4.1).
+    pub fn is_filtered(&self) -> bool {
+        self.is_stack() || self.is_absolute()
+    }
+
+    /// Registers read when computing the effective address.
+    pub fn regs(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index.map(|(r, _)| r))
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        let mut wrote = false;
+        if let Some(b) = self.base {
+            write!(f, "{b}")?;
+            wrote = true;
+        }
+        if let Some((i, s)) = self.index {
+            if wrote {
+                write!(f, " + ")?;
+            }
+            write!(f, "{i}*{s}")?;
+            wrote = true;
+        }
+        if self.disp != 0 || !wrote {
+            if wrote {
+                write!(f, " {} ", if self.disp < 0 { "-" } else { "+" })?;
+                write!(f, "{:#x}", self.disp.unsigned_abs())?;
+            } else {
+                write!(f, "{:#x}", self.disp)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+/// `Reg + disp` sugar: `Reg::ESI + 16` is `[esi + 16]`.
+impl ops::Add<i64> for Reg {
+    type Output = MemRef;
+    fn add(self, disp: i64) -> MemRef {
+        MemRef::base_disp(self, disp)
+    }
+}
+
+/// `Reg + (index, scale)` sugar: `Reg::ESI + (Reg::ECX, 8)` is
+/// `[esi + ecx*8]`.
+impl ops::Add<(Reg, u8)> for Reg {
+    type Output = MemRef;
+    fn add(self, (index, scale): (Reg, u8)) -> MemRef {
+        MemRef::base_index(self, index, scale, 0)
+    }
+}
+
+impl From<Reg> for MemRef {
+    fn from(base: Reg) -> MemRef {
+        MemRef::base(base)
+    }
+}
+
+/// A data operand: register, immediate, or memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate constant.
+    Imm(i64),
+    /// A memory operand with its access width.
+    Mem(MemRef, Width),
+}
+
+impl Operand {
+    /// The memory reference, if this operand accesses memory.
+    pub fn mem(&self) -> Option<(MemRef, Width)> {
+        match self {
+            Operand::Mem(m, w) => Some((*m, *w)),
+            _ => None,
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<MemRef> for Operand {
+    fn from(m: MemRef) -> Operand {
+        Operand::Mem(m, Width::W8)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::Mem(m, w) => write!(f, "{w}:{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_classification() {
+        assert!(MemRef::base(Reg::ESP).is_stack());
+        assert!(MemRef::base_disp(Reg::EBP, -8).is_stack());
+        assert!(MemRef::base_index(Reg::EAX, Reg::EBP, 1, 0).is_stack());
+        assert!(!MemRef::base(Reg::ESI).is_stack());
+    }
+
+    #[test]
+    fn absolute_classification() {
+        assert!(MemRef::absolute(0x0800_0000).is_absolute());
+        assert!(!MemRef::base(Reg::EAX).is_absolute());
+        assert!(MemRef::absolute(0x1234).is_filtered());
+        assert!(MemRef::base(Reg::ESP).is_filtered());
+        assert!(!MemRef::base(Reg::ESI).is_filtered());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn rejects_bad_scale() {
+        let _ = MemRef::base_index(Reg::EAX, Reg::EBX, 3, 0);
+    }
+
+    #[test]
+    fn sugar_builds_expected_refs() {
+        assert_eq!(Reg::ESI + 16, MemRef::base_disp(Reg::ESI, 16));
+        assert_eq!(
+            Reg::ESI + (Reg::ECX, 8),
+            MemRef::base_index(Reg::ESI, Reg::ECX, 8, 0)
+        );
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W2.bytes(), 2);
+        assert_eq!(Width::W4.bytes(), 4);
+        assert_eq!(Width::W8.bytes(), 8);
+        assert_eq!(Width::default(), Width::W8);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = MemRef::base_index(Reg::ESI, Reg::ECX, 8, 16);
+        assert_eq!(m.to_string(), "[esi + ecx*8 + 0x10]");
+        assert_eq!(MemRef::absolute(0x40).to_string(), "[0x40]");
+        assert_eq!(Operand::Imm(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,247 @@
+//! Whole-program container.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::event::Pc;
+use crate::layout::STATIC_BASE;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a function within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// The function's index into [`Program::funcs`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A function: a named entry block. Bodies are ordinary blocks reachable
+/// from the entry; `Ret` terminators return to the caller.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Identifier.
+    pub id: FuncId,
+    /// Human-readable name (for diagnostics and reports).
+    pub name: String,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+/// An initialized static-data segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Base virtual address (within the static region by convention).
+    pub addr: u64,
+    /// Initial contents.
+    pub bytes: Vec<u8>,
+}
+
+/// A complete program: blocks, functions, initialized data.
+///
+/// Built with [`ProgramBuilder`](crate::ProgramBuilder), which also assigns
+/// every instruction its stable [`Pc`].
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// All functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// Initialized data segments.
+    pub data: Vec<DataSegment>,
+    /// The function executed first.
+    pub entry: FuncId,
+    /// Name of the workload (for reports); defaults to `"anonymous"`.
+    pub name: String,
+}
+
+impl Program {
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of static instructions that perform a load
+    /// (Table 3, "Static Loads").
+    pub fn static_loads(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::static_loads).sum()
+    }
+
+    /// Total number of static instructions that perform a store
+    /// (Table 3, "Static Stores").
+    pub fn static_stores(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::static_stores).sum()
+    }
+
+    /// Total static instruction count (bodies only).
+    pub fn static_insns(&self) -> usize {
+        self.blocks.iter().map(|b| b.insns.len()).sum()
+    }
+
+    /// Builds a map from instruction [`Pc`] to its owning block.
+    pub fn pc_to_block(&self) -> HashMap<Pc, BlockId> {
+        let mut m = HashMap::new();
+        for b in &self.blocks {
+            for i in 0..=b.insns.len() {
+                m.insert(b.insn_pc(i), b.id);
+            }
+        }
+        m
+    }
+
+    /// Reserves a fresh static-data segment of `len` bytes after all
+    /// existing segments and returns its base address.
+    pub fn reserve_static(&mut self, len: usize) -> u64 {
+        let base = self
+            .data
+            .iter()
+            .map(|d| d.addr + d.bytes.len() as u64)
+            .max()
+            .unwrap_or(STATIC_BASE)
+            .next_multiple_of(64);
+        self.data.push(DataSegment { addr: base, bytes: vec![0; len] });
+        base
+    }
+
+    /// Recomputes every block's base address (and therefore every
+    /// instruction's [`Pc`]) after a transformation inserted or removed
+    /// instructions. Blocks are laid out contiguously from
+    /// [`CODE_BASE`](crate::CODE_BASE) in id order.
+    pub fn relayout(&mut self) {
+        let mut addr = crate::CODE_BASE;
+        for b in &mut self.blocks {
+            b.addr = Pc(addr);
+            addr += b.byte_size();
+        }
+    }
+
+    /// Validates structural invariants: every referenced block and function
+    /// id is in range, jump tables are non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let nb = self.blocks.len();
+        let nf = self.funcs.len();
+        if self.entry.index() >= nf {
+            return Err(format!("entry {:?} out of range ({nf} funcs)", self.entry));
+        }
+        for f in &self.funcs {
+            if f.entry.index() >= nb {
+                return Err(format!("function {} entry {:?} out of range", f.name, f.entry));
+            }
+        }
+        for b in &self.blocks {
+            let succs = b.terminator.successors();
+            if let crate::Terminator::JmpInd { table, .. } = &b.terminator {
+                if table.is_empty() {
+                    return Err(format!("block {:?} has an empty jump table", b.id));
+                }
+            }
+            if let crate::Terminator::Call { func, .. } = &b.terminator {
+                if func.index() >= nf {
+                    return Err(format!("block {:?} calls unknown {:?}", b.id, func));
+                }
+            }
+            for s in succs {
+                if s.index() >= nb {
+                    return Err(format!("block {:?} targets unknown {:?}", b.id, s));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Reg, Width};
+
+    fn tiny() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .store(Reg::EDI + 0, Reg::EAX, Width::W8)
+            .jmp(exit);
+        pb.block(exit).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn static_counts_sum_over_blocks() {
+        let p = tiny();
+        assert_eq!(p.static_loads(), 1);
+        assert_eq!(p.static_stores(), 1);
+        assert_eq!(p.static_insns(), 2);
+    }
+
+    #[test]
+    fn pc_to_block_covers_all_instructions() {
+        let p = tiny();
+        let map = p.pc_to_block();
+        for b in &p.blocks {
+            for (pc, _) in b.iter_with_pc() {
+                assert_eq!(map[&pc], b.id);
+            }
+            assert_eq!(map[&b.terminator_pc()], b.id);
+        }
+    }
+
+    #[test]
+    fn reserve_static_is_disjoint_and_aligned() {
+        let mut p = tiny();
+        let a = p.reserve_static(100);
+        let b = p.reserve_static(8);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 100);
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_target() {
+        let mut p = tiny();
+        p.blocks[0].terminator = crate::Terminator::Jmp(BlockId(99));
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn func_lookup_by_name() {
+        let p = tiny();
+        assert!(p.func_by_name("main").is_some());
+        assert!(p.func_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! General-purpose registers of the virtual ISA.
+
+use std::fmt;
+
+/// A general-purpose register.
+///
+/// The machine has 16 registers. The first eight carry x86-style names;
+/// [`Reg::ESP`] and [`Reg::EBP`] are the stack registers that UMI's
+/// instrumentor treats specially (memory operands based on them are assumed
+/// to exhibit good locality and are excluded from profiling, paper §4.1).
+///
+/// ```
+/// use umi_ir::Reg;
+/// assert!(Reg::ESP.is_stack_reg());
+/// assert!(!Reg::EAX.is_stack_reg());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Accumulator.
+    pub const EAX: Reg = Reg(0);
+    /// Base register.
+    pub const EBX: Reg = Reg(1);
+    /// Counter register.
+    pub const ECX: Reg = Reg(2);
+    /// Data register.
+    pub const EDX: Reg = Reg(3);
+    /// Source index.
+    pub const ESI: Reg = Reg(4);
+    /// Destination index.
+    pub const EDI: Reg = Reg(5);
+    /// Scratch register 6.
+    pub const R6: Reg = Reg(6);
+    /// Scratch register 7.
+    pub const R7: Reg = Reg(7);
+    /// Scratch register 8.
+    pub const R8: Reg = Reg(8);
+    /// Scratch register 9.
+    pub const R9: Reg = Reg(9);
+    /// Scratch register 10.
+    pub const R10: Reg = Reg(10);
+    /// Scratch register 11.
+    pub const R11: Reg = Reg(11);
+    /// Scratch register 12.
+    pub const R12: Reg = Reg(12);
+    /// Scratch register 13.
+    pub const R13: Reg = Reg(13);
+    /// Stack pointer.
+    pub const ESP: Reg = Reg(14);
+    /// Frame (base) pointer.
+    pub const EBP: Reg = Reg(15);
+
+    /// Number of architectural registers.
+    pub const COUNT: usize = 16;
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Reg::COUNT`.
+    pub fn from_index(index: usize) -> Reg {
+        assert!(index < Reg::COUNT, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// The register's index in the register file, in `0..Reg::COUNT`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the stack registers (`ESP` or `EBP`).
+    ///
+    /// UMI's operation filter skips memory operands based on these.
+    pub fn is_stack_reg(self) -> bool {
+        self == Reg::ESP || self == Reg::EBP
+    }
+
+    /// Iterates over all architectural registers.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..Reg::COUNT as u8).map(Reg)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self.0 {
+            0 => "eax",
+            1 => "ebx",
+            2 => "ecx",
+            3 => "edx",
+            4 => "esi",
+            5 => "edi",
+            14 => "esp",
+            15 => "ebp",
+            n => return write!(f, "r{n}"),
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_registers_are_flagged() {
+        assert!(Reg::ESP.is_stack_reg());
+        assert!(Reg::EBP.is_stack_reg());
+        for r in Reg::all().filter(|r| *r != Reg::ESP && *r != Reg::EBP) {
+            assert!(!r.is_stack_reg(), "{r} wrongly flagged as stack register");
+        }
+    }
+
+    #[test]
+    fn round_trip_indices() {
+        for (i, r) in Reg::all().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), r);
+        }
+        assert_eq!(Reg::all().count(), Reg::COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_rejects_out_of_range() {
+        let _ = Reg::from_index(16);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::EAX.to_string(), "eax");
+        assert_eq!(Reg::ESP.to_string(), "esp");
+        assert_eq!(Reg::R9.to_string(), "r9");
+    }
+}

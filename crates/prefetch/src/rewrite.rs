@@ -1,0 +1,149 @@
+//! Program rewriting: planting prefetch instructions.
+
+use crate::plan::PrefetchPlan;
+use umi_ir::{BasicBlock, Insn, MemRef, Pc, Program, CODE_BASE};
+
+/// Rewrites `program`, inserting a `prefetch` instruction immediately
+/// before every load in the plan. The prefetch reuses the load's address
+/// expression with the plan's distance added to the displacement, so it
+/// targets `EA + stride × distance` at runtime — the paper's "inject
+/// prefetch requests" trace rewriting, applied at program granularity
+/// (see DESIGN.md).
+///
+/// Instruction addresses are re-laid out; the returned program is
+/// self-consistent but its `Pc`s differ from the original's wherever
+/// instructions were inserted.
+pub fn inject_prefetches(program: &Program, plan: &PrefetchPlan) -> Program {
+    let mut blocks = Vec::with_capacity(program.blocks.len());
+    let mut addr = CODE_BASE;
+    let mut injected = 0usize;
+    for block in &program.blocks {
+        let mut insns = Vec::with_capacity(block.insns.len());
+        for (pc, insn) in block.iter_with_pc() {
+            if let Some(entry) = plan.get(pc) {
+                if let Some(mem) = prefetchable_ref(insn) {
+                    let target = MemRef {
+                        disp: mem.disp.wrapping_add(entry.distance_bytes),
+                        ..mem
+                    };
+                    insns.push(Insn::Prefetch { mem: target });
+                    injected += 1;
+                }
+            }
+            insns.push(insn.clone());
+        }
+        let new_block = BasicBlock {
+            id: block.id,
+            addr: Pc(addr),
+            insns,
+            terminator: block.terminator.clone(),
+        };
+        addr += new_block.byte_size();
+        blocks.push(new_block);
+    }
+    let _ = injected;
+    Program {
+        blocks,
+        funcs: program.funcs.clone(),
+        data: program.data.clone(),
+        entry: program.entry,
+        name: program.name.clone(),
+    }
+}
+
+/// The first profilable (unfiltered) load reference of an instruction —
+/// the one the profile columns recorded, hence the one the stride belongs
+/// to.
+fn prefetchable_ref(insn: &Insn) -> Option<MemRef> {
+    insn.loads().into_iter().map(|(m, _)| m).find(|m| !m.is_filtered())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanEntry;
+    use umi_ir::{ProgramBuilder, Reg, Width};
+    use umi_vm::{CountSink, NullSink, Vm};
+
+    fn stream_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 1 << 16).jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 1000)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    fn load_pc(p: &Program) -> Pc {
+        p.blocks
+            .iter()
+            .flat_map(|b| b.iter_with_pc())
+            .find(|(_, i)| i.is_load())
+            .map(|(pc, _)| pc)
+            .expect("program has a load")
+    }
+
+    #[test]
+    fn injects_before_planned_load_only() {
+        let p = stream_program();
+        let plan = PrefetchPlan::from_entries([(
+            load_pc(&p),
+            PlanEntry { stride: 8, distance_bytes: 256 },
+        )]);
+        let rewritten = inject_prefetches(&p, &plan);
+        assert_eq!(rewritten.validate(), Ok(()));
+        let prefetches: Vec<_> = rewritten
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .filter(|i| matches!(i, Insn::Prefetch { .. }))
+            .collect();
+        assert_eq!(prefetches.len(), 1);
+        match prefetches[0] {
+            Insn::Prefetch { mem } => assert_eq!(mem.disp, 256),
+            _ => unreachable!(),
+        }
+        assert_eq!(rewritten.static_insns(), p.static_insns() + 1);
+    }
+
+    #[test]
+    fn rewritten_program_computes_the_same_result() {
+        let p = stream_program();
+        let plan = PrefetchPlan::from_entries([(
+            load_pc(&p),
+            PlanEntry { stride: 8, distance_bytes: 128 },
+        )]);
+        let rewritten = inject_prefetches(&p, &plan);
+        let mut a = Vm::new(&p);
+        let mut b = Vm::new(&rewritten);
+        a.run(&mut NullSink, u64::MAX);
+        b.run(&mut NullSink, u64::MAX);
+        assert_eq!(a.reg(Reg::ECX), b.reg(Reg::ECX));
+        assert_eq!(a.stats().loads, b.stats().loads, "prefetch is not a load");
+    }
+
+    #[test]
+    fn prefetch_accesses_run_ahead_of_demand() {
+        let p = stream_program();
+        let pc = load_pc(&p);
+        let plan = PrefetchPlan::from_entries([(pc, PlanEntry { stride: 8, distance_bytes: 512 })]);
+        let rewritten = inject_prefetches(&p, &plan);
+        let mut sink = CountSink::default();
+        Vm::new(&rewritten).run(&mut sink, u64::MAX);
+        assert_eq!(sink.prefetches, 1000, "one prefetch per iteration");
+    }
+
+    #[test]
+    fn empty_plan_is_identity_modulo_layout() {
+        let p = stream_program();
+        let rewritten = inject_prefetches(&p, &PrefetchPlan::default());
+        assert_eq!(rewritten.static_insns(), p.static_insns());
+        assert_eq!(rewritten.blocks.len(), p.blocks.len());
+    }
+}

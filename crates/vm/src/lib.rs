@@ -1,0 +1,49 @@
+//! # umi-vm — interpreter for the UMI virtual ISA
+//!
+//! Executes [`umi_ir::Program`]s one basic block at a time. Block-at-a-time
+//! stepping ([`Vm::step_block`]) is the contract the DBI substrate
+//! (`umi-dbi`) relies on: like DynamoRIO, it interposes on every block
+//! transfer, builds traces from the observed control flow, and charges
+//! dispatch costs — while the architectural semantics stay in the VM.
+//!
+//! Memory accesses are streamed to an [`AccessSink`]; the hardware model,
+//! the Cachegrind-style full simulator, and UMI's profiling all consume the
+//! same stream, so they are guaranteed to agree on the reference sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use umi_ir::{ProgramBuilder, Reg, Width};
+//! use umi_vm::{CollectSink, Vm};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.begin_func("main");
+//! pb.block(main.entry())
+//!     .alloc(Reg::ESI, 8)
+//!     .movi(Reg::EAX, 123)
+//!     .store(Reg::ESI + 0, Reg::EAX, Width::W8)
+//!     .load(Reg::EBX, Reg::ESI + 0, Width::W8)
+//!     .ret();
+//! let program = pb.finish();
+//!
+//! let mut vm = Vm::new(&program);
+//! let mut sink = CollectSink::default();
+//! let result = vm.run(&mut sink, 1_000);
+//! assert!(result.finished);
+//! assert_eq!(vm.reg(Reg::EBX), 123);
+//! assert_eq!(sink.accesses.len(), 2); // one store, one load
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod memory;
+mod sink;
+mod stats;
+#[allow(clippy::module_inception)]
+mod vm;
+
+pub use memory::Memory;
+pub use sink::{AccessSink, CollectSink, CountSink, FnSink, NullSink};
+pub use stats::VmStats;
+pub use vm::{BlockExit, ExitKind, RunResult, Vm};

@@ -1,0 +1,139 @@
+//! Sparse paged memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
+
+/// A sparse 64-bit byte-addressed memory.
+///
+/// Pages are allocated on first touch and zero-initialized, so programs may
+/// read uninitialized heap/stack locations and observe zeros (the common
+/// simulator convention).
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// One-entry page cache keyed by page number (hot loops hit one page).
+    last_page: Option<u64>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of pages materialized so far.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE_SIZE] {
+        self.last_page = Some(pno);
+        self.pages.entry(pno).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads `width` bytes (1, 2, 4 or 8) at `addr`, zero-extended.
+    pub fn read(&mut self, addr: u64, width: u8) -> u64 {
+        debug_assert!(matches!(width, 1 | 2 | 4 | 8), "bad width {width}");
+        let pno = addr >> PAGE_SHIFT;
+        let off = (addr & PAGE_MASK) as usize;
+        if off + width as usize <= PAGE_SIZE {
+            let page = match self.pages.get(&pno) {
+                Some(p) => p,
+                None => return 0, // untouched pages read as zero
+            };
+            let mut buf = [0u8; 8];
+            buf[..width as usize].copy_from_slice(&page[off..off + width as usize]);
+            u64::from_le_bytes(buf)
+        } else {
+            // Page-crossing access: assemble byte by byte.
+            let mut v: u64 = 0;
+            for i in 0..width as u64 {
+                v |= (self.read(addr + i, 1) & 0xff) << (8 * i);
+            }
+            v
+        }
+    }
+
+    /// Writes the low `width` bytes of `value` at `addr`.
+    pub fn write(&mut self, addr: u64, width: u8, value: u64) {
+        debug_assert!(matches!(width, 1 | 2 | 4 | 8), "bad width {width}");
+        let pno = addr >> PAGE_SHIFT;
+        let off = (addr & PAGE_MASK) as usize;
+        if off + width as usize <= PAGE_SIZE {
+            let page = self.page_mut(pno);
+            page[off..off + width as usize]
+                .copy_from_slice(&value.to_le_bytes()[..width as usize]);
+        } else {
+            for i in 0..width as u64 {
+                self.write(addr + i, 1, (value >> (8 * i)) & 0xff);
+            }
+        }
+    }
+
+    /// Copies a byte slice into memory starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut a = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (a & PAGE_MASK) as usize;
+            let n = (PAGE_SIZE - off).min(rest.len());
+            let pno = a >> PAGE_SHIFT;
+            self.page_mut(pno)[off..off + n].copy_from_slice(&rest[..n]);
+            a += n as u64;
+            rest = &rest[n..];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_after_write_round_trips() {
+        let mut m = Memory::new();
+        m.write(0x1000, 8, 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x1000, 8), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read(0x1000, 4), 0xcafe_f00d);
+        assert_eq!(m.read(0x1000, 1), 0x0d);
+    }
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mut m = Memory::new();
+        assert_eq!(m.read(0x7fff_0000, 8), 0);
+        assert_eq!(m.resident_pages(), 0, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn page_crossing_access() {
+        let mut m = Memory::new();
+        let addr = 0x1FFC; // 4 bytes before a page boundary
+        m.write(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr + 4, 4), 0x1122_3344);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_bytes_spanning_pages() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        let addr = 0x2F80; // crosses into next page
+        m.write_bytes(addr, &data);
+        for (i, b) in data.iter().enumerate() {
+            assert_eq!(m.read(addr + i as u64, 1) as u8, *b);
+        }
+    }
+
+    #[test]
+    fn narrow_write_preserves_neighbours() {
+        let mut m = Memory::new();
+        m.write(0x100, 8, u64::MAX);
+        m.write(0x102, 1, 0);
+        assert_eq!(m.read(0x100, 8), 0xffff_ffff_ff00_ffff);
+    }
+}

@@ -1,0 +1,34 @@
+//! Dynamic execution statistics.
+
+/// Counters accumulated by the VM during execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct VmStats {
+    /// Dynamic instructions retired (bodies + terminators).
+    pub insns: u64,
+    /// Dynamic demand loads.
+    pub loads: u64,
+    /// Dynamic demand stores.
+    pub stores: u64,
+    /// Basic blocks entered.
+    pub blocks: u64,
+    /// Bytes allocated through `Alloc`.
+    pub heap_allocated: u64,
+}
+
+impl VmStats {
+    /// Total demand memory references.
+    pub fn mem_refs(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_refs_sums_loads_and_stores() {
+        let s = VmStats { loads: 3, stores: 4, ..Default::default() };
+        assert_eq!(s.mem_refs(), 7);
+    }
+}

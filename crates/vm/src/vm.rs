@@ -1,0 +1,479 @@
+//! The block-stepping interpreter.
+
+use crate::memory::Memory;
+use crate::sink::AccessSink;
+use crate::stats::VmStats;
+use umi_ir::{
+    AccessKind, BasicBlock, BinOp, BlockId, Insn, MemAccess, MemRef, Operand, Pc, Program, Reg,
+    Terminator, UnOp, Width, HEAP_BASE, STACK_TOP,
+};
+
+/// How a block transferred control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitKind {
+    /// Unconditional direct jump.
+    Jump,
+    /// Conditional branch, taken.
+    BranchTaken,
+    /// Conditional branch, fell through.
+    BranchNotTaken,
+    /// Indirect jump (through a register).
+    Indirect,
+    /// Direct call.
+    Call,
+    /// Return.
+    Ret,
+    /// Program halted.
+    Halt,
+}
+
+impl ExitKind {
+    /// Whether the control transfer target was not statically encoded
+    /// (indirect jumps and returns). These cost an indirect-branch lookup
+    /// in a DBI and terminate trace building.
+    pub fn is_indirect(self) -> bool {
+        matches!(self, ExitKind::Indirect | ExitKind::Ret)
+    }
+}
+
+/// Result of executing one basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockExit {
+    /// The block that was executed.
+    pub block: BlockId,
+    /// Architectural successor, or `None` when the program finished.
+    pub next: Option<BlockId>,
+    /// How control left the block.
+    pub kind: ExitKind,
+}
+
+/// Result of a [`Vm::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Whether the program ran to completion (vs. hitting the fuel limit).
+    pub finished: bool,
+    /// Statistics at the end of the run.
+    pub stats: VmStats,
+}
+
+/// The interpreter.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    program: &'p Program,
+    regs: [i64; Reg::COUNT],
+    /// Operands of the most recent `Cmp`.
+    flags: (i64, i64),
+    mem: Memory,
+    heap_cursor: u64,
+    call_stack: Vec<BlockId>,
+    stats: VmStats,
+    next_block: Option<BlockId>,
+}
+
+impl<'p> Vm<'p> {
+    /// Creates a VM with the program's data segments loaded, the stack
+    /// pointer at [`STACK_TOP`] and the heap cursor at [`HEAP_BASE`].
+    pub fn new(program: &'p Program) -> Vm<'p> {
+        let mut mem = Memory::new();
+        for seg in &program.data {
+            mem.write_bytes(seg.addr, &seg.bytes);
+        }
+        let mut regs = [0i64; Reg::COUNT];
+        regs[Reg::ESP.index()] = STACK_TOP as i64;
+        regs[Reg::EBP.index()] = STACK_TOP as i64;
+        let entry = program.func(program.entry).entry;
+        Vm {
+            program,
+            regs,
+            flags: (0, 0),
+            mem,
+            heap_cursor: HEAP_BASE,
+            call_stack: Vec::new(),
+            stats: VmStats::default(),
+            next_block: Some(entry),
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Current value of a register.
+    pub fn reg(&self, r: Reg) -> i64 {
+        self.regs[r.index()]
+    }
+
+    /// Sets a register (for tests and workload setup).
+    pub fn set_reg(&mut self, r: Reg, v: i64) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Mutable access to memory (for tests and workload setup).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// The block that will execute next, or `None` if finished.
+    pub fn next_block(&self) -> Option<BlockId> {
+        self.next_block
+    }
+
+    /// Whether the program has finished.
+    pub fn is_finished(&self) -> bool {
+        self.next_block.is_none()
+    }
+
+    fn effective_addr(&self, m: &MemRef) -> u64 {
+        let mut a = m.disp as u64;
+        if let Some(b) = m.base {
+            a = a.wrapping_add(self.regs[b.index()] as u64);
+        }
+        if let Some((i, s)) = m.index {
+            a = a.wrapping_add((self.regs[i.index()] as u64).wrapping_mul(s as u64));
+        }
+        a
+    }
+
+    fn load_mem<S: AccessSink>(&mut self, pc: Pc, m: &MemRef, w: Width, sink: &mut S) -> i64 {
+        let addr = self.effective_addr(m);
+        let width = w.bytes() as u8;
+        sink.access(MemAccess { pc, addr, width, kind: AccessKind::Load });
+        self.stats.loads += 1;
+        self.mem.read(addr, width) as i64
+    }
+
+    fn store_mem<S: AccessSink>(&mut self, pc: Pc, m: &MemRef, w: Width, v: i64, sink: &mut S) {
+        let addr = self.effective_addr(m);
+        let width = w.bytes() as u8;
+        sink.access(MemAccess { pc, addr, width, kind: AccessKind::Store });
+        self.stats.stores += 1;
+        self.mem.write(addr, width, v as u64);
+    }
+
+    fn eval<S: AccessSink>(&mut self, pc: Pc, op: &Operand, sink: &mut S) -> i64 {
+        match op {
+            Operand::Reg(r) => self.regs[r.index()],
+            Operand::Imm(v) => *v,
+            Operand::Mem(m, w) => self.load_mem(pc, m, *w, sink),
+        }
+    }
+
+    fn exec_insn<S: AccessSink>(&mut self, pc: Pc, insn: &Insn, sink: &mut S) {
+        self.stats.insns += 1;
+        match insn {
+            Insn::Mov { dst, src } => {
+                let v = self.eval(pc, src, sink);
+                self.regs[dst.index()] = v;
+            }
+            Insn::Load { dst, mem, width } => {
+                let v = self.load_mem(pc, mem, *width, sink);
+                self.regs[dst.index()] = v;
+            }
+            Insn::Store { mem, src, width } => {
+                let v = self.eval(pc, src, sink);
+                self.store_mem(pc, mem, *width, v, sink);
+            }
+            Insn::Lea { dst, mem } => {
+                self.regs[dst.index()] = self.effective_addr(mem) as i64;
+            }
+            Insn::Binary { op, dst, src } => {
+                let a = self.regs[dst.index()];
+                let b = self.eval(pc, src, sink);
+                self.regs[dst.index()] = apply_binop(*op, a, b);
+            }
+            Insn::Unary { op, dst } => {
+                let a = self.regs[dst.index()];
+                self.regs[dst.index()] = match op {
+                    UnOp::Neg => a.wrapping_neg(),
+                    UnOp::Not => !a,
+                };
+            }
+            Insn::Cmp { a, b } => {
+                let av = self.eval(pc, a, sink);
+                let bv = self.eval(pc, b, sink);
+                self.flags = (av, bv);
+            }
+            Insn::Push { src } => {
+                let v = self.eval(pc, src, sink);
+                let esp = self.regs[Reg::ESP.index()].wrapping_sub(8);
+                self.regs[Reg::ESP.index()] = esp;
+                self.store_mem(pc, &MemRef::base(Reg::ESP), Width::W8, v, sink);
+            }
+            Insn::Pop { dst } => {
+                let v = self.load_mem(pc, &MemRef::base(Reg::ESP), Width::W8, sink);
+                self.regs[dst.index()] = v;
+                self.regs[Reg::ESP.index()] = self.regs[Reg::ESP.index()].wrapping_add(8);
+            }
+            Insn::Alloc { dst, size, align64 } => {
+                let sz = self.eval(pc, size, sink).max(0) as u64;
+                let align = if *align64 { 64 } else { 8 };
+                let base = self.heap_cursor.next_multiple_of(align);
+                self.heap_cursor = base + sz;
+                self.stats.heap_allocated += sz;
+                self.regs[dst.index()] = base as i64;
+            }
+            Insn::Prefetch { mem } => {
+                let addr = self.effective_addr(mem);
+                sink.access(MemAccess { pc, addr, width: 64, kind: AccessKind::Prefetch });
+            }
+            Insn::Nop => {}
+        }
+    }
+
+    fn exec_terminator(&mut self, block: &BasicBlock) -> (Option<BlockId>, ExitKind) {
+        self.stats.insns += 1;
+        match &block.terminator {
+            Terminator::Jmp(t) => (Some(*t), ExitKind::Jump),
+            Terminator::Br { cond, taken, fallthrough } => {
+                if cond.eval(self.flags.0, self.flags.1) {
+                    (Some(*taken), ExitKind::BranchTaken)
+                } else {
+                    (Some(*fallthrough), ExitKind::BranchNotTaken)
+                }
+            }
+            Terminator::JmpInd { sel, table } => {
+                let idx = (self.regs[sel.index()] as u64 % table.len() as u64) as usize;
+                (Some(table[idx]), ExitKind::Indirect)
+            }
+            Terminator::Call { func, ret_to } => {
+                self.call_stack.push(*ret_to);
+                (Some(self.program.func(*func).entry), ExitKind::Call)
+            }
+            Terminator::Ret => match self.call_stack.pop() {
+                Some(ret) => (Some(ret), ExitKind::Ret),
+                None => (None, ExitKind::Ret),
+            },
+            Terminator::Halt => (None, ExitKind::Halt),
+        }
+    }
+
+    /// Executes the next basic block, streaming its memory accesses to
+    /// `sink`, and returns how control left it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program already finished.
+    pub fn step_block<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit {
+        let id = self.next_block.expect("program already finished");
+        self.stats.blocks += 1;
+        let block = self.program.block(id);
+        for (i, insn) in block.insns.iter().enumerate() {
+            let pc = block.insn_pc(i);
+            self.exec_insn(pc, insn, sink);
+        }
+        let (next, kind) = self.exec_terminator(block);
+        self.next_block = next;
+        BlockExit { block: id, next, kind }
+    }
+
+    /// Runs until the program finishes or `max_insns` instructions retire.
+    pub fn run<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> RunResult {
+        while self.next_block.is_some() && self.stats.insns < max_insns {
+            self.step_block(sink);
+        }
+        RunResult { finished: self.next_block.is_none(), stats: self.stats }
+    }
+}
+
+fn apply_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+        BinOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{CollectSink, CountSink, NullSink};
+    use umi_ir::ProgramBuilder;
+
+    #[test]
+    fn loop_counts_and_finishes() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
+        pb.block(body).addi(Reg::ECX, 1).cmpi(Reg::ECX, 100).br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let r = vm.run(&mut NullSink, 100_000);
+        assert!(r.finished);
+        assert_eq!(vm.reg(Reg::ECX), 100);
+        assert_eq!(r.stats.blocks, 102); // entry + 100 body + done
+    }
+
+    #[test]
+    fn fuel_limit_stops_runaway() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry()).nop().jmp(f.entry());
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let r = vm.run(&mut NullSink, 1_000);
+        assert!(!r.finished);
+        assert!(r.stats.insns >= 1_000);
+    }
+
+    #[test]
+    fn memory_round_trip_through_isa() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc_aligned(Reg::ESI, 128)
+            .movi(Reg::EAX, -1)
+            .store(Reg::ESI + 8, Reg::EAX, Width::W4)
+            .load(Reg::EBX, Reg::ESI + 8, Width::W4)
+            .load(Reg::EDX, Reg::ESI + 8, Width::W8)
+            .ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        vm.run(&mut NullSink, 1000);
+        // W4 store of -1 zero-extends on W4 load...
+        assert_eq!(vm.reg(Reg::EBX), 0xffff_ffff);
+        // ...and the neighbouring 4 bytes stay zero.
+        assert_eq!(vm.reg(Reg::EDX), 0xffff_ffff);
+        assert_eq!(vm.reg(Reg::ESI) % 64, 0, "aligned alloc");
+    }
+
+    #[test]
+    fn data_segments_are_loaded() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let table = pb.data_words(&[11, 22, 33]);
+        pb.block(f.entry())
+            .movi(Reg::ECX, 2)
+            .load(Reg::EAX, MemRef::base_index(Reg::EBX, Reg::ECX, 8, table as i64), Width::W8)
+            .ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        vm.run(&mut NullSink, 1000);
+        assert_eq!(vm.reg(Reg::EAX), 33);
+    }
+
+    #[test]
+    fn call_and_ret_nest() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let after = pb.new_block();
+        pb.block(main.entry()).movi(Reg::EAX, 1).call(leaf, after);
+        pb.block(leaf.entry()).addi(Reg::EAX, 10).ret();
+        pb.block(after).addi(Reg::EAX, 100).ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let r = vm.run(&mut NullSink, 1000);
+        assert!(r.finished);
+        assert_eq!(vm.reg(Reg::EAX), 111);
+    }
+
+    #[test]
+    fn indirect_jump_selects_by_register() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let t0 = pb.new_block();
+        let t1 = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::EAX, 5).jmp_ind(Reg::EAX, vec![t0, t1]);
+        pb.block(t0).movi(Reg::EBX, 0).jmp(done);
+        pb.block(t1).movi(Reg::EBX, 1).jmp(done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        vm.run(&mut NullSink, 1000);
+        assert_eq!(vm.reg(Reg::EBX), 1, "5 % 2 == 1 selects t1");
+    }
+
+    #[test]
+    fn push_pop_traffic_is_stack_classified() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .movi(Reg::EAX, 7)
+            .push_val(Reg::EAX)
+            .movi(Reg::EAX, 0)
+            .pop(Reg::EBX)
+            .ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let mut sink = CollectSink::default();
+        vm.run(&mut sink, 1000);
+        assert_eq!(vm.reg(Reg::EBX), 7);
+        assert_eq!(vm.reg(Reg::ESP) as u64, STACK_TOP, "stack balanced");
+        assert_eq!(sink.accesses.len(), 2);
+        assert!(sink.accesses.iter().all(|a| a.addr < STACK_TOP && a.addr >= STACK_TOP - 16));
+    }
+
+    #[test]
+    fn prefetch_reaches_sink_but_not_counters() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64)
+            .prefetch(Reg::ESI + 0)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let mut sink = CountSink::default();
+        let r = vm.run(&mut sink, 1000);
+        assert_eq!(sink.prefetches, 1);
+        assert_eq!(sink.loads, 1);
+        assert_eq!(r.stats.loads, 1, "prefetch is not a demand load");
+    }
+
+    #[test]
+    fn pcs_in_stream_match_static_layout() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 8)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        let mut sink = CollectSink::default();
+        vm.run(&mut sink, 100);
+        let expected_pc = p.block(f.entry()).insn_pc(1);
+        assert_eq!(sink.accesses[0].pc, expected_pc);
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(apply_binop(BinOp::Add, i64::MAX, 1), i64::MIN);
+        assert_eq!(apply_binop(BinOp::Div, 7, 0), 0);
+        assert_eq!(apply_binop(BinOp::Rem, 7, 0), 0);
+        assert_eq!(apply_binop(BinOp::Shr, -1, 56), 0xff);
+        assert_eq!(apply_binop(BinOp::Shl, 1, 65), 2, "shift counts mask to 6 bits");
+    }
+}

@@ -1,0 +1,65 @@
+//! Compute-bound kernel (`177.mesa`, `200.sixtrack`, `252.eon`-class).
+
+use umi_ir::{Program, ProgramBuilder, Reg, Width};
+
+/// Parameters of the compute kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ComputeParams {
+    /// Loop iterations.
+    pub iters: usize,
+    /// ALU/no-op work per iteration.
+    pub nops: usize,
+    /// Working-set slots (8 bytes each; power of two, small = resident).
+    pub slots: usize,
+}
+
+/// Builds a compute-dominated loop with a tiny, cache-resident working
+/// set: the "computationally intensive [...] very good reference locality"
+/// profile of `252.eon` (0.00% L2 miss ratio in Table 6).
+pub fn compute(name: &str, p: ComputeParams) -> Program {
+    assert!(p.slots.is_power_of_two(), "slots must be a power of two");
+    assert!(p.iters > 0, "no iterations");
+    let mut pb = ProgramBuilder::new();
+    pb.name(name);
+    let f = pb.begin_func("main");
+    let data = pb.bss(p.slots * 8);
+
+    let body = pb.new_block();
+    let done = pb.new_block();
+
+    pb.block(f.entry()).movi(Reg::ECX, 0).movi(Reg::ESI, data as i64).jmp(body);
+    pb.block(body)
+        .mov(Reg::EAX, Reg::ECX)
+        .and(Reg::EAX, (p.slots - 1) as i64)
+        .load(Reg::EBX, Reg::ESI + (Reg::EAX, 8), Width::W8)
+        .add(Reg::EBX, Reg::ECX)
+        .mul(Reg::EBX, 3)
+        .xor(Reg::EBX, 0x5a5a)
+        .store(Reg::ESI + (Reg::EAX, 8), Reg::EBX, Width::W8)
+        .nops(p.nops)
+        .addi(Reg::ECX, 1)
+        .cmpi(Reg::ECX, p.iters as i64)
+        .br_lt(body, done);
+    pb.block(done).ret();
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::{p4_l2_miss_ratio, run_to_end};
+
+    #[test]
+    fn instruction_mix_is_compute_heavy() {
+        let p = compute("c", ComputeParams { iters: 1000, nops: 20, slots: 64 });
+        let stats = run_to_end(&p);
+        assert!(stats.insns as f64 / stats.mem_refs() as f64 > 10.0);
+    }
+
+    #[test]
+    fn miss_ratio_is_essentially_zero() {
+        let p = compute("eon-like", ComputeParams { iters: 100_000, nops: 10, slots: 4096 });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r < 0.05, "L2-resident compute loop: {r}");
+    }
+}

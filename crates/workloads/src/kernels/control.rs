@@ -1,0 +1,187 @@
+//! Control-intensive state-machine kernel (`176.gcc`, `186.crafty`,
+//! `458.sjeng`-class).
+
+use umi_ir::{Program, ProgramBuilder, Reg, Width};
+
+/// Parameters of the state-machine kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControlParams {
+    /// Frequently dispatched states.
+    pub hot_states: usize,
+    /// Rarely dispatched states (each executes too seldom to be promoted
+    /// into a trace — the `176.gcc` "cold code" effect).
+    pub cold_states: usize,
+    /// Of every 16 dispatches, how many go to cold states (0..=15).
+    pub cold_per_16: usize,
+    /// Dispatch steps to execute.
+    pub steps: usize,
+    /// Table slots per hot state (8 bytes each; power of two). Totals
+    /// larger than L1 keep L2 demand traffic realistic.
+    pub table_slots: usize,
+    /// ALU/no-op work per step (dilutes the indirect-branch density).
+    pub work_nops: usize,
+}
+
+/// Builds an indirect-dispatch interpreter: a central dispatcher picks the
+/// next state pseudo-randomly through a jump table; hot states recur
+/// constantly, cold states so rarely that the DBI never promotes them.
+///
+/// This is the CINT2000 character the paper highlights: low miss ratio
+/// (tables are L2-resident), many indirect branches (DBI overhead), and —
+/// with enough cold states — poor trace-cache residency ("176.gcc spends
+/// less than 70% of its execution running from the trace cache").
+pub fn control(name: &str, p: ControlParams) -> Program {
+    assert!(p.hot_states >= 2, "need at least two hot states");
+    assert!(p.cold_per_16 <= 15, "cold_per_16 out of range");
+    assert!(p.cold_per_16 == 0 || p.cold_states > 0, "cold dispatch needs cold states");
+    assert!(p.table_slots.is_power_of_two(), "table slots must be a power of two");
+    let mut pb = ProgramBuilder::new();
+    pb.name(name);
+    let f = pb.begin_func("main");
+    let hot_table = pb.bss(p.hot_states * p.table_slots * 8);
+    let cold_table = pb.bss(64 * 8);
+
+    let dispatch = pb.new_block();
+    let sel = pb.new_block();
+    let done = pb.new_block();
+    let hot: Vec<_> = (0..p.hot_states).map(|_| pb.new_block()).collect();
+    let cold: Vec<_> = (0..p.cold_states).map(|_| pb.new_block()).collect();
+
+    pb.block(f.entry())
+        .movi(Reg::R9, 0xb792_1fa9_9c2f_1e4du64 as i64)
+        .movi(Reg::ECX, p.steps as i64)
+        .movi(Reg::ESI, hot_table as i64)
+        .movi(Reg::R11, cold_table as i64)
+        .jmp(dispatch);
+
+    pb.block(dispatch).addi(Reg::ECX, -1).cmpi(Reg::ECX, 0).br_le(done, sel);
+    {
+        // One shared jump table: slot i goes cold when (i % 16) is below
+        // the cold share, hot otherwise. Round-robin assignment makes
+        // every state reachable and the dispatch distribution uniform.
+        let table_len = 16_384usize;
+        let (mut h, mut c) = (0usize, 0usize);
+        let table: Vec<_> = (0..table_len)
+            .map(|i| {
+                if i % 16 < p.cold_per_16 && !cold.is_empty() {
+                    c += 1;
+                    cold[(c - 1) % p.cold_states]
+                } else {
+                    h += 1;
+                    hot[(h - 1) % p.hot_states]
+                }
+            })
+            .collect();
+        let bb = pb.block(sel);
+        let bb = crate::kernels::lcg_step(bb, Reg::R9);
+        let bb = bb.mov(Reg::EDI, Reg::R9).shr(Reg::EDI, 29);
+        bb.jmp_ind(Reg::EDI, table);
+    }
+
+    for (s, &block) in hot.iter().enumerate() {
+        let base = (s * p.table_slots * 8) as i64;
+        pb.block(block)
+            .addi(Reg::EDX, (s + 1) as i64)
+            .xor(Reg::EDX, (s * 3) as i64)
+            .nops(p.work_nops)
+            .mov(Reg::EAX, Reg::R9)
+            .shr(Reg::EAX, 17)
+            .and(Reg::EAX, (p.table_slots - 1) as i64)
+            .shl(Reg::EAX, 3)
+            .addi(Reg::EAX, base)
+            .add(Reg::EAX, Reg::ESI)
+            .load(Reg::EBX, umi_ir::MemRef::base(Reg::EAX), Width::W8)
+            .add(Reg::EDX, Reg::EBX)
+            .jmp(dispatch);
+    }
+    for (s, &block) in cold.iter().enumerate() {
+        pb.block(block)
+            .addi(Reg::EDX, s as i64)
+            .nops(4)
+            .mov(Reg::EAX, Reg::R9)
+            .shr(Reg::EAX, 11)
+            .and(Reg::EAX, 63)
+            .load(Reg::EBX, umi_ir::MemRef::base_index(Reg::R11, Reg::EAX, 8, 0), Width::W8)
+            .xor(Reg::EDX, (s * 7) as i64)
+            .jmp(dispatch);
+    }
+    pb.block(done).ret();
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::{p4_l2_miss_ratio, run_to_end};
+    use umi_dbi::{CostModel, DbiRuntime};
+    use umi_vm::NullSink;
+
+    fn hot_only(states: usize, steps: usize) -> ControlParams {
+        ControlParams {
+            hot_states: states,
+            cold_states: 0,
+            cold_per_16: 0,
+            steps,
+            table_slots: 512,
+            work_nops: 8,
+        }
+    }
+
+    #[test]
+    fn executes_requested_steps() {
+        let p = control("c", hot_only(8, 10_000));
+        let stats = run_to_end(&p);
+        assert_eq!(stats.loads, 10_000 - 1, "one table load per completed step");
+    }
+
+    #[test]
+    fn miss_ratio_is_low_with_l2_resident_tables() {
+        // 16 states x 512 slots x 8 B = 64 KB: misses L1, hits L2.
+        let p = control("eon-like", hot_only(16, 150_000));
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r < 0.05, "state machine data is L2-resident: {r}");
+    }
+
+    #[test]
+    fn indirect_branches_dominate_dispatch() {
+        let p = control("sj", hot_only(16, 50_000));
+        let mut rt = DbiRuntime::new(&p, CostModel::default());
+        rt.run(&mut NullSink, u64::MAX);
+        assert!(rt.stats().indirect_branches >= 49_000);
+    }
+
+    #[test]
+    fn cold_states_depress_trace_residency() {
+        let cold = control("gcc-like", ControlParams {
+            hot_states: 16,
+            cold_states: 8192,
+            cold_per_16: 12,
+            steps: 200_000,
+            table_slots: 512,
+            work_nops: 8,
+        });
+        let hot = control("hot-only", hot_only(16, 200_000));
+        let res = |p: &Program| {
+            let mut rt = DbiRuntime::new(p, CostModel::default());
+            rt.run(&mut NullSink, u64::MAX);
+            rt.stats().trace_cache_residency()
+        };
+        let rc = res(&cold);
+        let rh = res(&hot);
+        assert!(rc < 0.85, "cold-code dispatch must depress residency: {rc}");
+        assert!(rh > rc + 0.1, "hot-only {rh} vs cold {rc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cold dispatch needs cold states")]
+    fn rejects_cold_share_without_cold_states() {
+        let _ = control("bad", ControlParams {
+            hot_states: 4,
+            cold_states: 0,
+            cold_per_16: 4,
+            steps: 10,
+            table_slots: 64,
+            work_nops: 0,
+        });
+    }
+}

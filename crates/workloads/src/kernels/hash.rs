@@ -1,0 +1,97 @@
+//! Scattered hash-table kernel (`254.gap`, `255.vortex`, Olden `mst`-class).
+
+use umi_ir::{Program, ProgramBuilder, Reg, Width};
+
+/// Parameters of the hash kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HashParams {
+    /// Table slots (8 bytes each); must be a power of two.
+    pub slots: usize,
+    /// Probe operations to perform.
+    pub ops: usize,
+    /// Whether every probe also writes the slot.
+    pub stores: bool,
+    /// No-ops per probe (compute density).
+    pub compute_nops: usize,
+}
+
+/// Builds a uniformly scattered probe loop over a hash table, the classic
+/// irregular-but-not-pointer-chased pattern: no stride exists, and the
+/// miss ratio tracks the table-size-to-L2 ratio.
+pub fn hash(name: &str, p: HashParams) -> Program {
+    assert!(p.slots.is_power_of_two(), "slots must be a power of two");
+    assert!(p.ops > 0, "no operations");
+    let mut pb = ProgramBuilder::new();
+    pb.name(name);
+    let f = pb.begin_func("main");
+    let table = pb.bss(p.slots * 8);
+
+    let probe = pb.new_block();
+    let done = pb.new_block();
+
+    // R9 = LCG state, ECX = op counter.
+    pb.block(f.entry())
+        .movi(Reg::R9, 0x243f_6a88_85a3_08d3u64 as i64)
+        .movi(Reg::ECX, 0)
+        .movi(Reg::ESI, table as i64)
+        .jmp(probe);
+    {
+        let bb = pb.block(probe);
+        let bb = crate::kernels::lcg_step(bb, Reg::R9);
+        let mut bb = bb
+            .mov(Reg::EAX, Reg::R9)
+            .shr(Reg::EAX, 24)
+            .and(Reg::EAX, (p.slots - 1) as i64)
+            .load(Reg::EDX, Reg::ESI + (Reg::EAX, 8), Width::W8)
+            .addi(Reg::EDX, 1);
+        if p.stores {
+            bb = bb.store(Reg::ESI + (Reg::EAX, 8), Reg::EDX, Width::W8);
+        }
+        bb.nops(p.compute_nops)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, p.ops as i64)
+            .br_lt(probe, done);
+    }
+    pb.block(done).ret();
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::{p4_l2_miss_ratio, run_to_end};
+
+    #[test]
+    fn op_counts() {
+        let p = hash("h", HashParams { slots: 256, ops: 5000, stores: true, compute_nops: 0 });
+        let stats = run_to_end(&p);
+        assert_eq!(stats.loads, 5000);
+        assert_eq!(stats.stores, 5000);
+    }
+
+    #[test]
+    fn big_table_misses_small_table_hits() {
+        let big = hash("b", HashParams {
+            slots: 1 << 19, // 4 MB
+            ops: 100_000,
+            stores: false,
+            compute_nops: 0,
+        });
+        let small = hash("s", HashParams {
+            slots: 1 << 12, // 32 KB
+            ops: 100_000,
+            stores: false,
+            compute_nops: 0,
+        });
+        let rb = p4_l2_miss_ratio(&big);
+        let rs = p4_l2_miss_ratio(&small);
+        assert!(rb > 0.3, "4 MB table should mostly miss: {rb}");
+        assert!(rs < 0.01, "32 KB table should hit: {rs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_table() {
+        let _ = hash("bad", HashParams { slots: 300, ops: 1, stores: false, compute_nops: 0 });
+    }
+}

@@ -1,0 +1,59 @@
+//! Parameterized workload kernels.
+//!
+//! Each kernel builds a [`Program`](umi_ir::Program) with a distinct,
+//! well-understood memory character; the named suites in
+//! [`suite`](crate::suite) are instantiations of these kernels.
+
+pub mod chase;
+pub mod compute;
+pub mod control;
+pub mod copy;
+pub mod hash;
+pub mod phases;
+pub mod spmv;
+pub mod stencil;
+pub mod stream;
+pub mod tree;
+
+pub use chase::{chase, ChaseParams};
+pub use compute::{compute, ComputeParams};
+pub use control::{control, ControlParams};
+pub use copy::{copy, CopyParams};
+pub use hash::{hash, HashParams};
+pub use phases::{phases, PhasesParams};
+pub use spmv::{spmv, SpmvParams};
+pub use stencil::{stencil, StencilParams};
+pub use stream::{stream, StreamParams};
+pub use tree::{tree, TreeParams};
+
+use umi_ir::{BlockBuilder, Reg};
+
+/// Appends a 64-bit LCG step (`reg <- reg * A + C`) used by kernels that
+/// need in-ISA pseudo-randomness. Constants are from Knuth's MMIX.
+pub(crate) fn lcg_step(b: BlockBuilder<'_>, reg: Reg) -> BlockBuilder<'_> {
+    b.mul(reg, 6_364_136_223_846_793_005i64).add(reg, 1_442_695_040_888_963_407i64)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use umi_ir::Program;
+    use umi_vm::{NullSink, Vm, VmStats};
+
+    /// Runs a program to completion and returns its stats; asserts it
+    /// terminates within the fuel budget.
+    pub fn run_to_end(program: &Program) -> VmStats {
+        let mut vm = Vm::new(program);
+        let r = vm.run(&mut NullSink, 200_000_000);
+        assert!(r.finished, "workload {} did not terminate", program.name);
+        r.stats
+    }
+
+    /// L2 miss ratio of a full Pentium 4 simulation of the program.
+    pub fn p4_l2_miss_ratio(program: &Program) -> f64 {
+        let mut sim = umi_cache::FullSimulator::pentium4();
+        let mut vm = Vm::new(program);
+        let r = vm.run(&mut sim, 200_000_000);
+        assert!(r.finished);
+        sim.l2_miss_ratio()
+    }
+}

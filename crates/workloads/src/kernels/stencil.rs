@@ -1,0 +1,102 @@
+//! Five-point stencil kernel (`171.swim`, `172.mgrid`, `301.apsi`-class).
+
+use umi_ir::{Program, ProgramBuilder, Reg, Width};
+
+/// Parameters of the stencil kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StencilParams {
+    /// Grid width in 8-byte elements.
+    pub width: usize,
+    /// Grid height in rows.
+    pub height: usize,
+    /// Relaxation sweeps over the grid.
+    pub sweeps: usize,
+}
+
+/// Builds a Jacobi-style 5-point stencil: each interior point reads its
+/// four neighbours and writes itself. Rows stream with unit stride; the
+/// vertical neighbours give a second reference stream one row apart, so a
+/// grid larger than L2 exhibits the classic capacity-miss pattern of the
+/// SPEC CFP codes.
+pub fn stencil(name: &str, p: StencilParams) -> Program {
+    assert!(p.width >= 4 && p.height >= 4 && p.sweeps > 0, "grid too small");
+    let mut pb = ProgramBuilder::new();
+    pb.name(name);
+    let f = pb.begin_func("main");
+    let grid = pb.bss(p.width * p.height * 8);
+    let row_bytes = (p.width * 8) as i64;
+
+    let sweep = pb.new_block();
+    let row = pb.new_block();
+    let col = pb.new_block();
+    let row_end = pb.new_block();
+    let sweep_end = pb.new_block();
+    let done = pb.new_block();
+
+    // R8 = sweep, R9 = row index, ESI = &grid[y][1], ECX = column counter.
+    pb.block(f.entry()).movi(Reg::R8, 0).jmp(sweep);
+    pb.block(sweep).movi(Reg::R9, 1).jmp(row);
+    pb.block(row)
+        .movi(Reg::ESI, grid as i64 + 8)
+        .mov(Reg::EAX, Reg::R9)
+        .mul(Reg::EAX, row_bytes)
+        .add(Reg::ESI, Reg::EAX)
+        .movi(Reg::ECX, 1)
+        .jmp(col);
+    pb.block(col)
+        .load(Reg::EAX, Reg::ESI + -8, Width::W8) // west
+        .load(Reg::EBX, Reg::ESI + 8, Width::W8) // east
+        .load(Reg::EDX, Reg::ESI + -row_bytes, Width::W8) // north
+        .load(Reg::EDI, Reg::ESI + row_bytes, Width::W8) // south
+        .add(Reg::EAX, Reg::EBX)
+        .add(Reg::EAX, Reg::EDX)
+        .add(Reg::EAX, Reg::EDI)
+        .shr(Reg::EAX, 2)
+        .store(Reg::ESI + 0, Reg::EAX, Width::W8)
+        .addi(Reg::ESI, 8)
+        .addi(Reg::ECX, 1)
+        .cmpi(Reg::ECX, (p.width - 1) as i64)
+        .br_lt(col, row_end);
+    pb.block(row_end).addi(Reg::R9, 1).cmpi(Reg::R9, (p.height - 1) as i64).br_lt(row, sweep_end);
+    pb.block(sweep_end).addi(Reg::R8, 1).cmpi(Reg::R8, p.sweeps as i64).br_lt(sweep, done);
+    pb.block(done).ret();
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::{p4_l2_miss_ratio, run_to_end};
+
+    #[test]
+    fn reference_counts_match_geometry() {
+        let (w, h, s) = (16, 8, 2);
+        let p = stencil("st", StencilParams { width: w, height: h, sweeps: s });
+        let stats = run_to_end(&p);
+        let interior = ((w - 2) * (h - 2) * s) as u64;
+        assert_eq!(stats.loads, 4 * interior);
+        assert_eq!(stats.stores, interior);
+    }
+
+    #[test]
+    fn large_grid_misses_moderately() {
+        // ~2 MB grid: streams miss on each new line; 5 refs per element.
+        let p = stencil("swim-like", StencilParams { width: 512, height: 512, sweeps: 1 });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r > 0.01 && r < 0.6, "stencil miss ratio out of band: {r}");
+    }
+
+    #[test]
+    fn small_grid_is_resident() {
+        // 128 KB grid: beyond L1 (constant L2 traffic) but within L2.
+        let p = stencil("small", StencilParams { width: 128, height: 128, sweeps: 40 });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r < 0.05, "L2-resident stencil should hit: {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_tiny_grid() {
+        let _ = stencil("bad", StencilParams { width: 2, height: 2, sweeps: 1 });
+    }
+}

@@ -1,0 +1,136 @@
+//! Array-streaming kernel (`179.art`, `171.swim`-class behaviour).
+
+use umi_ir::{Program, ProgramBuilder, Reg, Width};
+
+/// Parameters of the streaming kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamParams {
+    /// Elements (8 bytes each) per array.
+    pub elems: usize,
+    /// Full passes over the arrays.
+    pub passes: usize,
+    /// Stride between touched elements, in elements (1 = dense).
+    pub stride: usize,
+    /// Whether each iteration also writes a second array.
+    pub stores: bool,
+    /// No-ops per iteration (compute density).
+    pub compute_nops: usize,
+}
+
+/// Builds a program that streams over one (optionally two) arrays for
+/// `passes` passes. With a footprint beyond L2, every line touch misses —
+/// the canonical high-miss, perfectly-strided delinquent load.
+pub fn stream(name: &str, p: StreamParams) -> Program {
+    assert!(p.elems > 0 && p.passes > 0 && p.stride > 0, "degenerate stream");
+    let mut pb = ProgramBuilder::new();
+    pb.name(name);
+    let f = pb.begin_func("main");
+    let a = pb.bss(p.elems * 8);
+    let b = if p.stores { pb.bss(p.elems * 8) } else { 0 };
+
+    let outer = pb.new_block();
+    let inner = pb.new_block();
+    let next_pass = pb.new_block();
+    let done = pb.new_block();
+
+    // R8 = pass counter.
+    pb.block(f.entry()).movi(Reg::R8, 0).jmp(outer);
+    pb.block(outer)
+        .movi(Reg::ECX, 0)
+        .movi(Reg::ESI, a as i64)
+        .movi(Reg::EDI, b as i64)
+        .jmp(inner);
+    {
+        let iters = (p.elems / p.stride) as i64;
+        let mut bb = pb
+            .block(inner)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .add(Reg::EDX, Reg::EAX);
+        if p.stores {
+            bb = bb.store(Reg::EDI + (Reg::ECX, 8), Reg::EDX, Width::W8);
+        }
+        bb = bb.nops(p.compute_nops).addi(Reg::ECX, p.stride as i64).cmpi(
+            Reg::ECX,
+            iters * p.stride as i64,
+        );
+        bb.br_lt(inner, next_pass);
+    }
+    pb.block(next_pass).addi(Reg::R8, 1).cmpi(Reg::R8, p.passes as i64).br_lt(outer, done);
+    pb.block(done).ret();
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::{p4_l2_miss_ratio, run_to_end};
+
+    #[test]
+    fn terminates_and_counts() {
+        let p = stream("s", StreamParams {
+            elems: 1024,
+            passes: 3,
+            stride: 1,
+            stores: true,
+            compute_nops: 0,
+        });
+        let stats = run_to_end(&p);
+        assert_eq!(stats.loads, 3 * 1024);
+        assert_eq!(stats.stores, 3 * 1024);
+    }
+
+    #[test]
+    fn large_footprint_misses_hard() {
+        // 4 MB >> 512 KB L2: every line miss, dense 8B stride → 1/8 ratio.
+        let p = stream("art-like", StreamParams {
+            elems: 512 * 1024,
+            passes: 2,
+            stride: 1,
+            stores: false,
+            compute_nops: 0,
+        });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r > 0.10, "expected heavy misses, got {r}");
+    }
+
+    #[test]
+    fn small_footprint_hits() {
+        // 64 KB fits L2 comfortably after the first pass; with enough
+        // passes the compulsory misses wash out.
+        let p = stream("resident", StreamParams {
+            elems: 8 * 1024,
+            passes: 64,
+            stride: 1,
+            stores: false,
+            compute_nops: 0,
+        });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r < 0.05, "resident stream should hit, got {r}");
+    }
+
+    #[test]
+    fn wide_stride_misses_every_access() {
+        // 64-byte stride touches a new line every access (ft-like).
+        let p = stream("ft-like", StreamParams {
+            elems: 512 * 1024,
+            passes: 1,
+            stride: 8,
+            stores: false,
+            compute_nops: 0,
+        });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r > 0.5, "wide stride must miss nearly always, got {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_zero_elems() {
+        let _ = stream("bad", StreamParams {
+            elems: 0,
+            passes: 1,
+            stride: 1,
+            stores: false,
+            compute_nops: 0,
+        });
+    }
+}

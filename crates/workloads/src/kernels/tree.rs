@@ -1,0 +1,131 @@
+//! Tree-walking kernel (Olden `treeadd`/`tsp`, `175.vpr`-class).
+
+use umi_ir::{MemRef, Program, ProgramBuilder, Reg, Width};
+
+/// Parameters of the tree kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeParams {
+    /// Nodes in the implicit binary tree (array heap layout, 16 B/node).
+    pub nodes: usize,
+    /// Random root-to-leaf descents.
+    pub descents: usize,
+    /// Sequential whole-tree sum passes (treeadd style).
+    pub sum_passes: usize,
+}
+
+/// Builds an implicit binary tree (children of `i` at `2i`/`2i+1`) and
+/// walks it: random descents driven by an in-ISA LCG (upper levels cache
+/// well, leaves miss — moderate miss ratio), plus sequential sum passes
+/// (dense and prefetchable, like `treeadd`'s post-order accumulation).
+pub fn tree(name: &str, p: TreeParams) -> Program {
+    assert!(p.nodes >= 8, "tree too small");
+    assert!(p.descents > 0 || p.sum_passes > 0, "nothing to do");
+    let mut pb = ProgramBuilder::new();
+    pb.name(name);
+    let f = pb.begin_func("main");
+    let arena = pb.bss(p.nodes * 16);
+
+    let d_outer = pb.new_block();
+    let d_step = pb.new_block();
+    let d_end = pb.new_block();
+    let s_init = pb.new_block();
+    let s_outer = pb.new_block();
+    let s_inner = pb.new_block();
+    let s_end = pb.new_block();
+    let done = pb.new_block();
+
+    // ECX = descent counter, EBX = node index, R9 = LCG state, R8 = pass.
+    pb.block(f.entry())
+        .movi(Reg::ECX, 0)
+        .movi(Reg::R9, 0x1234_5678_9abc_def1u64 as i64)
+        .movi(Reg::ESI, arena as i64)
+        .jmp(if p.descents > 0 { d_outer } else { s_init });
+
+    pb.block(d_outer).movi(Reg::EBX, 1).jmp(d_step);
+    {
+        let bb = pb.block(d_step);
+        let bb = crate::kernels::lcg_step(bb, Reg::R9);
+        bb.mov(Reg::EAX, Reg::EBX)
+            .shl(Reg::EAX, 4) // node index -> byte offset (16 B nodes)
+            .add(Reg::EAX, Reg::ESI)
+            .load(Reg::EDX, MemRef::base(Reg::EAX), Width::W8)
+            // child = 2*i + ((lcg >> 33) & 1)
+            .mov(Reg::EDI, Reg::R9)
+            .shr(Reg::EDI, 33)
+            .and(Reg::EDI, 1)
+            .shl(Reg::EBX, 1)
+            .add(Reg::EBX, Reg::EDI)
+            .cmpi(Reg::EBX, p.nodes as i64)
+            .br_lt(d_step, d_end);
+    }
+    pb.block(d_end)
+        .addi(Reg::ECX, 1)
+        .cmpi(Reg::ECX, p.descents as i64)
+        .br_lt(d_outer, s_init);
+
+    // Sum passes (skipped entirely when none are requested).
+    if p.sum_passes == 0 {
+        pb.block(s_init).jmp(done);
+        // Keep the structural blocks terminated (never executed).
+        pb.block(s_outer).jmp(done);
+        pb.block(s_inner).jmp(done);
+        pb.block(s_end).jmp(done);
+    } else {
+        pb.block(s_init).movi(Reg::R8, 0).jmp(s_outer);
+        pb.block(s_outer).movi(Reg::EBX, 0).jmp(s_inner);
+        pb.block(s_inner)
+            .load(Reg::EAX, Reg::ESI + (Reg::EBX, 8), Width::W8)
+            .add(Reg::EDX, Reg::EAX)
+            .addi(Reg::EBX, 2) // 16-byte nodes = every other word
+            .cmpi(Reg::EBX, (p.nodes * 2) as i64)
+            .br_lt(s_inner, s_end);
+        pb.block(s_end)
+            .addi(Reg::R8, 1)
+            .cmpi(Reg::R8, p.sum_passes as i64)
+            .br_lt(s_outer, done);
+    }
+    pb.block(done).ret();
+    pb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::{p4_l2_miss_ratio, run_to_end};
+
+    #[test]
+    fn sum_only_counts_every_node_once_per_pass() {
+        let p = tree("t", TreeParams { nodes: 64, descents: 0, sum_passes: 3 });
+        let stats = run_to_end(&p);
+        assert_eq!(stats.loads, 3 * 64);
+    }
+
+    #[test]
+    fn descents_terminate_at_leaves() {
+        let p = tree("d", TreeParams { nodes: 1024, descents: 50, sum_passes: 0 });
+        let stats = run_to_end(&p);
+        // Each descent visits ~log2(1024) = 10 nodes.
+        assert!(stats.loads >= 50 * 9 && stats.loads <= 50 * 11, "loads {}", stats.loads);
+    }
+
+    #[test]
+    fn large_tree_descents_miss_at_the_bottom() {
+        // 4 MB tree: upper levels resident, leaves not.
+        let p = tree("big", TreeParams { nodes: 1 << 18, descents: 20_000, sum_passes: 0 });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r > 0.05 && r < 0.6, "tree descent miss ratio out of band: {r}");
+    }
+
+    #[test]
+    fn small_tree_is_resident() {
+        let p = tree("small", TreeParams { nodes: 1 << 10, descents: 20_000, sum_passes: 2 });
+        let r = p4_l2_miss_ratio(&p);
+        assert!(r < 0.01, "16 KB tree must be resident: {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to do")]
+    fn rejects_empty_work() {
+        let _ = tree("bad", TreeParams { nodes: 64, descents: 0, sum_passes: 0 });
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic table generation for workload data.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random source seeded from a workload name, used to
+/// build permutations and index tables so every workload is reproducible
+/// bit for bit.
+#[derive(Debug)]
+pub struct TableRng {
+    rng: SmallRng,
+}
+
+impl TableRng {
+    /// Creates a source seeded from `name` (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> TableRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TableRng { rng: SmallRng::seed_from_u64(h) }
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..n as u64).collect();
+        // Fisher–Yates.
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// `n` uniform values in `[0, bound)`.
+    pub fn indices(&mut self, n: usize, bound: u64) -> Vec<u64> {
+        (0..n).map(|_| self.below(bound)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TableRng::from_name("181.mcf");
+        let mut b = TableRng::from_name("181.mcf");
+        assert_eq!(a.indices(32, 1000), b.indices(32, 1000));
+        let mut c = TableRng::from_name("179.art");
+        assert_ne!(a.indices(32, 1000), c.indices(32, 1000));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = TableRng::from_name("perm");
+        let p = r.permutation(256);
+        let mut seen = vec![false; 256];
+        for &x in &p {
+            assert!(!seen[x as usize], "duplicate {x}");
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = TableRng::from_name("bound");
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+}

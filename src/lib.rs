@@ -1,0 +1,42 @@
+//! # umi — Ubiquitous Memory Introspection, reproduced
+//!
+//! A full reproduction of *Ubiquitous Memory Introspection* (Zhao, Rabbah,
+//! Amarasinghe, Rudolph, Wong — CGO 2007) as a Rust workspace. This crate
+//! is the facade: it re-exports every subsystem under one roof so examples
+//! and downstream users can depend on a single crate.
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`ir`] | `umi-ir` | virtual x86-flavoured ISA |
+//! | [`vm`] | `umi-vm` | block-stepping interpreter |
+//! | [`cache`] | `umi-cache` | cache simulation + Cachegrind-equivalent |
+//! | [`hw`] | `umi-hw` | Pentium 4 / AMD K7 machine models |
+//! | [`dbi`] | `umi-dbi` | DynamoRIO-like runtime code manipulation |
+//! | [`core`] | `umi-core` | the paper's contribution: UMI itself |
+//! | [`workloads`] | `umi-workloads` | SPEC/Olden-like synthetic suite |
+//! | [`prefetch`] | `umi-prefetch` | §8 software stride prefetcher |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use umi::core::{UmiConfig, UmiRuntime};
+//! use umi::vm::NullSink;
+//! use umi::workloads::{build, Scale};
+//!
+//! let program = build("181.mcf", Scale::Test).expect("known workload");
+//! let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
+//! let report = umi.run(&mut NullSink, u64::MAX);
+//! assert!(!report.predicted.is_empty(), "mcf has delinquent loads");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use umi_cache as cache;
+pub use umi_core as core;
+pub use umi_dbi as dbi;
+pub use umi_hw as hw;
+pub use umi_ir as ir;
+pub use umi_prefetch as prefetch;
+pub use umi_vm as vm;
+pub use umi_workloads as workloads;

@@ -1,0 +1,187 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: caches, memory, profiles, delinquent sets, correlation,
+//! and stride detection.
+
+use proptest::prelude::*;
+use umi::cache::{delinquent_set, CacheConfig, PcMissStats, PerPcStats, SetAssocCache};
+use umi::core::{detect_stride, pearson, ProfileStore};
+use umi::dbi::TraceId;
+use umi::ir::Pc;
+use umi::vm::Memory;
+
+proptest! {
+    /// A line just accessed is always resident (probe) and hits on
+    /// re-access, for any geometry.
+    #[test]
+    fn cache_hit_after_access(
+        sets_log in 0u32..8,
+        ways in 1usize..8,
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..200),
+    ) {
+        let cfg = CacheConfig::new(1 << sets_log, ways, 64);
+        let mut c = SetAssocCache::new(cfg);
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "just-accessed line not resident");
+            prop_assert!(c.access(a).hit, "immediate re-access missed");
+        }
+    }
+
+    /// Resident lines never exceed capacity, and stats stay consistent.
+    #[test]
+    fn cache_capacity_and_stats_invariants(
+        addrs in proptest::collection::vec(0u64..100_000, 1..500),
+    ) {
+        let cfg = CacheConfig::new(8, 2, 64);
+        let mut c = SetAssocCache::new(cfg);
+        for a in &addrs {
+            c.access(*a);
+            prop_assert!(c.resident_lines() <= 16);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, 2 * addrs.len() as u64 - addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
+    }
+
+    /// Under LRU, an eviction never removes the most recently used line.
+    #[test]
+    fn lru_never_evicts_most_recent(
+        tags in proptest::collection::vec(0u64..64, 2..300),
+    ) {
+        let cfg = CacheConfig::new(1, 4, 64); // one set: pure LRU stack
+        let mut c = SetAssocCache::new(cfg);
+        let mut last: Option<u64> = None;
+        for t in tags {
+            let addr = t * 64;
+            let out = c.access(addr);
+            if let (Some(prev), Some(evicted)) = (last, out.evicted) {
+                prop_assert_ne!(evicted, prev * 64, "evicted the MRU line");
+            }
+            last = Some(t);
+        }
+    }
+
+    /// Memory reads return exactly what was last written, at every width.
+    #[test]
+    fn memory_read_after_write(
+        addr in 0u64..0x10_0000,
+        value: u64,
+        width_sel in 0usize..4,
+    ) {
+        let width = [1u8, 2, 4, 8][width_sel];
+        let mut m = Memory::new();
+        m.write(addr, width, value);
+        let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+        prop_assert_eq!(m.read(addr, width), value & mask);
+    }
+
+    /// Writes never disturb bytes outside their window.
+    #[test]
+    fn memory_writes_are_contained(
+        addr in 8u64..0x1_0000,
+        value: u64,
+    ) {
+        let mut m = Memory::new();
+        m.write(addr - 8, 8, 0x1111_1111_1111_1111);
+        m.write(addr + 4, 4, 0x2222_2222);
+        m.write(addr, 4, value);
+        prop_assert_eq!(m.read(addr - 8, 8), 0x1111_1111_1111_1111);
+        prop_assert_eq!(m.read(addr + 4, 4), 0x2222_2222);
+    }
+
+    /// The delinquent set covers at least the target and is minimal: the
+    /// last member is necessary.
+    #[test]
+    fn delinquent_set_covers_and_is_minimal(
+        misses in proptest::collection::vec(0u64..1000, 1..50),
+        x in 0.05f64..1.0,
+    ) {
+        let stats: PerPcStats = misses
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (Pc(i as u64), PcMissStats {
+                load_accesses: m + 1,
+                load_misses: *m,
+                ..Default::default()
+            }))
+            .collect();
+        let c = delinquent_set(&stats, x);
+        let total: u64 = misses.iter().sum();
+        if total > 0 {
+            prop_assert!(c.coverage() >= x - 1e-9, "coverage {} < {}", c.coverage(), x);
+            // Minimality: dropping the smallest member goes below target.
+            let smallest: u64 = c
+                .pcs
+                .iter()
+                .map(|pc| stats.get(*pc).load_misses)
+                .min()
+                .unwrap_or(0);
+            let without = (c.covered_misses - smallest) as f64 / total as f64;
+            prop_assert!(without < x, "set is not minimal");
+        } else {
+            prop_assert!(c.is_empty());
+        }
+    }
+
+    /// Pearson correlation is bounded, symmetric, and exactly 1 against a
+    /// positive affine image of itself.
+    #[test]
+    fn pearson_properties(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..40),
+        a in 0.1f64..100.0,
+        b in -100.0f64..100.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| a * x + b).collect();
+        let r = pearson(&xs, &ys);
+        prop_assert!((-1.0..=1.0).contains(&r));
+        prop_assert_eq!(pearson(&xs, &ys), pearson(&ys, &xs));
+        let distinct = xs.windows(2).any(|w| w[0] != w[1]);
+        if distinct {
+            prop_assert!((r - 1.0).abs() < 1e-6, "affine image must correlate at 1, got {r}");
+        }
+    }
+
+    /// A pure arithmetic sequence always yields its stride at confidence 1.
+    #[test]
+    fn stride_detection_on_pure_sequences(
+        base in 0u64..1_000_000,
+        stride in prop_oneof![1i64..4096, -4096i64..-1],
+        len in 5usize..64,
+    ) {
+        let col: Vec<u64> = (0..len)
+            .map(|i| {
+                0x10_0000_0000u64
+                    .wrapping_add(base)
+                    .wrapping_add((stride * i as i64) as u64)
+            })
+            .collect();
+        let info = detect_stride(&col, 4, 0.5).expect("pure stride");
+        prop_assert_eq!(info.stride, stride);
+        prop_assert_eq!(info.confidence, 1.0);
+    }
+
+    /// Profile stores never exceed their row capacity and drain resets
+    /// the trace-profile usage.
+    #[test]
+    fn profile_store_capacity(
+        rows in 1usize..40,
+        cap in 1usize..10,
+    ) {
+        let mut s = ProfileStore::new(1 << 20, cap);
+        let t = TraceId(0);
+        s.register(t, vec![Pc(1)]);
+        let mut began = 0;
+        for _ in 0..rows {
+            if s.trigger(t).is_some() {
+                let drained = s.drain();
+                prop_assert_eq!(drained.len(), 1);
+                prop_assert!(drained[0].1.row_count() <= cap);
+                prop_assert_eq!(s.trace_profile_usage(), 0);
+            }
+            s.begin_row(t);
+            began += 1;
+        }
+        prop_assert_eq!(began, rows);
+    }
+}
