@@ -4,8 +4,13 @@
 //! The paper's practicality claim rests on the analyzer being cheap
 //! relative to the profiled execution; these benches quantify the
 //! reproduction's per-reference analysis cost.
+//!
+//! Plain `std::time::Instant` harness (the build environment has no
+//! registry access for criterion): each case reports the best-of-5
+//! median throughput.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 use umi_cache::{CacheConfig, SetAssocCache};
 use umi_core::{MiniSimulator, ProfileStore};
 use umi_dbi::TraceId;
@@ -26,39 +31,45 @@ fn build_profile() -> Vec<(TraceId, umi_core::AddressProfile)> {
     store.drain()
 }
 
-fn bench_minisim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minisim");
+/// Times `iters` calls of `f`, five samples, and reports the median in
+/// elements/second over `elems_per_iter`.
+fn bench<F: FnMut()>(name: &str, iters: u64, elems_per_iter: u64, mut f: F) {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let secs = samples[samples.len() / 2];
+    let elems = (iters * elems_per_iter) as f64;
+    println!(
+        "{name:<32} {:>10.1} ns/elem {:>12.2} Melem/s",
+        1e9 * secs / elems,
+        elems / secs / 1e6
+    );
+}
+
+fn main() {
     let profiles = build_profile();
     let refs = 16 * 256;
-    group.throughput(Throughput::Elements(refs));
-    group.bench_function("analyze_16ops_x_256rows", |b| {
-        b.iter_batched(
-            || MiniSimulator::new(CacheConfig::pentium4_l2(), 2, Some(1_000_000)),
-            |mut sim| sim.analyze(&profiles, 0, |_| true),
-            BatchSize::SmallInput,
-        );
+    bench("minisim/analyze_16x256", 200, refs, || {
+        let mut sim = MiniSimulator::new(CacheConfig::pentium4_l2(), 2, Some(1_000_000));
+        black_box(sim.analyze(&profiles, 0, |_| true));
     });
-    group.finish();
-}
 
-fn bench_cache(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache");
-    group.throughput(Throughput::Elements(1));
     let mut lru = SetAssocCache::new(CacheConfig::pentium4_l2());
     let mut addr = 0u64;
-    group.bench_function("l2_access_streaming", |b| {
-        b.iter(|| {
-            addr = addr.wrapping_add(64) & 0xf_ffff;
-            lru.access(std::hint::black_box(0x100_0000 + addr))
-        });
+    bench("cache/l2_access_streaming", 2_000_000, 1, || {
+        addr = addr.wrapping_add(64) & 0xf_ffff;
+        black_box(lru.access(black_box(0x100_0000 + addr)));
     });
+
     let mut hot = SetAssocCache::new(CacheConfig::pentium4_l2());
     hot.access(0x5000);
-    group.bench_function("l2_access_hit", |b| {
-        b.iter(|| hot.access(std::hint::black_box(0x5000)));
+    bench("cache/l2_access_hit", 2_000_000, 1, || {
+        black_box(hot.access(black_box(0x5000)));
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_minisim, bench_cache);
-criterion_main!(benches);

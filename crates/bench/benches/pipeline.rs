@@ -1,10 +1,17 @@
 //! End-to-end throughput of the execution stack: bare interpreter, DBI
 //! dispatcher, and full UMI introspection — the reproduction's analogue
 //! of the paper's overhead story at microbenchmark granularity.
+//!
+//! Plain `std::time::Instant` harness (the build environment has no
+//! registry access for criterion): each case reports the best-of-5
+//! median simulated-instruction rate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+use umi_cache::FullSimulator;
 use umi_core::{UmiConfig, UmiRuntime};
 use umi_dbi::{CostModel, DbiRuntime};
+use umi_hw::{Machine, Platform, PrefetchSetting};
 use umi_ir::Program;
 use umi_vm::{NullSink, Vm};
 use umi_workloads::kernels::{stream, StreamParams};
@@ -24,33 +31,58 @@ fn insns(p: &Program) -> u64 {
     vm.run(&mut NullSink, u64::MAX).stats.insns
 }
 
-fn bench_pipeline(c: &mut Criterion) {
-    let program = workload();
-    let n = insns(&program);
-    let mut group = c.benchmark_group("pipeline");
-    group.throughput(Throughput::Elements(n));
-    group.sample_size(10);
-
-    group.bench_function("native_vm", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new(&program);
-            vm.run(&mut NullSink, u64::MAX)
-        });
-    });
-    group.bench_function("dbi", |b| {
-        b.iter(|| {
-            let mut rt = DbiRuntime::new(&program, CostModel::default());
-            rt.run(&mut NullSink, u64::MAX)
-        });
-    });
-    group.bench_function("umi_no_sampling", |b| {
-        b.iter(|| {
-            let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
-            umi.run(&mut NullSink, u64::MAX)
-        });
-    });
-    group.finish();
+/// Times `iters` calls of `f`, five samples, and reports the median rate
+/// in simulated instructions/second.
+fn bench<F: FnMut()>(name: &str, iters: u64, insns_per_iter: u64, mut f: F) {
+    let mut samples = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let secs = samples[samples.len() / 2];
+    println!(
+        "{name:<24} {:>12.2} Minsn/s",
+        (iters * insns_per_iter) as f64 / secs / 1e6
+    );
 }
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    let program = workload();
+    let n = insns(&program);
+    println!("pipeline: {n} simulated instructions per run");
+
+    bench("native_vm", 10, n, || {
+        let mut vm = Vm::new(&program);
+        black_box(vm.run(&mut NullSink, u64::MAX));
+    });
+    bench("native_machine_off", 10, n, || {
+        let mut m = Machine::new(Platform::pentium4(), PrefetchSetting::Off);
+        let mut vm = Vm::new(&program);
+        black_box(vm.run(&mut m, u64::MAX));
+        black_box(m.counters());
+    });
+    bench("native_machine_full", 10, n, || {
+        let mut m = Machine::new(Platform::pentium4(), PrefetchSetting::Full);
+        let mut vm = Vm::new(&program);
+        black_box(vm.run(&mut m, u64::MAX));
+        black_box(m.counters());
+    });
+    bench("cachegrind_fullsim", 10, n, || {
+        let mut cg = FullSimulator::pentium4();
+        let mut vm = Vm::new(&program);
+        black_box(vm.run(&mut cg, u64::MAX));
+        black_box(cg.l2_miss_ratio());
+    });
+    bench("dbi", 10, n, || {
+        let mut rt = DbiRuntime::new(&program, CostModel::default());
+        black_box(rt.run(&mut NullSink, u64::MAX));
+    });
+    bench("umi_no_sampling", 10, n, || {
+        let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
+        black_box(umi.run(&mut NullSink, u64::MAX));
+    });
+}

@@ -2,21 +2,25 @@
 //! DynamoRIO alone, UMI without sampling, and UMI with sampling, each
 //! normalized to native execution.
 
+use umi_bench::engine::{Cell, Harness};
 use umi_bench::{geomean, sampled_config, scale_from_env};
 use umi_core::UmiConfig;
 use umi_hw::{Platform, PrefetchSetting};
 use umi_prefetch::harness::{run_dbi, run_native, run_umi};
 use umi_workloads::all32;
 
+struct Row {
+    dbi: f64,
+    nosamp: f64,
+    sampled: f64,
+    residency: f64,
+    traces: u64,
+}
+
 fn main() {
     let scale = scale_from_env();
-    println!("Figure 2 — Runtime overhead on Pentium 4 (HW prefetch on)");
-    println!(
-        "{:<14} {:>8} {:>10} {:>12} {:>10} {:>10}",
-        "benchmark", "DBI", "UMI nosamp", "UMI sampled", "residency", "traces"
-    );
-    let (mut dbi_rel, mut nos_rel, mut smp_rel) = (Vec::new(), Vec::new(), Vec::new());
-    for spec in all32() {
+    let mut harness = Harness::new("fig2", scale);
+    let rows: Vec<Row> = harness.run(&all32(), |spec| {
         let program = spec.build(scale);
         let platform = Platform::pentium4();
         let setting = PrefetchSetting::Full;
@@ -27,21 +31,38 @@ fn main() {
             run_umi(&program, UmiConfig::no_sampling(), platform.clone(), setting);
         let (smp, smp_report) = run_umi(&program, sampled_config(scale), platform, setting);
 
-        let d = dbi.relative_to(&native);
-        let n = nos.relative_to(&native);
-        let s = smp.relative_to(&native);
+        Cell {
+            label: spec.name.to_string(),
+            insns: native.insns + dbi.insns + nos.insns + smp.insns,
+            value: Row {
+                dbi: dbi.relative_to(&native),
+                nosamp: nos.relative_to(&native),
+                sampled: smp.relative_to(&native),
+                residency: dbi_stats.trace_cache_residency(),
+                traces: smp_report.dbi_stats.traces_built,
+            },
+        }
+    });
+
+    println!("Figure 2 — Runtime overhead on Pentium 4 (HW prefetch on)");
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "benchmark", "DBI", "UMI nosamp", "UMI sampled", "residency", "traces"
+    );
+    let (mut dbi_rel, mut nos_rel, mut smp_rel) = (Vec::new(), Vec::new(), Vec::new());
+    for (spec, r) in all32().iter().zip(&rows) {
         println!(
             "{:<14} {:>8.3} {:>10.3} {:>12.3} {:>9.1}% {:>10}",
             spec.name,
-            d,
-            n,
-            s,
-            100.0 * dbi_stats.trace_cache_residency(),
-            smp_report.dbi_stats.traces_built,
+            r.dbi,
+            r.nosamp,
+            r.sampled,
+            100.0 * r.residency,
+            r.traces,
         );
-        dbi_rel.push(d);
-        nos_rel.push(n);
-        smp_rel.push(s);
+        dbi_rel.push(r.dbi);
+        nos_rel.push(r.nosamp);
+        smp_rel.push(r.sampled);
     }
     println!(
         "\ngeomean: DBI {:.3}  UMI-no-sampling {:.3}  UMI-sampled {:.3}",
@@ -51,4 +72,5 @@ fn main() {
     );
     println!("(paper: DBI < 1.13 average; UMI with sampling ~1.14, i.e. +1% over DBI;");
     println!(" sampling helps most where trace-cache residency is poor, e.g. gcc)");
+    harness.finish();
 }

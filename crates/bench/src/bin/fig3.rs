@@ -2,13 +2,22 @@
 //! disabled — UMI introspection alone vs introspection + software
 //! prefetching, normalized to native execution (lower is better).
 
-use umi_bench::study::prefetch_study;
+use umi_bench::engine::Harness;
+use umi_bench::study::prefetch_cells;
 use umi_bench::{geomean, sampled_config, scale_from_env};
 use umi_hw::Platform;
 
 fn main() {
     let scale = scale_from_env();
-    let rows = prefetch_study(scale, Platform::pentium4(), sampled_config(scale));
+    let mut harness = Harness::new("fig3", scale);
+    let (rows, stats) = prefetch_cells(
+        scale,
+        Platform::pentium4(),
+        sampled_config(scale),
+        false,
+        harness.jobs(),
+    );
+    harness.absorb(stats);
     println!("Figure 3 — Running time on Pentium 4, HW prefetch disabled");
     println!("{:<14} {:>10} {:>14} {:>8}", "benchmark", "UMI only", "UMI+SW prefetch", "planned");
     let (mut only, mut sw) = (Vec::new(), Vec::new());
@@ -29,4 +38,5 @@ fn main() {
         geomean(&sw)
     );
     println!("(paper: 11% average improvement; 64% best case, ft)");
+    harness.finish();
 }

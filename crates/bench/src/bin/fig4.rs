@@ -2,13 +2,17 @@
 //! prefetchers) — UMI introspection alone vs introspection + software
 //! prefetching, normalized to native execution.
 
-use umi_bench::study::prefetch_study;
+use umi_bench::engine::Harness;
+use umi_bench::study::prefetch_cells;
 use umi_bench::{geomean, sampled_config, scale_from_env};
 use umi_hw::Platform;
 
 fn main() {
     let scale = scale_from_env();
-    let rows = prefetch_study(scale, Platform::k7(), sampled_config(scale));
+    let mut harness = Harness::new("fig4", scale);
+    let (rows, stats) =
+        prefetch_cells(scale, Platform::k7(), sampled_config(scale), false, harness.jobs());
+    harness.absorb(stats);
     println!("Figure 4 — Running time on AMD K7");
     println!("{:<14} {:>10} {:>14}", "benchmark", "UMI only", "UMI+SW prefetch");
     let (mut only, mut sw) = (Vec::new(), Vec::new());
@@ -25,4 +29,5 @@ fn main() {
         geomean(&sw)
     );
     println!("(paper: 11% average improvement on both processors)");
+    harness.finish();
 }

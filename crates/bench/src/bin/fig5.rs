@@ -2,20 +2,31 @@
 //! enabled — software prefetching, hardware prefetching, and the
 //! combination, normalized to native execution with no prefetching.
 
-use umi_bench::study::prefetch_study;
+use umi_bench::engine::Harness;
+use umi_bench::study::prefetch_cells;
 use umi_bench::{geomean, sampled_config, scale_from_env};
 use umi_hw::Platform;
 
 fn main() {
     let scale = scale_from_env();
-    let rows = prefetch_study(scale, Platform::pentium4(), sampled_config(scale));
+    let mut harness = Harness::new("fig5", scale);
+    let (rows, stats) = prefetch_cells(
+        scale,
+        Platform::pentium4(),
+        sampled_config(scale),
+        true,
+        harness.jobs(),
+    );
+    harness.absorb(stats);
     println!("Figure 5 — Running time on Pentium 4, normalized to native (no prefetch)");
     println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "UMI+SW", "HW", "UMI+SW+HW");
     let (mut sw, mut hw, mut both) = (Vec::new(), Vec::new(), Vec::new());
     for r in &rows {
+        let native_hw = r.native_hw.expect("study ran with hw variants");
+        let umi_sw_hw = r.umi_sw_hw.expect("study ran with hw variants");
         let s = r.umi_sw_off.relative_to(&r.native_off);
-        let h = r.native_hw.relative_to(&r.native_off);
-        let b = r.umi_sw_hw.relative_to(&r.native_off);
+        let h = native_hw.relative_to(&r.native_off);
+        let b = umi_sw_hw.relative_to(&r.native_off);
         println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", r.spec.name, s, h, b);
         sw.push(s);
         hw.push(h);
@@ -29,4 +40,5 @@ fn main() {
     );
     println!("(paper: software prefetching is competitive with the P4 hardware");
     println!(" prefetcher; combining them does NOT yield cumulative time gains)");
+    harness.finish();
 }

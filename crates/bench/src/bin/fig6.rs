@@ -3,21 +3,32 @@
 //! Lower = fewer misses; the combination should be cumulative here even
 //! though (Figure 5) it is not cumulative in running time.
 
-use umi_bench::study::prefetch_study;
+use umi_bench::engine::Harness;
+use umi_bench::study::prefetch_cells;
 use umi_bench::{mean, sampled_config, scale_from_env};
 use umi_hw::Platform;
 
 fn main() {
     let scale = scale_from_env();
-    let rows = prefetch_study(scale, Platform::pentium4(), sampled_config(scale));
+    let mut harness = Harness::new("fig6", scale);
+    let (rows, stats) = prefetch_cells(
+        scale,
+        Platform::pentium4(),
+        sampled_config(scale),
+        true,
+        harness.jobs(),
+    );
+    harness.absorb(stats);
     println!("Figure 6 — L2 misses on Pentium 4, normalized to native (no prefetch)");
     println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "SW", "HW", "SW+HW");
     let (mut sw, mut hw, mut both) = (Vec::new(), Vec::new(), Vec::new());
     for r in &rows {
+        let native_hw = r.native_hw.expect("study ran with hw variants");
+        let umi_sw_hw = r.umi_sw_hw.expect("study ran with hw variants");
         let base = r.native_off.counters.l2_misses.max(1) as f64;
         let s = r.umi_sw_off.counters.l2_misses as f64 / base;
-        let h = r.native_hw.counters.l2_misses as f64 / base;
-        let b = r.umi_sw_hw.counters.l2_misses as f64 / base;
+        let h = native_hw.counters.l2_misses as f64 / base;
+        let b = umi_sw_hw.counters.l2_misses as f64 / base;
         println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", r.spec.name, s, h, b);
         sw.push(s);
         hw.push(h);
@@ -31,4 +42,5 @@ fn main() {
     );
     println!("(paper: SW 0.71, HW 0.69, SW+HW 0.62 — the combination removes");
     println!(" the most misses even though it does not run fastest)");
+    harness.finish();
 }

@@ -2,7 +2,8 @@
 //! Equivalent to running `fig3`..`fig6` individually, at half the cost —
 //! the per-figure binaries remain for selective regeneration.
 
-use umi_bench::study::{prefetch_study, PrefetchRow};
+use umi_bench::engine::Harness;
+use umi_bench::study::{prefetch_cells, PrefetchRow};
 use umi_bench::{geomean, mean, sampled_config, scale_from_env};
 use umi_hw::Platform;
 
@@ -22,8 +23,20 @@ fn fig34(title: &str, rows: &[PrefetchRow]) {
 
 fn main() {
     let scale = scale_from_env();
-    let p4 = prefetch_study(scale, Platform::pentium4(), sampled_config(scale));
-    let k7 = prefetch_study(scale, Platform::k7(), sampled_config(scale));
+    let mut harness = Harness::new("prefetch_figs", scale);
+    // The P4 pass needs the HW-prefetch variants (Figures 5/6); the K7
+    // pass feeds only Figure 4, so it skips them.
+    let (p4, p4_stats) = prefetch_cells(
+        scale,
+        Platform::pentium4(),
+        sampled_config(scale),
+        true,
+        harness.jobs(),
+    );
+    harness.absorb(p4_stats);
+    let (k7, k7_stats) =
+        prefetch_cells(scale, Platform::k7(), sampled_config(scale), false, harness.jobs());
+    harness.absorb(k7_stats);
 
     println!(
         "{} workloads with prefetching opportunities on P4, {} on K7 (paper: 11 of 32)\n",
@@ -38,9 +51,11 @@ fn main() {
     println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "UMI+SW", "HW", "UMI+SW+HW");
     let (mut sw, mut hw, mut both) = (Vec::new(), Vec::new(), Vec::new());
     for r in &p4 {
+        let native_hw = r.native_hw.expect("P4 study ran with hw variants");
+        let umi_sw_hw = r.umi_sw_hw.expect("P4 study ran with hw variants");
         let s = r.umi_sw_off.relative_to(&r.native_off);
-        let h = r.native_hw.relative_to(&r.native_off);
-        let b = r.umi_sw_hw.relative_to(&r.native_off);
+        let h = native_hw.relative_to(&r.native_off);
+        let b = umi_sw_hw.relative_to(&r.native_off);
         println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", r.spec.name, s, h, b);
         sw.push(s);
         hw.push(h);
@@ -52,10 +67,12 @@ fn main() {
     println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "SW", "HW", "SW+HW");
     let (mut msw, mut mhw, mut mboth) = (Vec::new(), Vec::new(), Vec::new());
     for r in &p4 {
+        let native_hw = r.native_hw.expect("P4 study ran with hw variants");
+        let umi_sw_hw = r.umi_sw_hw.expect("P4 study ran with hw variants");
         let base = r.native_off.counters.l2_misses.max(1) as f64;
         let s = r.umi_sw_off.counters.l2_misses as f64 / base;
-        let h = r.native_hw.counters.l2_misses as f64 / base;
-        let b = r.umi_sw_hw.counters.l2_misses as f64 / base;
+        let h = native_hw.counters.l2_misses as f64 / base;
+        let b = umi_sw_hw.counters.l2_misses as f64 / base;
         println!("{:<14} {:>10.3} {:>10.3} {:>10.3}", r.spec.name, s, h, b);
         msw.push(s);
         mhw.push(h);
@@ -67,4 +84,5 @@ fn main() {
         mean(&mhw),
         mean(&mboth)
     );
+    harness.finish();
 }

@@ -3,6 +3,9 @@
 //! 181.mcf (memory-intensive, stable loops) and 197.parser (dynamic
 //! control flow, short loops).
 
+use std::fmt::Write as _;
+
+use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
 use umi_cache::FullSimulator;
 use umi_core::{PredictionQuality, SamplingMode, UmiConfig, UmiRuntime};
@@ -10,44 +13,64 @@ use umi_ir::Program;
 use umi_vm::{NullSink, Vm};
 use umi_workloads::build;
 
-fn quality(program: &Program, config: UmiConfig, full: &FullSimulator) -> PredictionQuality {
+fn quality(program: &Program, config: UmiConfig, full: &FullSimulator) -> (PredictionQuality, u64) {
     let truth = full.delinquent_set(0.90);
     let mut umi = UmiRuntime::new(program, config);
     let report = umi.run(&mut NullSink, u64::MAX);
-    PredictionQuality::compute(&report.predicted, &truth, full.per_pc(), program.static_loads())
+    let q = PredictionQuality::compute(
+        &report.predicted,
+        &truth,
+        full.per_pc(),
+        program.static_loads(),
+    );
+    (q, report.vm_stats.insns)
 }
 
 fn main() {
     let scale = scale_from_env();
-    for name in ["181.mcf", "197.parser"] {
+    let mut harness = Harness::new("sensitivity", scale);
+    // One cell per benchmark: the cell owns its full-simulation ground
+    // truth, so both sweeps over it stay inside the cell.
+    let sections: Vec<String> = harness.run(&["181.mcf", "197.parser"], |name| {
         let program = build(name, scale).expect("known workload");
         let mut full = FullSimulator::pentium4();
-        Vm::new(&program).run(&mut full, u64::MAX);
+        let full_run = Vm::new(&program).run(&mut full, u64::MAX);
+        let mut insns = full_run.stats.insns;
+        let mut out = String::new();
 
-        println!("=== {name}: frequency threshold sweep (sampled mode) ===");
-        println!("{:>10} {:>8} {:>10}", "threshold", "recall", "false-pos");
+        writeln!(out, "=== {name}: frequency threshold sweep (sampled mode) ===").unwrap();
+        writeln!(out, "{:>10} {:>8} {:>10}", "threshold", "recall", "false-pos").unwrap();
         let mut t = 1u32;
         while t <= 1024 {
             let mut cfg = UmiConfig::sampled();
             cfg.sampling = SamplingMode::Periodic { period_insns: 500 };
             cfg.frequency_threshold = t;
-            let q = quality(&program, cfg, &full);
-            println!("{:>10} {:>7.1}% {:>9.1}%", t, 100.0 * q.recall, 100.0 * q.false_positive);
+            let (q, n) = quality(&program, cfg, &full);
+            insns += n;
+            writeln!(out, "{:>10} {:>7.1}% {:>9.1}%", t, 100.0 * q.recall, 100.0 * q.false_positive)
+                .unwrap();
             t *= 4;
         }
 
-        println!("\n=== {name}: address profile length sweep (no sampling) ===");
-        println!("{:>10} {:>8} {:>10}", "rows", "recall", "false-pos");
+        writeln!(out, "\n=== {name}: address profile length sweep (no sampling) ===").unwrap();
+        writeln!(out, "{:>10} {:>8} {:>10}", "rows", "recall", "false-pos").unwrap();
         for rows in [64usize, 256, 1024, 4096, 16384, 32768] {
             let mut cfg = UmiConfig::no_sampling();
             cfg.addr_profile_rows = rows;
             cfg.trace_profile_capacity = cfg.trace_profile_capacity.max(rows * 2);
-            let q = quality(&program, cfg, &full);
-            println!("{:>10} {:>7.1}% {:>9.1}%", rows, 100.0 * q.recall, 100.0 * q.false_positive);
+            let (q, n) = quality(&program, cfg, &full);
+            insns += n;
+            writeln!(out, "{:>10} {:>7.1}% {:>9.1}%", rows, 100.0 * q.recall, 100.0 * q.false_positive)
+                .unwrap();
         }
+        Cell { label: name.to_string(), insns, value: out }
+    });
+    for section in &sections {
+        print!("{section}");
         println!();
     }
     println!("(paper: mcf recall flat up to threshold 256, then drops; parser's");
     println!(" recall collapses as the threshold grows; longer address profiles");
     println!(" lower parser's recall but improve its false positives)");
+    harness.finish();
 }

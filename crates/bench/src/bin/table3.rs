@@ -1,23 +1,29 @@
 //! Table 3: profiling statistics per benchmark, without sample-based
 //! reinforcement — the empirical upper bound on instrumentation overhead.
 
+use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
-use umi_core::{UmiConfig, UmiRuntime};
+use umi_core::{UmiConfig, UmiReport, UmiRuntime};
 use umi_vm::NullSink;
 use umi_workloads::all32;
 
 fn main() {
     let scale = scale_from_env();
+    let mut harness = Harness::new("table3", scale);
+    let reports: Vec<UmiReport> = harness.run(&all32(), |spec| {
+        let program = spec.build(scale);
+        let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
+        let report = umi.run(&mut NullSink, u64::MAX);
+        Cell { label: spec.name.to_string(), insns: report.vm_stats.insns, value: report }
+    });
+
     println!("Table 3 — Profiling statistics (sampling off)");
     println!(
         "{:<14} {:>8} {:>8} {:>10} {:>10} {:>10} {:>12}",
         "benchmark", "loads", "stores", "profiled", "%profiled", "profiles", "invocations"
     );
     let mut pct = Vec::new();
-    for spec in all32() {
-        let program = spec.build(scale);
-        let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
-        let report = umi.run(&mut NullSink, u64::MAX);
+    for (spec, report) in all32().iter().zip(&reports) {
         pct.push(report.percent_profiled());
         println!(
             "{:<14} {:>8} {:>8} {:>10} {:>9.2}% {:>10} {:>12}",
@@ -34,4 +40,5 @@ fn main() {
         "\naverage % profiled: {:.2}%  (paper: 19.42%, i.e. ~80% of candidates filtered)",
         umi_bench::mean(&pct)
     );
+    harness.finish();
 }

@@ -2,73 +2,21 @@
 //! (UMI mini-simulations / Cachegrind-equivalent) and the hardware
 //! counters, on Pentium 4 (± HW prefetch) and AMD K7.
 
+use umi_bench::corr::{corr_cell, CorrRow};
+use umi_bench::engine::Harness;
 use umi_bench::scale_from_env;
-use umi_cache::{CacheConfig, FullSimulator};
-use umi_core::{pearson, UmiConfig, UmiRuntime};
-use umi_hw::{Platform, PrefetchSetting};
-use umi_prefetch::harness::run_native;
-use umi_vm::{NullSink, Vm};
+use umi_core::pearson;
 use umi_workloads::{all32, Suite};
-
-struct Row {
-    suite: Suite,
-    hw_p4_off: f64,
-    hw_p4_on: f64,
-    hw_k7: f64,
-    cachegrind: f64,
-    umi_p4: f64,
-    umi_k7: f64,
-}
 
 fn main() {
     let scale = scale_from_env();
-    let mut rows = Vec::new();
-    for spec in all32() {
-        let program = spec.build(scale);
-
-        let hw_p4_off =
-            run_native(&program, Platform::pentium4(), PrefetchSetting::Off).counters;
-        let hw_p4_on =
-            run_native(&program, Platform::pentium4(), PrefetchSetting::Full).counters;
-        let hw_k7 = run_native(&program, Platform::k7(), PrefetchSetting::Off).counters;
-
-        let mut cg = FullSimulator::pentium4();
-        Vm::new(&program).run(&mut cg, u64::MAX);
-
-        // Bursty (no-sampling) introspection: at our scaled-down run
-        // lengths the sampled duty cycle is too thin for the analyzer's
-        // reuse-based accounting; the bursty mode is the same mechanism at
-        // the duty the paper's minutes-long runs would deliver.
-        let umi_p4 = {
-            let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
-            umi.run(&mut NullSink, u64::MAX).umi_miss_ratio
-        };
-        let umi_k7 = {
-            let mut cfg = UmiConfig::no_sampling().sim_cache(CacheConfig::k7_l2());
-            cfg.sim_l1_filter = CacheConfig::k7_l1d();
-            let mut umi = UmiRuntime::new(&program, cfg);
-            umi.run(&mut NullSink, u64::MAX).umi_miss_ratio
-        };
-
+    let mut harness = Harness::new("table4", scale);
+    let rows: Vec<CorrRow> = harness.run(&all32(), |spec| corr_cell(spec, scale));
+    for r in &rows {
         println!(
             "{:<14} hwP4off {:>6.3} hwP4on {:>6.3} hwK7 {:>6.3} cg {:>6.3} umiP4 {:>6.3} umiK7 {:>6.3}",
-            spec.name,
-            hw_p4_off.l2_miss_ratio(),
-            hw_p4_on.l2_miss_ratio(),
-            hw_k7.l2_miss_ratio(),
-            cg.l2_miss_ratio(),
-            umi_p4,
-            umi_k7
+            r.spec.name, r.hw_p4_off, r.hw_p4_on, r.hw_k7, r.cachegrind, r.umi_p4, r.umi_k7
         );
-        rows.push(Row {
-            suite: spec.suite,
-            hw_p4_off: hw_p4_off.l2_miss_ratio(),
-            hw_p4_on: hw_p4_on.l2_miss_ratio(),
-            hw_k7: hw_k7.l2_miss_ratio(),
-            cachegrind: cg.l2_miss_ratio(),
-            umi_p4,
-            umi_k7,
-        });
     }
 
     let groups: [(&str, Option<Suite>); 4] = [
@@ -77,10 +25,10 @@ fn main() {
         ("Olden", Some(Suite::Olden)),
         ("All", None),
     ];
-    let corr = |sel: &dyn Fn(&Row) -> f64, hw: &dyn Fn(&Row) -> f64, g: Option<Suite>| {
+    let corr = |sel: &dyn Fn(&CorrRow) -> f64, hw: &dyn Fn(&CorrRow) -> f64, g: Option<Suite>| {
         let (xs, ys): (Vec<f64>, Vec<f64>) = rows
             .iter()
-            .filter(|r| g.is_none_or(|s| r.suite == s))
+            .filter(|r| g.is_none_or(|s| r.spec.suite == s))
             .map(|r| (sel(r), hw(r)))
             .unzip();
         pearson(&xs, &ys)
@@ -91,8 +39,8 @@ fn main() {
     for (label, sim, hw) in [
         (
             "Cachegrind vs P4, no HW prefetch",
-            (&|r: &Row| r.cachegrind) as &dyn Fn(&Row) -> f64,
-            (&|r: &Row| r.hw_p4_off) as &dyn Fn(&Row) -> f64,
+            (&|r: &CorrRow| r.cachegrind) as &dyn Fn(&CorrRow) -> f64,
+            (&|r: &CorrRow| r.hw_p4_off) as &dyn Fn(&CorrRow) -> f64,
         ),
         ("Cachegrind vs P4, HW prefetch", &|r| r.cachegrind, &|r| r.hw_p4_on),
         ("UMI vs P4, no HW prefetch", &|r| r.umi_p4, &|r| r.hw_p4_off),
@@ -107,4 +55,5 @@ fn main() {
     }
     println!("\n(paper: UMI-vs-P4-off 0.929/0.782/0.920/0.883; Cachegrind ~0.99;");
     println!(" prefetch-on correlations slightly lower; K7 0.828 overall)");
+    harness.finish();
 }

@@ -1,6 +1,7 @@
 //! Table 5: SPEC CPU2006 coefficients of correlation (Pentium 4 with
 //! hardware prefetching enabled).
 
+use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
 use umi_core::{pearson, UmiConfig, UmiRuntime};
 use umi_hw::{Platform, PrefetchSetting};
@@ -10,18 +11,24 @@ use umi_workloads::{spec2006, Suite};
 
 fn main() {
     let scale = scale_from_env();
-    let mut data: Vec<(Suite, f64, f64)> = Vec::new();
-    for spec in spec2006() {
+    let mut harness = Harness::new("table5", scale);
+    let data: Vec<(Suite, f64, f64)> = harness.run(&spec2006(), |spec| {
         let program = spec.build(scale);
-        let hw = run_native(&program, Platform::pentium4(), PrefetchSetting::Full)
-            .counters
-            .l2_miss_ratio();
-        let umi = {
+        let native = run_native(&program, Platform::pentium4(), PrefetchSetting::Full);
+        let hw = native.counters.l2_miss_ratio();
+        let (umi, umi_insns) = {
             let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
-            umi.run(&mut NullSink, u64::MAX).umi_miss_ratio
+            let r = umi.run(&mut NullSink, u64::MAX);
+            (r.umi_miss_ratio, r.vm_stats.insns)
         };
+        Cell {
+            label: spec.name.to_string(),
+            insns: native.insns + umi_insns,
+            value: (spec.suite, umi, hw),
+        }
+    });
+    for (spec, (_, umi, hw)) in spec2006().iter().zip(&data) {
         println!("{:<16} hw {:>7.4} umi {:>7.4}", spec.name, hw, umi);
-        data.push((spec.suite, umi, hw));
     }
     let corr = |suite: Option<Suite>| {
         let (xs, ys): (Vec<f64>, Vec<f64>) = data
@@ -40,4 +47,5 @@ fn main() {
         corr(None)
     );
     println!("\n(paper: 0.94 / 0.79 / 0.85)");
+    harness.finish();
 }

@@ -2,6 +2,7 @@
 //! target — `|P|`, `|C|`, miss coverages, recall and false positives,
 //! with the paper's averages split at a 1% L2 miss ratio.
 
+use umi_bench::engine::{Cell, Harness};
 use umi_bench::{mean, scale_from_env};
 use umi_cache::FullSimulator;
 use umi_core::{PredictionQuality, UmiConfig, UmiRuntime};
@@ -10,19 +11,12 @@ use umi_workloads::all32;
 
 fn main() {
     let scale = scale_from_env();
-    println!("Table 6 — Quality of delinquent load prediction (x = 90%)");
-    println!(
-        "{:<14} {:>8} {:>5} {:>8} {:>8} {:>5} {:>6} {:>8} {:>8} {:>8}",
-        "benchmark", "miss%", "|P|", "|P|/lds", "P cov", "|C|", "|P∩C|", "P∩C cov", "recall", "falsepos"
-    );
-
-    let mut high = Vec::new(); // miss ratio >= 1%
-    let mut low = Vec::new();
-    for spec in all32() {
+    let mut harness = Harness::new("table6", scale);
+    let rows: Vec<(f64, PredictionQuality)> = harness.run(&all32(), |spec| {
         let program = spec.build(scale);
 
         let mut full = FullSimulator::pentium4();
-        Vm::new(&program).run(&mut full, u64::MAX);
+        let full_run = Vm::new(&program).run(&mut full, u64::MAX);
         let truth = full.delinquent_set(0.90);
 
         let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
@@ -34,10 +28,26 @@ fn main() {
             full.per_pc(),
             program.static_loads(),
         );
+        Cell {
+            label: spec.name.to_string(),
+            insns: full_run.stats.insns + report.vm_stats.insns,
+            value: (full.l2_miss_ratio(), q),
+        }
+    });
+
+    println!("Table 6 — Quality of delinquent load prediction (x = 90%)");
+    println!(
+        "{:<14} {:>8} {:>5} {:>8} {:>8} {:>5} {:>6} {:>8} {:>8} {:>8}",
+        "benchmark", "miss%", "|P|", "|P|/lds", "P cov", "|C|", "|P∩C|", "P∩C cov", "recall", "falsepos"
+    );
+
+    let mut high = Vec::new(); // miss ratio >= 1%
+    let mut low = Vec::new();
+    for (spec, (miss_ratio, q)) in all32().iter().zip(&rows) {
         println!(
             "{:<14} {:>7.2}% {:>5} {:>7.2}% {:>7.1}% {:>5} {:>6} {:>7.1}% {:>7.1}% {:>7.1}%",
             spec.name,
-            100.0 * full.l2_miss_ratio(),
+            100.0 * miss_ratio,
             q.p_size,
             100.0 * q.p_to_total_loads,
             100.0 * q.p_miss_coverage,
@@ -47,10 +57,10 @@ fn main() {
             100.0 * q.recall,
             100.0 * q.false_positive,
         );
-        if full.l2_miss_ratio() >= 0.01 {
-            high.push(q);
+        if *miss_ratio >= 0.01 {
+            high.push(q.clone());
         } else {
-            low.push(q);
+            low.push(q.clone());
         }
     }
 
@@ -78,4 +88,5 @@ fn main() {
     );
     println!("\n(paper: recall 87.80% for miss ratio >= 1%, 60.60% overall;");
     println!(" false positives 56.76% overall; coverage 86.15% / 66.02%)");
+    harness.finish();
 }

@@ -19,11 +19,17 @@
 //! | `ablations` | design-choice ablations from DESIGN.md §5 |
 //!
 //! All binaries accept `UMI_SCALE=test` to run the shrunken workloads
-//! (CI-sized); the default is the full `bench` scale.
+//! (CI-sized); the default is the full `bench` scale. `UMI_JOBS=<n>`
+//! bounds the experiment engine's worker threads (default: all available
+//! cores); any job count prints byte-identical output — see
+//! [`engine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corr;
+pub mod engine;
+pub mod report;
 pub mod study;
 
 use umi_core::{SamplingMode, UmiConfig};

@@ -1,12 +1,14 @@
 //! Shared measurement procedure for the prefetching figures (3–6).
 
+use crate::engine::{run_cells, Cell, CellStat};
 use umi_core::UmiConfig;
 use umi_hw::{Platform, PrefetchSetting};
-use umi_prefetch::harness::{run_native, run_umi, run_umi_prefetch, RunOutcome};
+use umi_prefetch::harness::{run_native, run_umi, RunOutcome};
 use umi_prefetch::{inject_prefetches, PrefetchPlan};
 use umi_workloads::{all32, Scale, WorkloadSpec};
 
 /// Measurements for one prefetch-friendly workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PrefetchRow {
     /// The workload.
     pub spec: WorkloadSpec,
@@ -19,54 +21,109 @@ pub struct PrefetchRow {
     /// UMI + SW prefetch, HW prefetch off (Fig. 3/4, second bar; Fig. 5
     /// "SW" bar).
     pub umi_sw_off: RunOutcome,
-    /// Native with the platform's HW prefetchers (Fig. 5 "HW" bar); equals
-    /// `native_off` on platforms without HW prefetch (K7).
-    pub native_hw: RunOutcome,
-    /// UMI + SW prefetch with HW prefetch on (Fig. 5 "SW+HW" bar).
-    pub umi_sw_hw: RunOutcome,
+    /// Native with the platform's HW prefetchers (Fig. 5 "HW" bar).
+    /// `None` when the study ran with `hw_variants` off (Figs. 3/4 never
+    /// read it, and on the K7 it would equal `native_off` anyway).
+    pub native_hw: Option<RunOutcome>,
+    /// UMI + SW prefetch with HW prefetch on (Fig. 5 "SW+HW" bar);
+    /// `None` under the same conditions as `native_hw`.
+    pub umi_sw_hw: Option<RunOutcome>,
 }
 
-/// Runs the §8 study on every workload with a prefetching opportunity.
-///
-/// "Of the 32 benchmarks in our suite, we discovered prefetching
-/// opportunities for 11 of them" — here the set is whatever the planner
-/// finds a confident stride for.
-pub fn prefetch_study(scale: Scale, platform: Platform, config: UmiConfig) -> Vec<PrefetchRow> {
-    let mut rows = Vec::new();
-    for spec in all32() {
-        let program = spec.build(scale);
-        // Plan from an introspection pass with HW prefetch off (prefetch
-        // does not change what UMI sees anyway — it ignores prefetch side
-        // effects).
-        let (umi_sw_off, report, plan) = run_umi_prefetch(
-            &program,
-            config.clone(),
-            platform.clone(),
-            PrefetchSetting::Off,
-            32,
-        );
-        if plan.is_empty() {
-            continue;
-        }
-        let native_off = run_native(&program, platform.clone(), PrefetchSetting::Off);
-        let (umi_only_off, _) =
-            run_umi(&program, config.clone(), platform.clone(), PrefetchSetting::Off);
+/// One workload's §8 measurement; `None` when the planner found no
+/// prefetching opportunity (the workload is then not a study row, but
+/// its introspection pass still shows up in the cell stats).
+fn study_cell(
+    spec: &WorkloadSpec,
+    scale: Scale,
+    platform: &Platform,
+    config: &UmiConfig,
+    hw_variants: bool,
+) -> Cell<Option<PrefetchRow>> {
+    let program = spec.build(scale);
+    let mut insns = 0u64;
+    // Plan from an introspection pass with HW prefetch off (prefetch
+    // does not change what UMI sees anyway — it ignores prefetch side
+    // effects). Runs are deterministic, so this single pass doubles as
+    // the "UMI only" measurement, and workloads without a plan are
+    // rejected before any further run.
+    let (umi_only_off, report) =
+        run_umi(&program, config.clone(), platform.clone(), PrefetchSetting::Off);
+    insns += umi_only_off.insns;
+    let plan = PrefetchPlan::from_report(&report, 32);
+    if plan.is_empty() {
+        return Cell { label: spec.name.to_string(), insns, value: None };
+    }
+    let optimized = inject_prefetches(&program, &plan);
+    let (umi_sw_off, _) =
+        run_umi(&optimized, config.clone(), platform.clone(), PrefetchSetting::Off);
+    let native_off = run_native(&program, platform.clone(), PrefetchSetting::Off);
+    insns += umi_sw_off.insns + native_off.insns;
+    // The HW-prefetch-on variants only feed Figures 5 and 6; Figures 3
+    // and 4 skip two full runs per workload by not measuring them.
+    let (native_hw, umi_sw_hw) = if hw_variants {
         let native_hw = run_native(&program, platform.clone(), PrefetchSetting::Full);
-        let optimized = inject_prefetches(&program, &plan);
         let (umi_sw_hw, _) =
             run_umi(&optimized, config.clone(), platform.clone(), PrefetchSetting::Full);
-        let _ = &report;
-        rows.push(PrefetchRow {
-            spec,
+        insns += native_hw.insns + umi_sw_hw.insns;
+        (Some(native_hw), Some(umi_sw_hw))
+    } else {
+        (None, None)
+    };
+    Cell {
+        label: spec.name.to_string(),
+        insns,
+        value: Some(PrefetchRow {
+            spec: *spec,
             planned: plan.len(),
             native_off,
             umi_only_off,
             umi_sw_off,
             native_hw,
             umi_sw_hw,
-        });
+        }),
     }
-    rows
+}
+
+/// Runs the §8 study on every workload with a prefetching opportunity,
+/// fanned out over `jobs` engine workers (cells are per-workload and
+/// independent; rows come back in suite order at any job count).
+///
+/// "Of the 32 benchmarks in our suite, we discovered prefetching
+/// opportunities for 11 of them" — here the set is whatever the planner
+/// finds a confident stride for. With `hw_variants` off the rows carry
+/// only the prefetch-off measurements (all Figures 3/4 need).
+pub fn prefetch_cells(
+    scale: Scale,
+    platform: Platform,
+    config: UmiConfig,
+    hw_variants: bool,
+    jobs: usize,
+) -> (Vec<PrefetchRow>, Vec<CellStat>) {
+    prefetch_cells_for(&all32(), scale, platform, config, hw_variants, jobs)
+}
+
+/// [`prefetch_cells`] over an explicit workload list (tests study a
+/// subset; the harnesses always pass the full suite).
+pub fn prefetch_cells_for(
+    specs: &[WorkloadSpec],
+    scale: Scale,
+    platform: Platform,
+    config: UmiConfig,
+    hw_variants: bool,
+    jobs: usize,
+) -> (Vec<PrefetchRow>, Vec<CellStat>) {
+    let (rows, stats) = run_cells(jobs, specs, |spec| {
+        study_cell(spec, scale, &platform, &config, hw_variants)
+    });
+    (rows.into_iter().flatten().collect(), stats)
+}
+
+/// [`prefetch_cells`] with the full measurement set and the `UMI_JOBS`
+/// worker count — the drop-in equivalent of the old sequential study.
+pub fn prefetch_study(scale: Scale, platform: Platform, config: UmiConfig) -> Vec<PrefetchRow> {
+    let jobs = crate::engine::jobs_from_env();
+    prefetch_cells(scale, platform, config, true, jobs).0
 }
 
 /// Re-plans a single workload (used by ablations that vary the distance).

@@ -1,6 +1,5 @@
 //! Per-instruction (per-`Pc`) miss accounting.
 
-use std::collections::HashMap;
 use umi_ir::Pc;
 
 /// Access/miss counters for a single instruction, split by kind.
@@ -37,13 +36,35 @@ impl PcMissStats {
     }
 }
 
+/// Slot sentinel. `Pc(u64::MAX)` is reserved — no instruction lives at
+/// the top of the address space (code starts near `0x40_0000`).
+const NO_PC: u64 = u64::MAX;
+
+/// Fibonacci-hashing multiplier (2^64 / φ).
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// A map from instruction address to its miss statistics.
 ///
 /// This is the structure both the full simulator and UMI's mini-simulator
-/// produce; delinquent-load analysis (§7) consumes it.
-#[derive(Clone, Debug, Default)]
+/// produce; delinquent-load analysis (§7) consumes it. The simulators
+/// update it once per simulated reference, so the map is a hand-rolled
+/// open-addressing table (multiplicative hashing, linear probing) rather
+/// than a SipHash `HashMap`. A side effect worth having: iteration order
+/// is a pure function of the insertion sequence, where the standard map's
+/// per-process random seed made it differ run to run.
+#[derive(Clone, Debug)]
 pub struct PerPcStats {
-    map: HashMap<Pc, PcMissStats>,
+    /// `keys[i]` is an instruction address (or [`NO_PC`]); `vals[i]` its
+    /// counters. Capacity is a power of two; load factor stays below 3/4.
+    keys: Vec<u64>,
+    vals: Vec<PcMissStats>,
+    len: usize,
+}
+
+impl Default for PerPcStats {
+    fn default() -> PerPcStats {
+        PerPcStats { keys: Vec::new(), vals: Vec::new(), len: 0 }
+    }
 }
 
 impl PerPcStats {
@@ -52,59 +73,130 @@ impl PerPcStats {
         PerPcStats::default()
     }
 
+    #[inline]
+    fn hash_slot(pc: u64, mask: usize) -> usize {
+        (pc.wrapping_mul(HASH_MUL) >> 32) as usize & mask
+    }
+
+    /// The counters for `pc`, inserting zeroed counters on first sight.
+    #[inline]
+    fn entry(&mut self, pc: Pc) -> &mut PcMissStats {
+        debug_assert_ne!(pc.0, NO_PC, "Pc(u64::MAX) is reserved");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash_slot(pc.0, mask);
+        loop {
+            let k = self.keys[i];
+            if k == pc.0 {
+                return &mut self.vals[i];
+            }
+            if k == NO_PC {
+                self.keys[i] = pc.0;
+                self.len += 1;
+                return &mut self.vals[i];
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![NO_PC; cap]);
+        let old_vals =
+            std::mem::replace(&mut self.vals, vec![PcMissStats::default(); cap]);
+        let mask = cap - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == NO_PC {
+                continue;
+            }
+            let mut i = Self::hash_slot(k, mask);
+            while self.keys[i] != NO_PC {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+        }
+    }
+
     /// Records one load by `pc`.
     pub fn record_load(&mut self, pc: Pc, missed: bool) {
-        let e = self.map.entry(pc).or_default();
+        let e = self.entry(pc);
         e.load_accesses += 1;
         e.load_misses += missed as u64;
     }
 
     /// Records one store by `pc`.
     pub fn record_store(&mut self, pc: Pc, missed: bool) {
-        let e = self.map.entry(pc).or_default();
+        let e = self.entry(pc);
         e.store_accesses += 1;
         e.store_misses += missed as u64;
     }
 
     /// Statistics for one instruction (zeros if never seen).
     pub fn get(&self, pc: Pc) -> PcMissStats {
-        self.map.get(&pc).copied().unwrap_or_default()
+        if self.keys.is_empty() {
+            return PcMissStats::default();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash_slot(pc.0, mask);
+        loop {
+            let k = self.keys[i];
+            if k == pc.0 {
+                return self.vals[i];
+            }
+            if k == NO_PC {
+                return PcMissStats::default();
+            }
+            i = (i + 1) & mask;
+        }
     }
 
     /// Iterates over `(pc, stats)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Pc, &PcMissStats)> + '_ {
-        self.map.iter().map(|(pc, s)| (*pc, s))
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|(k, _)| **k != NO_PC)
+            .map(|(k, v)| (Pc(*k), v))
     }
 
     /// Number of distinct instructions observed.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether no instruction has been observed.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Sum of load misses over all instructions.
     pub fn total_load_misses(&self) -> u64 {
-        self.map.values().map(|s| s.load_misses).sum()
+        self.iter().map(|(_, s)| s.load_misses).sum()
     }
 
     /// Sum of load accesses over all instructions.
     pub fn total_load_accesses(&self) -> u64 {
-        self.map.values().map(|s| s.load_accesses).sum()
+        self.iter().map(|(_, s)| s.load_accesses).sum()
     }
 
     /// Clears all statistics.
     pub fn clear(&mut self) {
-        self.map.clear();
+        self.keys.fill(NO_PC);
+        self.vals.fill(PcMissStats::default());
+        self.len = 0;
     }
 }
 
 impl FromIterator<(Pc, PcMissStats)> for PerPcStats {
     fn from_iter<T: IntoIterator<Item = (Pc, PcMissStats)>>(iter: T) -> PerPcStats {
-        PerPcStats { map: iter.into_iter().collect() }
+        let mut s = PerPcStats::new();
+        for (pc, stats) in iter {
+            *s.entry(pc) = stats; // last write wins, as with HashMap insert
+        }
+        s
     }
 }
 
@@ -140,6 +232,7 @@ mod tests {
         assert_eq!(s.len(), 2);
         s.clear();
         assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
     }
 
     #[test]
@@ -147,5 +240,36 @@ mod tests {
         let s = PerPcStats::new();
         assert_eq!(s.get(Pc(0xdead)), PcMissStats::default());
         assert_eq!(s.get(Pc(0xdead)).load_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn survives_growth_and_collisions() {
+        // Enough distinct pcs to force several rehashes; 4-byte spacing
+        // matches real instruction layout.
+        let mut s = PerPcStats::new();
+        for round in 0..3u64 {
+            for i in 0..300u64 {
+                s.record_load(Pc(0x40_0000 + 4 * i), (i + round) % 2 == 0);
+            }
+        }
+        assert_eq!(s.len(), 300);
+        for i in 0..300u64 {
+            let st = s.get(Pc(0x40_0000 + 4 * i));
+            assert_eq!(st.load_accesses, 3, "pc {i} lost counts");
+        }
+        let total: u64 = s.iter().map(|(_, v)| v.load_accesses).sum();
+        assert_eq!(total, 900);
+    }
+
+    #[test]
+    fn from_iter_last_write_wins() {
+        let s: PerPcStats = [
+            (Pc(1), PcMissStats { load_accesses: 1, ..Default::default() }),
+            (Pc(1), PcMissStats { load_accesses: 9, ..Default::default() }),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(Pc(1)).load_accesses, 9);
     }
 }

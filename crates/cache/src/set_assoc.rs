@@ -38,6 +38,19 @@ pub struct SetAssocCache {
     stats: CacheStats,
     /// xorshift state for [`ReplacementPolicy::Random`].
     rng: u64,
+    /// `log2(line_size)`, precomputed: the access path runs once per
+    /// simulated reference and the geometry divisions dominated it.
+    line_shift: u32,
+    /// `sets - 1` (sets is a power of two).
+    set_mask: usize,
+    /// `log2(sets)`.
+    set_bits: u32,
+    /// Line address of the most recently hit/filled line, for the MRU
+    /// fast path (sequential references within one line dominate demand
+    /// traffic). `u64::MAX` = no cached slot.
+    last_block: u64,
+    /// Index into `lines` of that line.
+    last_slot: usize,
 }
 
 impl SetAssocCache {
@@ -49,6 +62,11 @@ impl SetAssocCache {
             clock: 0,
             stats: CacheStats::default(),
             rng: 0x9e37_79b9_7f4a_7c15,
+            line_shift: config.line_size.trailing_zeros(),
+            set_mask: config.sets - 1,
+            set_bits: config.sets.trailing_zeros(),
+            last_block: u64::MAX,
+            last_slot: 0,
         }
     }
 
@@ -68,7 +86,7 @@ impl SetAssocCache {
     }
 
     fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
-        let s = self.config.set_index(addr);
+        let s = ((addr >> self.line_shift) as usize) & self.set_mask;
         s * self.config.ways..(s + 1) * self.config.ways
     }
 
@@ -86,34 +104,62 @@ impl SetAssocCache {
 
     fn access_rw(&mut self, addr: u64, write: bool) -> AccessOutcome {
         self.clock += 1;
-        let tag = self.config.tag(addr);
         let clock = self.clock;
-        let range = self.set_range(addr);
-        let policy = self.config.policy;
-        let set = &mut self.lines[range];
-
-        self.stats.accesses += 1;
-        for line in set.iter_mut() {
+        let block = addr >> self.line_shift;
+        let tag = block >> self.set_bits;
+        // MRU fast path: a repeat reference to the line hit or filled last
+        // time skips the set scan. The tag/valid re-check makes the cached
+        // slot self-invalidating (eviction or flush changes either), so
+        // outcomes and replacement state are identical to the full scan.
+        if block == self.last_block {
+            let line = &mut self.lines[self.last_slot];
             if line.valid && line.tag == tag {
-                if policy == ReplacementPolicy::Lru {
-                    line.time = clock; // LRU refresh; FIFO keeps insert time
+                self.stats.accesses += 1;
+                if self.config.policy == ReplacementPolicy::Lru {
+                    line.time = clock;
                 }
                 line.dirty |= write;
                 return AccessOutcome { hit: true, evicted: None };
             }
         }
+        let ways = self.config.ways;
+        let base = (block as usize & self.set_mask) * ways;
+        let policy = self.config.policy;
+        let set = &mut self.lines[base..base + ways];
+
+        self.stats.accesses += 1;
+        // Single pass: look for the tag while tracking the would-be victim
+        // (first invalid way, else the first oldest-time way — the same
+        // choice the former two-pass position/min_by_key scan made).
+        let mut invalid: Option<usize> = None;
+        let mut oldest = 0usize;
+        let mut oldest_time = u64::MAX;
+        for (i, line) in set.iter_mut().enumerate() {
+            if line.valid {
+                if line.tag == tag {
+                    if policy == ReplacementPolicy::Lru {
+                        line.time = clock; // LRU refresh; FIFO keeps insert time
+                    }
+                    line.dirty |= write;
+                    self.last_block = block;
+                    self.last_slot = base + i;
+                    return AccessOutcome { hit: true, evicted: None };
+                }
+                if line.time < oldest_time {
+                    oldest_time = line.time;
+                    oldest = i;
+                }
+            } else if invalid.is_none() {
+                invalid = Some(i);
+            }
+        }
         self.stats.misses += 1;
 
         // Miss: prefer an invalid line, else the policy's victim.
-        let victim = match set.iter().position(|l| !l.valid) {
+        let victim = match invalid {
             Some(i) => i,
             None => match policy {
-                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => set
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.time)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set"),
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest,
                 ReplacementPolicy::Random => {
                     // xorshift64*
                     self.rng ^= self.rng << 13;
@@ -125,6 +171,8 @@ impl SetAssocCache {
         };
         let old = set[victim];
         set[victim] = Line { tag, valid: true, dirty: write, time: clock };
+        self.last_block = block;
+        self.last_slot = base + victim;
         if old.valid && old.dirty {
             self.stats.writebacks += 1;
         }
@@ -144,7 +192,7 @@ impl SetAssocCache {
     /// Whether the line containing `addr` is present, without touching
     /// replacement state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
-        let tag = self.config.tag(addr);
+        let tag = addr >> self.line_shift >> self.set_bits;
         self.lines[self.set_range(addr)].iter().any(|l| l.valid && l.tag == tag)
     }
 
@@ -159,8 +207,8 @@ impl SetAssocCache {
     }
 
     fn reconstruct_addr(&self, probe_addr: u64, tag: u64) -> u64 {
-        let set = self.config.set_index(probe_addr) as u64;
-        (tag * self.config.sets as u64 + set) * self.config.line_size
+        let set = (probe_addr >> self.line_shift) & self.set_mask as u64;
+        ((tag << self.set_bits) | set) << self.line_shift
     }
 }
 

@@ -1,8 +1,8 @@
 //! The instrumentor: operation filtering and profile-column assignment
 //! (paper §4).
 
-use std::collections::HashMap;
 use umi_dbi::{Trace, TraceId};
+use umi_ir::fastmap::U64Map;
 use umi_ir::{Pc, Program};
 
 /// The instrumentation plan for one trace: which instructions are profiled
@@ -13,15 +13,17 @@ pub struct TraceInstrumentation {
     pub trace: TraceId,
     /// Profiled instructions, in trace order; index = profile column.
     pub ops: Vec<Pc>,
-    op_of: HashMap<Pc, u16>,
+    /// Column lookup, queried once per demand access of an active trace.
+    op_of: U64Map<u16>,
     /// Memory-accessing instructions in the trace before filtering.
     pub candidates: usize,
 }
 
 impl TraceInstrumentation {
     /// The profile column of `pc`, if it is instrumented.
+    #[inline]
     pub fn op_of(&self, pc: Pc) -> Option<u16> {
-        self.op_of.get(&pc).copied()
+        self.op_of.get(pc.0)
     }
 
     /// Number of instrumented operations.
@@ -66,7 +68,7 @@ impl Instrumentor {
     /// Produces the instrumentation plan for `trace`.
     pub fn instrument(&self, program: &Program, trace: &Trace) -> TraceInstrumentation {
         let mut ops = Vec::new();
-        let mut op_of = HashMap::new();
+        let mut op_of = U64Map::new();
         let mut candidates = 0;
         'blocks: for &bid in &trace.blocks {
             let block = program.block(bid);
@@ -81,8 +83,8 @@ impl Instrumentor {
                 if ops.len() >= self.max_ops {
                     break 'blocks; // address profile is 256 operations wide
                 }
-                if !op_of.contains_key(&pc) {
-                    op_of.insert(pc, ops.len() as u16);
+                if !op_of.contains(pc.0) {
+                    op_of.insert(pc.0, ops.len() as u16);
                     ops.push(pc);
                 }
             }

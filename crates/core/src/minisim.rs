@@ -75,7 +75,8 @@ pub struct MiniSimulator {
     /// with only a small fraction of references profiled, first touches
     /// are overwhelmingly sampling artifacts, "the high number of
     /// compulsory misses ... that would otherwise arise" (§5).
-    seen_lines: std::collections::HashSet<u64>,
+    /// Open-addressing set: this insert runs once per simulated reference.
+    seen_lines: umi_ir::fastmap::U64Set,
     exclude_compulsory: bool,
     warmup_rows: usize,
     flush_after: Option<u64>,
@@ -106,7 +107,7 @@ impl MiniSimulator {
         MiniSimulator {
             cache: SetAssocCache::new(cache),
             l1_filter: SetAssocCache::new(l1_filter),
-            seen_lines: std::collections::HashSet::new(),
+            seen_lines: umi_ir::fastmap::U64Set::new(),
             exclude_compulsory: true,
             warmup_rows,
             flush_after,
@@ -182,7 +183,7 @@ impl MiniSimulator {
         for (tid, profile) in profiles {
             // Invocation-local per-op accounting, indexed by column.
             let mut acc = vec![(0u64, 0u64); profile.ops.len()];
-            for (row_idx, row) in profile.rows().iter().enumerate() {
+            for (row_idx, row) in profile.rows().enumerate() {
                 let counting = row_idx >= self.warmup_rows;
                 for r in row {
                     result.refs_simulated += 1;

@@ -7,7 +7,6 @@
 //! allocated in a *trace profile* to point to a new row in the address
 //! profile."
 
-use std::collections::HashMap;
 use umi_dbi::TraceId;
 use umi_ir::Pc;
 
@@ -37,66 +36,86 @@ pub struct ProfiledRef {
 
 /// The address profile of one instrumented trace: rows are trace
 /// executions, columns are instrumented operations.
+///
+/// Rows are stored flattened — one shared record buffer plus per-row start
+/// offsets — so beginning a row (every entry of an instrumented trace) is
+/// a push, not a heap allocation.
 #[derive(Clone, Debug, Default)]
 pub struct AddressProfile {
     /// Column owners: `ops[i]` is the instruction recorded in column `i`.
     pub ops: Vec<Pc>,
-    rows: Vec<Vec<ProfiledRef>>,
+    /// All recorded references, rows back to back.
+    refs: Vec<ProfiledRef>,
+    /// `row_starts[i]` is the offset of row `i` in `refs`.
+    row_starts: Vec<u32>,
     max_rows: usize,
 }
 
 impl AddressProfile {
     /// Creates an empty profile for the given columns.
     pub fn new(ops: Vec<Pc>, max_rows: usize) -> AddressProfile {
-        AddressProfile { ops, rows: Vec::new(), max_rows }
+        AddressProfile { ops, refs: Vec::new(), row_starts: Vec::new(), max_rows }
     }
 
     /// Number of recorded rows (trace executions).
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.row_starts.len()
     }
 
     /// Whether no row has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.row_starts.is_empty()
     }
 
     /// Whether the profile is out of rows.
     pub fn is_full(&self) -> bool {
-        self.rows.len() >= self.max_rows
+        self.row_starts.len() >= self.max_rows
     }
 
     /// The rows, oldest first.
-    pub fn rows(&self) -> &[Vec<ProfiledRef>] {
-        &self.rows
+    pub fn rows(&self) -> impl Iterator<Item = &[ProfiledRef]> + '_ {
+        (0..self.row_starts.len()).map(move |i| {
+            let start = self.row_starts[i] as usize;
+            let end = self
+                .row_starts
+                .get(i + 1)
+                .map_or(self.refs.len(), |&e| e as usize);
+            &self.refs[start..end]
+        })
     }
 
     /// The address sequence recorded for column `op` (one entry per row
     /// that executed the operation) — the per-instruction view used for
     /// stride discovery.
     pub fn column(&self, op: u16) -> Vec<u64> {
-        self.rows
-            .iter()
-            .flat_map(|row| row.iter().filter(|r| r.op == op).map(|r| r.addr))
-            .collect()
+        self.refs.iter().filter(|r| r.op == op).map(|r| r.addr).collect()
     }
 
     fn begin_row(&mut self) {
         debug_assert!(!self.is_full());
-        self.rows.push(Vec::new());
+        self.row_starts.push(self.refs.len() as u32);
     }
 
     fn record(&mut self, op: u16, addr: u64, is_store: bool) {
-        if let Some(row) = self.rows.last_mut() {
-            row.push(ProfiledRef { op, addr, is_store });
+        if !self.row_starts.is_empty() {
+            self.refs.push(ProfiledRef { op, addr, is_store });
         }
     }
 }
 
 /// All live profiles plus the global trace-profile accounting.
+///
+/// Trace ids are indices into the DBI's trace cache, so they are dense
+/// from zero: profiles live in a flat `Vec` indexed by id rather than a
+/// hash map. The runtime consults the store on every trace entry and
+/// every instrumented reference, and the direct index is measurably
+/// cheaper than hashing; it also makes [`drain`](Self::drain)'s
+/// sorted-by-id contract fall out of plain iteration.
 #[derive(Clone, Debug)]
 pub struct ProfileStore {
-    profiles: HashMap<TraceId, AddressProfile>,
+    /// `profiles[tid]` is the trace's live profile, `None` while the
+    /// trace is unregistered.
+    profiles: Vec<Option<AddressProfile>>,
     /// Rows allocated since the last drain — the trace-profile usage.
     total_rows: usize,
     trace_profile_capacity: usize,
@@ -107,27 +126,41 @@ impl ProfileStore {
     /// Creates an empty store with the given capacities.
     pub fn new(trace_profile_capacity: usize, max_rows: usize) -> ProfileStore {
         ProfileStore {
-            profiles: HashMap::new(),
+            profiles: Vec::new(),
             total_rows: 0,
             trace_profile_capacity,
             max_rows,
         }
     }
 
+    #[inline]
+    fn slot(&self, trace: TraceId) -> Option<&AddressProfile> {
+        self.profiles.get(trace.0 as usize).and_then(Option::as_ref)
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, trace: TraceId) -> Option<&mut AddressProfile> {
+        self.profiles.get_mut(trace.0 as usize).and_then(Option::as_mut)
+    }
+
     /// Registers (or re-registers) a trace for profiling with the given
     /// column owners.
     pub fn register(&mut self, trace: TraceId, ops: Vec<Pc>) {
-        self.profiles.insert(trace, AddressProfile::new(ops, self.max_rows));
+        let i = trace.0 as usize;
+        if i >= self.profiles.len() {
+            self.profiles.resize(i + 1, None);
+        }
+        self.profiles[i] = Some(AddressProfile::new(ops, self.max_rows));
     }
 
     /// Whether the trace currently has a profile.
     pub fn is_registered(&self, trace: TraceId) -> bool {
-        self.profiles.contains_key(&trace)
+        self.slot(trace).is_some()
     }
 
     /// Removes a trace's profile (profiling switched off), returning it.
     pub fn unregister(&mut self, trace: TraceId) -> Option<AddressProfile> {
-        self.profiles.remove(&trace)
+        self.profiles.get_mut(trace.0 as usize).and_then(Option::take)
     }
 
     /// Rows allocated since the last drain.
@@ -141,7 +174,7 @@ impl ProfileStore {
         if self.total_rows >= self.trace_profile_capacity {
             return Some(TriggerReason::TraceProfileFull);
         }
-        match self.profiles.get(&trace) {
+        match self.slot(trace) {
             Some(p) if p.is_full() => Some(TriggerReason::AddressProfileFull),
             _ => None,
         }
@@ -156,35 +189,38 @@ impl ProfileStore {
     /// pending (the runtime must drain first).
     pub fn begin_row(&mut self, trace: TraceId) {
         assert!(self.trigger(trace).is_none(), "begin_row while analyzer trigger pending");
-        let p = self.profiles.get_mut(&trace).expect("trace not registered");
+        let p = self.slot_mut(trace).expect("trace not registered");
         p.begin_row();
         self.total_rows += 1;
     }
 
     /// Records one reference into the current row of `trace`.
+    #[inline]
     pub fn record(&mut self, trace: TraceId, op: u16, addr: u64, is_store: bool) {
-        if let Some(p) = self.profiles.get_mut(&trace) {
+        if let Some(p) = self.slot_mut(trace) {
             p.record(op, addr, is_store);
         }
     }
 
     /// Whether a [`drain`](Self::drain) would return any profile.
     pub fn drain_would_yield(&self) -> bool {
-        self.profiles.values().any(|p| !p.is_empty())
+        self.profiles.iter().flatten().any(|p| !p.is_empty())
     }
 
     /// Takes every non-empty profile for analysis, leaving fresh empty
     /// profiles in place (same columns), and resets the trace-profile
-    /// usage. Returns `(trace, profile)` pairs sorted by trace id.
+    /// usage. Returns `(trace, profile)` pairs sorted by trace id (the
+    /// natural order of the id-indexed store).
     pub fn drain(&mut self) -> Vec<(TraceId, AddressProfile)> {
         let mut out = Vec::new();
-        for (tid, p) in self.profiles.iter_mut() {
-            if !p.is_empty() {
-                let fresh = AddressProfile::new(p.ops.clone(), self.max_rows);
-                out.push((*tid, std::mem::replace(p, fresh)));
+        for (i, slot) in self.profiles.iter_mut().enumerate() {
+            if let Some(p) = slot {
+                if !p.is_empty() {
+                    let fresh = AddressProfile::new(p.ops.clone(), self.max_rows);
+                    out.push((TraceId(i as u32), std::mem::replace(p, fresh)));
+                }
             }
         }
-        out.sort_by_key(|(tid, _)| *tid);
         self.total_rows = 0;
         out
     }

@@ -11,7 +11,7 @@ use crate::selector::RegionSelector;
 use crate::stride::{detect_stride, StrideInfo};
 use std::collections::{HashMap, HashSet};
 use umi_dbi::{CostModel, DbiRuntime, TraceId};
-use umi_ir::{MemAccess, Pc, Program};
+use umi_ir::{MemAccess, Pc, Program, CODE_BASE};
 use umi_vm::AccessSink;
 
 /// A running UMI session over one program.
@@ -32,16 +32,23 @@ pub struct UmiRuntime<'p> {
     store: ProfileStore,
     minisim: MiniSimulator,
     tracker: DelinquencyTracker,
-    /// Instrumentation plans, kept across activation episodes.
-    plans: HashMap<TraceId, TraceInstrumentation>,
+    /// Instrumentation plans, kept across activation episodes. Trace ids
+    /// are dense cache indices, so all per-trace state here lives in flat
+    /// vectors consulted on every dispatcher step.
+    plans: Vec<Option<TraceInstrumentation>>,
     /// Traces currently profiling (instrumented fragment `T` installed).
-    active: HashSet<TraceId>,
+    active: Vec<bool>,
     /// Traces whose plan has no profitable operations.
-    barren: HashSet<TraceId>,
+    barren: Vec<bool>,
     /// Executions remaining before a de-instrumented trace is
-    /// re-instrumented (bursty profiling, `SamplingMode::Off` only).
-    cooldown: HashMap<TraceId, u64>,
-    is_load_map: HashMap<Pc, bool>,
+    /// re-instrumented (bursty profiling, `SamplingMode::Off` only);
+    /// zero = not cooling down.
+    cooldown: Vec<u64>,
+    /// `is_load_table[(pc - CODE_BASE) / 4]`: 0 = not a memory
+    /// instruction, 1 = store, 2 = load. Instruction addresses are dense
+    /// 4-byte-spaced from `CODE_BASE`, and the analyzer queries this once
+    /// per profiled operation.
+    is_load_table: Vec<u8>,
     strides: HashMap<Pc, StrideInfo>,
     profiles_collected: u64,
     umi_overhead: u64,
@@ -75,11 +82,15 @@ impl<'p> UmiRuntime<'p> {
             panic!("invalid UMI configuration: {e}");
         }
         let program = dbi.program();
-        let mut is_load_map = HashMap::new();
+        let mut is_load_table = Vec::new();
         for block in &program.blocks {
             for (pc, insn) in block.iter_with_pc() {
                 if insn.accesses_memory() {
-                    is_load_map.insert(pc, insn.is_load());
+                    let idx = ((pc.0 - CODE_BASE) >> 2) as usize;
+                    if is_load_table.len() <= idx {
+                        is_load_table.resize(idx + 1, 0u8);
+                    }
+                    is_load_table[idx] = if insn.is_load() { 2 } else { 1 };
                 }
             }
         }
@@ -107,11 +118,11 @@ impl<'p> UmiRuntime<'p> {
                 config.delinquency_floor,
                 config.adaptive_threshold,
             ),
-            plans: HashMap::new(),
-            active: HashSet::new(),
-            barren: HashSet::new(),
-            cooldown: HashMap::new(),
-            is_load_map,
+            plans: Vec::new(),
+            active: Vec::new(),
+            barren: Vec::new(),
+            cooldown: Vec::new(),
+            is_load_table,
             strides: HashMap::new(),
             profiles_collected: 0,
             umi_overhead: 0,
@@ -170,18 +181,19 @@ impl<'p> UmiRuntime<'p> {
             let info = self.dbi.step(sink);
 
             if let Some(tid) = info.trace {
-                if info.entered_trace && !self.active.contains(&tid) {
+                if info.entered_trace && !flag(&self.active, tid) {
                     // Bursty profiling: count down toward re-instrumentation.
-                    if let Some(gap) = self.cooldown.get_mut(&tid) {
-                        *gap = gap.saturating_sub(1);
-                        if *gap == 0 {
-                            self.cooldown.remove(&tid);
-                            reinstrument = Some(tid);
+                    if let Some(gap) = self.cooldown.get_mut(tid.index()) {
+                        if *gap > 0 {
+                            *gap -= 1;
+                            if *gap == 0 {
+                                reinstrument = Some(tid);
+                            }
                         }
                     }
                 }
-                if self.active.contains(&tid) {
-                    let plan = &self.plans[&tid];
+                if flag(&self.active, tid) {
+                    let plan = self.plans[tid.index()].as_ref().expect("active trace has plan");
                     if info.entered_trace {
                         self.umi_overhead += self.config.prolog_cost;
                         if self.store.trigger(tid).is_some() {
@@ -213,9 +225,9 @@ impl<'p> UmiRuntime<'p> {
 
         if let Some((tid, accesses)) = deferred_row {
             self.run_analyzer(Some(tid));
-            if self.active.contains(&tid) {
+            if flag(&self.active, tid) {
                 self.store.begin_row(tid);
-                let plan = &self.plans[&tid];
+                let plan = self.plans[tid.index()].as_ref().expect("active trace has plan");
                 for a in accesses.iter().filter(|a| a.is_demand()) {
                     if let Some(op) = plan.op_of(a.pc) {
                         self.store.record(tid, op, a.addr, a.kind == umi_ir::AccessKind::Store);
@@ -250,22 +262,25 @@ impl<'p> UmiRuntime<'p> {
     }
 
     fn instrument_trace(&mut self, tid: TraceId) {
-        if self.active.contains(&tid) || self.barren.contains(&tid) {
+        if flag(&self.active, tid) || flag(&self.barren, tid) {
             return;
         }
-        if !self.plans.contains_key(&tid) {
+        if self.plans.len() <= tid.index() {
+            self.plans.resize_with(tid.index() + 1, || None);
+        }
+        if self.plans[tid.index()].is_none() {
             let trace = self.dbi.traces().trace(tid).clone();
             let plan = self.instrumentor.instrument(self.dbi.program(), &trace);
             if plan.ops.is_empty() {
                 // Nothing profitable to profile (all references filtered).
-                self.barren.insert(tid);
+                set_flag(&mut self.barren, tid, true);
                 return;
             }
-            self.plans.insert(tid, plan);
+            self.plans[tid.index()] = Some(plan);
         }
-        let plan = &self.plans[&tid];
+        let plan = self.plans[tid.index()].as_ref().expect("plan just ensured");
         self.store.register(tid, plan.ops.clone());
-        self.active.insert(tid);
+        set_flag(&mut self.active, tid, true);
         self.instrumented_traces.insert(tid);
         self.profiled_pcs.extend(plan.ops.iter().copied());
         self.umi_overhead += self.config.instrument_cost_base
@@ -279,9 +294,11 @@ impl<'p> UmiRuntime<'p> {
         let drained = self.store.drain();
         self.profiles_collected += drained.len() as u64;
         let now = self.now_cycles();
-        let map = &self.is_load_map;
-        let result =
-            self.minisim.analyze(&drained, now, |pc| map.get(&pc).copied().unwrap_or(false));
+        let table = &self.is_load_table;
+        let result = self.minisim.analyze(&drained, now, |pc| {
+            let idx = (pc.0.wrapping_sub(CODE_BASE) >> 2) as usize;
+            table.get(idx).copied() == Some(2)
+        });
         self.umi_overhead += result.refs_simulated * self.config.analyze_cost_per_ref;
         if let Some(r) = responsible {
             self.tracker.decay(r);
@@ -307,10 +324,14 @@ impl<'p> UmiRuntime<'p> {
         // the trace back after `burst_gap_execs` executions.
         for (tid, _) in &drained {
             self.store.unregister(*tid);
-            self.active.remove(tid);
+            set_flag(&mut self.active, *tid, false);
             if self.config.sampling == SamplingMode::Off {
                 let gap = self.jittered(self.config.burst_gap_execs.max(1));
-                self.cooldown.insert(*tid, gap);
+                let idx = tid.index();
+                if self.cooldown.len() <= idx {
+                    self.cooldown.resize(idx + 1, 0);
+                }
+                self.cooldown[idx] = gap;
             }
         }
     }
@@ -356,6 +377,21 @@ impl<'p> UmiRuntime<'p> {
             dbi_stats: self.dbi.stats(),
         }
     }
+}
+
+/// Reads a dense per-trace flag (absent entries are `false`).
+#[inline]
+fn flag(v: &[bool], tid: TraceId) -> bool {
+    v.get(tid.index()).copied().unwrap_or(false)
+}
+
+/// Writes a dense per-trace flag, growing the vector on demand.
+fn set_flag(v: &mut Vec<bool>, tid: TraceId, value: bool) {
+    let idx = tid.index();
+    if v.len() <= idx {
+        v.resize(idx + 1, false);
+    }
+    v[idx] = value;
 }
 
 #[cfg(test)]

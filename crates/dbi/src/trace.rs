@@ -1,6 +1,5 @@
 //! Traces and NET-style trace construction.
 
-use std::collections::HashMap;
 use umi_ir::{BlockId, Program};
 use umi_vm::BlockExit;
 
@@ -49,10 +48,15 @@ impl Trace {
 }
 
 /// The trace cache: completed traces plus a head-block index.
+///
+/// Block ids are dense program indices, so the head index is a flat
+/// `Vec` grown on demand — the dispatcher consults it on every block
+/// transition that is not already inside a trace.
 #[derive(Clone, Debug, Default)]
 pub struct TraceCache {
     traces: Vec<Trace>,
-    by_head: HashMap<BlockId, TraceId>,
+    /// `by_head[block]` is the trace headed by that block, if any.
+    by_head: Vec<Option<TraceId>>,
 }
 
 impl TraceCache {
@@ -71,13 +75,15 @@ impl TraceCache {
     }
 
     /// The trace headed by `block`, if any.
+    #[inline]
     pub fn trace_at_head(&self, block: BlockId) -> Option<TraceId> {
-        self.by_head.get(&block).copied()
+        self.by_head.get(block.index()).copied().flatten()
     }
 
     /// Whether `block` heads a trace.
+    #[inline]
     pub fn is_head(&self, block: BlockId) -> bool {
-        self.by_head.contains_key(&block)
+        self.trace_at_head(block).is_some()
     }
 
     /// Number of traces built.
@@ -99,7 +105,11 @@ impl TraceCache {
     pub fn insert(&mut self, blocks: Vec<BlockId>) -> TraceId {
         debug_assert!(!blocks.is_empty());
         let id = TraceId(self.traces.len() as u32);
-        self.by_head.entry(blocks[0]).or_insert(id);
+        let head = blocks[0].index();
+        if head >= self.by_head.len() {
+            self.by_head.resize(head + 1, None);
+        }
+        self.by_head[head].get_or_insert(id);
         self.traces.push(Trace { id, blocks });
         id
     }
@@ -112,8 +122,9 @@ impl TraceCache {
 /// result is promoted into the trace cache.
 #[derive(Clone, Debug)]
 pub struct TraceBuilder {
-    /// Execution counters for potential trace heads.
-    head_counters: HashMap<BlockId, u32>,
+    /// Execution counters for potential trace heads, indexed by block
+    /// (dense program indices; grown on demand).
+    head_counters: Vec<u32>,
     /// Blocks recorded so far when in recording mode.
     recording: Option<Vec<BlockId>>,
     /// Hot threshold (DynamoRIO's default is 50).
@@ -137,7 +148,7 @@ impl TraceBuilder {
     pub fn new(hot_threshold: u32, max_blocks: usize) -> TraceBuilder {
         assert!(hot_threshold > 0 && max_blocks > 0);
         TraceBuilder {
-            head_counters: HashMap::new(),
+            head_counters: Vec::new(),
             recording: None,
             hot_threshold,
             max_blocks,
@@ -177,7 +188,7 @@ impl TraceBuilder {
                 || exit.next.is_some_and(|n| cache.is_head(n));
             if done {
                 let rec = self.recording.take().expect("recording");
-                self.head_counters.remove(&rec[0]);
+                self.reset_counter(rec[0]);
                 return Some(rec);
             }
             return None;
@@ -185,9 +196,12 @@ impl TraceBuilder {
 
         // Not recording: is this block a potential head getting hot?
         if entered_backward && !cache.is_head(block) {
-            let c = self.head_counters.entry(block).or_insert(0);
-            *c += 1;
-            if *c >= self.hot_threshold {
+            let bi = block.index();
+            if bi >= self.head_counters.len() {
+                self.head_counters.resize(bi + 1, 0);
+            }
+            self.head_counters[bi] += 1;
+            if self.head_counters[bi] >= self.hot_threshold {
                 // Hot: start recording *with this execution's tail*,
                 // beginning from this block. Apply the trace-ending rules
                 // to this first element too (single-block loops close at
@@ -201,12 +215,18 @@ impl TraceBuilder {
                     || exit.next.is_some_and(|n| cache.is_head(n));
                 if done {
                     let rec = self.recording.take().expect("recording");
-                    self.head_counters.remove(&rec[0]);
+                    self.reset_counter(rec[0]);
                     return Some(rec);
                 }
             }
         }
         None
+    }
+
+    fn reset_counter(&mut self, block: BlockId) {
+        if let Some(c) = self.head_counters.get_mut(block.index()) {
+            *c = 0;
+        }
     }
 }
 

@@ -43,7 +43,8 @@ pub struct Machine {
     hierarchy: Hierarchy,
     adjacent: Option<AdjacentLinePrefetcher>,
     stride: Option<StridePrefetcher>,
-    counters: HwCounters,
+    hw_fills: u64,
+    sw_fills: u64,
     stall_cycles: u64,
     /// Line address of the most recent L2 miss, for the MLP/row-buffer
     /// discount.
@@ -68,7 +69,8 @@ impl Machine {
             platform,
             adjacent,
             stride,
-            counters: HwCounters::default(),
+            hw_fills: 0,
+            sw_fills: 0,
             stall_cycles: 0,
             last_miss_line: None,
         }
@@ -80,8 +82,21 @@ impl Machine {
     }
 
     /// Counter values accumulated so far.
+    ///
+    /// Derived from the hierarchy's own statistics — the access path does
+    /// not maintain a second set of per-reference counters.
     pub fn counters(&self) -> HwCounters {
-        self.counters
+        let l1 = self.hierarchy.l1_stats();
+        let l2 = self.hierarchy.l2_stats();
+        HwCounters {
+            l1_refs: l1.accesses,
+            l1_misses: l1.misses,
+            l2_refs: l2.accesses,
+            l2_misses: l2.misses,
+            hw_prefetch_fills: self.hw_fills,
+            sw_prefetch_fills: self.sw_fills,
+            insns: 0,
+        }
     }
 
     /// Memory stall cycles accumulated so far.
@@ -101,9 +116,9 @@ impl Machine {
             if !self.hierarchy.probe_l2(line) {
                 self.hierarchy.prefetch_fill_l2(line);
                 if hw {
-                    self.counters.hw_prefetch_fills += 1;
+                    self.hw_fills += 1;
                 } else {
-                    self.counters.sw_prefetch_fills += 1;
+                    self.sw_fills += 1;
                 }
             }
         }
@@ -124,18 +139,12 @@ impl AccessSink for Machine {
         } else {
             self.hierarchy.access(access.addr)
         };
-        self.counters.l1_refs += 1;
         match level {
             HitLevel::L1 => {}
             HitLevel::L2 => {
-                self.counters.l1_misses += 1;
-                self.counters.l2_refs += 1;
                 self.stall_cycles += self.platform.l2_hit_cycles;
             }
             HitLevel::Memory => {
-                self.counters.l1_misses += 1;
-                self.counters.l2_refs += 1;
-                self.counters.l2_misses += 1;
                 // Memory-level parallelism / DRAM row-buffer proxy: a miss
                 // near the previous miss overlaps with it (streaming reads
                 // pipeline in hardware); distant misses — pointer chases —
@@ -154,15 +163,17 @@ impl AccessSink for Machine {
         }
 
         // Hardware prefetchers observe demand traffic at line granularity.
-        let line = self.platform.l2.line_addr(access.addr);
-        let l2_miss = level == HitLevel::Memory;
-        if let Some(adj) = &mut self.adjacent {
-            let fills = adj.observe(access.pc, line, l2_miss);
-            self.install_prefetches(fills, true);
-        }
-        if let Some(st) = &mut self.stride {
-            let fills = st.observe(access.pc, line, l2_miss);
-            self.install_prefetches(fills, true);
+        if self.adjacent.is_some() || self.stride.is_some() {
+            let line = self.platform.l2.line_addr(access.addr);
+            let l2_miss = level == HitLevel::Memory;
+            if let Some(adj) = &mut self.adjacent {
+                let fills = adj.observe(access.pc, line, l2_miss);
+                self.install_prefetches(fills, true);
+            }
+            if let Some(st) = &mut self.stride {
+                let fills = st.observe(access.pc, line, l2_miss);
+                self.install_prefetches(fills, true);
+            }
         }
     }
 }

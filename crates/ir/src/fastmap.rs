@@ -1,0 +1,283 @@
+//! Small open-addressing hash containers for `u64` keys.
+//!
+//! The simulation layers key per-access state by addresses and ids
+//! (`Pc`s, page numbers, line addresses). The standard `HashMap` pays
+//! SipHash plus a per-process random seed on every probe — costly on
+//! paths that run once per simulated reference, and the seed makes
+//! iteration order vary run to run. These containers use multiplicative
+//! (Fibonacci) hashing with linear probing: a handful of instructions
+//! per probe, fully deterministic.
+//!
+//! `u64::MAX` is reserved as the empty-slot sentinel; it is not a valid
+//! key for any current user (instruction addresses, page numbers and
+//! line addresses all sit far below it).
+
+/// Fibonacci-hashing multiplier (2^64 / φ).
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Reserved key marking an empty slot.
+pub const EMPTY_KEY: u64 = u64::MAX;
+
+#[inline]
+fn slot_of(key: u64, mask: usize) -> usize {
+    (key.wrapping_mul(HASH_MUL) >> 32) as usize & mask
+}
+
+/// An open-addressing map from `u64` keys to copyable values.
+///
+/// Grows at 3/4 load; never shrinks. Deletion is not supported (no user
+/// needs it, and skipping tombstones keeps probes branch-light).
+#[derive(Clone, Debug, Default)]
+pub struct U64Map<V> {
+    keys: Vec<u64>,
+    vals: Vec<V>,
+    len: usize,
+}
+
+impl<V: Copy + Default> U64Map<V> {
+    /// Creates an empty map.
+    pub fn new() -> U64Map<V> {
+        U64Map { keys: Vec::new(), vals: Vec::new(), len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `key`, if present.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<V> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = slot_of(key, mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(self.vals[i]);
+            }
+            if k == EMPTY_KEY {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Whether `key` is present.
+    #[inline]
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// A mutable reference to the value for `key`, inserting the default
+    /// value first if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `key` is [`EMPTY_KEY`].
+    #[inline]
+    pub fn entry(&mut self, key: u64) -> &mut V {
+        debug_assert_ne!(key, EMPTY_KEY, "u64::MAX is the reserved empty key");
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = slot_of(key, mask);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return &mut self.vals[i];
+            }
+            if k == EMPTY_KEY {
+                self.keys[i] = key;
+                self.len += 1;
+                return &mut self.vals[i];
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts `value` for `key`, overwriting any previous value.
+    pub fn insert(&mut self, key: u64, value: V) {
+        *self.entry(key) = value;
+    }
+
+    /// Iterates over `(key, value)` pairs in slot order (deterministic
+    /// for a given insertion sequence, but otherwise unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.vals)
+            .filter(|(k, _)| **k != EMPTY_KEY)
+            .map(|(k, v)| (*k, v))
+    }
+
+    /// Removes every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY_KEY);
+        self.vals.fill(V::default());
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_KEY; cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![V::default(); cap]);
+        let mask = cap - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY_KEY {
+                continue;
+            }
+            let mut i = slot_of(k, mask);
+            while self.keys[i] != EMPTY_KEY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.vals[i] = v;
+        }
+    }
+}
+
+impl<V: Copy + Default> FromIterator<(u64, V)> for U64Map<V> {
+    fn from_iter<T: IntoIterator<Item = (u64, V)>>(iter: T) -> U64Map<V> {
+        let mut m = U64Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+/// An open-addressing set of `u64` values (same scheme as [`U64Map`]).
+#[derive(Clone, Debug, Default)]
+pub struct U64Set {
+    map: U64Map<()>,
+}
+
+impl U64Set {
+    /// Creates an empty set.
+    pub fn new() -> U64Set {
+        U64Set::default()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `value` is a member.
+    #[inline]
+    pub fn contains(&self, value: u64) -> bool {
+        self.map.contains(value)
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present
+    /// (the `HashSet::insert` convention).
+    #[inline]
+    pub fn insert(&mut self, value: u64) -> bool {
+        let before = self.map.len();
+        self.map.entry(value);
+        self.map.len() != before
+    }
+
+    /// Removes every member, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Iterates over members in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.iter().map(|(k, _)| k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips_through_growth() {
+        let mut m = U64Map::new();
+        for i in 0..1000u64 {
+            m.insert(i * 0x9137, i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(i * 0x9137), Some(i));
+        }
+        assert_eq!(m.get(1), None);
+    }
+
+    #[test]
+    fn entry_inserts_default_once() {
+        let mut m: U64Map<u32> = U64Map::new();
+        *m.entry(7) += 1;
+        *m.entry(7) += 1;
+        assert_eq!(m.get(7), Some(2));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut m = U64Map::new();
+        m.insert(5, 1u8);
+        m.insert(5, 9);
+        assert_eq!(m.get(5), Some(9));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_working() {
+        let mut m = U64Map::new();
+        m.insert(1, 1u8);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1), None);
+        m.insert(2, 2);
+        assert_eq!(m.get(2), Some(2));
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let m: U64Map<u64> = (0..100u64).map(|i| (i * 31, i)).collect();
+        let mut pairs: Vec<(u64, u64)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, (0..100u64).map(|i| (i * 31, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_insert_reports_novelty() {
+        let mut s = U64Set::new();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(42));
+        assert!(!s.contains(43));
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(!s.contains(42));
+    }
+
+    #[test]
+    fn colliding_keys_coexist() {
+        // Keys a power-of-two capacity apart collide under the mask.
+        let mut m = U64Map::new();
+        for i in 0..64u64 {
+            m.insert(i << 40, i);
+        }
+        for i in 0..64u64 {
+            assert_eq!(m.get(i << 40), Some(i));
+        }
+    }
+}

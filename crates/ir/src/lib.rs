@@ -50,6 +50,7 @@
 mod block;
 mod builder;
 mod event;
+pub mod fastmap;
 mod insn;
 mod layout;
 mod listing;

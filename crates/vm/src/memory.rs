@@ -1,21 +1,41 @@
 //! Sparse paged memory.
-
-use std::collections::HashMap;
+//!
+//! The page table is a hand-rolled open-addressing map (multiplicative
+//! hashing, linear probing) from page number to an index into a page
+//! arena: the interpreter performs one lookup per simulated load/store,
+//! and the default SipHash `HashMap` dominated that path. A one-entry
+//! last-page cache short-circuits the lookup entirely for the common
+//! case of consecutive references to the same page.
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = (PAGE_SIZE as u64) - 1;
 
+/// Slot sentinel: no 64-bit address shifted right by [`PAGE_SHIFT`] can
+/// produce this page number.
+const NO_PAGE: u64 = u64::MAX;
+
+/// Fibonacci-hashing multiplier (2^64 / φ).
+const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
+
 /// A sparse 64-bit byte-addressed memory.
 ///
 /// Pages are allocated on first touch and zero-initialized, so programs may
 /// read uninitialized heap/stack locations and observe zeros (the common
-/// simulator convention).
+/// simulator convention). Reads of untouched pages return zero *without*
+/// materializing the page.
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
-    /// One-entry page cache keyed by page number (hot loops hit one page).
-    last_page: Option<u64>,
+    /// Open-addressing table: `keys[i]` is a page number (or [`NO_PAGE`])
+    /// and `slots[i]` the matching index into `arena`. Capacity is always
+    /// a power of two; load factor is kept below 3/4.
+    keys: Vec<u64>,
+    slots: Vec<u32>,
+    /// Page payloads, in allocation order.
+    arena: Vec<Box<[u8; PAGE_SIZE]>>,
+    /// One-entry page cache `(page number, arena index)`: hot loops hit
+    /// one page, so most accesses never touch the table at all.
+    last: Option<(u64, u32)>,
 }
 
 impl Memory {
@@ -26,27 +46,115 @@ impl Memory {
 
     /// Number of pages materialized so far.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.arena.len()
     }
 
-    fn page_mut(&mut self, pno: u64) -> &mut [u8; PAGE_SIZE] {
-        self.last_page = Some(pno);
-        self.pages.entry(pno).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    #[inline]
+    fn hash_slot(pno: u64, mask: usize) -> usize {
+        (pno.wrapping_mul(HASH_MUL) >> 32) as usize & mask
+    }
+
+    /// Table lookup (no allocation). `None` for untouched pages.
+    #[inline]
+    fn lookup(&self, pno: u64) -> Option<u32> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash_slot(pno, mask);
+        loop {
+            let k = self.keys[i];
+            if k == pno {
+                return Some(self.slots[i]);
+            }
+            if k == NO_PAGE {
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Arena index for `pno`, allocating a zeroed page on first touch.
+    fn ensure(&mut self, pno: u64) -> u32 {
+        debug_assert_ne!(pno, NO_PAGE, "address space exhausts before NO_PAGE");
+        if let Some(idx) = self.lookup(pno) {
+            return idx;
+        }
+        // Grow at 3/4 load (also handles the initial empty table).
+        if (self.arena.len() + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let idx = self.arena.len() as u32;
+        self.arena.push(Box::new([0; PAGE_SIZE]));
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash_slot(pno, mask);
+        while self.keys[i] != NO_PAGE {
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = pno;
+        self.slots[i] = idx;
+        idx
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.keys.len() * 2).max(64);
+        let old_keys = std::mem::replace(&mut self.keys, vec![NO_PAGE; cap]);
+        let old_slots = std::mem::take(&mut self.slots);
+        self.slots = vec![0; cap];
+        let mask = cap - 1;
+        for (k, s) in old_keys.into_iter().zip(old_slots) {
+            if k == NO_PAGE {
+                continue;
+            }
+            let mut i = Self::hash_slot(k, mask);
+            while self.keys[i] != NO_PAGE {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = k;
+            self.slots[i] = s;
+        }
+    }
+
+    /// Arena index of `pno`, consulting the last-page cache first and
+    /// allocating on first touch.
+    #[inline]
+    fn page_idx_mut(&mut self, pno: u64) -> u32 {
+        if let Some((p, idx)) = self.last {
+            if p == pno {
+                return idx;
+            }
+        }
+        let idx = self.ensure(pno);
+        self.last = Some((pno, idx));
+        idx
     }
 
     /// Reads `width` bytes (1, 2, 4 or 8) at `addr`, zero-extended.
+    #[inline]
     pub fn read(&mut self, addr: u64, width: u8) -> u64 {
         debug_assert!(matches!(width, 1 | 2 | 4 | 8), "bad width {width}");
         let pno = addr >> PAGE_SHIFT;
         let off = (addr & PAGE_MASK) as usize;
         if off + width as usize <= PAGE_SIZE {
-            let page = match self.pages.get(&pno) {
-                Some(p) => p,
-                None => return 0, // untouched pages read as zero
+            let idx = match self.last {
+                Some((p, idx)) if p == pno => idx,
+                _ => match self.lookup(pno) {
+                    Some(idx) => {
+                        self.last = Some((pno, idx));
+                        idx
+                    }
+                    None => return 0, // untouched pages read as zero
+                },
             };
-            let mut buf = [0u8; 8];
-            buf[..width as usize].copy_from_slice(&page[off..off + width as usize]);
-            u64::from_le_bytes(buf)
+            let page = &self.arena[idx as usize][..];
+            match width {
+                1 => page[off] as u64,
+                2 => u16::from_le_bytes([page[off], page[off + 1]]) as u64,
+                4 => {
+                    u32::from_le_bytes(page[off..off + 4].try_into().expect("in-page")) as u64
+                }
+                _ => u64::from_le_bytes(page[off..off + 8].try_into().expect("in-page")),
+            }
         } else {
             // Page-crossing access: assemble byte by byte.
             let mut v: u64 = 0;
@@ -58,14 +166,20 @@ impl Memory {
     }
 
     /// Writes the low `width` bytes of `value` at `addr`.
+    #[inline]
     pub fn write(&mut self, addr: u64, width: u8, value: u64) {
         debug_assert!(matches!(width, 1 | 2 | 4 | 8), "bad width {width}");
         let pno = addr >> PAGE_SHIFT;
         let off = (addr & PAGE_MASK) as usize;
         if off + width as usize <= PAGE_SIZE {
-            let page = self.page_mut(pno);
-            page[off..off + width as usize]
-                .copy_from_slice(&value.to_le_bytes()[..width as usize]);
+            let idx = self.page_idx_mut(pno);
+            let page = &mut self.arena[idx as usize][..];
+            match width {
+                1 => page[off] = value as u8,
+                2 => page[off..off + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+                4 => page[off..off + 4].copy_from_slice(&(value as u32).to_le_bytes()),
+                _ => page[off..off + 8].copy_from_slice(&value.to_le_bytes()),
+            }
         } else {
             for i in 0..width as u64 {
                 self.write(addr + i, 1, (value >> (8 * i)) & 0xff);
@@ -80,8 +194,8 @@ impl Memory {
         while !rest.is_empty() {
             let off = (a & PAGE_MASK) as usize;
             let n = (PAGE_SIZE - off).min(rest.len());
-            let pno = a >> PAGE_SHIFT;
-            self.page_mut(pno)[off..off + n].copy_from_slice(&rest[..n]);
+            let idx = self.page_idx_mut(a >> PAGE_SHIFT);
+            self.arena[idx as usize][off..off + n].copy_from_slice(&rest[..n]);
             a += n as u64;
             rest = &rest[n..];
         }
@@ -106,6 +220,17 @@ mod tests {
         let mut m = Memory::new();
         assert_eq!(m.read(0x7fff_0000, 8), 0);
         assert_eq!(m.resident_pages(), 0, "reads must not materialize pages");
+    }
+
+    #[test]
+    fn untouched_read_after_write_elsewhere() {
+        // The last-page cache must not satisfy reads for a *different*
+        // untouched page.
+        let mut m = Memory::new();
+        m.write(0x1000, 8, u64::MAX);
+        assert_eq!(m.read(0x9000, 8), 0);
+        assert_eq!(m.read(0x1000, 8), u64::MAX);
+        assert_eq!(m.resident_pages(), 1);
     }
 
     #[test]
@@ -135,5 +260,20 @@ mod tests {
         m.write(0x100, 8, u64::MAX);
         m.write(0x102, 1, 0);
         assert_eq!(m.read(0x100, 8), 0xffff_ffff_ff00_ffff);
+    }
+
+    #[test]
+    fn many_pages_survive_table_growth() {
+        // Enough distinct pages to force several rehashes, with widely
+        // scattered page numbers to exercise probing.
+        let mut m = Memory::new();
+        let addrs: Vec<u64> = (0..500u64).map(|i| i * 0x10_7000).collect();
+        for (i, a) in addrs.iter().enumerate() {
+            m.write(*a, 8, i as u64 ^ 0xabcd);
+        }
+        assert_eq!(m.resident_pages(), 500);
+        for (i, a) in addrs.iter().enumerate() {
+            assert_eq!(m.read(*a, 8), i as u64 ^ 0xabcd, "page {i} lost");
+        }
     }
 }

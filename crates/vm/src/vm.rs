@@ -167,7 +167,6 @@ impl<'p> Vm<'p> {
     }
 
     fn exec_insn<S: AccessSink>(&mut self, pc: Pc, insn: &Insn, sink: &mut S) {
-        self.stats.insns += 1;
         match insn {
             Insn::Mov { dst, src } => {
                 let v = self.eval(pc, src, sink);
@@ -229,7 +228,6 @@ impl<'p> Vm<'p> {
     }
 
     fn exec_terminator(&mut self, block: &BasicBlock) -> (Option<BlockId>, ExitKind) {
-        self.stats.insns += 1;
         match &block.terminator {
             Terminator::Jmp(t) => (Some(*t), ExitKind::Jump),
             Terminator::Br { cond, taken, fallthrough } => {
@@ -265,6 +263,9 @@ impl<'p> Vm<'p> {
         let id = self.next_block.expect("program already finished");
         self.stats.blocks += 1;
         let block = self.program.block(id);
+        // Retired instructions (bodies + terminator), counted per block:
+        // nothing observes the counter mid-block.
+        self.stats.insns += block.insns.len() as u64 + 1;
         for (i, insn) in block.insns.iter().enumerate() {
             let pc = block.insn_pc(i);
             self.exec_insn(pc, insn, sink);

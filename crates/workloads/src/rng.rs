@@ -1,14 +1,23 @@
 //! Deterministic table generation for workload data.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Self-contained xoshiro256++ (seeded through splitmix64) — the build
+//! environment has no registry access, so the previous `rand::SmallRng`
+//! backend is replaced by the same public-domain algorithm it wrapped.
 
 /// A deterministic random source seeded from a workload name, used to
 /// build permutations and index tables so every workload is reproducible
 /// bit for bit.
 #[derive(Debug)]
 pub struct TableRng {
-    rng: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl TableRng {
@@ -19,17 +28,49 @@ impl TableRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TableRng { rng: SmallRng::seed_from_u64(h) }
+        let mut sm = h;
+        TableRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
     }
 
-    /// A uniform value in `[0, bound)`.
+    /// The next 64 uniformly distributed bits (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `[0, bound)` (Lemire rejection, unbiased).
     ///
     /// # Panics
     ///
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
-        self.rng.gen_range(0..bound)
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// A random permutation of `0..n`.
@@ -37,7 +78,7 @@ impl TableRng {
         let mut v: Vec<u64> = (0..n as u64).collect();
         // Fisher–Yates.
         for i in (1..n).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i as u64 + 1) as usize;
             v.swap(i, j);
         }
         v

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Smoke test: build + tier-1 tests, then run two representative
+# harnesses at CI scale and require byte-identical output against the
+# golden files — with the parallel engine on (UMI_JOBS=2), so any
+# nondeterminism in the fan-out shows up as a diff.
+#
+# Run from the repository root: scripts/smoke.sh
+set -eu
+
+cargo build --release --workspace
+cargo test -q
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for bin in table6 fig3; do
+    UMI_SCALE=test UMI_JOBS=2 ./target/release/$bin > "$tmp/$bin.txt"
+    if ! diff -u "results/golden/$bin.txt" "$tmp/$bin.txt"; then
+        echo "smoke: $bin output differs from results/golden/$bin.txt" >&2
+        exit 1
+    fi
+    echo "smoke: $bin matches golden output"
+done
+
+echo "smoke: OK"
