@@ -17,13 +17,16 @@ use umi_vm::{NullSink, Vm};
 use umi_workloads::kernels::{stream, StreamParams};
 
 fn workload() -> Program {
-    stream("bench-stream", StreamParams {
-        elems: 16 * 1024,
-        passes: 4,
-        stride: 1,
-        stores: true,
-        compute_nops: 1,
-    })
+    stream(
+        "bench-stream",
+        StreamParams {
+            elems: 16 * 1024,
+            passes: 4,
+            stride: 1,
+            stores: true,
+            compute_nops: 1,
+        },
+    )
 }
 
 fn insns(p: &Program) -> u64 {

@@ -15,8 +15,16 @@ use umi_core::{PredictionQuality, UmiConfig, UmiRuntime};
 use umi_vm::{NullSink, Vm};
 use umi_workloads::build;
 
-const SUBSET: [&str; 8] =
-    ["181.mcf", "179.art", "171.swim", "197.parser", "164.gzip", "em3d", "ft", "300.twolf"];
+const SUBSET: [&str; 8] = [
+    "181.mcf",
+    "179.art",
+    "171.swim",
+    "197.parser",
+    "164.gzip",
+    "em3d",
+    "ft",
+    "300.twolf",
+];
 
 struct Measure {
     recall: f64,
@@ -50,7 +58,10 @@ fn scale_from_env_static() -> umi_workloads::Scale {
 
 fn summarize(label: &str, configs: &[(&str, UmiConfig)]) {
     println!("=== {label} ===");
-    println!("{:<28} {:>8} {:>10} {:>10} {:>14}", "variant", "recall", "false-pos", "|Δratio|", "UMI overhead");
+    println!(
+        "{:<28} {:>8} {:>10} {:>10} {:>14}",
+        "variant", "recall", "false-pos", "|Δratio|", "UMI overhead"
+    );
     for (vlabel, cfg) in configs {
         let mut recalls = Vec::new();
         let mut fps = Vec::new();
@@ -96,7 +107,14 @@ fn main() {
         .map(|w| {
             let mut c = base.clone();
             c.warmup_rows = *w;
-            (match w { 0 => "warmup 0", 2 => "warmup 2 (paper)", _ => "warmup 4" }, c)
+            (
+                match w {
+                    0 => "warmup 0",
+                    2 => "warmup 2 (paper)",
+                    _ => "warmup 4",
+                },
+                c,
+            )
         })
         .collect();
     summarize("Mini-simulation warm-up rows", &warmups);
@@ -108,7 +126,10 @@ fn main() {
     };
     summarize(
         "Analyzer cache flush",
-        &[("flush >1M cycles (paper)", base.clone()), ("never flush", noflush)],
+        &[
+            ("flush >1M cycles (paper)", base.clone()),
+            ("never flush", noflush),
+        ],
     );
 
     let nofilter = {

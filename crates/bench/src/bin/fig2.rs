@@ -27,8 +27,12 @@ fn main() {
 
         let native = run_native(&program, platform.clone(), setting);
         let (dbi, dbi_stats) = run_dbi(&program, platform.clone(), setting);
-        let (nos, _) =
-            run_umi(&program, UmiConfig::no_sampling(), platform.clone(), setting);
+        let (nos, _) = run_umi(
+            &program,
+            UmiConfig::no_sampling(),
+            platform.clone(),
+            setting,
+        );
         let (smp, smp_report) = run_umi(&program, sampled_config(scale), platform, setting);
 
         Cell {

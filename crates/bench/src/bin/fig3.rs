@@ -19,12 +19,18 @@ fn main() {
     );
     harness.absorb(stats);
     println!("Figure 3 — Running time on Pentium 4, HW prefetch disabled");
-    println!("{:<14} {:>10} {:>14} {:>8}", "benchmark", "UMI only", "UMI+SW prefetch", "planned");
+    println!(
+        "{:<14} {:>10} {:>14} {:>8}",
+        "benchmark", "UMI only", "UMI+SW prefetch", "planned"
+    );
     let (mut only, mut sw) = (Vec::new(), Vec::new());
     for r in &rows {
         let a = r.umi_only_off.relative_to(&r.native_off);
         let b = r.umi_sw_off.relative_to(&r.native_off);
-        println!("{:<14} {:>10.3} {:>14.3} {:>8}", r.spec.name, a, b, r.planned);
+        println!(
+            "{:<14} {:>10.3} {:>14.3} {:>8}",
+            r.spec.name, a, b, r.planned
+        );
         only.push(a);
         sw.push(b);
     }

@@ -10,11 +10,19 @@ use umi_hw::Platform;
 fn main() {
     let scale = scale_from_env();
     let mut harness = Harness::new("fig4", scale);
-    let (rows, stats) =
-        prefetch_cells(scale, Platform::k7(), sampled_config(scale), false, harness.jobs());
+    let (rows, stats) = prefetch_cells(
+        scale,
+        Platform::k7(),
+        sampled_config(scale),
+        false,
+        harness.jobs(),
+    );
     harness.absorb(stats);
     println!("Figure 4 — Running time on AMD K7");
-    println!("{:<14} {:>10} {:>14}", "benchmark", "UMI only", "UMI+SW prefetch");
+    println!(
+        "{:<14} {:>10} {:>14}",
+        "benchmark", "UMI only", "UMI+SW prefetch"
+    );
     let (mut only, mut sw) = (Vec::new(), Vec::new());
     for r in &rows {
         let a = r.umi_only_off.relative_to(&r.native_off);

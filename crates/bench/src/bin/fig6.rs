@@ -20,7 +20,10 @@ fn main() {
     );
     harness.absorb(stats);
     println!("Figure 6 — L2 misses on Pentium 4, normalized to native (no prefetch)");
-    println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "SW", "HW", "SW+HW");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "SW", "HW", "SW+HW"
+    );
     let (mut sw, mut hw, mut both) = (Vec::new(), Vec::new(), Vec::new());
     for r in &rows {
         let native_hw = r.native_hw.expect("study ran with hw variants");

@@ -9,7 +9,10 @@ use umi_hw::Platform;
 
 fn fig34(title: &str, rows: &[PrefetchRow]) {
     println!("{title}");
-    println!("{:<14} {:>10} {:>14}", "benchmark", "UMI only", "UMI+SW prefetch");
+    println!(
+        "{:<14} {:>10} {:>14}",
+        "benchmark", "UMI only", "UMI+SW prefetch"
+    );
     let (mut only, mut sw) = (Vec::new(), Vec::new());
     for r in rows {
         let a = r.umi_only_off.relative_to(&r.native_off);
@@ -18,7 +21,11 @@ fn fig34(title: &str, rows: &[PrefetchRow]) {
         only.push(a);
         sw.push(b);
     }
-    println!("geomean: UMI only {:.3}, UMI+SW {:.3}\n", geomean(&only), geomean(&sw));
+    println!(
+        "geomean: UMI only {:.3}, UMI+SW {:.3}\n",
+        geomean(&only),
+        geomean(&sw)
+    );
 }
 
 fn main() {
@@ -34,8 +41,13 @@ fn main() {
         harness.jobs(),
     );
     harness.absorb(p4_stats);
-    let (k7, k7_stats) =
-        prefetch_cells(scale, Platform::k7(), sampled_config(scale), false, harness.jobs());
+    let (k7, k7_stats) = prefetch_cells(
+        scale,
+        Platform::k7(),
+        sampled_config(scale),
+        false,
+        harness.jobs(),
+    );
     harness.absorb(k7_stats);
 
     println!(
@@ -44,11 +56,17 @@ fn main() {
         k7.len()
     );
 
-    fig34("Figure 3 — Running time, Pentium 4, HW prefetch disabled", &p4);
+    fig34(
+        "Figure 3 — Running time, Pentium 4, HW prefetch disabled",
+        &p4,
+    );
     fig34("Figure 4 — Running time, AMD K7", &k7);
 
     println!("Figure 5 — Running time, Pentium 4, normalized to native (no prefetch)");
-    println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "UMI+SW", "HW", "UMI+SW+HW");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "UMI+SW", "HW", "UMI+SW+HW"
+    );
     let (mut sw, mut hw, mut both) = (Vec::new(), Vec::new(), Vec::new());
     for r in &p4 {
         let native_hw = r.native_hw.expect("P4 study ran with hw variants");
@@ -61,10 +79,18 @@ fn main() {
         hw.push(h);
         both.push(b);
     }
-    println!("geomean: SW {:.3}  HW {:.3}  SW+HW {:.3}\n", geomean(&sw), geomean(&hw), geomean(&both));
+    println!(
+        "geomean: SW {:.3}  HW {:.3}  SW+HW {:.3}\n",
+        geomean(&sw),
+        geomean(&hw),
+        geomean(&both)
+    );
 
     println!("Figure 6 — L2 misses, Pentium 4, normalized to native (no prefetch)");
-    println!("{:<14} {:>10} {:>10} {:>10}", "benchmark", "SW", "HW", "SW+HW");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "benchmark", "SW", "HW", "SW+HW"
+    );
     let (mut msw, mut mhw, mut mboth) = (Vec::new(), Vec::new(), Vec::new());
     for r in &p4 {
         let native_hw = r.native_hw.expect("P4 study ran with hw variants");

@@ -38,8 +38,17 @@ fn main() {
         let mut insns = full_run.stats.insns;
         let mut out = String::new();
 
-        writeln!(out, "=== {name}: frequency threshold sweep (sampled mode) ===").unwrap();
-        writeln!(out, "{:>10} {:>8} {:>10}", "threshold", "recall", "false-pos").unwrap();
+        writeln!(
+            out,
+            "=== {name}: frequency threshold sweep (sampled mode) ==="
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:>10} {:>8} {:>10}",
+            "threshold", "recall", "false-pos"
+        )
+        .unwrap();
         let mut t = 1u32;
         while t <= 1024 {
             let mut cfg = UmiConfig::sampled();
@@ -47,12 +56,22 @@ fn main() {
             cfg.frequency_threshold = t;
             let (q, n) = quality(&program, cfg, &full);
             insns += n;
-            writeln!(out, "{:>10} {:>7.1}% {:>9.1}%", t, 100.0 * q.recall, 100.0 * q.false_positive)
-                .unwrap();
+            writeln!(
+                out,
+                "{:>10} {:>7.1}% {:>9.1}%",
+                t,
+                100.0 * q.recall,
+                100.0 * q.false_positive
+            )
+            .unwrap();
             t *= 4;
         }
 
-        writeln!(out, "\n=== {name}: address profile length sweep (no sampling) ===").unwrap();
+        writeln!(
+            out,
+            "\n=== {name}: address profile length sweep (no sampling) ==="
+        )
+        .unwrap();
         writeln!(out, "{:>10} {:>8} {:>10}", "rows", "recall", "false-pos").unwrap();
         for rows in [64usize, 256, 1024, 4096, 16384, 32768] {
             let mut cfg = UmiConfig::no_sampling();
@@ -60,10 +79,20 @@ fn main() {
             cfg.trace_profile_capacity = cfg.trace_profile_capacity.max(rows * 2);
             let (q, n) = quality(&program, cfg, &full);
             insns += n;
-            writeln!(out, "{:>10} {:>7.1}% {:>9.1}%", rows, 100.0 * q.recall, 100.0 * q.false_positive)
-                .unwrap();
+            writeln!(
+                out,
+                "{:>10} {:>7.1}% {:>9.1}%",
+                rows,
+                100.0 * q.recall,
+                100.0 * q.false_positive
+            )
+            .unwrap();
         }
-        Cell { label: name.to_string(), insns, value: out }
+        Cell {
+            label: name.to_string(),
+            insns,
+            value: out,
+        }
     });
     for section in &sections {
         print!("{section}");

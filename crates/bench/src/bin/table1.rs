@@ -16,11 +16,19 @@ fn main() {
     let native = run_native(&program, platform.clone(), PrefetchSetting::Full);
     // The counted event, as in the paper: primary (L1) cache misses.
     let events = native.counters.l1_misses;
-    let (umi, _) = run_umi(&program, sampled_config(scale), platform, PrefetchSetting::Full);
+    let (umi, _) = run_umi(
+        &program,
+        sampled_config(scale),
+        platform,
+        PrefetchSetting::Full,
+    );
     let model = SamplingCostModel::papi_like();
 
     println!("Table 1 — HW counter sampling overhead (181.mcf-like, {events} L1-miss events)");
-    println!("{:<14} {:>16} {:>12}", "sample size", "cycles", "% slowdown");
+    println!(
+        "{:<14} {:>16} {:>12}",
+        "sample size", "cycles", "% slowdown"
+    );
     println!("{:<14} {:>16} {:>12}", "0 (native)", native.cycles, "-");
     println!(
         "{:<14} {:>16} {:>12.2}",

@@ -3,10 +3,22 @@
 
 fn main() {
     println!("Table 2 — Tradeoffs in profiling methodologies");
-    println!("{:<14} {:>12} {:>12} {:>12}", "", "Simulators", "HW counters", "UMI");
-    println!("{:<14} {:>12} {:>12} {:>12}", "Overhead", "very high", "very low", "low");
-    println!("{:<14} {:>12} {:>12} {:>12}", "Detail Level", "very high", "very low", "high");
-    println!("{:<14} {:>12} {:>12} {:>12}", "Versatility", "very high", "very low", "high");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "", "Simulators", "HW counters", "UMI"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Overhead", "very high", "very low", "low"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Detail Level", "very high", "very low", "high"
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Versatility", "very high", "very low", "high"
+    );
     println!();
     println!("measured in this reproduction:");
     println!("  Simulators  = FullSimulator (complete trace, per-instruction misses)");

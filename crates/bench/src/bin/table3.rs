@@ -14,7 +14,11 @@ fn main() {
         let program = spec.build(scale);
         let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
         let report = umi.run(&mut NullSink, u64::MAX);
-        Cell { label: spec.name.to_string(), insns: report.vm_stats.insns, value: report }
+        Cell {
+            label: spec.name.to_string(),
+            insns: report.vm_stats.insns,
+            value: report,
+        }
     });
 
     println!("Table 3 — Profiling statistics (sampling off)");

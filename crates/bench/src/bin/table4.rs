@@ -35,14 +35,19 @@ fn main() {
     };
 
     println!("\nTable 4 — Coefficients of correlation");
-    println!("{:<38} {:>9} {:>9} {:>7} {:>7}", "", "CFP2000", "CINT2000", "Olden", "All");
+    println!(
+        "{:<38} {:>9} {:>9} {:>7} {:>7}",
+        "", "CFP2000", "CINT2000", "Olden", "All"
+    );
     for (label, sim, hw) in [
         (
             "Cachegrind vs P4, no HW prefetch",
             (&|r: &CorrRow| r.cachegrind) as &dyn Fn(&CorrRow) -> f64,
             (&|r: &CorrRow| r.hw_p4_off) as &dyn Fn(&CorrRow) -> f64,
         ),
-        ("Cachegrind vs P4, HW prefetch", &|r| r.cachegrind, &|r| r.hw_p4_on),
+        ("Cachegrind vs P4, HW prefetch", &|r| r.cachegrind, &|r| {
+            r.hw_p4_on
+        }),
         ("UMI vs P4, no HW prefetch", &|r| r.umi_p4, &|r| r.hw_p4_off),
         ("UMI vs P4, HW prefetch", &|r| r.umi_p4, &|r| r.hw_p4_on),
         ("UMI vs AMD K7", &|r| r.umi_k7, &|r| r.hw_k7),

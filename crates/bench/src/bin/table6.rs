@@ -38,7 +38,16 @@ fn main() {
     println!("Table 6 — Quality of delinquent load prediction (x = 90%)");
     println!(
         "{:<14} {:>8} {:>5} {:>8} {:>8} {:>5} {:>6} {:>8} {:>8} {:>8}",
-        "benchmark", "miss%", "|P|", "|P|/lds", "P cov", "|C|", "|P∩C|", "P∩C cov", "recall", "falsepos"
+        "benchmark",
+        "miss%",
+        "|P|",
+        "|P|/lds",
+        "P cov",
+        "|C|",
+        "|P∩C|",
+        "P∩C cov",
+        "recall",
+        "falsepos"
     );
 
     let mut high = Vec::new(); // miss ratio >= 1%

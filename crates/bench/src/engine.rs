@@ -42,12 +42,33 @@ pub struct CellStat {
     pub insns: u64,
 }
 
-/// Worker-thread count for [`run_cells`]: `UMI_JOBS` if set to a positive
-/// integer, otherwise the host's available parallelism.
+/// Worker-thread count for [`run_cells`]: `UMI_JOBS` if set, otherwise
+/// the host's available parallelism.
+///
+/// A set-but-invalid `UMI_JOBS` (zero, negative, non-numeric) aborts the
+/// process with a one-line error. Earlier versions silently remapped such
+/// values to one worker, which made typos look like perf regressions.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("UMI_JOBS") {
-        Ok(v) => v.trim().parse().ok().filter(|&n| n >= 1).unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    match parse_jobs(std::env::var("UMI_JOBS").ok().as_deref()) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The `UMI_JOBS` parse rule, split out so it is testable without
+/// mutating process environment: `None` means unset.
+fn parse_jobs(var: Option<&str>) -> Result<usize, String> {
+    match var {
+        None => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("error: UMI_JOBS must be a positive integer, got {v:?}")),
     }
 }
 
@@ -68,6 +89,9 @@ where
     T: Send,
     F: Fn(&I) -> Cell<T> + Sync,
 {
+    /// A worker's deposit slot: the timed cell, present once claimed.
+    type Slot<T> = Mutex<Option<(Cell<T>, f64)>>;
+
     let n = items.len();
     let mut cells: Vec<(Cell<T>, f64)> = Vec::with_capacity(n);
     if jobs <= 1 || n <= 1 {
@@ -78,8 +102,7 @@ where
         }
     } else {
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<(Cell<T>, f64)>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Slot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..jobs.min(n) {
                 s.spawn(|| loop {
@@ -105,7 +128,11 @@ where
     let mut values = Vec::with_capacity(n);
     let mut stats = Vec::with_capacity(n);
     for (cell, seconds) in cells {
-        stats.push(CellStat { label: cell.label, seconds, insns: cell.insns });
+        stats.push(CellStat {
+            label: cell.label,
+            seconds,
+            insns: cell.insns,
+        });
         values.push(cell.value);
     }
     (values, stats)
@@ -124,7 +151,13 @@ pub struct Harness {
 impl Harness {
     /// Starts the harness clock; `jobs` comes from [`jobs_from_env`].
     pub fn new(name: &'static str, scale: Scale) -> Harness {
-        Harness { name, scale, jobs: jobs_from_env(), started: Instant::now(), stats: Vec::new() }
+        Harness {
+            name,
+            scale,
+            jobs: jobs_from_env(),
+            started: Instant::now(),
+            stats: Vec::new(),
+        }
     }
 
     /// The worker-thread count this harness runs with.
@@ -206,13 +239,16 @@ mod tests {
 
     #[test]
     fn jobs_env_parsing() {
-        // Only exercises the parse path indirectly: a bogus value falls
-        // back to 1 worker rather than panicking.
-        std::env::set_var("UMI_JOBS", "not-a-number");
-        assert_eq!(jobs_from_env(), 1);
-        std::env::set_var("UMI_JOBS", "3");
-        assert_eq!(jobs_from_env(), 3);
-        std::env::remove_var("UMI_JOBS");
-        assert!(jobs_from_env() >= 1);
+        // Valid overrides (whitespace tolerated).
+        assert_eq!(parse_jobs(Some("3")), Ok(3));
+        assert_eq!(parse_jobs(Some(" 8 ")), Ok(8));
+        // Unset falls back to host parallelism, never below one.
+        assert!(parse_jobs(None).unwrap() >= 1);
+        // Zero, negatives, and garbage are hard errors, not "1 worker".
+        for bad in ["0", "-2", "not-a-number", "", "1.5"] {
+            let err = parse_jobs(Some(bad)).unwrap_err();
+            assert!(err.contains("UMI_JOBS"), "{err}");
+            assert!(err.contains(bad), "error must echo the value: {err}");
+        }
     }
 }

@@ -50,11 +50,15 @@ pub fn sampled_config(scale: Scale) -> UmiConfig {
     let mut c = UmiConfig::sampled();
     match scale {
         Scale::Bench => {
-            c.sampling = SamplingMode::Periodic { period_insns: 10_000 };
+            c.sampling = SamplingMode::Periodic {
+                period_insns: 10_000,
+            };
             c.frequency_threshold = 48;
         }
         Scale::Test => {
-            c.sampling = SamplingMode::Periodic { period_insns: 2_000 };
+            c.sampling = SamplingMode::Periodic {
+                period_insns: 2_000,
+            };
             c.frequency_threshold = 24;
         }
     }

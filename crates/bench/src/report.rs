@@ -23,6 +23,20 @@ use umi_workloads::Scale;
 /// the ≥2× acceptance bar is measured against.
 const SEED_BASELINE: &[(&str, f64)] = &[("table4", 21.06), ("table6", 6.94), ("fig3", 24.91)];
 
+/// Wall-clock seconds of the PR 1 revision (parallel engine + hot-path
+/// overhaul; best of interleaved A/B runs, `UMI_SCALE=test`,
+/// `UMI_JOBS=2`, single-core container) — the baseline the decoded
+/// code-cache PR measures its speedup against.
+const PR1_BASELINE: &[(&str, f64)] = &[("table4", 12.26), ("table6", 3.69), ("fig3", 6.65)];
+
+/// `PR1_BASELINE` lookup.
+fn pr1_baseline(name: &str) -> Option<f64> {
+    PR1_BASELINE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| *s)
+}
+
 fn scale_name(scale: Scale) -> &'static str {
     match scale {
         Scale::Test => "test",
@@ -38,13 +52,18 @@ fn mips(insns: u64, seconds: f64) -> f64 {
 }
 
 /// Serializes one harness entry (the value object only, no name key).
-fn entry_json(scale: Scale, jobs: usize, wall: f64, stats: &[CellStat]) -> String {
+fn entry_json(name: &str, scale: Scale, jobs: usize, wall: f64, stats: &[CellStat]) -> String {
     let total_insns: u64 = stats.iter().map(|s| s.insns).sum();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("      \"scale\": \"{}\",\n", scale_name(scale)));
     out.push_str(&format!("      \"jobs\": {jobs},\n"));
     out.push_str(&format!("      \"wall_seconds\": {wall:.3},\n"));
+    if let Some(base) = pr1_baseline(name) {
+        if wall > 0.0 {
+            out.push_str(&format!("      \"speedup_vs_pr1\": {:.2},\n", base / wall));
+        }
+    }
     out.push_str(&format!("      \"total_insns\": {total_insns},\n"));
     out.push_str(&format!(
         "      \"minsns_per_sec\": {:.2},\n",
@@ -124,6 +143,15 @@ fn render(entries: &[(String, String)]) -> String {
         out.push_str(&format!("    \"{name}\": {secs:.2}{comma}\n"));
     }
     out.push_str("  },\n");
+    out.push_str("  \"pr1_baseline\": {\n");
+    out.push_str(
+        "    \"note\": \"PR 1 wall-clock, UMI_SCALE=test, UMI_JOBS=2, best of interleaved A/B, single-core container\",\n",
+    );
+    for (i, (name, secs)) in PR1_BASELINE.iter().enumerate() {
+        let comma = if i + 1 < PR1_BASELINE.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {secs:.2}{comma}\n"));
+    }
+    out.push_str("  },\n");
     out.push_str("  \"harnesses\": {\n");
     for (i, (name, body)) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
@@ -144,15 +172,14 @@ pub fn record(name: &str, scale: Scale, jobs: usize, wall: f64, stats: &[CellSta
         .ok()
         .and_then(|text| parse_entries(&text))
         .unwrap_or_default();
-    let body = entry_json(scale, jobs, wall, stats);
+    let body = entry_json(name, scale, jobs, wall, stats);
     match entries.iter_mut().find(|(n, _)| n == name) {
         Some(slot) => slot.1 = body,
         None => entries.push((name.to_string(), body)),
     }
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     let rendered = render(&entries);
-    let write = std::fs::create_dir_all("results")
-        .and_then(|()| std::fs::write(&path, rendered));
+    let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, rendered));
     if let Err(e) = write {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
@@ -163,13 +190,24 @@ mod tests {
     use super::*;
 
     fn stat(label: &str, seconds: f64, insns: u64) -> CellStat {
-        CellStat { label: label.to_string(), seconds, insns }
+        CellStat {
+            label: label.to_string(),
+            seconds,
+            insns,
+        }
     }
 
     #[test]
     fn entry_round_trips_through_scanner() {
-        let stats = vec![stat("164.gzip", 0.5, 1_000_000), stat("181.mcf", 1.25, 2_000_000)];
-        let body = entry_json(Scale::Test, 4, 1.75, &stats);
+        let stats = vec![
+            stat("164.gzip", 0.5, 1_000_000),
+            stat("181.mcf", 1.25, 2_000_000),
+        ];
+        let body = entry_json("fig3", Scale::Test, 4, 1.75, &stats);
+        assert!(
+            body.contains("speedup_vs_pr1"),
+            "known harness gets a speedup field"
+        );
         let file = render(&[("fig3".to_string(), body.clone())]);
         let parsed = parse_entries(&file).expect("own output must parse");
         assert_eq!(parsed.len(), 1);
@@ -179,11 +217,14 @@ mod tests {
 
     #[test]
     fn multiple_entries_survive_a_rewrite() {
-        let a = entry_json(Scale::Test, 1, 2.0, &[stat("a", 1.0, 10)]);
-        let b = entry_json(Scale::Bench, 2, 3.0, &[stat("b", 1.5, 20)]);
+        let a = entry_json("table4", Scale::Test, 1, 2.0, &[stat("a", 1.0, 10)]);
+        let b = entry_json("table6", Scale::Bench, 2, 3.0, &[stat("b", 1.5, 20)]);
         let file = render(&[("table4".into(), a.clone()), ("table6".into(), b.clone())]);
         let parsed = parse_entries(&file).expect("parses");
-        assert_eq!(parsed, vec![("table4".to_string(), a), ("table6".to_string(), b)]);
+        assert_eq!(
+            parsed,
+            vec![("table4".to_string(), a), ("table6".to_string(), b)]
+        );
     }
 
     #[test]

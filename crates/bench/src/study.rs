@@ -47,24 +47,40 @@ fn study_cell(
     // effects). Runs are deterministic, so this single pass doubles as
     // the "UMI only" measurement, and workloads without a plan are
     // rejected before any further run.
-    let (umi_only_off, report) =
-        run_umi(&program, config.clone(), platform.clone(), PrefetchSetting::Off);
+    let (umi_only_off, report) = run_umi(
+        &program,
+        config.clone(),
+        platform.clone(),
+        PrefetchSetting::Off,
+    );
     insns += umi_only_off.insns;
     let plan = PrefetchPlan::from_report(&report, 32);
     if plan.is_empty() {
-        return Cell { label: spec.name.to_string(), insns, value: None };
+        return Cell {
+            label: spec.name.to_string(),
+            insns,
+            value: None,
+        };
     }
     let optimized = inject_prefetches(&program, &plan);
-    let (umi_sw_off, _) =
-        run_umi(&optimized, config.clone(), platform.clone(), PrefetchSetting::Off);
+    let (umi_sw_off, _) = run_umi(
+        &optimized,
+        config.clone(),
+        platform.clone(),
+        PrefetchSetting::Off,
+    );
     let native_off = run_native(&program, platform.clone(), PrefetchSetting::Off);
     insns += umi_sw_off.insns + native_off.insns;
     // The HW-prefetch-on variants only feed Figures 5 and 6; Figures 3
     // and 4 skip two full runs per workload by not measuring them.
     let (native_hw, umi_sw_hw) = if hw_variants {
         let native_hw = run_native(&program, platform.clone(), PrefetchSetting::Full);
-        let (umi_sw_hw, _) =
-            run_umi(&optimized, config.clone(), platform.clone(), PrefetchSetting::Full);
+        let (umi_sw_hw, _) = run_umi(
+            &optimized,
+            config.clone(),
+            platform.clone(),
+            PrefetchSetting::Full,
+        );
         insns += native_hw.insns + umi_sw_hw.insns;
         (Some(native_hw), Some(umi_sw_hw))
     } else {
@@ -127,11 +143,7 @@ pub fn prefetch_study(scale: Scale, platform: Platform, config: UmiConfig) -> Ve
 }
 
 /// Re-plans a single workload (used by ablations that vary the distance).
-pub fn plan_for(
-    program: &umi_ir::Program,
-    config: UmiConfig,
-    distance_refs: i64,
-) -> PrefetchPlan {
+pub fn plan_for(program: &umi_ir::Program, config: UmiConfig, distance_refs: i64) -> PrefetchPlan {
     let (_, report) = run_umi(program, config, Platform::pentium4(), PrefetchSetting::Off);
     PrefetchPlan::from_report(&report, distance_refs)
 }

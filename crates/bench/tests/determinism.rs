@@ -33,8 +33,13 @@ fn prefetch_study_rows_identical_across_job_counts() {
         .0
     };
     let sequential = study(1);
-    assert!(!sequential.is_empty(), "subset must contain prefetch opportunities");
-    assert!(sequential.iter().all(|r| r.native_hw.is_some() && r.umi_sw_hw.is_some()));
+    assert!(
+        !sequential.is_empty(),
+        "subset must contain prefetch opportunities"
+    );
+    assert!(sequential
+        .iter()
+        .all(|r| r.native_hw.is_some() && r.umi_sw_hw.is_some()));
     let parallel = study(4);
     assert_eq!(parallel, sequential, "rows differ at jobs=4");
 }
@@ -61,7 +66,9 @@ fn prefetch_stats_keep_workload_order() {
     assert_eq!(seq, names, "sequential stats must follow suite order");
     assert_eq!(par, names, "parallel stats must follow suite order");
     // The K7 study skips the HW-prefetch variants entirely.
-    assert!(seq_rows.iter().all(|r| r.native_hw.is_none() && r.umi_sw_hw.is_none()));
+    assert!(seq_rows
+        .iter()
+        .all(|r| r.native_hw.is_none() && r.umi_sw_hw.is_none()));
 }
 
 #[test]
@@ -69,10 +76,14 @@ fn correlation_rows_identical_across_job_counts_and_vs_plain_loop() {
     let specs: Vec<WorkloadSpec> = all32().into_iter().step_by(8).collect();
 
     // The pre-engine harness shape: a plain sequential loop.
-    let by_hand: Vec<CorrRow> =
-        specs.iter().map(|spec| corr_cell(spec, Scale::Test).value).collect();
+    let by_hand: Vec<CorrRow> = specs
+        .iter()
+        .map(|spec| corr_cell(spec, Scale::Test).value)
+        .collect();
 
-    for jobs in [1, 4] {
+    // Pin the decoded-engine rows across UMI_JOBS ∈ {1, 2, all-cores}.
+    let all_jobs = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for jobs in [1, 2, all_jobs] {
         let (rows, stats) = run_cells(jobs, &specs, |spec| corr_cell(spec, Scale::Test));
         assert_eq!(rows, by_hand, "correlation rows differ at jobs={jobs}");
         let labels: Vec<&str> = stats.iter().map(|s| s.label.as_str()).collect();

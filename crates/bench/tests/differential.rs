@@ -1,0 +1,53 @@
+//! Decoded-engine ⇄ tree-walk differential.
+//!
+//! The pre-decoded micro-op interpreter must be observationally identical
+//! to the legacy instruction-tree walker: same architectural statistics
+//! and the same dynamic access stream, access by access, on every
+//! workload of the main evaluation suite. The legacy engine is retained
+//! precisely so this equivalence stays checkable.
+
+use umi_vm::{CollectSink, Vm};
+use umi_workloads::{all32, Scale};
+
+/// Per-engine fuel cap. Both engines check the cap at the same block
+/// boundaries, so capped runs still stop at the identical point; the cap
+/// keeps the debug-profile suite affordable while every workload's inner
+/// loops execute many times over.
+const MAX_INSNS: u64 = 2_000_000;
+
+#[test]
+fn decoded_engine_matches_tree_walk_on_all_workloads() {
+    for spec in all32() {
+        let program = spec.build(Scale::Test);
+
+        let mut decoded_sink = CollectSink::default();
+        let decoded = Vm::new(&program).run(&mut decoded_sink, MAX_INSNS);
+
+        let mut tree_sink = CollectSink::default();
+        let tree = Vm::new(&program).run_tree(&mut tree_sink, MAX_INSNS);
+
+        assert_eq!(
+            decoded.finished, tree.finished,
+            "{}: finished diverges",
+            spec.name
+        );
+        assert_eq!(decoded.stats, tree.stats, "{}: VmStats diverge", spec.name);
+        assert_eq!(
+            decoded_sink.accesses.len(),
+            tree_sink.accesses.len(),
+            "{}: access counts diverge",
+            spec.name
+        );
+        if let Some(i) = decoded_sink
+            .accesses
+            .iter()
+            .zip(&tree_sink.accesses)
+            .position(|(a, b)| a != b)
+        {
+            panic!(
+                "{}: access streams diverge at index {i}: decoded={:?} tree={:?}",
+                spec.name, decoded_sink.accesses[i], tree_sink.accesses[i]
+            );
+        }
+    }
+}

@@ -40,9 +40,17 @@ impl CacheConfig {
     /// dimension is zero.
     pub fn new(sets: usize, ways: usize, line_size: u64) -> CacheConfig {
         assert!(sets.is_power_of_two(), "sets {sets} not a power of two");
-        assert!(line_size.is_power_of_two(), "line size {line_size} not a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size {line_size} not a power of two"
+        );
         assert!(ways > 0, "associativity must be positive");
-        CacheConfig { sets, ways, line_size, policy: ReplacementPolicy::Lru }
+        CacheConfig {
+            sets,
+            ways,
+            line_size,
+            policy: ReplacementPolicy::Lru,
+        }
     }
 
     /// Creates a config from total capacity.

@@ -73,7 +73,12 @@ pub fn delinquent_set(stats: &PerPcStats, x: f64) -> DelinquentSet {
         covered += misses;
         pcs.push(pc);
     }
-    DelinquentSet { pcs, total_misses: total, covered_misses: covered, target: x }
+    DelinquentSet {
+        pcs,
+        total_misses: total,
+        covered_misses: covered,
+        target: x,
+    }
 }
 
 #[cfg(test)]

@@ -108,32 +108,27 @@ impl FullSimulator {
 }
 
 impl AccessSink for FullSimulator {
+    #[inline]
     fn access(&mut self, access: umi_ir::MemAccess) {
         if !access.is_demand() {
             return;
         }
-        let level = match access.kind {
-            umi_ir::AccessKind::Store => self.hierarchy.access_write(access.addr),
-            _ => self.hierarchy.access(access.addr),
+        let is_store = access.kind == umi_ir::AccessKind::Store;
+        let level = if is_store {
+            self.hierarchy.access_write(access.addr)
+        } else {
+            self.hierarchy.access(access.addr)
         };
-        let reaches_l2 = level != HitLevel::L1;
         let l2_miss = level == HitLevel::Memory;
-        match access.kind {
-            umi_ir::AccessKind::Load => {
-                self.per_pc.record_load(access.pc, l2_miss);
-                if reaches_l2 {
-                    self.l2_loads.accesses += 1;
-                    self.l2_loads.misses += l2_miss as u64;
-                }
-            }
-            umi_ir::AccessKind::Store => {
-                self.per_pc.record_store(access.pc, l2_miss);
-                if reaches_l2 {
-                    self.l2_stores.accesses += 1;
-                    self.l2_stores.misses += l2_miss as u64;
-                }
-            }
-            umi_ir::AccessKind::Prefetch => unreachable!("filtered above"),
+        self.per_pc.record(access.pc, is_store, l2_miss);
+        if level != HitLevel::L1 {
+            let l2 = if is_store {
+                &mut self.l2_stores
+            } else {
+                &mut self.l2_loads
+            };
+            l2.accesses += 1;
+            l2.misses += l2_miss as u64;
         }
     }
 }
@@ -144,7 +139,12 @@ mod tests {
     use umi_ir::{AccessKind, MemAccess, Pc};
 
     fn acc(pc: u64, addr: u64, kind: AccessKind) -> MemAccess {
-        MemAccess { pc: Pc(pc), addr, width: 8, kind }
+        MemAccess {
+            pc: Pc(pc),
+            addr,
+            width: 8,
+            kind,
+        }
     }
 
     #[test]

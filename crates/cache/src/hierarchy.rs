@@ -31,27 +31,41 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Creates an empty hierarchy from the two geometries.
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> Hierarchy {
-        Hierarchy { l1: SetAssocCache::new(l1), l2: SetAssocCache::new(l2) }
+        Hierarchy {
+            l1: SetAssocCache::new(l1),
+            l2: SetAssocCache::new(l2),
+        }
     }
 
     /// References `addr` as a read and reports the level that satisfied
     /// it.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> HitLevel {
         self.access_rw(addr, false)
     }
 
     /// References `addr` as a write (write-back, write-allocate at both
     /// levels) and reports the level that satisfied it.
+    #[inline]
     pub fn access_write(&mut self, addr: u64) -> HitLevel {
         self.access_rw(addr, true)
     }
 
+    #[inline]
     fn access_rw(&mut self, addr: u64, write: bool) -> HitLevel {
-        let l1 = if write { self.l1.access_write(addr) } else { self.l1.access(addr) };
+        let l1 = if write {
+            self.l1.access_write(addr)
+        } else {
+            self.l1.access(addr)
+        };
         if l1.hit {
             return HitLevel::L1;
         }
-        let l2 = if write { self.l2.access_write(addr) } else { self.l2.access(addr) };
+        let l2 = if write {
+            self.l2.access_write(addr)
+        } else {
+            self.l2.access(addr)
+        };
         if l2.hit {
             HitLevel::L2
         } else {
@@ -153,7 +167,10 @@ mod tests {
         for i in 0..=(l1.ways as u64) {
             h.access_write(0x40_0000 + i * stride);
         }
-        assert!(h.l1_stats().writebacks >= 1, "dirty eviction must write back");
+        assert!(
+            h.l1_stats().writebacks >= 1,
+            "dirty eviction must write back"
+        );
         // Reads alone never write back.
         let mut r = p4();
         for i in 0..=(l1.ways as u64) {

@@ -52,19 +52,16 @@ const HASH_MUL: u64 = 0x9e37_79b9_7f4a_7c15;
 /// than a SipHash `HashMap`. A side effect worth having: iteration order
 /// is a pure function of the insertion sequence, where the standard map's
 /// per-process random seed made it differ run to run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct PerPcStats {
     /// `keys[i]` is an instruction address (or [`NO_PC`]); `vals[i]` its
     /// counters. Capacity is a power of two; load factor stays below 3/4.
     keys: Vec<u64>,
     vals: Vec<PcMissStats>,
     len: usize,
-}
-
-impl Default for PerPcStats {
-    fn default() -> PerPcStats {
-        PerPcStats { keys: Vec::new(), vals: Vec::new(), len: 0 }
-    }
+    /// `len` at which the table grows next (¾ of capacity), precomputed
+    /// so the per-reference hot path compares instead of multiplying.
+    grow_at: usize,
 }
 
 impl PerPcStats {
@@ -82,7 +79,7 @@ impl PerPcStats {
     #[inline]
     fn entry(&mut self, pc: Pc) -> &mut PcMissStats {
         debug_assert_ne!(pc.0, NO_PC, "Pc(u64::MAX) is reserved");
-        if (self.len + 1) * 4 > self.keys.len() * 3 {
+        if self.len >= self.grow_at {
             self.grow();
         }
         let mask = self.keys.len() - 1;
@@ -103,9 +100,9 @@ impl PerPcStats {
 
     fn grow(&mut self) {
         let cap = (self.keys.len() * 2).max(16);
+        self.grow_at = cap * 3 / 4;
         let old_keys = std::mem::replace(&mut self.keys, vec![NO_PC; cap]);
-        let old_vals =
-            std::mem::replace(&mut self.vals, vec![PcMissStats::default(); cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![PcMissStats::default(); cap]);
         let mask = cap - 1;
         for (k, v) in old_keys.into_iter().zip(old_vals) {
             if k == NO_PC {
@@ -121,6 +118,7 @@ impl PerPcStats {
     }
 
     /// Records one load by `pc`.
+    #[inline]
     pub fn record_load(&mut self, pc: Pc, missed: bool) {
         let e = self.entry(pc);
         e.load_accesses += 1;
@@ -128,10 +126,24 @@ impl PerPcStats {
     }
 
     /// Records one store by `pc`.
+    #[inline]
     pub fn record_store(&mut self, pc: Pc, missed: bool) {
         let e = self.entry(pc);
         e.store_accesses += 1;
         e.store_misses += missed as u64;
+    }
+
+    /// Records one access by `pc`, load/store selected by `is_store`.
+    #[inline]
+    pub fn record(&mut self, pc: Pc, is_store: bool, missed: bool) {
+        let e = self.entry(pc);
+        if is_store {
+            e.store_accesses += 1;
+            e.store_misses += missed as u64;
+        } else {
+            e.load_accesses += 1;
+            e.load_misses += missed as u64;
+        }
     }
 
     /// Statistics for one instruction (zeros if never seen).
@@ -264,8 +276,20 @@ mod tests {
     #[test]
     fn from_iter_last_write_wins() {
         let s: PerPcStats = [
-            (Pc(1), PcMissStats { load_accesses: 1, ..Default::default() }),
-            (Pc(1), PcMissStats { load_accesses: 9, ..Default::default() }),
+            (
+                Pc(1),
+                PcMissStats {
+                    load_accesses: 1,
+                    ..Default::default()
+                },
+            ),
+            (
+                Pc(1),
+                PcMissStats {
+                    load_accesses: 9,
+                    ..Default::default()
+                },
+            ),
         ]
         .into_iter()
         .collect();

@@ -22,7 +22,12 @@ struct Line {
     time: u64,
 }
 
-const EMPTY: Line = Line { tag: 0, valid: false, dirty: false, time: 0 };
+const EMPTY: Line = Line {
+    tag: 0,
+    valid: false,
+    dirty: false,
+    time: 0,
+};
 
 /// A set-associative cache over line-aligned addresses.
 ///
@@ -85,23 +90,21 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
-    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
-        let s = ((addr >> self.line_shift) as usize) & self.set_mask;
-        s * self.config.ways..(s + 1) * self.config.ways
-    }
-
     /// References `addr` as a read, updating replacement state and
     /// statistics.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         self.access_rw(addr, false)
     }
 
     /// References `addr` as a write: like [`access`](Self::access), and
     /// additionally marks the line dirty (write-back, write-allocate).
+    #[inline]
     pub fn access_write(&mut self, addr: u64) -> AccessOutcome {
         self.access_rw(addr, true)
     }
 
+    #[inline]
     fn access_rw(&mut self, addr: u64, write: bool) -> AccessOutcome {
         self.clock += 1;
         let clock = self.clock;
@@ -119,7 +122,10 @@ impl SetAssocCache {
                     line.time = clock;
                 }
                 line.dirty |= write;
-                return AccessOutcome { hit: true, evicted: None };
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                };
             }
         }
         let ways = self.config.ways;
@@ -129,8 +135,7 @@ impl SetAssocCache {
 
         self.stats.accesses += 1;
         // Single pass: look for the tag while tracking the would-be victim
-        // (first invalid way, else the first oldest-time way — the same
-        // choice the former two-pass position/min_by_key scan made).
+        // (first invalid way, else the first oldest-time way).
         let mut invalid: Option<usize> = None;
         let mut oldest = 0usize;
         let mut oldest_time = u64::MAX;
@@ -143,7 +148,10 @@ impl SetAssocCache {
                     line.dirty |= write;
                     self.last_block = block;
                     self.last_slot = base + i;
-                    return AccessOutcome { hit: true, evicted: None };
+                    return AccessOutcome {
+                        hit: true,
+                        evicted: None,
+                    };
                 }
                 if line.time < oldest_time {
                     oldest_time = line.time;
@@ -170,14 +178,22 @@ impl SetAssocCache {
             },
         };
         let old = set[victim];
-        set[victim] = Line { tag, valid: true, dirty: write, time: clock };
+        set[victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            time: clock,
+        };
         self.last_block = block;
         self.last_slot = base + victim;
         if old.valid && old.dirty {
             self.stats.writebacks += 1;
         }
         let evicted = old.valid.then(|| self.reconstruct_addr(addr, old.tag));
-        AccessOutcome { hit: false, evicted }
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 
     /// Inserts the line containing `addr` without counting an access or a
@@ -193,7 +209,9 @@ impl SetAssocCache {
     /// replacement state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
         let tag = addr >> self.line_shift >> self.set_bits;
-        self.lines[self.set_range(addr)].iter().any(|l| l.valid && l.tag == tag)
+        let s = ((addr >> self.line_shift) as usize) & self.set_mask;
+        let range = s * self.config.ways..(s + 1) * self.config.ways;
+        self.lines[range].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every line (the analyzer's periodic flush, §5).

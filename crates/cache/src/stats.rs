@@ -40,7 +40,11 @@ mod tests {
 
     #[test]
     fn ratio_and_hits() {
-        let s = CacheStats { accesses: 10, misses: 3, writebacks: 0 };
+        let s = CacheStats {
+            accesses: 10,
+            misses: 3,
+            writebacks: 0,
+        };
         assert_eq!(s.hits(), 7);
         assert!((s.miss_ratio() - 0.3).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
@@ -48,8 +52,23 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = CacheStats { accesses: 5, misses: 1, writebacks: 1 };
-        a.merge(CacheStats { accesses: 3, misses: 2, writebacks: 2 });
-        assert_eq!(a, CacheStats { accesses: 8, misses: 3, writebacks: 3 });
+        let mut a = CacheStats {
+            accesses: 5,
+            misses: 1,
+            writebacks: 1,
+        };
+        a.merge(CacheStats {
+            accesses: 3,
+            misses: 2,
+            writebacks: 2,
+        });
+        assert_eq!(
+            a,
+            CacheStats {
+                accesses: 8,
+                misses: 3,
+                writebacks: 3
+            }
+        );
     }
 }

@@ -48,7 +48,10 @@ impl RefCache {
             if self.policy == ReplacementPolicy::Lru {
                 line.1 = self.clock;
             }
-            return AccessOutcome { hit: true, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
         self.misses += 1;
 
@@ -56,48 +59,53 @@ impl RefCache {
         // (`min_by_key` keeps the first minimum, like the original).
         let victim = match ways.iter().position(|(_, _, v)| !*v) {
             Some(i) => i,
-            None => {
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, (_, time, _))| *time)
-                    .map(|(i, _)| i)
-                    .expect("ways is non-empty")
-            }
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, time, _))| *time)
+                .map(|(i, _)| i)
+                .expect("ways is non-empty"),
         };
         let (old_tag, _, old_valid) = ways[victim];
         ways[victim] = (tag, self.clock, true);
-        let evicted = old_valid
-            .then(|| (old_tag * self.sets as u64 + set as u64) * self.line_size);
-        AccessOutcome { hit: false, evicted }
+        let evicted = old_valid.then(|| (old_tag * self.sets as u64 + set as u64) * self.line_size);
+        AccessOutcome {
+            hit: false,
+            evicted,
+        }
     }
 }
 
 fn random_stream_matches(policy: ReplacementPolicy) {
-    check(&format!("single-pass scan matches two-pass ({policy:?})"), 64, |rng| {
-        let sets = 1usize << rng.below(4); // 1..8 sets
-        let ways = 1usize << rng.below(3); // 1..4 ways
-        let line = 64u64;
-        let mut prod = SetAssocCache::new(CacheConfig::new(sets, ways, 64).policy(policy));
-        let mut refc = RefCache::new(sets, ways, line, policy);
-        // A small address universe forces conflicts, repeats (MRU fast
-        // path), and full sets; the occasional same-line offset exercises
-        // block vs addr handling.
-        for step in 0..2000u32 {
-            let addr = rng.below(16 * sets as u64) * line + rng.below(line);
-            let got = if rng.below(8) == 0 {
-                prod.access_write(addr) // dirty bookkeeping must not affect placement
-            } else {
-                prod.access(addr)
-            };
-            let want = refc.access(addr);
-            assert_eq!(
-                got, want,
-                "divergence at step {step}, addr {addr:#x}, {sets} sets x {ways} ways"
-            );
-        }
-        assert_eq!(prod.stats().accesses, refc.accesses);
-        assert_eq!(prod.stats().misses, refc.misses);
-    });
+    check(
+        &format!("single-pass scan matches two-pass ({policy:?})"),
+        64,
+        |rng| {
+            let sets = 1usize << rng.below(4); // 1..8 sets
+            let ways = 1usize << rng.below(3); // 1..4 ways
+            let line = 64u64;
+            let mut prod = SetAssocCache::new(CacheConfig::new(sets, ways, 64).policy(policy));
+            let mut refc = RefCache::new(sets, ways, line, policy);
+            // A small address universe forces conflicts, repeats (MRU fast
+            // path), and full sets; the occasional same-line offset exercises
+            // block vs addr handling.
+            for step in 0..2000u32 {
+                let addr = rng.below(16 * sets as u64) * line + rng.below(line);
+                let got = if rng.below(8) == 0 {
+                    prod.access_write(addr) // dirty bookkeeping must not affect placement
+                } else {
+                    prod.access(addr)
+                };
+                let want = refc.access(addr);
+                assert_eq!(
+                    got, want,
+                    "divergence at step {step}, addr {addr:#x}, {sets} sets x {ways} ways"
+                );
+            }
+            assert_eq!(prod.stats().accesses, refc.accesses);
+            assert_eq!(prod.stats().misses, refc.misses);
+        },
+    );
 }
 
 #[test]
@@ -114,13 +122,18 @@ fn fifo_victim_choice_is_preserved() {
 /// through an aliasing line: hammer two conflicting lines plus repeats.
 #[test]
 fn mru_slot_survives_eviction_aliasing() {
-    check("MRU fast path self-invalidates", 64, |rng: &mut Xoshiro256pp| {
-        let mut prod = SetAssocCache::new(CacheConfig::new(1, 1, 64).policy(ReplacementPolicy::Lru));
-        let mut refc = RefCache::new(1, 1, 64, ReplacementPolicy::Lru);
-        for _ in 0..500 {
-            // Two tags aliasing into the single line + in-line repeats.
-            let addr = rng.below(2) * 64 + rng.below(64);
-            assert_eq!(prod.access(addr), refc.access(addr));
-        }
-    });
+    check(
+        "MRU fast path self-invalidates",
+        64,
+        |rng: &mut Xoshiro256pp| {
+            let mut prod =
+                SetAssocCache::new(CacheConfig::new(1, 1, 64).policy(ReplacementPolicy::Lru));
+            let mut refc = RefCache::new(1, 1, 64, ReplacementPolicy::Lru);
+            for _ in 0..500 {
+                // Two tags aliasing into the single line + in-line repeats.
+                let addr = rng.below(2) * 64 + rng.below(64);
+                assert_eq!(prod.access(addr), refc.access(addr));
+            }
+        },
+    );
 }

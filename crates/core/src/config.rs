@@ -113,7 +113,9 @@ impl UmiConfig {
     /// sample-to-work ratio comparable.
     pub fn sampled() -> UmiConfig {
         UmiConfig {
-            sampling: SamplingMode::Periodic { period_insns: 20_000 },
+            sampling: SamplingMode::Periodic {
+                period_insns: 20_000,
+            },
             ..UmiConfig::no_sampling()
         }
     }

@@ -59,7 +59,9 @@ impl DelinquencyTracker {
         for ta in &analysis.per_trace {
             let threshold = self.threshold(ta.trace);
             for op in &ta.ops {
-                if op.is_load && op.accesses > 0 && op.miss_ratio() > threshold
+                if op.is_load
+                    && op.accesses > 0
+                    && op.miss_ratio() > threshold
                     && self.predicted.insert(op.pc)
                 {
                     fresh.push(op.pc);
@@ -82,24 +84,35 @@ mod tests {
 
     fn analysis(trace: u32, ops: Vec<OpAnalysis>) -> AnalysisResult {
         AnalysisResult {
-            per_trace: vec![TraceAnalysis { trace: TraceId(trace), ops }],
+            per_trace: vec![TraceAnalysis {
+                trace: TraceId(trace),
+                ops,
+            }],
             refs_simulated: 0,
             flushed: false,
         }
     }
 
     fn op(pc: u64, accesses: u64, misses: u64, is_load: bool) -> OpAnalysis {
-        OpAnalysis { pc: Pc(pc), accesses, misses, is_load }
+        OpAnalysis {
+            pc: Pc(pc),
+            accesses,
+            misses,
+            is_load,
+        }
     }
 
     #[test]
     fn labels_only_above_threshold_loads() {
         let mut t = DelinquencyTracker::new(0.90, 0.10, 0.10, true);
-        let a = analysis(0, vec![
-            op(1, 10, 10, true),  // ratio 1.0 > 0.90: labeled
-            op(2, 10, 8, true),   // ratio 0.8 < 0.90: not labeled
-            op(3, 10, 10, false), // store: never labeled
-        ]);
+        let a = analysis(
+            0,
+            vec![
+                op(1, 10, 10, true),  // ratio 1.0 > 0.90: labeled
+                op(2, 10, 8, true),   // ratio 0.8 < 0.90: not labeled
+                op(3, 10, 10, false), // store: never labeled
+            ],
+        );
         let fresh = t.label(&a);
         assert_eq!(fresh, vec![Pc(1)]);
         assert!(t.predicted().contains(&Pc(1)));
@@ -113,7 +126,10 @@ mod tests {
         for _ in 0..20 {
             t.decay(tid);
         }
-        assert!((t.threshold(tid) - 0.10).abs() < 1e-9, "clamped at the floor");
+        assert!(
+            (t.threshold(tid) - 0.10).abs() < 1e-9,
+            "clamped at the floor"
+        );
         // Other traces are unaffected.
         assert!((t.threshold(TraceId(1)) - 0.90).abs() < 1e-9);
     }

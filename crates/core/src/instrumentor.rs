@@ -2,8 +2,13 @@
 //! (paper §4).
 
 use umi_dbi::{Trace, TraceId};
+use umi_ir::decoded::block_access_pcs;
 use umi_ir::fastmap::U64Map;
 use umi_ir::{Pc, Program};
+
+/// Column value in [`TraceInstrumentation::block_cols`] marking an access
+/// slot that is not profiled (filtered reference or prefetch hint).
+pub const NO_COL: u16 = u16::MAX;
 
 /// The instrumentation plan for one trace: which instructions are profiled
 /// and which profile column each one writes.
@@ -13,8 +18,15 @@ pub struct TraceInstrumentation {
     pub trace: TraceId,
     /// Profiled instructions, in trace order; index = profile column.
     pub ops: Vec<Pc>,
-    /// Column lookup, queried once per demand access of an active trace.
+    /// Column lookup by pc (kept for slow paths and tests; the hot
+    /// recording path uses [`block_cols`](Self::block_cols)).
     op_of: U64Map<u16>,
+    /// Pre-instrumented trace body: for component block `i`,
+    /// `block_cols[i][slot]` is the profile column of the block's
+    /// `slot`-th memory access, or [`NO_COL`]. Aligned with the decoded
+    /// engine's per-block access batch, so recording is a zip over two
+    /// slices instead of a per-access map lookup.
+    pub block_cols: Vec<Box<[u16]>>,
     /// Memory-accessing instructions in the trace before filtering.
     pub candidates: usize,
 }
@@ -24,6 +36,12 @@ impl TraceInstrumentation {
     #[inline]
     pub fn op_of(&self, pc: Pc) -> Option<u16> {
         self.op_of.get(pc.0)
+    }
+
+    /// The per-slot columns of the trace's `pos`-th component block.
+    #[inline]
+    pub fn cols_at(&self, pos: usize) -> Option<&[u16]> {
+        self.block_cols.get(pos).map(|c| &**c)
     }
 
     /// Number of instrumented operations.
@@ -89,7 +107,34 @@ impl Instrumentor {
                 }
             }
         }
-        TraceInstrumentation { trace: trace.id, ops, op_of, candidates }
+
+        // Pre-instrument the decoded trace body: resolve every access
+        // slot's column once, here, so the runtime's recording loop never
+        // looks up a pc again. The slot layout comes from the trace cache's
+        // decoded snapshot when present, and is re-derived from the IR for
+        // traces inserted without one.
+        let mut block_cols = Vec::with_capacity(trace.blocks.len());
+        for (i, &bid) in trace.blocks.iter().enumerate() {
+            let cols: Box<[u16]> = match trace.access_pcs.get(i) {
+                Some(pcs) => pcs
+                    .iter()
+                    .map(|pc| op_of.get(pc.0).unwrap_or(NO_COL))
+                    .collect(),
+                None => block_access_pcs(program.block(bid))
+                    .iter()
+                    .map(|pc| op_of.get(pc.0).unwrap_or(NO_COL))
+                    .collect(),
+            };
+            block_cols.push(cols);
+        }
+
+        TraceInstrumentation {
+            trace: trace.id,
+            ops,
+            op_of,
+            block_cols,
+            candidates,
+        }
     }
 }
 
@@ -107,7 +152,10 @@ mod tests {
         let table = pb.data_words(&[0; 8]);
         let body = pb.new_block();
         let done = pb.new_block();
-        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 1 << 16).jmp(body);
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 1 << 16)
+            .jmp(body);
         pb.block(body)
             .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8) // heap: keep
             .load(Reg::EBX, Reg::EBP + -8, Width::W8) // stack: filter
@@ -125,7 +173,7 @@ mod tests {
     fn trace_of(program: &Program) -> (Trace, DbiRuntime<'_>) {
         let mut rt = DbiRuntime::new(program, CostModel::free());
         rt.run(&mut NullSink, 1 << 22);
-        assert!(rt.traces().len() >= 1);
+        assert!(!rt.traces().is_empty());
         (rt.traces().trace(TraceId(0)).clone(), rt)
     }
 
@@ -166,7 +214,9 @@ mod tests {
             src: umi_ir::Operand::Imm(1)
         }));
         // Prefetch is a hint, not a memory access.
-        assert!(!i.selects(&umi_ir::Insn::Prefetch { mem: MemRef::base(Reg::ESI) }));
+        assert!(!i.selects(&umi_ir::Insn::Prefetch {
+            mem: MemRef::base(Reg::ESI)
+        }));
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl PredictionQuality {
             },
             p_miss_coverage: p_cov,
             pc_miss_coverage: pc_cov,
-            recall: if c.is_empty() { 0.0 } else { intersection as f64 / c.len() as f64 },
+            recall: if c.is_empty() {
+                0.0
+            } else {
+                intersection as f64 / c.len() as f64
+            },
             false_positive: if predicted.is_empty() {
                 0.0
             } else {
@@ -144,7 +148,11 @@ mod tests {
             .map(|&(pc, misses)| {
                 (
                     Pc(pc),
-                    PcMissStats { load_accesses: misses + 1, load_misses: misses, ..Default::default() },
+                    PcMissStats {
+                        load_accesses: misses + 1,
+                        load_misses: misses,
+                        ..Default::default()
+                    },
                 )
             })
             .collect()

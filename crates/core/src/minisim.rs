@@ -179,7 +179,10 @@ impl MiniSimulator {
         self.last_run = Some(now_cycles);
         self.invocations += 1;
 
-        let mut result = AnalysisResult { flushed, ..Default::default() };
+        let mut result = AnalysisResult {
+            flushed,
+            ..Default::default()
+        };
         for (tid, profile) in profiles {
             // Invocation-local per-op accounting, indexed by column.
             let mut acc = vec![(0u64, 0u64); profile.ops.len()];
@@ -190,7 +193,9 @@ impl MiniSimulator {
                     let hit = self.cache.access(r.addr).hit;
                     let l1_hit = self.l1_filter.access(r.addr).hit;
                     let first_touch = self.exclude_compulsory
-                        && self.seen_lines.insert(self.cache.config().line_addr(r.addr));
+                        && self
+                            .seen_lines
+                            .insert(self.cache.config().line_addr(r.addr));
                     // Accounting counts only references past the warm-up
                     // rows that would miss a host-L1-shaped cache, making
                     // the statistics L2-style quantities commensurable
@@ -341,7 +346,10 @@ mod tests {
         // >1M cycles later: the cache must be flushed first.
         let r = s.analyze(&[mk(0x9000)], 2_000_000, |_| true);
         assert!(r.flushed);
-        assert_eq!(r.per_trace[0].ops[0].misses, 1, "state was contaminated-free");
+        assert_eq!(
+            r.per_trace[0].ops[0].misses, 1,
+            "state was contaminated-free"
+        );
         assert_eq!(s.flushes(), 1);
     }
 
@@ -372,7 +380,7 @@ mod tests {
         let mut s = MiniSimulator::new(CacheConfig::pentium4_l2(), 0, None);
         s.set_exclude_compulsory(false);
         let prof = streaming_profile(1);
-        s.analyze(&[prof.clone()], 0, |_| true);
+        s.analyze(std::slice::from_ref(&prof), 0, |_| true);
         let r = s.analyze(&[prof], u64::MAX, |_| true);
         assert!(!r.flushed);
     }

@@ -96,7 +96,11 @@ where
             }
         }
     }
-    WorkingSet { lines: lines.len(), bytes: lines.len() as u64 * 64, refs }
+    WorkingSet {
+        lines: lines.len(),
+        bytes: lines.len() as u64 * 64,
+        refs,
+    }
 }
 
 #[cfg(test)]

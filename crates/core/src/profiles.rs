@@ -54,7 +54,12 @@ pub struct AddressProfile {
 impl AddressProfile {
     /// Creates an empty profile for the given columns.
     pub fn new(ops: Vec<Pc>, max_rows: usize) -> AddressProfile {
-        AddressProfile { ops, refs: Vec::new(), row_starts: Vec::new(), max_rows }
+        AddressProfile {
+            ops,
+            refs: Vec::new(),
+            row_starts: Vec::new(),
+            max_rows,
+        }
     }
 
     /// Number of recorded rows (trace executions).
@@ -88,7 +93,11 @@ impl AddressProfile {
     /// that executed the operation) — the per-instruction view used for
     /// stride discovery.
     pub fn column(&self, op: u16) -> Vec<u64> {
-        self.refs.iter().filter(|r| r.op == op).map(|r| r.addr).collect()
+        self.refs
+            .iter()
+            .filter(|r| r.op == op)
+            .map(|r| r.addr)
+            .collect()
     }
 
     fn begin_row(&mut self) {
@@ -140,7 +149,9 @@ impl ProfileStore {
 
     #[inline]
     fn slot_mut(&mut self, trace: TraceId) -> Option<&mut AddressProfile> {
-        self.profiles.get_mut(trace.0 as usize).and_then(Option::as_mut)
+        self.profiles
+            .get_mut(trace.0 as usize)
+            .and_then(Option::as_mut)
     }
 
     /// Registers (or re-registers) a trace for profiling with the given
@@ -160,7 +171,9 @@ impl ProfileStore {
 
     /// Removes a trace's profile (profiling switched off), returning it.
     pub fn unregister(&mut self, trace: TraceId) -> Option<AddressProfile> {
-        self.profiles.get_mut(trace.0 as usize).and_then(Option::take)
+        self.profiles
+            .get_mut(trace.0 as usize)
+            .and_then(Option::take)
     }
 
     /// Rows allocated since the last drain.
@@ -188,7 +201,10 @@ impl ProfileStore {
     /// Panics if the trace is not registered or a trigger condition is
     /// pending (the runtime must drain first).
     pub fn begin_row(&mut self, trace: TraceId) {
-        assert!(self.trigger(trace).is_none(), "begin_row while analyzer trigger pending");
+        assert!(
+            self.trigger(trace).is_none(),
+            "begin_row while analyzer trigger pending"
+        );
         let p = self.slot_mut(trace).expect("trace not registered");
         p.begin_row();
         self.total_rows += 1;

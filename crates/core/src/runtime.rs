@@ -3,7 +3,7 @@
 
 use crate::config::{SamplingMode, UmiConfig};
 use crate::delinquency::DelinquencyTracker;
-use crate::instrumentor::{Instrumentor, TraceInstrumentation};
+use crate::instrumentor::{Instrumentor, TraceInstrumentation, NO_COL};
 use crate::minisim::MiniSimulator;
 use crate::profiles::ProfileStore;
 use crate::report::UmiReport;
@@ -193,7 +193,9 @@ impl<'p> UmiRuntime<'p> {
                     }
                 }
                 if flag(&self.active, tid) {
-                    let plan = self.plans[tid.index()].as_ref().expect("active trace has plan");
+                    let plan = self.plans[tid.index()]
+                        .as_ref()
+                        .expect("active trace has plan");
                     if info.entered_trace {
                         self.umi_overhead += self.config.prolog_cost;
                         if self.store.trigger(tid).is_some() {
@@ -206,15 +208,37 @@ impl<'p> UmiRuntime<'p> {
                         }
                     }
                     if deferred_row.is_none() {
-                        for a in info.accesses.iter().filter(|a| a.is_demand()) {
-                            if let Some(op) = plan.op_of(a.pc) {
-                                self.store.record(
-                                    tid,
-                                    op,
-                                    a.addr,
-                                    a.kind == umi_ir::AccessKind::Store,
-                                );
-                                self.umi_overhead += self.config.record_cost;
+                        // Pre-instrumented fast path: the block's access
+                        // batch aligns slot-for-slot with the plan's
+                        // per-block column table, so recording is a zip —
+                        // no per-access pc lookup. Filtered slots and
+                        // prefetch hints carry NO_COL.
+                        match plan.cols_at(info.trace_pos) {
+                            Some(cols) if cols.len() == info.accesses.len() => {
+                                for (a, &col) in info.accesses.iter().zip(cols) {
+                                    if col != NO_COL {
+                                        self.store.record(
+                                            tid,
+                                            col,
+                                            a.addr,
+                                            a.kind == umi_ir::AccessKind::Store,
+                                        );
+                                        self.umi_overhead += self.config.record_cost;
+                                    }
+                                }
+                            }
+                            _ => {
+                                for a in info.accesses.iter().filter(|a| a.is_demand()) {
+                                    if let Some(op) = plan.op_of(a.pc) {
+                                        self.store.record(
+                                            tid,
+                                            op,
+                                            a.addr,
+                                            a.kind == umi_ir::AccessKind::Store,
+                                        );
+                                        self.umi_overhead += self.config.record_cost;
+                                    }
+                                }
                             }
                         }
                     }
@@ -227,10 +251,13 @@ impl<'p> UmiRuntime<'p> {
             self.run_analyzer(Some(tid));
             if flag(&self.active, tid) {
                 self.store.begin_row(tid);
-                let plan = self.plans[tid.index()].as_ref().expect("active trace has plan");
+                let plan = self.plans[tid.index()]
+                    .as_ref()
+                    .expect("active trace has plan");
                 for a in accesses.iter().filter(|a| a.is_demand()) {
                     if let Some(op) = plan.op_of(a.pc) {
-                        self.store.record(tid, op, a.addr, a.kind == umi_ir::AccessKind::Store);
+                        self.store
+                            .record(tid, op, a.addr, a.kind == umi_ir::AccessKind::Store);
                         self.umi_overhead += self.config.record_cost;
                     }
                 }
@@ -421,7 +448,10 @@ mod tests {
             .addi(Reg::ECX, 1)
             .cmpi(Reg::ECX, elems)
             .br_lt(body, next);
-        pb.block(next).addi(Reg::R8, 1).cmpi(Reg::R8, 2).br_lt(outer, done);
+        pb.block(next)
+            .addi(Reg::R8, 1)
+            .cmpi(Reg::R8, 2)
+            .br_lt(outer, done);
         pb.block(done).ret();
         pb.finish()
     }
@@ -460,7 +490,9 @@ mod tests {
     fn high_frequency_threshold_prevents_selection() {
         let p = streaming(50_000);
         let mut cfg = UmiConfig::sampled();
-        cfg.sampling = SamplingMode::Periodic { period_insns: 1_000 };
+        cfg.sampling = SamplingMode::Periodic {
+            period_insns: 1_000,
+        };
         cfg.frequency_threshold = 1_000_000; // unreachable
         let mut umi = UmiRuntime::new(&p, cfg);
         let report = umi.run(&mut NullSink, u64::MAX);
@@ -477,7 +509,10 @@ mod tests {
         let f = pb.begin_func("main");
         let body = pb.new_block();
         let done = pb.new_block();
-        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 512).jmp(body);
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 512)
+            .jmp(body);
         pb.block(body)
             .movi(Reg::EDX, 0)
             .load(Reg::EAX, Reg::ESI + (Reg::EDX, 8), Width::W8)
@@ -488,7 +523,10 @@ mod tests {
         let p = pb.finish();
         let mut umi = UmiRuntime::new(&p, UmiConfig::no_sampling());
         let report = umi.run(&mut NullSink, u64::MAX);
-        assert!(report.predicted.is_empty(), "hitting load wrongly predicted");
+        assert!(
+            report.predicted.is_empty(),
+            "hitting load wrongly predicted"
+        );
         assert!(report.umi_miss_ratio < 0.01);
     }
 

@@ -25,8 +25,15 @@ impl RegionSelector {
     ///
     /// Panics if `frequency_threshold` is zero.
     pub fn new(frequency_threshold: u32) -> RegionSelector {
-        assert!(frequency_threshold > 0, "frequency threshold must be positive");
-        RegionSelector { counters: HashMap::new(), frequency_threshold, samples_taken: 0 }
+        assert!(
+            frequency_threshold > 0,
+            "frequency threshold must be positive"
+        );
+        RegionSelector {
+            counters: HashMap::new(),
+            frequency_threshold,
+            samples_taken: 0,
+        }
     }
 
     /// Records one sample landing in `trace` (samples outside any trace are

@@ -22,7 +22,11 @@ pub struct StrideInfo {
 /// irregular (pointer-chasing) streams yield no stride and are left to
 /// other prefetch strategies, exactly as a stride prefetcher would skip
 /// them.
-pub fn detect_stride(column: &[u64], min_samples: usize, min_confidence: f64) -> Option<StrideInfo> {
+pub fn detect_stride(
+    column: &[u64],
+    min_samples: usize,
+    min_confidence: f64,
+) -> Option<StrideInfo> {
     if column.len() < 2 {
         return None;
     }
@@ -42,7 +46,11 @@ pub fn detect_stride(column: &[u64], min_samples: usize, min_confidence: f64) ->
         .iter()
         .max_by_key(|(delta, count)| (**count, -(delta.unsigned_abs() as i64)))?;
     let confidence = count as f64 / total as f64;
-    (confidence >= min_confidence).then_some(StrideInfo { stride, confidence, samples: total })
+    (confidence >= min_confidence).then_some(StrideInfo {
+        stride,
+        confidence,
+        samples: total,
+    })
 }
 
 #[cfg(test)]

@@ -147,7 +147,9 @@ mod tests {
         wi.add_scenario("a", CacheConfig::pentium4_l2());
         wi.add_scenario("b", CacheConfig::k7_l2());
         wi.analyze(&profile(100, 2));
-        let [a, b] = wi.scenarios() else { panic!("two scenarios") };
+        let [a, b] = wi.scenarios() else {
+            panic!("two scenarios")
+        };
         assert_eq!(a.stats().accesses, 200);
         assert_eq!(a.stats().accesses, b.stats().accesses);
     }

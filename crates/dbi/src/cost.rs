@@ -62,7 +62,14 @@ mod tests {
         let d = CostModel::default();
         assert!(d.block_translation > 0 && d.indirect_lookup > 0);
         let f = CostModel::free();
-        assert_eq!(f.block_translation + f.trace_build + f.indirect_lookup
-            + f.bb_dispatch + f.trace_layout_credit + f.context_switch, 0);
+        assert_eq!(
+            f.block_translation
+                + f.trace_build
+                + f.indirect_lookup
+                + f.bb_dispatch
+                + f.trace_layout_credit
+                + f.context_switch,
+            0
+        );
     }
 }

@@ -45,26 +45,16 @@ pub struct StepInfo<'r> {
     pub exit: BlockExit,
     /// Trace context the block executed under (`None` = basic-block cache).
     pub trace: Option<TraceId>,
+    /// Position of the executed block within that trace (0 = head;
+    /// meaningless when `trace` is `None`).
+    pub trace_pos: usize,
     /// Whether this step entered the head of that trace.
     pub entered_trace: bool,
     /// A trace completed by the builder during this step, if any.
     pub trace_created: Option<TraceId>,
-    /// Memory accesses performed by the block, in order.
+    /// Memory accesses performed by the block, in order (borrowed from
+    /// the VM's per-block batch buffer).
     pub accesses: &'r [MemAccess],
-}
-
-/// Forwards accesses to the real sink while keeping a per-block copy for
-/// the client.
-struct TeeSink<'a, S> {
-    inner: &'a mut S,
-    buf: &'a mut Vec<MemAccess>,
-}
-
-impl<S: AccessSink> AccessSink for TeeSink<'_, S> {
-    fn access(&mut self, access: MemAccess) {
-        self.buf.push(access);
-        self.inner.access(access);
-    }
 }
 
 /// The DynamoRIO-like dispatcher: executes the program block by block,
@@ -82,11 +72,14 @@ pub struct DbiRuntime<'p> {
     stats: DbiStats,
     overhead: u64,
     translated: Vec<bool>,
+    /// Dense copy of each block's code address: the backward-edge test
+    /// runs once per dispatched block, and loading it from the heap-
+    /// scattered [`Program`] block structs cost a pointer chase per step.
+    block_addrs: Vec<u64>,
     /// Trace context for the *next* block: (trace, position).
     next_ctx: Option<(TraceId, usize)>,
     /// Whether the edge into the next block was backward/indirect.
     entered_backward: bool,
-    access_buf: Vec<MemAccess>,
 }
 
 impl<'p> DbiRuntime<'p> {
@@ -111,9 +104,9 @@ impl<'p> DbiRuntime<'p> {
             stats: DbiStats::default(),
             overhead: 0,
             translated: vec![false; program.blocks.len()],
+            block_addrs: program.blocks.iter().map(|b| b.addr.0).collect(),
             next_ctx: None,
             entered_backward: true, // program entry behaves like a head edge
-            access_buf: Vec::with_capacity(64),
         }
     }
 
@@ -177,16 +170,16 @@ impl<'p> DbiRuntime<'p> {
     pub fn step<S: AccessSink>(&mut self, sink: &mut S) -> StepInfo<'_> {
         let ctx = self.next_ctx;
         let in_trace = ctx.map(|(t, _)| t);
+        let trace_pos = ctx.map_or(0, |(_, p)| p);
         let entering = matches!(ctx, Some((_, 0)));
         if entering {
             self.stats.trace_entries += 1;
         }
 
-        self.access_buf.clear();
-        let exit = {
-            let mut tee = TeeSink { inner: sink, buf: &mut self.access_buf };
-            self.vm.step_block(&mut tee)
-        };
+        // The VM buffers the block's accesses and batch-delivers them to
+        // `sink`; the same buffer backs `StepInfo::accesses`, so no tee
+        // copy is needed.
+        let exit = self.vm.step_block(sink);
 
         // --- cost accounting ---
         let bi = exit.block.index();
@@ -211,9 +204,10 @@ impl<'p> DbiRuntime<'p> {
         let mut trace_created = None;
         if in_trace.is_none() {
             if let Some(blocks) =
-                self.builder.observe(self.program, &self.cache, &exit, self.entered_backward)
+                self.builder
+                    .observe(self.program, &self.cache, &exit, self.entered_backward)
             {
-                let id = self.cache.insert(blocks);
+                let id = self.cache.insert_decoded(blocks, self.vm.decoded());
                 self.stats.traces_built += 1;
                 self.overhead += self.costs.trace_build;
                 trace_created = Some(id);
@@ -235,9 +229,7 @@ impl<'p> DbiRuntime<'p> {
         // Head heuristic for the next edge: backward/indirect transfers and
         // trace exits feed head counters.
         let backward_edge = match exit.next {
-            Some(next) => {
-                self.program.block(next).addr <= self.program.block(exit.block).addr
-            }
+            Some(next) => self.block_addrs[next.index()] <= self.block_addrs[bi],
             None => false,
         };
         let trace_exit = in_trace.is_some() && self.next_ctx.is_none();
@@ -249,9 +241,10 @@ impl<'p> DbiRuntime<'p> {
         StepInfo {
             exit,
             trace: in_trace,
+            trace_pos,
             entered_trace: entering,
             trace_created,
-            accesses: &self.access_buf,
+            accesses: self.vm.block_accesses(),
         }
     }
 
@@ -277,7 +270,10 @@ mod tests {
         let f = pb.begin_func("main");
         let body = pb.new_block();
         let done = pb.new_block();
-        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 8192).jmp(body);
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 8192)
+            .jmp(body);
         pb.block(body)
             .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
             .addi(Reg::ECX, 1)
@@ -306,7 +302,11 @@ mod tests {
         rt.run(&mut NullSink, 1 << 24);
         let s = rt.stats();
         assert_eq!(s.traces_built, 1);
-        assert!(s.trace_cache_residency() > 0.95, "residency {}", s.trace_cache_residency());
+        assert!(
+            s.trace_cache_residency() > 0.95,
+            "residency {}",
+            s.trace_cache_residency()
+        );
         assert!(s.trace_entries > 9_000);
     }
 
@@ -328,7 +328,10 @@ mod tests {
             }
         }
         assert!(saw_entered);
-        assert!(in_trace_accesses > 9_000, "loop loads observed inside the trace");
+        assert!(
+            in_trace_accesses > 9_000,
+            "loop loads observed inside the trace"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Traces and NET-style trace construction.
 
-use umi_ir::{BlockId, Program};
+use umi_ir::{BlockId, DecodedCache, Pc, Program};
 use umi_vm::BlockExit;
 
 /// Identifier of a trace in the [`TraceCache`].
@@ -22,6 +22,13 @@ pub struct Trace {
     pub id: TraceId,
     /// Component blocks; `blocks[0]` is the entry (head).
     pub blocks: Vec<BlockId>,
+    /// Decoded trace body: per component block, the static memory-access
+    /// slot pcs one execution emits (snapshot from the VM's
+    /// [`DecodedCache`] at insertion). Lets clients pre-instrument the
+    /// trace — align per-slot state once, instead of resolving every
+    /// dynamic access by pc. Empty for traces inserted without a decoded
+    /// cache ([`TraceCache::insert`]).
+    pub access_pcs: Vec<Box<[Pc]>>,
 }
 
 impl Trace {
@@ -43,7 +50,10 @@ impl Trace {
     /// Total static instructions in the trace (bodies only), given the
     /// program.
     pub fn static_insns(&self, program: &Program) -> usize {
-        self.blocks.iter().map(|b| program.block(*b).insns.len()).sum()
+        self.blocks
+            .iter()
+            .map(|b| program.block(*b).insns.len())
+            .sum()
     }
 }
 
@@ -103,6 +113,21 @@ impl TraceCache {
 
     /// Inserts a completed trace (first head registration wins).
     pub fn insert(&mut self, blocks: Vec<BlockId>) -> TraceId {
+        self.insert_with_pcs(blocks, Vec::new())
+    }
+
+    /// Inserts a completed trace with its decoded body: the per-block
+    /// access-slot pcs are snapshotted from `decoded`, so the stored
+    /// trace is pre-lowered and clients never re-derive the slot layout.
+    pub fn insert_decoded(&mut self, blocks: Vec<BlockId>, decoded: &DecodedCache) -> TraceId {
+        let pcs = blocks
+            .iter()
+            .map(|&b| decoded.block(b).access_pcs.clone())
+            .collect();
+        self.insert_with_pcs(blocks, pcs)
+    }
+
+    fn insert_with_pcs(&mut self, blocks: Vec<BlockId>, access_pcs: Vec<Box<[Pc]>>) -> TraceId {
         debug_assert!(!blocks.is_empty());
         let id = TraceId(self.traces.len() as u32);
         let head = blocks[0].index();
@@ -110,7 +135,11 @@ impl TraceCache {
             self.by_head.resize(head + 1, None);
         }
         self.by_head[head].get_or_insert(id);
-        self.traces.push(Trace { id, blocks });
+        self.traces.push(Trace {
+            id,
+            blocks,
+            access_pcs,
+        });
         id
     }
 }
@@ -266,7 +295,10 @@ mod tests {
         let body = pb.new_block();
         let done = pb.new_block();
         pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
-        pb.block(body).addi(Reg::ECX, 1).cmpi(Reg::ECX, iters).br_lt(body, done);
+        pb.block(body)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, iters)
+            .br_lt(body, done);
         pb.block(done).ret();
         pb.finish()
     }
@@ -313,6 +345,31 @@ mod tests {
     fn trace_length_is_capped() {
         let tb = TraceBuilder::new(1, 4);
         assert!(tb.hot_threshold == 1 && tb.max_blocks == 4);
+    }
+
+    #[test]
+    fn insert_decoded_snapshots_access_slots() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let next = pb.new_block();
+        pb.block(f.entry())
+            .load(Reg::EAX, Reg::ESI + 0, umi_ir::Width::W8)
+            .store(Reg::EDI + 8, Reg::EAX, umi_ir::Width::W8)
+            .jmp(next);
+        pb.block(next).nop().ret();
+        let p = pb.finish();
+        let decoded = umi_ir::DecodedCache::lower(&p);
+        let mut cache = TraceCache::new();
+        let id = cache.insert_decoded(vec![f.entry(), next], &decoded);
+        let t = cache.trace(id);
+        assert_eq!(t.access_pcs.len(), 2);
+        assert_eq!(t.access_pcs[0].len(), 2, "load + store slots");
+        assert_eq!(t.access_pcs[0][0], p.block(f.entry()).insn_pc(0));
+        assert_eq!(t.access_pcs[0][1], p.block(f.entry()).insn_pc(1));
+        assert!(t.access_pcs[1].is_empty(), "nop-only block has no slots");
+        // Plain insert leaves the decoded body empty.
+        let plain = cache.insert(vec![next]);
+        assert!(cache.trace(plain).access_pcs.is_empty());
     }
 
     #[test]

@@ -49,7 +49,13 @@ mod tests {
 
     #[test]
     fn ratios() {
-        let c = HwCounters { l2_refs: 200, l2_misses: 50, l1_refs: 1000, l1_misses: 200, ..Default::default() };
+        let c = HwCounters {
+            l2_refs: 200,
+            l2_misses: 50,
+            l1_refs: 1000,
+            l1_misses: 200,
+            ..Default::default()
+        };
         assert!((c.l2_miss_ratio() - 0.25).abs() < 1e-12);
         assert!((c.l1_miss_ratio() - 0.2).abs() < 1e-12);
         assert_eq!(HwCounters::default().l2_miss_ratio(), 0.0);

@@ -58,12 +58,15 @@ impl Machine {
     /// support (the K7) silently degrades to [`PrefetchSetting::Off`],
     /// mirroring reality.
     pub fn new(platform: Platform, prefetch: PrefetchSetting) -> Machine {
-        let effective = if platform.has_hw_prefetch { prefetch } else { PrefetchSetting::Off };
+        let effective = if platform.has_hw_prefetch {
+            prefetch
+        } else {
+            PrefetchSetting::Off
+        };
         let line = platform.l2.line_size;
-        let adjacent = (effective != PrefetchSetting::Off)
-            .then(|| AdjacentLinePrefetcher::new(line));
-        let stride =
-            (effective == PrefetchSetting::Full).then(|| StridePrefetcher::pentium4(line));
+        let adjacent =
+            (effective != PrefetchSetting::Off).then(|| AdjacentLinePrefetcher::new(line));
+        let stride = (effective == PrefetchSetting::Full).then(|| StridePrefetcher::pentium4(line));
         Machine {
             hierarchy: Hierarchy::new(platform.l1, platform.l2),
             platform,
@@ -184,7 +187,12 @@ mod tests {
     use umi_ir::Pc;
 
     fn load(pc: u64, addr: u64) -> MemAccess {
-        MemAccess { pc: Pc(pc), addr, width: 8, kind: AccessKind::Load }
+        MemAccess {
+            pc: Pc(pc),
+            addr,
+            width: 8,
+            kind: AccessKind::Load,
+        }
     }
 
     #[test]
@@ -193,7 +201,11 @@ mod tests {
         m.access(load(1, 0x1000));
         assert_eq!(m.stall_cycles(), Platform::pentium4().memory_cycles);
         m.access(load(1, 0x1000));
-        assert_eq!(m.stall_cycles(), Platform::pentium4().memory_cycles, "L1 hit is free");
+        assert_eq!(
+            m.stall_cycles(),
+            Platform::pentium4().memory_cycles,
+            "L1 hit is free"
+        );
         assert_eq!(m.total_cycles(10), 10 + m.stall_cycles());
     }
 
@@ -210,8 +222,12 @@ mod tests {
         // Miss-triggered issue with distance 2 covers two of every three
         // lines: a ~67% reduction, close to the paper's measured 69% for
         // the hardware prefetcher.
-        assert!(on.counters().l2_misses * 2 < off.counters().l2_misses,
-            "prefetch on: {} misses, off: {}", on.counters().l2_misses, off.counters().l2_misses);
+        assert!(
+            on.counters().l2_misses * 2 < off.counters().l2_misses,
+            "prefetch on: {} misses, off: {}",
+            on.counters().l2_misses,
+            off.counters().l2_misses
+        );
         assert!(on.stall_cycles() < off.stall_cycles());
         assert!(on.counters().hw_prefetch_fills > 0);
     }
@@ -226,7 +242,10 @@ mod tests {
             adj.access(load(1, a));
         }
         let r = adj.counters().l2_misses as f64 / off.counters().l2_misses as f64;
-        assert!(r < 0.6, "adjacent-line should roughly halve misses, got {r}");
+        assert!(
+            r < 0.6,
+            "adjacent-line should roughly halve misses, got {r}"
+        );
     }
 
     #[test]
@@ -241,10 +260,19 @@ mod tests {
     #[test]
     fn software_prefetch_counts_separately_and_fills_l2() {
         let mut m = Machine::new(Platform::pentium4(), PrefetchSetting::Off);
-        m.access(MemAccess { pc: Pc(1), addr: 0x3000, width: 64, kind: AccessKind::Prefetch });
+        m.access(MemAccess {
+            pc: Pc(1),
+            addr: 0x3000,
+            width: 64,
+            kind: AccessKind::Prefetch,
+        });
         assert_eq!(m.counters().sw_prefetch_fills, 1);
         assert_eq!(m.counters().l1_refs, 0, "prefetch is not demand traffic");
         m.access(load(2, 0x3000));
-        assert_eq!(m.counters().l2_misses, 0, "demand load hits the prefetched line in L2");
+        assert_eq!(
+            m.counters().l2_misses,
+            0,
+            "demand load hits the prefetched line in L2"
+        );
     }
 }

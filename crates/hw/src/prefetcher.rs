@@ -132,7 +132,14 @@ impl PrefetchEngine for StridePrefetcher {
             .iter_mut()
             .min_by_key(|s| if s.valid { s.lru } else { 0 })
             .expect("at least one stream");
-        *slot = Stream { pc, last_line: line_addr, stride: 0, confidence: 0, lru: clock, valid: true };
+        *slot = Stream {
+            pc,
+            last_line: line_addr,
+            stride: 0,
+            confidence: 0,
+            lru: clock,
+            valid: true,
+        };
         Vec::new()
     }
 
@@ -215,6 +222,9 @@ mod tests {
         p.observe(Pc(1), 0x0, true);
         p.observe(Pc(1), 0x40, true);
         p.reset();
-        assert!(p.observe(Pc(1), 0x80, true).is_empty(), "state survived reset");
+        assert!(
+            p.observe(Pc(1), 0x80, true).is_empty(),
+            "state survived reset"
+        );
     }
 }

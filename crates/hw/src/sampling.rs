@@ -19,18 +19,16 @@ impl SamplingCostModel {
     /// cost on the order of several microseconds; at ~2–3 GHz that is
     /// roughly 10⁴ cycles.
     pub fn papi_like() -> SamplingCostModel {
-        SamplingCostModel { interrupt_cycles: 10_000 }
+        SamplingCostModel {
+            interrupt_cycles: 10_000,
+        }
     }
 
     /// Overhead cycles for observing `events` occurrences at the given
     /// sample size (one interrupt per `sample_size` events). A sample size
     /// of 0 means sampling is disabled and costs nothing.
     pub fn overhead_cycles(&self, events: u64, sample_size: u64) -> u64 {
-        if sample_size == 0 {
-            0
-        } else {
-            (events / sample_size) * self.interrupt_cycles
-        }
+        events.checked_div(sample_size).unwrap_or(0) * self.interrupt_cycles
     }
 
     /// Slowdown factor (≥ 1.0) of a run with `base_cycles` of useful work.
@@ -74,7 +72,13 @@ mod tests {
         let events = 1_000_000u64;
         let slow10 = m.slowdown(base, events, 10);
         let slow100k = m.slowdown(base, events, 100_000);
-        assert!(slow10 > 20.0, "paper saw 20x at sample size 10, got {slow10}");
-        assert!(slow100k < 1.05, "large samples are near-free, got {slow100k}");
+        assert!(
+            slow10 > 20.0,
+            "paper saw 20x at sample size 10, got {slow10}"
+        );
+        assert!(
+            slow100k < 1.05,
+            "large samples are near-free, got {slow100k}"
+        );
     }
 }

@@ -73,7 +73,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jmp(t) => vec![*t],
-            Terminator::Br { taken, fallthrough, .. } => vec![*taken, *fallthrough],
+            Terminator::Br {
+                taken, fallthrough, ..
+            } => vec![*taken, *fallthrough],
             Terminator::JmpInd { table, .. } => table.clone(),
             Terminator::Call { ret_to, .. } => vec![*ret_to],
             Terminator::Ret | Terminator::Halt => Vec::new(),
@@ -120,7 +122,10 @@ impl BasicBlock {
 
     /// Iterates over `(pc, insn)` pairs for the body.
     pub fn iter_with_pc(&self) -> impl Iterator<Item = (Pc, &Insn)> + '_ {
-        self.insns.iter().enumerate().map(|(i, insn)| (self.insn_pc(i), insn))
+        self.insns
+            .iter()
+            .enumerate()
+            .map(|(i, insn)| (self.insn_pc(i), insn))
     }
 
     /// Number of static load instructions in the block body.
@@ -144,7 +149,11 @@ mod tests {
             id: BlockId(0),
             addr: Pc(0x40_0000),
             insns: vec![
-                Insn::Load { dst: Reg::EAX, mem: MemRef::base(Reg::ESI), width: Width::W8 },
+                Insn::Load {
+                    dst: Reg::EAX,
+                    mem: MemRef::base(Reg::ESI),
+                    width: Width::W8,
+                },
                 Insn::Nop,
                 Insn::Store {
                     mem: MemRef::base(Reg::EDI),
@@ -175,10 +184,17 @@ mod tests {
     #[test]
     fn successors_and_indirection() {
         assert_eq!(Terminator::Jmp(BlockId(3)).successors(), vec![BlockId(3)]);
-        let br = Terminator::Br { cond: Cond::Eq, taken: BlockId(1), fallthrough: BlockId(2) };
+        let br = Terminator::Br {
+            cond: Cond::Eq,
+            taken: BlockId(1),
+            fallthrough: BlockId(2),
+        };
         assert_eq!(br.successors().len(), 2);
         assert!(!br.is_indirect());
-        let ind = Terminator::JmpInd { sel: Reg::EAX, table: vec![BlockId(1)] };
+        let ind = Terminator::JmpInd {
+            sel: Reg::EAX,
+            table: vec![BlockId(1)],
+        };
         assert!(ind.is_indirect());
         assert!(Terminator::Ret.is_indirect());
         assert!(Terminator::Halt.successors().is_empty());

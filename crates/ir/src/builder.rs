@@ -60,7 +60,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new() -> ProgramBuilder {
-        ProgramBuilder { static_cursor: STATIC_BASE, name: "anonymous".into(), ..Default::default() }
+        ProgramBuilder {
+            static_cursor: STATIC_BASE,
+            name: "anonymous".into(),
+            ..Default::default()
+        }
     }
 
     /// Sets the workload name recorded in the program.
@@ -81,7 +85,11 @@ impl ProgramBuilder {
     pub fn begin_func(&mut self, name: &str) -> FuncHandle {
         let entry = self.new_block();
         let id = FuncId(self.funcs.len() as u32);
-        self.funcs.push(Function { id, name: name.to_string(), entry });
+        self.funcs.push(Function {
+            id,
+            name: name.to_string(),
+            entry,
+        });
         FuncHandle { id, entry }
     }
 
@@ -136,7 +144,12 @@ impl ProgramBuilder {
             let terminator = pb
                 .terminator
                 .unwrap_or_else(|| panic!("block {id} was never terminated"));
-            let block = BasicBlock { id, addr: Pc(addr), insns: pb.insns, terminator };
+            let block = BasicBlock {
+                id,
+                addr: Pc(addr),
+                insns: pb.insns,
+                terminator,
+            };
             addr += block.byte_size();
             blocks.push(block);
         }
@@ -174,32 +187,53 @@ impl<'a> BlockBuilder<'a> {
 
     /// `dst <- imm`.
     pub fn movi(self, dst: Reg, imm: i64) -> Self {
-        self.push(Insn::Mov { dst, src: Operand::Imm(imm) })
+        self.push(Insn::Mov {
+            dst,
+            src: Operand::Imm(imm),
+        })
     }
 
     /// `dst <- src` (register move).
     pub fn mov(self, dst: Reg, src: Reg) -> Self {
-        self.push(Insn::Mov { dst, src: Operand::Reg(src) })
+        self.push(Insn::Mov {
+            dst,
+            src: Operand::Reg(src),
+        })
     }
 
     /// `dst <- width:[mem]`.
     pub fn load(self, dst: Reg, mem: impl Into<MemRef>, width: Width) -> Self {
-        self.push(Insn::Load { dst, mem: mem.into(), width })
+        self.push(Insn::Load {
+            dst,
+            mem: mem.into(),
+            width,
+        })
     }
 
     /// `width:[mem] <- src`.
     pub fn store(self, mem: impl Into<MemRef>, src: impl Into<Operand>, width: Width) -> Self {
-        self.push(Insn::Store { mem: mem.into(), src: src.into(), width })
+        self.push(Insn::Store {
+            mem: mem.into(),
+            src: src.into(),
+            width,
+        })
     }
 
     /// `dst <- &mem`.
     pub fn lea(self, dst: Reg, mem: impl Into<MemRef>) -> Self {
-        self.push(Insn::Lea { dst, mem: mem.into() })
+        self.push(Insn::Lea {
+            dst,
+            mem: mem.into(),
+        })
     }
 
     /// `dst <- dst op src` for an arbitrary [`BinOp`].
     pub fn binary(self, op: BinOp, dst: Reg, src: impl Into<Operand>) -> Self {
-        self.push(Insn::Binary { op, dst, src: src.into() })
+        self.push(Insn::Binary {
+            op,
+            dst,
+            src: src.into(),
+        })
     }
 
     /// `dst <- dst + src`.
@@ -269,7 +303,10 @@ impl<'a> BlockBuilder<'a> {
 
     /// Sets flags from `a ? b`.
     pub fn cmp(self, a: impl Into<Operand>, b: impl Into<Operand>) -> Self {
-        self.push(Insn::Cmp { a: a.into(), b: b.into() })
+        self.push(Insn::Cmp {
+            a: a.into(),
+            b: b.into(),
+        })
     }
 
     /// Sets flags from `a ? imm`.
@@ -289,12 +326,20 @@ impl<'a> BlockBuilder<'a> {
 
     /// `dst <- heap_alloc(size)`, unaligned.
     pub fn alloc(self, dst: Reg, size: impl Into<Operand>) -> Self {
-        self.push(Insn::Alloc { dst, size: size.into(), align64: false })
+        self.push(Insn::Alloc {
+            dst,
+            size: size.into(),
+            align64: false,
+        })
     }
 
     /// `dst <- heap_alloc(size)`, 64-byte aligned.
     pub fn alloc_aligned(self, dst: Reg, size: impl Into<Operand>) -> Self {
-        self.push(Insn::Alloc { dst, size: size.into(), align64: true })
+        self.push(Insn::Alloc {
+            dst,
+            size: size.into(),
+            align64: true,
+        })
     }
 
     /// Software prefetch of `[mem]`.
@@ -322,7 +367,11 @@ impl<'a> BlockBuilder<'a> {
 
     /// Terminates with a conditional branch.
     pub fn br(self, cond: Cond, taken: BlockId, fallthrough: BlockId) {
-        self.terminate(Terminator::Br { cond, taken, fallthrough });
+        self.terminate(Terminator::Br {
+            cond,
+            taken,
+            fallthrough,
+        });
     }
 
     /// Branch if equal.
@@ -362,7 +411,10 @@ impl<'a> BlockBuilder<'a> {
 
     /// Terminates with a call; execution resumes at `ret_to`.
     pub fn call(self, func: FuncHandle, ret_to: BlockId) {
-        self.terminate(Terminator::Call { func: func.id(), ret_to });
+        self.terminate(Terminator::Call {
+            func: func.id(),
+            ret_to,
+        });
     }
 
     /// Terminates with a return.

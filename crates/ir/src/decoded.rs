@@ -1,0 +1,785 @@
+//! Pre-decoded micro-ops: the flat, cache-friendly program representation
+//! the interpreter executes from.
+//!
+//! The boxed [`Insn`]/[`Operand`] enums are convenient to build and analyze
+//! but expensive to execute: every dynamic instruction walks a match tree,
+//! unwraps `Option<Reg>` operands, and converts [`Width`]s to byte counts.
+//! Mirroring how a DBI translates code *once* into its code cache and then
+//! runs at near-native speed, [`DecodedCache::lower`] lowers each basic
+//! block a single time into a flat [`MicroOp`] array with:
+//!
+//! * register numbers pre-resolved to plain array indices;
+//! * effective addresses pre-split into [`Ea`] (base/index/shift/disp,
+//!   scale folded into a shift);
+//! * widths pre-converted to byte counts and instruction [`Pc`]s inlined;
+//! * memory sources of `Cmp`/`Store`/`Push`/`Alloc` lowered into explicit
+//!   scratch-register loads so every micro-op makes at most one access;
+//! * fused forms for the two hottest pairs: load+op ([`MicroOp::BinMem`])
+//!   and compare+branch ([`MicroTerm::CmpRRBr`]/[`MicroTerm::CmpRIBr`]);
+//! * `Nop`s dropped (their retired-instruction count is preserved via
+//!   [`DecodedBlock::arch_insns`]).
+//!
+//! Lowering preserves the architectural semantics *exactly*, including the
+//! order, pc, width and kind of every memory access — the differential
+//! tests in `umi-bench` run whole workloads under both engines and compare
+//! the streams.
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::event::Pc;
+use crate::insn::{BinOp, Cond, Insn, UnOp};
+use crate::operand::{MemRef, Operand, Width};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Sentinel register index meaning "no register" in an [`Ea`].
+pub const NO_REG: u8 = u8::MAX;
+
+/// Index of the first scratch register slot (beyond the architectural
+/// file) used by lowering for decomposed memory operands.
+pub const SCRATCH0: u8 = Reg::COUNT as u8;
+
+/// Index of the second scratch register slot.
+pub const SCRATCH1: u8 = Reg::COUNT as u8 + 1;
+
+/// Size of the interpreter's register file: the architectural registers
+/// plus the two lowering scratch slots.
+pub const REG_SLOTS: usize = Reg::COUNT + 2;
+
+/// A pre-resolved effective address: `[base + index<<shift + disp]`.
+///
+/// `base`/`index` are register-file indices with [`NO_REG`] meaning
+/// absent; the scale factor (1/2/4/8) is stored as its log2 so address
+/// computation is two adds and a shift with no branches on operand shape
+/// beyond the two sentinel tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ea {
+    /// Base register index, or [`NO_REG`].
+    pub base: u8,
+    /// Index register index, or [`NO_REG`].
+    pub index: u8,
+    /// log2 of the scale factor applied to the index register.
+    pub shift: u8,
+    /// Constant displacement.
+    pub disp: i64,
+}
+
+impl Ea {
+    /// Lowers a [`MemRef`] into its pre-resolved form.
+    pub fn lower(m: &MemRef) -> Ea {
+        let (index, shift) = match m.index {
+            Some((r, s)) => (r.index() as u8, s.trailing_zeros() as u8),
+            None => (NO_REG, 0),
+        };
+        Ea {
+            base: m.base.map_or(NO_REG, |r| r.index() as u8),
+            index,
+            shift,
+            disp: m.disp,
+        }
+    }
+}
+
+/// One straight-line micro-op of the decoded engine.
+///
+/// Register operands are plain file indices (possibly the scratch slots),
+/// widths are byte counts, and memory operands carry their [`Ea`] plus the
+/// originating instruction's [`Pc`] for the access stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `regs[dst] = regs[src]`.
+    MovR {
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        src: u8,
+    },
+    /// `regs[dst] = imm`.
+    MovI {
+        /// Destination register index.
+        dst: u8,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Memory load into a register (zero-extended).
+    Load {
+        /// Destination register index.
+        dst: u8,
+        /// Effective address.
+        ea: Ea,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Memory store from a register.
+    StoreR {
+        /// Effective address.
+        ea: Ea,
+        /// Source register index.
+        src: u8,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Memory store of an immediate.
+    StoreI {
+        /// Effective address.
+        ea: Ea,
+        /// Immediate value stored.
+        imm: i64,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Load effective address (no memory access).
+    Lea {
+        /// Destination register index.
+        dst: u8,
+        /// Effective address computed.
+        ea: Ea,
+    },
+    /// `regs[dst] = regs[dst] op regs[src]`.
+    BinRR {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left operand) register index.
+        dst: u8,
+        /// Right operand register index.
+        src: u8,
+    },
+    /// `regs[dst] = regs[dst] op imm`.
+    BinRI {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left operand) register index.
+        dst: u8,
+        /// Right immediate operand.
+        imm: i64,
+    },
+    /// Fused load+op: `regs[dst] = regs[dst] op width:[ea]`.
+    BinMem {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left operand) register index.
+        dst: u8,
+        /// Effective address of the loaded right operand.
+        ea: Ea,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// `regs[dst] = op regs[dst]`.
+    Un {
+        /// The operation.
+        op: UnOp,
+        /// Operand register index.
+        dst: u8,
+    },
+    /// `flags = (regs[a], regs[b])`.
+    CmpRR {
+        /// Left operand register index.
+        a: u8,
+        /// Right operand register index.
+        b: u8,
+    },
+    /// `flags = (regs[a], imm)`.
+    CmpRI {
+        /// Left operand register index.
+        a: u8,
+        /// Right immediate operand.
+        imm: i64,
+    },
+    /// `flags = (imm, regs[b])`.
+    CmpIR {
+        /// Left immediate operand.
+        imm: i64,
+        /// Right operand register index.
+        b: u8,
+    },
+    /// `flags = (a, b)` with both operands immediate.
+    CmpII {
+        /// Left immediate operand.
+        a: i64,
+        /// Right immediate operand.
+        b: i64,
+    },
+    /// `esp -= 8; [esp] = regs[src]`.
+    PushR {
+        /// Source register index.
+        src: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// `esp -= 8; [esp] = imm`.
+    PushI {
+        /// Immediate value pushed.
+        imm: i64,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// `regs[dst] = [esp]; esp += 8`.
+    Pop {
+        /// Destination register index.
+        dst: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Bump-allocate `regs[size]` bytes.
+    AllocR {
+        /// Receives the allocation base address.
+        dst: u8,
+        /// Register index holding the size.
+        size: u8,
+        /// Whether to align to a cache line.
+        align64: bool,
+    },
+    /// Bump-allocate `size` bytes.
+    AllocI {
+        /// Receives the allocation base address.
+        dst: u8,
+        /// Allocation size in bytes.
+        size: i64,
+        /// Whether to align to a cache line.
+        align64: bool,
+    },
+    /// Software prefetch hint.
+    Prefetch {
+        /// Prefetched effective address.
+        ea: Ea,
+        /// Originating instruction.
+        pc: Pc,
+    },
+}
+
+/// How a decoded block exits, with call targets pre-resolved to the
+/// callee's entry block and the hottest compare+branch pair fused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MicroTerm {
+    /// Unconditional direct jump.
+    Jmp(BlockId),
+    /// Conditional branch on the current flags.
+    Br {
+        /// Branch condition.
+        cond: Cond,
+        /// Target when the condition holds.
+        taken: BlockId,
+        /// Target when it does not.
+        fallthrough: BlockId,
+    },
+    /// Fused `cmp reg, reg` + branch. Still latches the flags: later
+    /// blocks may branch on them again.
+    CmpRRBr {
+        /// Left compare operand register index.
+        a: u8,
+        /// Right compare operand register index.
+        b: u8,
+        /// Branch condition.
+        cond: Cond,
+        /// Target when the condition holds.
+        taken: BlockId,
+        /// Target when it does not.
+        fallthrough: BlockId,
+    },
+    /// Fused `cmp reg, imm` + branch. Still latches the flags.
+    CmpRIBr {
+        /// Left compare operand register index.
+        a: u8,
+        /// Right immediate compare operand.
+        imm: i64,
+        /// Branch condition.
+        cond: Cond,
+        /// Target when the condition holds.
+        taken: BlockId,
+        /// Target when it does not.
+        fallthrough: BlockId,
+    },
+    /// Indirect jump: `table[regs[sel] % len]`.
+    JmpInd {
+        /// Selector register index.
+        sel: u8,
+        /// Jump table (non-empty).
+        table: Box<[BlockId]>,
+    },
+    /// Direct call with the callee entry pre-resolved.
+    Call {
+        /// Entry block of the callee.
+        target: BlockId,
+        /// Resume block in the caller.
+        ret_to: BlockId,
+    },
+    /// Return to the most recent caller.
+    Ret,
+    /// Stop execution.
+    Halt,
+}
+
+/// One basic block, lowered.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedBlock {
+    /// The source block's identifier.
+    pub id: BlockId,
+    /// Lowered straight-line body.
+    pub ops: Box<[MicroOp]>,
+    /// Lowered terminator.
+    pub term: MicroTerm,
+    /// Architectural instructions retired per execution (body insns,
+    /// including elided `Nop`s, plus the terminator).
+    pub arch_insns: u64,
+    /// The [`Pc`] of every memory-access slot one execution of the block
+    /// emits, in emission order. Blocks are straight-line, so this is
+    /// static — the instrumentor aligns profile columns against it.
+    pub access_pcs: Box<[Pc]>,
+    /// Demand loads per execution (static: every op always runs). The
+    /// interpreter bumps its counters once per block from these instead of
+    /// once per access.
+    pub n_loads: u32,
+    /// Demand stores per execution.
+    pub n_stores: u32,
+}
+
+impl DecodedBlock {
+    /// Lowers one basic block. `program` resolves call targets.
+    pub fn lower(block: &BasicBlock, program: &Program) -> DecodedBlock {
+        let mut ops = Vec::with_capacity(block.insns.len());
+        for (pc, insn) in block.iter_with_pc() {
+            lower_insn(pc, insn, &mut ops);
+        }
+        let term = lower_terminator(&block.terminator, program, &mut ops);
+        let access_pcs: Vec<Pc> = ops.iter().filter_map(op_access_pc).collect();
+        debug_assert_eq!(
+            access_pcs,
+            block_access_pcs(block),
+            "lowered access slots must match the tree-walk stream ({:?})",
+            block.id
+        );
+        let n_loads = ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    MicroOp::Load { .. } | MicroOp::BinMem { .. } | MicroOp::Pop { .. }
+                )
+            })
+            .count() as u32;
+        let n_stores = ops
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    MicroOp::StoreR { .. }
+                        | MicroOp::StoreI { .. }
+                        | MicroOp::PushR { .. }
+                        | MicroOp::PushI { .. }
+                )
+            })
+            .count() as u32;
+        DecodedBlock {
+            id: block.id,
+            ops: ops.into_boxed_slice(),
+            term,
+            arch_insns: block.insns.len() as u64 + 1,
+            access_pcs: access_pcs.into_boxed_slice(),
+            n_loads,
+            n_stores,
+        }
+    }
+}
+
+/// The per-program decoded code cache: every block lowered once, indexed
+/// by dense [`BlockId`].
+#[derive(Clone, Debug, Default)]
+pub struct DecodedCache {
+    blocks: Vec<DecodedBlock>,
+}
+
+impl DecodedCache {
+    /// Lowers every block of `program`.
+    pub fn lower(program: &Program) -> DecodedCache {
+        DecodedCache {
+            blocks: program
+                .blocks
+                .iter()
+                .map(|b| DecodedBlock::lower(b, program))
+                .collect(),
+        }
+    }
+
+    /// The decoded form of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[inline]
+    pub fn block(&self, id: BlockId) -> &DecodedBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of decoded blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// The pc of the (at most one) memory access `op` performs.
+fn op_access_pc(op: &MicroOp) -> Option<Pc> {
+    match op {
+        MicroOp::Load { pc, .. }
+        | MicroOp::StoreR { pc, .. }
+        | MicroOp::StoreI { pc, .. }
+        | MicroOp::BinMem { pc, .. }
+        | MicroOp::PushR { pc, .. }
+        | MicroOp::PushI { pc, .. }
+        | MicroOp::Pop { pc, .. }
+        | MicroOp::Prefetch { pc, .. } => Some(*pc),
+        _ => None,
+    }
+}
+
+/// Number of dynamic memory accesses one execution of `insn` performs
+/// (including prefetch hints), mirroring the interpreter's evaluation
+/// order. All accesses of an instruction share its pc.
+pub fn insn_access_count(insn: &Insn) -> usize {
+    let mem = |o: &Operand| usize::from(matches!(o, Operand::Mem(..)));
+    match insn {
+        Insn::Mov { src, .. } => mem(src),
+        Insn::Load { .. } | Insn::Pop { .. } | Insn::Prefetch { .. } => 1,
+        Insn::Store { src, .. } | Insn::Push { src } => mem(src) + 1,
+        Insn::Binary { src, .. } => mem(src),
+        Insn::Cmp { a, b } => mem(a) + mem(b),
+        Insn::Alloc { size, .. } => mem(size),
+        Insn::Lea { .. } | Insn::Unary { .. } | Insn::Nop => 0,
+    }
+}
+
+/// The static access-slot pcs of one execution of `block`, in emission
+/// order — the canonical stream layout both engines produce.
+pub fn block_access_pcs(block: &BasicBlock) -> Vec<Pc> {
+    let mut pcs = Vec::new();
+    for (pc, insn) in block.iter_with_pc() {
+        pcs.extend(std::iter::repeat_n(pc, insn_access_count(insn)));
+    }
+    pcs
+}
+
+fn reg(r: Reg) -> u8 {
+    r.index() as u8
+}
+
+fn width(w: Width) -> u8 {
+    w.bytes() as u8
+}
+
+/// Lowers `src` to a register index, emitting a scratch load when it is a
+/// memory operand (preserving the access order and pc of the tree-walk
+/// interpreter). Returns `Err(imm)` for immediates.
+fn lower_to_reg(pc: Pc, src: &Operand, scratch: u8, ops: &mut Vec<MicroOp>) -> Result<u8, i64> {
+    match src {
+        Operand::Reg(r) => Ok(reg(*r)),
+        Operand::Imm(v) => Err(*v),
+        Operand::Mem(m, w) => {
+            ops.push(MicroOp::Load {
+                dst: scratch,
+                ea: Ea::lower(m),
+                width: width(*w),
+                pc,
+            });
+            Ok(scratch)
+        }
+    }
+}
+
+fn lower_insn(pc: Pc, insn: &Insn, ops: &mut Vec<MicroOp>) {
+    match insn {
+        Insn::Mov { dst, src } => match src {
+            Operand::Reg(r) => ops.push(MicroOp::MovR {
+                dst: reg(*dst),
+                src: reg(*r),
+            }),
+            Operand::Imm(v) => ops.push(MicroOp::MovI {
+                dst: reg(*dst),
+                imm: *v,
+            }),
+            // A memory `Mov` source is architecturally a load.
+            Operand::Mem(m, w) => ops.push(MicroOp::Load {
+                dst: reg(*dst),
+                ea: Ea::lower(m),
+                width: width(*w),
+                pc,
+            }),
+        },
+        Insn::Load { dst, mem, width: w } => {
+            ops.push(MicroOp::Load {
+                dst: reg(*dst),
+                ea: Ea::lower(mem),
+                width: width(*w),
+                pc,
+            });
+        }
+        Insn::Store { mem, src, width: w } => {
+            let ea = Ea::lower(mem);
+            match lower_to_reg(pc, src, SCRATCH0, ops) {
+                Ok(r) => ops.push(MicroOp::StoreR {
+                    ea,
+                    src: r,
+                    width: width(*w),
+                    pc,
+                }),
+                Err(v) => ops.push(MicroOp::StoreI {
+                    ea,
+                    imm: v,
+                    width: width(*w),
+                    pc,
+                }),
+            }
+        }
+        Insn::Lea { dst, mem } => {
+            ops.push(MicroOp::Lea {
+                dst: reg(*dst),
+                ea: Ea::lower(mem),
+            });
+        }
+        Insn::Binary { op, dst, src } => match src {
+            Operand::Reg(r) => ops.push(MicroOp::BinRR {
+                op: *op,
+                dst: reg(*dst),
+                src: reg(*r),
+            }),
+            Operand::Imm(v) => ops.push(MicroOp::BinRI {
+                op: *op,
+                dst: reg(*dst),
+                imm: *v,
+            }),
+            Operand::Mem(m, w) => ops.push(MicroOp::BinMem {
+                op: *op,
+                dst: reg(*dst),
+                ea: Ea::lower(m),
+                width: width(*w),
+                pc,
+            }),
+        },
+        Insn::Unary { op, dst } => ops.push(MicroOp::Un {
+            op: *op,
+            dst: reg(*dst),
+        }),
+        Insn::Cmp { a, b } => {
+            // Evaluate `a` then `b`, exactly as the tree-walk interpreter
+            // does — memory operands become scratch loads in that order.
+            let a = lower_to_reg(pc, a, SCRATCH0, ops);
+            let b = lower_to_reg(pc, b, SCRATCH1, ops);
+            ops.push(match (a, b) {
+                (Ok(a), Ok(b)) => MicroOp::CmpRR { a, b },
+                (Ok(a), Err(imm)) => MicroOp::CmpRI { a, imm },
+                (Err(imm), Ok(b)) => MicroOp::CmpIR { imm, b },
+                (Err(a), Err(b)) => MicroOp::CmpII { a, b },
+            });
+        }
+        Insn::Push { src } => match lower_to_reg(pc, src, SCRATCH0, ops) {
+            Ok(r) => ops.push(MicroOp::PushR { src: r, pc }),
+            Err(v) => ops.push(MicroOp::PushI { imm: v, pc }),
+        },
+        Insn::Pop { dst } => ops.push(MicroOp::Pop { dst: reg(*dst), pc }),
+        Insn::Alloc { dst, size, align64 } => match lower_to_reg(pc, size, SCRATCH0, ops) {
+            Ok(r) => ops.push(MicroOp::AllocR {
+                dst: reg(*dst),
+                size: r,
+                align64: *align64,
+            }),
+            Err(v) => ops.push(MicroOp::AllocI {
+                dst: reg(*dst),
+                size: v,
+                align64: *align64,
+            }),
+        },
+        Insn::Prefetch { mem } => ops.push(MicroOp::Prefetch {
+            ea: Ea::lower(mem),
+            pc,
+        }),
+        Insn::Nop => {}
+    }
+}
+
+fn lower_terminator(term: &Terminator, program: &Program, ops: &mut Vec<MicroOp>) -> MicroTerm {
+    match term {
+        Terminator::Jmp(t) => MicroTerm::Jmp(*t),
+        Terminator::Br {
+            cond,
+            taken,
+            fallthrough,
+        } => {
+            // Fuse the canonical cmp+branch pair when the compare is the
+            // immediately preceding op and touches no memory.
+            match ops.last() {
+                Some(MicroOp::CmpRR { a, b }) => {
+                    let (a, b) = (*a, *b);
+                    ops.pop();
+                    MicroTerm::CmpRRBr {
+                        a,
+                        b,
+                        cond: *cond,
+                        taken: *taken,
+                        fallthrough: *fallthrough,
+                    }
+                }
+                Some(MicroOp::CmpRI { a, imm }) => {
+                    let (a, imm) = (*a, *imm);
+                    ops.pop();
+                    MicroTerm::CmpRIBr {
+                        a,
+                        imm,
+                        cond: *cond,
+                        taken: *taken,
+                        fallthrough: *fallthrough,
+                    }
+                }
+                _ => MicroTerm::Br {
+                    cond: *cond,
+                    taken: *taken,
+                    fallthrough: *fallthrough,
+                },
+            }
+        }
+        Terminator::JmpInd { sel, table } => MicroTerm::JmpInd {
+            sel: reg(*sel),
+            table: table.clone().into_boxed_slice(),
+        },
+        Terminator::Call { func, ret_to } => MicroTerm::Call {
+            target: program.func(*func).entry,
+            ret_to: *ret_to,
+        },
+        Terminator::Ret => MicroTerm::Ret,
+        Terminator::Halt => MicroTerm::Halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn ea_lowering_resolves_registers_and_scale() {
+        let ea = Ea::lower(&MemRef::base_index(Reg::ESI, Reg::ECX, 8, 16));
+        assert_eq!(ea.base, Reg::ESI.index() as u8);
+        assert_eq!(ea.index, Reg::ECX.index() as u8);
+        assert_eq!(ea.shift, 3);
+        assert_eq!(ea.disp, 16);
+        let abs = Ea::lower(&MemRef::absolute(0x1234));
+        assert_eq!((abs.base, abs.index), (NO_REG, NO_REG));
+        assert_eq!(abs.disp, 0x1234);
+    }
+
+    #[test]
+    fn cmp_branch_fuses_and_nops_vanish() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
+        pb.block(body)
+            .nop()
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 10)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let cache = DecodedCache::lower(&p);
+        let b = cache.block(body);
+        // nop elided, cmp fused into the terminator: only the add remains.
+        assert_eq!(b.ops.len(), 1);
+        assert!(matches!(b.term, MicroTerm::CmpRIBr { imm: 10, .. }));
+        // ...but the retired-instruction count still covers all four slots.
+        assert_eq!(b.arch_insns, 4);
+    }
+
+    #[test]
+    fn memory_cmp_operands_become_scratch_loads() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .cmp(
+                Operand::Mem(MemRef::base(Reg::ESI), Width::W8),
+                Operand::Mem(MemRef::base(Reg::EDI), Width::W4),
+            )
+            .br_eq(done, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let b = DecodedCache::lower(&p).block(f.entry()).clone();
+        assert!(matches!(
+            b.ops[0],
+            MicroOp::Load {
+                dst: SCRATCH0,
+                width: 8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            b.ops[1],
+            MicroOp::Load {
+                dst: SCRATCH1,
+                width: 4,
+                ..
+            }
+        ));
+        // The scratch-register compare then fuses with the branch.
+        assert!(matches!(
+            b.term,
+            MicroTerm::CmpRRBr {
+                a: SCRATCH0,
+                b: SCRATCH1,
+                ..
+            }
+        ));
+        // Two access slots, both at the cmp's pc.
+        assert_eq!(b.access_pcs.len(), 2);
+        assert_eq!(b.access_pcs[0], b.access_pcs[1]);
+    }
+
+    #[test]
+    fn call_targets_are_preresolved() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let after = pb.new_block();
+        pb.block(main.entry()).call(leaf, after);
+        pb.block(leaf.entry()).ret();
+        pb.block(after).ret();
+        let p = pb.finish();
+        let cache = DecodedCache::lower(&p);
+        match cache.block(main.entry()).term {
+            MicroTerm::Call { target, ret_to } => {
+                assert_eq!(target, leaf.entry());
+                assert_eq!(ret_to, after);
+            }
+            ref t => panic!("expected call, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn access_slots_match_the_canonical_stream() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .push_val(Reg::EAX)
+            .pop(Reg::EBX)
+            .prefetch(Reg::ESI + 8)
+            .store(Reg::ESI + 16, Reg::EBX, Width::W8)
+            .ret();
+        let p = pb.finish();
+        let block = p.block(f.entry());
+        let decoded = DecodedCache::lower(&p);
+        let pcs: Vec<Pc> = decoded.block(f.entry()).access_pcs.to_vec();
+        assert_eq!(pcs, block_access_pcs(block));
+        assert_eq!(pcs.len(), 5, "load, push, pop, prefetch, store");
+    }
+}

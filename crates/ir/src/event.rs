@@ -73,7 +73,12 @@ mod tests {
 
     #[test]
     fn demand_classification() {
-        let mk = |kind| MemAccess { pc: Pc(0x400000), addr: 0x10, width: 8, kind };
+        let mk = |kind| MemAccess {
+            pc: Pc(0x400000),
+            addr: 0x10,
+            width: 8,
+            kind,
+        };
         assert!(mk(AccessKind::Load).is_demand());
         assert!(mk(AccessKind::Store).is_demand());
         assert!(!mk(AccessKind::Prefetch).is_demand());
@@ -81,7 +86,12 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let a = MemAccess { pc: Pc(0x400004), addr: 0x2000_0000, width: 4, kind: AccessKind::Load };
+        let a = MemAccess {
+            pc: Pc(0x400004),
+            addr: 0x2000_0000,
+            width: 4,
+            kind: AccessKind::Load,
+        };
         assert_eq!(a.to_string(), "L 0x400004 @0x20000000 w4");
     }
 }

@@ -37,7 +37,11 @@ pub struct U64Map<V> {
 impl<V: Copy + Default> U64Map<V> {
     /// Creates an empty map.
     pub fn new() -> U64Map<V> {
-        U64Map { keys: Vec::new(), vals: Vec::new(), len: 0 }
+        U64Map {
+            keys: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+        }
     }
 
     /// Number of entries.

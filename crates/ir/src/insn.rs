@@ -246,7 +246,11 @@ impl fmt::Display for Insn {
             Insn::Push { src } => write!(f, "push {src}"),
             Insn::Pop { dst } => write!(f, "pop {dst}"),
             Insn::Alloc { dst, size, align64 } => {
-                write!(f, "alloc {dst}, {size}{}", if *align64 { ", aligned" } else { "" })
+                write!(
+                    f,
+                    "alloc {dst}, {size}{}",
+                    if *align64 { ", aligned" } else { "" }
+                )
             }
             Insn::Prefetch { mem } => write!(f, "prefetch {mem}"),
             Insn::Nop => write!(f, "nop"),
@@ -260,7 +264,11 @@ mod tests {
 
     #[test]
     fn load_store_classification() {
-        let ld = Insn::Load { dst: Reg::EAX, mem: MemRef::base(Reg::ESI), width: Width::W8 };
+        let ld = Insn::Load {
+            dst: Reg::EAX,
+            mem: MemRef::base(Reg::ESI),
+            width: Width::W8,
+        };
         assert!(ld.is_load() && !ld.is_store());
 
         let st = Insn::Store {
@@ -277,7 +285,9 @@ mod tests {
         };
         assert!(addm.is_load(), "load-op binary must count as a load");
 
-        let push = Insn::Push { src: Operand::Reg(Reg::EAX) };
+        let push = Insn::Push {
+            src: Operand::Reg(Reg::EAX),
+        };
         assert!(push.is_store());
         assert!(push.stores()[0].0.is_stack(), "push writes the stack");
 
@@ -288,7 +298,9 @@ mod tests {
 
     #[test]
     fn prefetch_is_not_an_access() {
-        let pf = Insn::Prefetch { mem: MemRef::base(Reg::ESI) };
+        let pf = Insn::Prefetch {
+            mem: MemRef::base(Reg::ESI),
+        };
         assert!(!pf.accesses_memory());
     }
 

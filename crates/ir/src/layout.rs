@@ -17,14 +17,7 @@ pub const HEAP_BASE: u64 = 0x2000_0000;
 /// Initial stack pointer; the stack grows downward from here.
 pub const STACK_TOP: u64 = 0x7fff_f000;
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn regions_are_ordered_and_disjoint() {
-        assert!(CODE_BASE < STATIC_BASE);
-        assert!(STATIC_BASE < HEAP_BASE);
-        assert!(HEAP_BASE < STACK_TOP);
-    }
-}
+// Region ordering is a compile-time invariant; breaking it fails the build.
+const _: () = assert!(CODE_BASE < STATIC_BASE);
+const _: () = assert!(STATIC_BASE < HEAP_BASE);
+const _: () = assert!(HEAP_BASE < STACK_TOP);

@@ -49,6 +49,7 @@
 
 mod block;
 mod builder;
+pub mod decoded;
 mod event;
 pub mod fastmap;
 mod insn;
@@ -60,6 +61,7 @@ mod reg;
 
 pub use block::{BasicBlock, BlockId, Terminator};
 pub use builder::{BlockBuilder, FuncHandle, ProgramBuilder};
+pub use decoded::{DecodedBlock, DecodedCache, Ea, MicroOp, MicroTerm, REG_SLOTS};
 pub use event::{AccessKind, MemAccess, Pc};
 pub use insn::{BinOp, Cond, Insn, UnOp};
 pub use layout::{CODE_BASE, HEAP_BASE, STACK_TOP, STATIC_BASE};

@@ -52,8 +52,15 @@ pub fn listing(program: &Program) -> String {
 fn describe_terminator(t: &Terminator, program: &Program) -> String {
     match t {
         Terminator::Jmp(b) => format!("jmp {b}"),
-        Terminator::Br { cond, taken, fallthrough } => {
-            format!("br.{} {taken} else {fallthrough}", format!("{cond:?}").to_lowercase())
+        Terminator::Br {
+            cond,
+            taken,
+            fallthrough,
+        } => {
+            format!(
+                "br.{} {taken} else {fallthrough}",
+                format!("{cond:?}").to_lowercase()
+            )
         }
         Terminator::JmpInd { sel, table } => {
             format!("jmp* [{sel}] over {} targets", table.len())
@@ -80,20 +87,22 @@ pub fn cfg_dot(program: &Program) -> String {
             block.insns.len()
         );
         match &block.terminator {
-            Terminator::Br { taken, fallthrough, .. } => {
+            Terminator::Br {
+                taken, fallthrough, ..
+            } => {
                 let _ = writeln!(out, "  b{} -> b{} [label=\"T\"];", block.id.0, taken.0);
-                let _ = writeln!(out, "  b{} -> b{} [label=\"F\"];", block.id.0, fallthrough.0);
+                let _ = writeln!(
+                    out,
+                    "  b{} -> b{} [label=\"F\"];",
+                    block.id.0, fallthrough.0
+                );
             }
             Terminator::JmpInd { table, .. } => {
                 // Collapse duplicate indirect targets.
                 let mut seen = std::collections::HashSet::new();
                 for t in table {
                     if seen.insert(*t) {
-                        let _ = writeln!(
-                            out,
-                            "  b{} -> b{} [style=dashed];",
-                            block.id.0, t.0
-                        );
+                        let _ = writeln!(out, "  b{} -> b{} [style=dashed];", block.id.0, t.0);
                     }
                 }
             }
@@ -118,7 +127,10 @@ mod tests {
         let main = pb.begin_func("main");
         let body = pb.new_block();
         let done = pb.new_block();
-        pb.block(main.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 64).jmp(body);
+        pb.block(main.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 64)
+            .jmp(body);
         pb.block(body)
             .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
             .addi(Reg::ECX, 1)
@@ -156,7 +168,10 @@ mod tests {
         for b in &p.blocks {
             assert!(dot.contains(&format!("b{} [label", b.id.0)));
         }
-        assert!(dot.contains("b1 -> b1 [label=\"T\"]"), "loop back-edge present");
+        assert!(
+            dot.contains("b1 -> b1 [label=\"T\"]"),
+            "loop back-edge present"
+        );
         assert!(dot.contains("b1 -> b2 [label=\"F\"]"));
         assert!(dot.ends_with("}\n"));
     }
@@ -166,7 +181,9 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let main = pb.begin_func("main");
         let a = pb.new_block();
-        pb.block(main.entry()).movi(Reg::EAX, 0).jmp_ind(Reg::EAX, vec![a, a, a]);
+        pb.block(main.entry())
+            .movi(Reg::EAX, 0)
+            .jmp_ind(Reg::EAX, vec![a, a, a]);
         pb.block(a).ret();
         let dot = cfg_dot(&pb.finish());
         assert_eq!(dot.matches("b0 -> b1").count(), 1);

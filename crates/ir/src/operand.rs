@@ -59,12 +59,20 @@ pub struct MemRef {
 impl MemRef {
     /// A reference through a base register only: `[base]`.
     pub fn base(base: Reg) -> MemRef {
-        MemRef { base: Some(base), index: None, disp: 0 }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp: 0,
+        }
     }
 
     /// A reference with base and displacement: `[base + disp]`.
     pub fn base_disp(base: Reg, disp: i64) -> MemRef {
-        MemRef { base: Some(base), index: None, disp }
+        MemRef {
+            base: Some(base),
+            index: None,
+            disp,
+        }
     }
 
     /// A fully general reference: `[base + index*scale + disp]`.
@@ -74,12 +82,20 @@ impl MemRef {
     /// Panics if `scale` is not 1, 2, 4 or 8.
     pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> MemRef {
         assert!(matches!(scale, 1 | 2 | 4 | 8), "invalid scale {scale}");
-        MemRef { base: Some(base), index: Some((index, scale)), disp }
+        MemRef {
+            base: Some(base),
+            index: Some((index, scale)),
+            disp,
+        }
     }
 
     /// An absolute (static) reference: `[disp]`.
     pub fn absolute(addr: u64) -> MemRef {
-        MemRef { base: None, index: None, disp: addr as i64 }
+        MemRef {
+            base: None,
+            index: None,
+            disp: addr as i64,
+        }
     }
 
     /// Whether the reference is stack-relative (`ESP`/`EBP` based).

@@ -124,7 +124,10 @@ impl Program {
             .max()
             .unwrap_or(STATIC_BASE)
             .next_multiple_of(64);
-        self.data.push(DataSegment { addr: base, bytes: vec![0; len] });
+        self.data.push(DataSegment {
+            addr: base,
+            bytes: vec![0; len],
+        });
         base
     }
 
@@ -154,7 +157,10 @@ impl Program {
         }
         for f in &self.funcs {
             if f.entry.index() >= nb {
-                return Err(format!("function {} entry {:?} out of range", f.name, f.entry));
+                return Err(format!(
+                    "function {} entry {:?} out of range",
+                    f.name, f.entry
+                ));
             }
         }
         for b in &self.blocks {

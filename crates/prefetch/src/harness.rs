@@ -118,8 +118,12 @@ mod tests {
         let p = build("179.art", Scale::Test).expect("art");
         let native = run_native(&p, Platform::pentium4(), PrefetchSetting::Off);
         let (dbi, _) = run_dbi(&p, Platform::pentium4(), PrefetchSetting::Off);
-        let (umi, report) =
-            run_umi(&p, UmiConfig::no_sampling(), Platform::pentium4(), PrefetchSetting::Off);
+        let (umi, report) = run_umi(
+            &p,
+            UmiConfig::no_sampling(),
+            Platform::pentium4(),
+            PrefetchSetting::Off,
+        );
         assert!(dbi.cycles >= native.cycles);
         assert!(umi.cycles >= dbi.cycles);
         assert!(report.umi_overhead_cycles > 0);
@@ -140,7 +144,10 @@ mod tests {
             PrefetchSetting::Off,
             32,
         );
-        assert!(!report.predicted.is_empty(), "ft's stream must be predicted");
+        assert!(
+            !report.predicted.is_empty(),
+            "ft's stream must be predicted"
+        );
         assert!(!plan.is_empty(), "ft has a perfect stride");
         assert!(
             opt.counters.l2_misses * 2 < native.counters.l2_misses,
@@ -166,7 +173,10 @@ mod tests {
             PrefetchSetting::Off,
             32,
         );
-        assert!(!report.predicted.is_empty(), "mcf's chase load is delinquent");
+        assert!(
+            !report.predicted.is_empty(),
+            "mcf's chase load is delinquent"
+        );
         assert!(plan.is_empty(), "a random chase has no stride to prefetch");
     }
 

@@ -41,7 +41,10 @@ impl PrefetchPlan {
                     let magnitude = raw.unsigned_abs().clamp(128, 4096) as i64;
                     entries.insert(
                         *pc,
-                        PlanEntry { stride: info.stride, distance_bytes: magnitude * raw.signum() },
+                        PlanEntry {
+                            stride: info.stride,
+                            distance_bytes: magnitude * raw.signum(),
+                        },
                     );
                 }
             }
@@ -51,7 +54,9 @@ impl PrefetchPlan {
 
     /// A plan with explicit entries (for tests and ablations).
     pub fn from_entries(entries: impl IntoIterator<Item = (Pc, PlanEntry)>) -> PrefetchPlan {
-        PrefetchPlan { entries: entries.into_iter().collect() }
+        PrefetchPlan {
+            entries: entries.into_iter().collect(),
+        }
     }
 
     /// The entry for a load, if planned.
@@ -90,7 +95,14 @@ mod tests {
             strides: strides
                 .iter()
                 .map(|&(pc, stride, confidence)| {
-                    (Pc(pc), StrideInfo { stride, confidence, samples: 100 })
+                    (
+                        Pc(pc),
+                        StrideInfo {
+                            stride,
+                            confidence,
+                            samples: 100,
+                        },
+                    )
                 })
                 .collect::<Map<_, _>>(),
             per_pc: umi_cache::PerPcStats::new(),
@@ -114,10 +126,10 @@ mod tests {
         let r = report(
             &[1, 2, 3, 4],
             &[
-                (1, 8, 1.0),   // planned
-                (2, 64, 0.4),  // confidence too low
-                (3, 0, 1.0),   // zero stride
-                // 4 has no stride info at all
+                (1, 8, 1.0),  // planned
+                (2, 64, 0.4), // confidence too low
+                (3, 0, 1.0),  // zero stride
+                              // 4 has no stride info at all
             ],
         );
         let plan = PrefetchPlan::from_report(&r, 32);

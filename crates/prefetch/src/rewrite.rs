@@ -55,7 +55,10 @@ pub fn inject_prefetches(program: &Program, plan: &PrefetchPlan) -> Program {
 /// the one the profile columns recorded, hence the one the stride belongs
 /// to.
 fn prefetchable_ref(insn: &Insn) -> Option<MemRef> {
-    insn.loads().into_iter().map(|(m, _)| m).find(|m| !m.is_filtered())
+    insn.loads()
+        .into_iter()
+        .map(|(m, _)| m)
+        .find(|m| !m.is_filtered())
 }
 
 #[cfg(test)]
@@ -70,7 +73,10 @@ mod tests {
         let f = pb.begin_func("main");
         let body = pb.new_block();
         let done = pb.new_block();
-        pb.block(f.entry()).movi(Reg::ECX, 0).alloc(Reg::ESI, 1 << 16).jmp(body);
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 1 << 16)
+            .jmp(body);
         pb.block(body)
             .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
             .addi(Reg::ECX, 1)
@@ -94,7 +100,10 @@ mod tests {
         let p = stream_program();
         let plan = PrefetchPlan::from_entries([(
             load_pc(&p),
-            PlanEntry { stride: 8, distance_bytes: 256 },
+            PlanEntry {
+                stride: 8,
+                distance_bytes: 256,
+            },
         )]);
         let rewritten = inject_prefetches(&p, &plan);
         assert_eq!(rewritten.validate(), Ok(()));
@@ -117,7 +126,10 @@ mod tests {
         let p = stream_program();
         let plan = PrefetchPlan::from_entries([(
             load_pc(&p),
-            PlanEntry { stride: 8, distance_bytes: 128 },
+            PlanEntry {
+                stride: 8,
+                distance_bytes: 128,
+            },
         )]);
         let rewritten = inject_prefetches(&p, &plan);
         let mut a = Vm::new(&p);
@@ -132,7 +144,13 @@ mod tests {
     fn prefetch_accesses_run_ahead_of_demand() {
         let p = stream_program();
         let pc = load_pc(&p);
-        let plan = PrefetchPlan::from_entries([(pc, PlanEntry { stride: 8, distance_bytes: 512 })]);
+        let plan = PrefetchPlan::from_entries([(
+            pc,
+            PlanEntry {
+                stride: 8,
+                distance_bytes: 512,
+            },
+        )]);
         let rewritten = inject_prefetches(&p, &plan);
         let mut sink = CountSink::default();
         Vm::new(&rewritten).run(&mut sink, u64::MAX);

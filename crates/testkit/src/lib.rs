@@ -56,10 +56,7 @@ impl Xoshiro256pp {
     /// The next 64 uniformly distributed bits.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -219,7 +216,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let mut r = Xoshiro256pp::seed_from_u64(3);
         let p = r.permutation(100);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &x in &p {
             assert!(!seen[x as usize]);
             seen[x as usize] = true;

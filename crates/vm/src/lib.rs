@@ -6,9 +6,17 @@
 //! transfer, builds traces from the observed control flow, and charges
 //! dispatch costs — while the architectural semantics stay in the VM.
 //!
-//! Memory accesses are streamed to an [`AccessSink`]; the hardware model,
-//! the Cachegrind-style full simulator, and UMI's profiling all consume the
-//! same stream, so they are guaranteed to agree on the reference sequence.
+//! Steady-state execution runs from a pre-decoded micro-op code cache
+//! ([`umi_ir::DecodedCache`]): every block is lowered once at VM
+//! construction, and the hot dispatch loop indexes flat arrays instead of
+//! matching IR enums. The original enum-walking interpreter survives as
+//! [`Vm::step_block_tree`]/[`Vm::run_tree`] for differential testing.
+//!
+//! Memory accesses are streamed to an [`AccessSink`] — one
+//! [`AccessSink::access_batch`] call per block, preserving per-access
+//! order; the hardware model, the Cachegrind-style full simulator, and
+//! UMI's profiling all consume the same stream, so they are guaranteed to
+//! agree on the reference sequence.
 //!
 //! # Example
 //!

@@ -150,9 +150,7 @@ impl Memory {
             match width {
                 1 => page[off] as u64,
                 2 => u16::from_le_bytes([page[off], page[off + 1]]) as u64,
-                4 => {
-                    u32::from_le_bytes(page[off..off + 4].try_into().expect("in-page")) as u64
-                }
+                4 => u32::from_le_bytes(page[off..off + 4].try_into().expect("in-page")) as u64,
                 _ => u64::from_le_bytes(page[off..off + 8].try_into().expect("in-page")),
             }
         } else {

@@ -28,7 +28,11 @@ mod tests {
 
     #[test]
     fn mem_refs_sums_loads_and_stores() {
-        let s = VmStats { loads: 3, stores: 4, ..Default::default() };
+        let s = VmStats {
+            loads: 3,
+            stores: 4,
+            ..Default::default()
+        };
         assert_eq!(s.mem_refs(), 7);
     }
 }

@@ -3,6 +3,8 @@
 use crate::memory::Memory;
 use crate::sink::AccessSink;
 use crate::stats::VmStats;
+use std::rc::Rc;
+use umi_ir::decoded::{DecodedCache, Ea, MicroOp, MicroTerm, NO_REG, REG_SLOTS};
 use umi_ir::{
     AccessKind, BasicBlock, BinOp, BlockId, Insn, MemAccess, MemRef, Operand, Pc, Program, Reg,
     Terminator, UnOp, Width, HEAP_BASE, STACK_TOP,
@@ -56,13 +58,44 @@ pub struct RunResult {
     pub stats: VmStats,
 }
 
+/// Size of the interpreter's register array. A power of two ≥
+/// [`REG_SLOTS`] so that `u8` indices masked with [`REG_MASK`] are
+/// in-bounds by construction — the bounds checks on the register file
+/// (touched two or three times per micro-op) vanish from the hot loop.
+const REG_FILE: usize = 32;
+const REG_MASK: usize = REG_FILE - 1;
+/// [`NO_REG`] masked with [`REG_MASK`]: a register slot lowering never
+/// assigns, so it permanently reads zero — the effective-address
+/// computation indexes it unconditionally instead of branching on
+/// operand presence.
+const ZERO_REG: usize = NO_REG as usize & REG_MASK;
+const _: () = assert!(REG_FILE.is_power_of_two() && REG_FILE >= REG_SLOTS);
+const _: () = assert!(
+    ZERO_REG >= REG_SLOTS,
+    "zero slot must be outside the real file"
+);
+
 /// The interpreter.
+///
+/// Executes from a pre-decoded micro-op representation
+/// ([`DecodedCache`]): each basic block is lowered once at construction
+/// into a flat array of micro-ops with pre-resolved register indices,
+/// immediates and effective-address components, and steady-state
+/// execution never touches the `umi_ir::Insn` enums. Memory accesses are
+/// buffered per block and delivered to the sink in one
+/// [`AccessSink::access_batch`] call.
+///
+/// The original enum-walking interpreter survives as
+/// [`step_block_tree`](Vm::step_block_tree)/[`run_tree`](Vm::run_tree);
+/// the differential tests run both engines over whole workloads and
+/// assert identical statistics and access streams.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
 #[derive(Debug)]
 pub struct Vm<'p> {
     program: &'p Program,
-    regs: [i64; Reg::COUNT],
+    decoded: Rc<DecodedCache>,
+    regs: [i64; REG_FILE],
     /// Operands of the most recent `Cmp`.
     flags: (i64, i64),
     mem: Memory,
@@ -70,22 +103,26 @@ pub struct Vm<'p> {
     call_stack: Vec<BlockId>,
     stats: VmStats,
     next_block: Option<BlockId>,
+    /// Accesses of the block currently being / most recently executed.
+    access_buf: Vec<MemAccess>,
 }
 
 impl<'p> Vm<'p> {
     /// Creates a VM with the program's data segments loaded, the stack
-    /// pointer at [`STACK_TOP`] and the heap cursor at [`HEAP_BASE`].
+    /// pointer at [`STACK_TOP`] and the heap cursor at [`HEAP_BASE`], and
+    /// the program lowered into its decoded code cache.
     pub fn new(program: &'p Program) -> Vm<'p> {
         let mut mem = Memory::new();
         for seg in &program.data {
             mem.write_bytes(seg.addr, &seg.bytes);
         }
-        let mut regs = [0i64; Reg::COUNT];
+        let mut regs = [0i64; REG_FILE];
         regs[Reg::ESP.index()] = STACK_TOP as i64;
         regs[Reg::EBP.index()] = STACK_TOP as i64;
         let entry = program.func(program.entry).entry;
         Vm {
             program,
+            decoded: Rc::new(DecodedCache::lower(program)),
             regs,
             flags: (0, 0),
             mem,
@@ -93,12 +130,25 @@ impl<'p> Vm<'p> {
             call_stack: Vec::new(),
             stats: VmStats::default(),
             next_block: Some(entry),
+            access_buf: Vec::with_capacity(64),
         }
     }
 
     /// The program being executed.
     pub fn program(&self) -> &'p Program {
         self.program
+    }
+
+    /// The decoded code cache the VM executes from (shared so the DBI
+    /// layer can snapshot decoded trace bodies without re-lowering).
+    pub fn decoded(&self) -> &Rc<DecodedCache> {
+        &self.decoded
+    }
+
+    /// The memory accesses of the most recently executed block, in
+    /// program order.
+    pub fn block_accesses(&self) -> &[MemAccess] {
+        &self.access_buf
     }
 
     /// Current value of a register.
@@ -131,6 +181,273 @@ impl<'p> Vm<'p> {
         self.next_block.is_none()
     }
 
+    // === Decoded engine ===
+
+    /// Register read by pre-resolved index. The mask keeps the index
+    /// in-bounds by construction (see [`REG_FILE`]), so no bounds check
+    /// survives in the hot loop.
+    #[inline(always)]
+    fn r(&self, i: u8) -> i64 {
+        self.regs[i as usize & REG_MASK]
+    }
+
+    /// Register write by pre-resolved index.
+    #[inline(always)]
+    fn set_r(&mut self, i: u8, v: i64) {
+        debug_assert_ne!(i as usize & REG_MASK, ZERO_REG, "zero slot is read-only");
+        self.regs[i as usize & REG_MASK] = v;
+    }
+
+    /// Effective address, branch-free: absent operands ([`NO_REG`]) mask
+    /// to [`ZERO_REG`], a slot nothing ever writes, so they contribute 0
+    /// without a per-operand compare in the hot loop.
+    #[inline(always)]
+    fn ea(&self, ea: &Ea) -> u64 {
+        (ea.disp as u64)
+            .wrapping_add(self.r(ea.base) as u64)
+            .wrapping_add((self.r(ea.index) as u64) << ea.shift)
+    }
+
+    #[inline(always)]
+    fn dload(&mut self, pc: Pc, addr: u64, width: u8) -> i64 {
+        self.access_buf.push(MemAccess {
+            pc,
+            addr,
+            width,
+            kind: AccessKind::Load,
+        });
+        self.mem.read(addr, width) as i64
+    }
+
+    #[inline(always)]
+    fn dstore(&mut self, pc: Pc, addr: u64, width: u8, v: i64) {
+        self.access_buf.push(MemAccess {
+            pc,
+            addr,
+            width,
+            kind: AccessKind::Store,
+        });
+        self.mem.write(addr, width, v as u64);
+    }
+
+    #[inline(always)]
+    fn alloc(&mut self, dst: u8, sz: i64, align64: bool) {
+        let sz = sz.max(0) as u64;
+        let align = if align64 { 64 } else { 8 };
+        let base = self.heap_cursor.next_multiple_of(align);
+        self.heap_cursor = base + sz;
+        self.stats.heap_allocated += sz;
+        self.set_r(dst, base as i64);
+    }
+
+    #[inline(always)]
+    fn exec_micro(&mut self, op: &MicroOp) {
+        let sp = Reg::ESP.index() as u8;
+        match *op {
+            MicroOp::MovR { dst, src } => self.set_r(dst, self.r(src)),
+            MicroOp::MovI { dst, imm } => self.set_r(dst, imm),
+            MicroOp::Load { dst, ea, width, pc } => {
+                let addr = self.ea(&ea);
+                let v = self.dload(pc, addr, width);
+                self.set_r(dst, v);
+            }
+            MicroOp::StoreR { ea, src, width, pc } => {
+                let addr = self.ea(&ea);
+                let v = self.r(src);
+                self.dstore(pc, addr, width, v);
+            }
+            MicroOp::StoreI { ea, imm, width, pc } => {
+                let addr = self.ea(&ea);
+                self.dstore(pc, addr, width, imm);
+            }
+            MicroOp::Lea { dst, ea } => self.set_r(dst, self.ea(&ea) as i64),
+            MicroOp::BinRR { op, dst, src } => {
+                let a = self.r(dst);
+                let b = self.r(src);
+                self.set_r(dst, apply_binop(op, a, b));
+            }
+            MicroOp::BinRI { op, dst, imm } => {
+                let a = self.r(dst);
+                self.set_r(dst, apply_binop(op, a, imm));
+            }
+            MicroOp::BinMem {
+                op,
+                dst,
+                ea,
+                width,
+                pc,
+            } => {
+                let addr = self.ea(&ea);
+                let b = self.dload(pc, addr, width);
+                let a = self.r(dst);
+                self.set_r(dst, apply_binop(op, a, b));
+            }
+            MicroOp::Un { op, dst } => {
+                let a = self.r(dst);
+                self.set_r(
+                    dst,
+                    match op {
+                        UnOp::Neg => a.wrapping_neg(),
+                        UnOp::Not => !a,
+                    },
+                );
+            }
+            MicroOp::CmpRR { a, b } => self.flags = (self.r(a), self.r(b)),
+            MicroOp::CmpRI { a, imm } => self.flags = (self.r(a), imm),
+            MicroOp::CmpIR { imm, b } => self.flags = (imm, self.r(b)),
+            MicroOp::CmpII { a, b } => self.flags = (a, b),
+            MicroOp::PushR { src, pc } => {
+                let v = self.r(src);
+                let esp = self.r(sp).wrapping_sub(8);
+                self.set_r(sp, esp);
+                self.dstore(pc, esp as u64, 8, v);
+            }
+            MicroOp::PushI { imm, pc } => {
+                let esp = self.r(sp).wrapping_sub(8);
+                self.set_r(sp, esp);
+                self.dstore(pc, esp as u64, 8, imm);
+            }
+            MicroOp::Pop { dst, pc } => {
+                let addr = self.r(sp) as u64;
+                let v = self.dload(pc, addr, 8);
+                self.set_r(dst, v);
+                let esp = self.r(sp);
+                self.set_r(sp, esp.wrapping_add(8));
+            }
+            MicroOp::AllocR { dst, size, align64 } => {
+                self.alloc(dst, self.r(size), align64);
+            }
+            MicroOp::AllocI { dst, size, align64 } => self.alloc(dst, size, align64),
+            MicroOp::Prefetch { ea, pc } => {
+                let addr = self.ea(&ea);
+                self.access_buf.push(MemAccess {
+                    pc,
+                    addr,
+                    width: 64,
+                    kind: AccessKind::Prefetch,
+                });
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn exec_micro_term(&mut self, term: &MicroTerm) -> (Option<BlockId>, ExitKind) {
+        match term {
+            MicroTerm::Jmp(t) => (Some(*t), ExitKind::Jump),
+            MicroTerm::Br {
+                cond,
+                taken,
+                fallthrough,
+            } => {
+                if cond.eval(self.flags.0, self.flags.1) {
+                    (Some(*taken), ExitKind::BranchTaken)
+                } else {
+                    (Some(*fallthrough), ExitKind::BranchNotTaken)
+                }
+            }
+            MicroTerm::CmpRRBr {
+                a,
+                b,
+                cond,
+                taken,
+                fallthrough,
+            } => {
+                self.flags = (self.r(*a), self.r(*b));
+                if cond.eval(self.flags.0, self.flags.1) {
+                    (Some(*taken), ExitKind::BranchTaken)
+                } else {
+                    (Some(*fallthrough), ExitKind::BranchNotTaken)
+                }
+            }
+            MicroTerm::CmpRIBr {
+                a,
+                imm,
+                cond,
+                taken,
+                fallthrough,
+            } => {
+                self.flags = (self.r(*a), *imm);
+                if cond.eval(self.flags.0, self.flags.1) {
+                    (Some(*taken), ExitKind::BranchTaken)
+                } else {
+                    (Some(*fallthrough), ExitKind::BranchNotTaken)
+                }
+            }
+            MicroTerm::JmpInd { sel, table } => {
+                let idx = (self.r(*sel) as u64 % table.len() as u64) as usize;
+                (Some(table[idx]), ExitKind::Indirect)
+            }
+            MicroTerm::Call { target, ret_to } => {
+                self.call_stack.push(*ret_to);
+                (Some(*target), ExitKind::Call)
+            }
+            MicroTerm::Ret => match self.call_stack.pop() {
+                Some(ret) => (Some(ret), ExitKind::Ret),
+                None => (None, ExitKind::Ret),
+            },
+            MicroTerm::Halt => (None, ExitKind::Halt),
+        }
+    }
+
+    /// Executes the next basic block from the decoded code cache and
+    /// returns how control left it. The block's memory accesses are
+    /// buffered and delivered to `sink` in one
+    /// [`AccessSink::access_batch`] call at block end (same order as the
+    /// per-access stream); they remain readable via
+    /// [`block_accesses`](Vm::block_accesses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program already finished.
+    pub fn step_block<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit {
+        let decoded = Rc::clone(&self.decoded);
+        self.step_block_in(&decoded, sink)
+    }
+
+    /// [`step_block`](Vm::step_block) against an already-cloned cache
+    /// handle — lets [`run`](Vm::run) hoist the refcount traffic out of
+    /// its loop.
+    #[inline]
+    fn step_block_in<S: AccessSink>(&mut self, decoded: &DecodedCache, sink: &mut S) -> BlockExit {
+        let id = self.next_block.expect("program already finished");
+        let block = decoded.block(id);
+        self.stats.blocks += 1;
+        // Retired instructions (bodies + terminator) and demand accesses
+        // are counted per block from the decoded block's static totals:
+        // nothing observes the counters mid-block.
+        self.stats.insns += block.arch_insns;
+        self.stats.loads += block.n_loads as u64;
+        self.stats.stores += block.n_stores as u64;
+        self.access_buf.clear();
+        for op in block.ops.iter() {
+            self.exec_micro(op);
+        }
+        let (next, kind) = self.exec_micro_term(&block.term);
+        if !self.access_buf.is_empty() {
+            sink.access_batch(&self.access_buf);
+        }
+        self.next_block = next;
+        BlockExit {
+            block: id,
+            next,
+            kind,
+        }
+    }
+
+    /// Runs until the program finishes or `max_insns` instructions retire.
+    pub fn run<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> RunResult {
+        let decoded = Rc::clone(&self.decoded);
+        while self.next_block.is_some() && self.stats.insns < max_insns {
+            self.step_block_in(&decoded, sink);
+        }
+        RunResult {
+            finished: self.next_block.is_none(),
+            stats: self.stats,
+        }
+    }
+
+    // === Legacy tree-walk engine (reference semantics) ===
+
     fn effective_addr(&self, m: &MemRef) -> u64 {
         let mut a = m.disp as u64;
         if let Some(b) = m.base {
@@ -145,7 +462,12 @@ impl<'p> Vm<'p> {
     fn load_mem<S: AccessSink>(&mut self, pc: Pc, m: &MemRef, w: Width, sink: &mut S) -> i64 {
         let addr = self.effective_addr(m);
         let width = w.bytes() as u8;
-        sink.access(MemAccess { pc, addr, width, kind: AccessKind::Load });
+        sink.access(MemAccess {
+            pc,
+            addr,
+            width,
+            kind: AccessKind::Load,
+        });
         self.stats.loads += 1;
         self.mem.read(addr, width) as i64
     }
@@ -153,7 +475,12 @@ impl<'p> Vm<'p> {
     fn store_mem<S: AccessSink>(&mut self, pc: Pc, m: &MemRef, w: Width, v: i64, sink: &mut S) {
         let addr = self.effective_addr(m);
         let width = w.bytes() as u8;
-        sink.access(MemAccess { pc, addr, width, kind: AccessKind::Store });
+        sink.access(MemAccess {
+            pc,
+            addr,
+            width,
+            kind: AccessKind::Store,
+        });
         self.stats.stores += 1;
         self.mem.write(addr, width, v as u64);
     }
@@ -212,16 +539,17 @@ impl<'p> Vm<'p> {
                 self.regs[Reg::ESP.index()] = self.regs[Reg::ESP.index()].wrapping_add(8);
             }
             Insn::Alloc { dst, size, align64 } => {
-                let sz = self.eval(pc, size, sink).max(0) as u64;
-                let align = if *align64 { 64 } else { 8 };
-                let base = self.heap_cursor.next_multiple_of(align);
-                self.heap_cursor = base + sz;
-                self.stats.heap_allocated += sz;
-                self.regs[dst.index()] = base as i64;
+                let sz = self.eval(pc, size, sink);
+                self.alloc(dst.index() as u8, sz, *align64);
             }
             Insn::Prefetch { mem } => {
                 let addr = self.effective_addr(mem);
-                sink.access(MemAccess { pc, addr, width: 64, kind: AccessKind::Prefetch });
+                sink.access(MemAccess {
+                    pc,
+                    addr,
+                    width: 64,
+                    kind: AccessKind::Prefetch,
+                });
             }
             Insn::Nop => {}
         }
@@ -230,7 +558,11 @@ impl<'p> Vm<'p> {
     fn exec_terminator(&mut self, block: &BasicBlock) -> (Option<BlockId>, ExitKind) {
         match &block.terminator {
             Terminator::Jmp(t) => (Some(*t), ExitKind::Jump),
-            Terminator::Br { cond, taken, fallthrough } => {
+            Terminator::Br {
+                cond,
+                taken,
+                fallthrough,
+            } => {
                 if cond.eval(self.flags.0, self.flags.1) {
                     (Some(*taken), ExitKind::BranchTaken)
                 } else {
@@ -253,18 +585,18 @@ impl<'p> Vm<'p> {
         }
     }
 
-    /// Executes the next basic block, streaming its memory accesses to
-    /// `sink`, and returns how control left it.
+    /// Executes the next basic block by walking the IR enums directly
+    /// (the pre-decoded-engine interpreter), streaming each access to
+    /// `sink` as it happens. Kept as the reference semantics for
+    /// differential testing against [`step_block`](Vm::step_block).
     ///
     /// # Panics
     ///
     /// Panics if the program already finished.
-    pub fn step_block<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit {
+    pub fn step_block_tree<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit {
         let id = self.next_block.expect("program already finished");
         self.stats.blocks += 1;
         let block = self.program.block(id);
-        // Retired instructions (bodies + terminator), counted per block:
-        // nothing observes the counter mid-block.
         self.stats.insns += block.insns.len() as u64 + 1;
         for (i, insn) in block.insns.iter().enumerate() {
             let pc = block.insn_pc(i);
@@ -272,15 +604,24 @@ impl<'p> Vm<'p> {
         }
         let (next, kind) = self.exec_terminator(block);
         self.next_block = next;
-        BlockExit { block: id, next, kind }
+        BlockExit {
+            block: id,
+            next,
+            kind,
+        }
     }
 
-    /// Runs until the program finishes or `max_insns` instructions retire.
-    pub fn run<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> RunResult {
+    /// Runs to completion (or `max_insns`) on the legacy tree-walk
+    /// engine. Must be architecturally indistinguishable from
+    /// [`run`](Vm::run).
+    pub fn run_tree<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> RunResult {
         while self.next_block.is_some() && self.stats.insns < max_insns {
-            self.step_block(sink);
+            self.step_block_tree(sink);
         }
-        RunResult { finished: self.next_block.is_none(), stats: self.stats }
+        RunResult {
+            finished: self.next_block.is_none(),
+            stats: self.stats,
+        }
     }
 }
 
@@ -324,7 +665,10 @@ mod tests {
         let body = pb.new_block();
         let done = pb.new_block();
         pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
-        pb.block(body).addi(Reg::ECX, 1).cmpi(Reg::ECX, 100).br_lt(body, done);
+        pb.block(body)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(body, done);
         pb.block(done).ret();
         let p = pb.finish();
         let mut vm = Vm::new(&p);
@@ -374,7 +718,11 @@ mod tests {
         let table = pb.data_words(&[11, 22, 33]);
         pb.block(f.entry())
             .movi(Reg::ECX, 2)
-            .load(Reg::EAX, MemRef::base_index(Reg::EBX, Reg::ECX, 8, table as i64), Width::W8)
+            .load(
+                Reg::EAX,
+                MemRef::base_index(Reg::EBX, Reg::ECX, 8, table as i64),
+                Width::W8,
+            )
             .ret();
         let p = pb.finish();
         let mut vm = Vm::new(&p);
@@ -405,7 +753,9 @@ mod tests {
         let t0 = pb.new_block();
         let t1 = pb.new_block();
         let done = pb.new_block();
-        pb.block(f.entry()).movi(Reg::EAX, 5).jmp_ind(Reg::EAX, vec![t0, t1]);
+        pb.block(f.entry())
+            .movi(Reg::EAX, 5)
+            .jmp_ind(Reg::EAX, vec![t0, t1]);
         pb.block(t0).movi(Reg::EBX, 0).jmp(done);
         pb.block(t1).movi(Reg::EBX, 1).jmp(done);
         pb.block(done).ret();
@@ -432,7 +782,10 @@ mod tests {
         assert_eq!(vm.reg(Reg::EBX), 7);
         assert_eq!(vm.reg(Reg::ESP) as u64, STACK_TOP, "stack balanced");
         assert_eq!(sink.accesses.len(), 2);
-        assert!(sink.accesses.iter().all(|a| a.addr < STACK_TOP && a.addr >= STACK_TOP - 16));
+        assert!(sink
+            .accesses
+            .iter()
+            .all(|a| a.addr < STACK_TOP && a.addr >= STACK_TOP - 16));
     }
 
     #[test]
@@ -475,6 +828,114 @@ mod tests {
         assert_eq!(apply_binop(BinOp::Div, 7, 0), 0);
         assert_eq!(apply_binop(BinOp::Rem, 7, 0), 0);
         assert_eq!(apply_binop(BinOp::Shr, -1, 56), 0xff);
-        assert_eq!(apply_binop(BinOp::Shl, 1, 65), 2, "shift counts mask to 6 bits");
+        assert_eq!(
+            apply_binop(BinOp::Shl, 1, 65),
+            2,
+            "shift counts mask to 6 bits"
+        );
+    }
+
+    /// Runs a program under both engines and asserts identical registers,
+    /// stats, and access streams.
+    fn assert_engines_agree(p: &Program) {
+        let mut decoded = Vm::new(p);
+        let mut tree = Vm::new(p);
+        let mut ds = CollectSink::default();
+        let mut ts = CollectSink::default();
+        let rd = decoded.run(&mut ds, u64::MAX);
+        let rt = tree.run_tree(&mut ts, u64::MAX);
+        assert_eq!(rd, rt, "run results diverge");
+        assert_eq!(ds.accesses, ts.accesses, "access streams diverge");
+        for r in Reg::all() {
+            assert_eq!(decoded.reg(r), tree.reg(r), "register {r} diverges");
+        }
+        assert_eq!(decoded.flags, tree.flags, "flags diverge");
+    }
+
+    #[test]
+    fn engines_agree_on_mixed_operand_shapes() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let table = pb.data_words(&[5, 7, 9]);
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 4096)
+            .alloc_aligned(Reg::EDI, 256)
+            .jmp(body);
+        pb.block(body)
+            .store(Reg::ESI + (Reg::ECX, 8), Reg::ECX, Width::W8)
+            .add(
+                Reg::EAX,
+                Operand::Mem(MemRef::base_index(Reg::ESI, Reg::ECX, 8, 0), Width::W8),
+            )
+            .load(
+                Reg::EBX,
+                MemRef::base_index(Reg::EBX, Reg::ECX, 8, table as i64),
+                Width::W8,
+            )
+            .cmp(
+                Operand::Mem(MemRef::base(Reg::ESI), Width::W8),
+                Operand::Mem(MemRef::base(Reg::EDI), Width::W8),
+            )
+            .push_val(Operand::Mem(MemRef::base(Reg::ESI), Width::W8))
+            .pop(Reg::EDX)
+            .lea(Reg::R6, Reg::ESI + (Reg::ECX, 4))
+            .neg(Reg::R7)
+            .prefetch(Reg::ESI + 64)
+            .store(Reg::ESI + 8, 42, Width::W4)
+            .shl(Reg::R8, 1)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 3)
+            .br_lt(body, done);
+        pb.block(done).push_val(-9).pop(Reg::R9).ret();
+        let p = pb.finish();
+        assert_engines_agree(&p);
+    }
+
+    #[test]
+    fn engines_agree_on_calls_and_indirect_flow() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let sw = pb.new_block();
+        let c0 = pb.new_block();
+        let c1 = pb.new_block();
+        let after = pb.new_block();
+        let done = pb.new_block();
+        pb.block(main.entry())
+            .movi(Reg::ECX, 0)
+            .movi(Reg::EAX, 0)
+            .jmp(sw);
+        pb.block(sw).jmp_ind(Reg::ECX, vec![c0, c1]);
+        pb.block(c0).addi(Reg::EAX, 1).call(leaf, after);
+        pb.block(c1).addi(Reg::EAX, 100).call(leaf, after);
+        pb.block(leaf.entry()).addi(Reg::EAX, 10).ret();
+        pb.block(after)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 6)
+            .br_lt(sw, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        assert_engines_agree(&p);
+    }
+
+    #[test]
+    fn block_accesses_reports_last_block() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 16)
+            .store(Reg::ESI + 0, 1, Width::W8)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .ret();
+        let p = pb.finish();
+        let mut vm = Vm::new(&p);
+        vm.step_block(&mut NullSink);
+        let acc = vm.block_accesses();
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].kind, AccessKind::Store);
+        assert_eq!(acc[1].kind, AccessKind::Load);
     }
 }

@@ -64,7 +64,10 @@ pub fn add_abi_noise(program: &mut Program, name: &str) {
                 dst: Reg::R12,
                 src: Operand::Imm(1_442_695_040_888_963_407),
             });
-            decorated.push(Insn::Mov { dst: Reg::R13, src: Operand::Reg(Reg::R12) });
+            decorated.push(Insn::Mov {
+                dst: Reg::R13,
+                src: Operand::Reg(Reg::R12),
+            });
             decorated.push(Insn::Binary {
                 op: umi_ir::BinOp::Shr,
                 dst: Reg::R13,
@@ -127,13 +130,16 @@ mod tests {
     use umi_vm::{NullSink, Vm};
 
     fn plain() -> Program {
-        stream("noise-test", StreamParams {
-            elems: 1024,
-            passes: 2,
-            stride: 1,
-            stores: true,
-            compute_nops: 0,
-        })
+        stream(
+            "noise-test",
+            StreamParams {
+                elems: 1024,
+                passes: 2,
+                stride: 1,
+                stores: true,
+                compute_nops: 0,
+            },
+        )
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
             unfiltered(&noisy) <= unfiltered(&base) + noisy.blocks.len(),
             "at most one global touch per block"
         );
-        assert!(filtered(&noisy) > filtered(&base) + 2, "noise must be filtered class");
+        assert!(
+            filtered(&noisy) > filtered(&base) + 2,
+            "noise must be filtered class"
+        );
         assert_eq!(noisy.validate(), Ok(()));
     }
 
@@ -179,7 +188,11 @@ mod tests {
         a.run(&mut NullSink, u64::MAX);
         let rb = b.run(&mut NullSink, u64::MAX);
         assert!(rb.finished);
-        assert_eq!(a.reg(Reg::EDX), b.reg(Reg::EDX), "kernel result must not change");
+        assert_eq!(
+            a.reg(Reg::EDX),
+            b.reg(Reg::EDX),
+            "kernel result must not change"
+        );
         assert!(rb.stats.loads > a.stats().loads, "noise adds dynamic loads");
     }
 

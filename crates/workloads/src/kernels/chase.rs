@@ -26,7 +26,10 @@ pub struct ChaseParams {
 /// stride exists* — the delinquent-but-unprefetchable case.
 pub fn chase(name: &str, p: ChaseParams) -> Program {
     assert!(p.nodes >= 2, "need at least two nodes");
-    assert!(p.node_bytes >= 16 && p.node_bytes % 8 == 0, "node too small");
+    assert!(
+        p.node_bytes >= 16 && p.node_bytes.is_multiple_of(8),
+        "node too small"
+    );
     assert!(p.payload_loads <= 2, "at most two payload loads");
 
     let mut pb = ProgramBuilder::new();
@@ -54,8 +57,7 @@ pub fn chase(name: &str, p: ChaseParams) -> Program {
         arena[off..off + 8].copy_from_slice(&next_addr.to_le_bytes());
         // Payload words carry the node id.
         for w in 1..(p.node_bytes / 8).min(3) {
-            arena[off + w * 8..off + w * 8 + 8]
-                .copy_from_slice(&(this as u64).to_le_bytes());
+            arena[off + w * 8..off + w * 8 + 8].copy_from_slice(&(this as u64).to_le_bytes());
         }
     }
     let actual = pb.data(arena);
@@ -93,7 +95,13 @@ mod tests {
     use umi_vm::{NullSink, Vm};
 
     fn params(nodes: usize, steps: usize, shuffled: bool) -> ChaseParams {
-        ChaseParams { nodes, node_bytes: 64, steps, shuffled, payload_loads: 1 }
+        ChaseParams {
+            nodes,
+            node_bytes: 64,
+            steps,
+            shuffled,
+            payload_loads: 1,
+        }
     }
 
     #[test]
@@ -139,7 +147,10 @@ mod tests {
         };
         let seq = run(false);
         let shuf = run(true);
-        assert!(seq * 2 < shuf, "prefetcher should rescue sequential: {seq} vs {shuf}");
+        assert!(
+            seq * 2 < shuf,
+            "prefetcher should rescue sequential: {seq} vs {shuf}"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn compute(name: &str, p: ComputeParams) -> Program {
     let body = pb.new_block();
     let done = pb.new_block();
 
-    pb.block(f.entry()).movi(Reg::ECX, 0).movi(Reg::ESI, data as i64).jmp(body);
+    pb.block(f.entry())
+        .movi(Reg::ECX, 0)
+        .movi(Reg::ESI, data as i64)
+        .jmp(body);
     pb.block(body)
         .mov(Reg::EAX, Reg::ECX)
         .and(Reg::EAX, (p.slots - 1) as i64)
@@ -51,14 +54,28 @@ mod tests {
 
     #[test]
     fn instruction_mix_is_compute_heavy() {
-        let p = compute("c", ComputeParams { iters: 1000, nops: 20, slots: 64 });
+        let p = compute(
+            "c",
+            ComputeParams {
+                iters: 1000,
+                nops: 20,
+                slots: 64,
+            },
+        );
         let stats = run_to_end(&p);
         assert!(stats.insns as f64 / stats.mem_refs() as f64 > 10.0);
     }
 
     #[test]
     fn miss_ratio_is_essentially_zero() {
-        let p = compute("eon-like", ComputeParams { iters: 100_000, nops: 10, slots: 4096 });
+        let p = compute(
+            "eon-like",
+            ComputeParams {
+                iters: 100_000,
+                nops: 10,
+                slots: 4096,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r < 0.05, "L2-resident compute loop: {r}");
     }

@@ -33,8 +33,14 @@ pub struct ControlParams {
 pub fn control(name: &str, p: ControlParams) -> Program {
     assert!(p.hot_states >= 2, "need at least two hot states");
     assert!(p.cold_per_16 <= 15, "cold_per_16 out of range");
-    assert!(p.cold_per_16 == 0 || p.cold_states > 0, "cold dispatch needs cold states");
-    assert!(p.table_slots.is_power_of_two(), "table slots must be a power of two");
+    assert!(
+        p.cold_per_16 == 0 || p.cold_states > 0,
+        "cold dispatch needs cold states"
+    );
+    assert!(
+        p.table_slots.is_power_of_two(),
+        "table slots must be a power of two"
+    );
     let mut pb = ProgramBuilder::new();
     pb.name(name);
     let f = pb.begin_func("main");
@@ -54,7 +60,10 @@ pub fn control(name: &str, p: ControlParams) -> Program {
         .movi(Reg::R11, cold_table as i64)
         .jmp(dispatch);
 
-    pb.block(dispatch).addi(Reg::ECX, -1).cmpi(Reg::ECX, 0).br_le(done, sel);
+    pb.block(dispatch)
+        .addi(Reg::ECX, -1)
+        .cmpi(Reg::ECX, 0)
+        .br_le(done, sel);
     {
         // One shared jump table: slot i goes cold when (i % 16) is below
         // the cold share, hot otherwise. Round-robin assignment makes
@@ -101,7 +110,11 @@ pub fn control(name: &str, p: ControlParams) -> Program {
             .mov(Reg::EAX, Reg::R9)
             .shr(Reg::EAX, 11)
             .and(Reg::EAX, 63)
-            .load(Reg::EBX, umi_ir::MemRef::base_index(Reg::R11, Reg::EAX, 8, 0), Width::W8)
+            .load(
+                Reg::EBX,
+                umi_ir::MemRef::base_index(Reg::R11, Reg::EAX, 8, 0),
+                Width::W8,
+            )
             .xor(Reg::EDX, (s * 7) as i64)
             .jmp(dispatch);
     }
@@ -152,14 +165,17 @@ mod tests {
 
     #[test]
     fn cold_states_depress_trace_residency() {
-        let cold = control("gcc-like", ControlParams {
-            hot_states: 16,
-            cold_states: 8192,
-            cold_per_16: 12,
-            steps: 200_000,
-            table_slots: 512,
-            work_nops: 8,
-        });
+        let cold = control(
+            "gcc-like",
+            ControlParams {
+                hot_states: 16,
+                cold_states: 8192,
+                cold_per_16: 12,
+                steps: 200_000,
+                table_slots: 512,
+                work_nops: 8,
+            },
+        );
         let hot = control("hot-only", hot_only(16, 200_000));
         let res = |p: &Program| {
             let mut rt = DbiRuntime::new(p, CostModel::default());
@@ -175,13 +191,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "cold dispatch needs cold states")]
     fn rejects_cold_share_without_cold_states() {
-        let _ = control("bad", ControlParams {
-            hot_states: 4,
-            cold_states: 0,
-            cold_per_16: 4,
-            steps: 10,
-            table_slots: 64,
-            work_nops: 0,
-        });
+        let _ = control(
+            "bad",
+            ControlParams {
+                hot_states: 4,
+                cold_states: 0,
+                cold_per_16: 4,
+                steps: 10,
+                table_slots: 64,
+                work_nops: 0,
+            },
+        );
     }
 }

@@ -45,7 +45,10 @@ pub fn copy(name: &str, p: CopyParams) -> Program {
         .addi(Reg::ECX, 1)
         .cmpi(Reg::ECX, p.bytes as i64)
         .br_lt(inner, next);
-    pb.block(next).addi(Reg::R8, 1).cmpi(Reg::R8, p.passes as i64).br_lt(outer, done);
+    pb.block(next)
+        .addi(Reg::R8, 1)
+        .cmpi(Reg::R8, p.passes as i64)
+        .br_lt(outer, done);
     pb.block(done).ret();
     pb.finish()
 }
@@ -59,7 +62,14 @@ mod tests {
 
     #[test]
     fn copies_every_byte() {
-        let p = copy("c", CopyParams { bytes: 4096, passes: 2, compute_nops: 0 });
+        let p = copy(
+            "c",
+            CopyParams {
+                bytes: 4096,
+                passes: 2,
+                compute_nops: 0,
+            },
+        );
         let stats = run_to_end(&p);
         assert_eq!(stats.loads, 2 * 4096);
         assert_eq!(stats.stores, 2 * 4096);
@@ -69,7 +79,14 @@ mod tests {
     fn single_load_owns_nearly_all_misses_at_low_ratio() {
         // 2 MB copied once: the load misses every 64 bytes (≈1.6% ratio)
         // yet accounts for ~half the misses (the store takes the rest).
-        let p = copy("gzip-like", CopyParams { bytes: 2 << 20, passes: 1, compute_nops: 0 });
+        let p = copy(
+            "gzip-like",
+            CopyParams {
+                bytes: 2 << 20,
+                passes: 1,
+                compute_nops: 0,
+            },
+        );
         let mut sim = FullSimulator::pentium4();
         Vm::new(&p).run(&mut sim, u64::MAX);
         let c = sim.delinquent_set(0.90);
@@ -81,6 +98,9 @@ mod tests {
             .map(|(pc, s)| (pc, *s))
             .expect("stats");
         let ratio = top.1.load_miss_ratio();
-        assert!(ratio > 0.005 && ratio < 0.05, "low per-access ratio, got {ratio}");
+        assert!(
+            ratio > 0.005 && ratio < 0.05,
+            "low per-access ratio, got {ratio}"
+        );
     }
 }

@@ -63,7 +63,15 @@ mod tests {
 
     #[test]
     fn op_counts() {
-        let p = hash("h", HashParams { slots: 256, ops: 5000, stores: true, compute_nops: 0 });
+        let p = hash(
+            "h",
+            HashParams {
+                slots: 256,
+                ops: 5000,
+                stores: true,
+                compute_nops: 0,
+            },
+        );
         let stats = run_to_end(&p);
         assert_eq!(stats.loads, 5000);
         assert_eq!(stats.stores, 5000);
@@ -71,18 +79,24 @@ mod tests {
 
     #[test]
     fn big_table_misses_small_table_hits() {
-        let big = hash("b", HashParams {
-            slots: 1 << 19, // 4 MB
-            ops: 100_000,
-            stores: false,
-            compute_nops: 0,
-        });
-        let small = hash("s", HashParams {
-            slots: 1 << 12, // 32 KB
-            ops: 100_000,
-            stores: false,
-            compute_nops: 0,
-        });
+        let big = hash(
+            "b",
+            HashParams {
+                slots: 1 << 19, // 4 MB
+                ops: 100_000,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
+        let small = hash(
+            "s",
+            HashParams {
+                slots: 1 << 12, // 32 KB
+                ops: 100_000,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
         let rb = p4_l2_miss_ratio(&big);
         let rs = p4_l2_miss_ratio(&small);
         assert!(rb > 0.3, "4 MB table should mostly miss: {rb}");
@@ -92,6 +106,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn rejects_odd_table() {
-        let _ = hash("bad", HashParams { slots: 300, ops: 1, stores: false, compute_nops: 0 });
+        let _ = hash(
+            "bad",
+            HashParams {
+                slots: 300,
+                ops: 1,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
     }
 }

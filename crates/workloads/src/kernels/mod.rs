@@ -31,7 +31,8 @@ use umi_ir::{BlockBuilder, Reg};
 /// Appends a 64-bit LCG step (`reg <- reg * A + C`) used by kernels that
 /// need in-ISA pseudo-randomness. Constants are from Knuth's MMIX.
 pub(crate) fn lcg_step(b: BlockBuilder<'_>, reg: Reg) -> BlockBuilder<'_> {
-    b.mul(reg, 6_364_136_223_846_793_005i64).add(reg, 1_442_695_040_888_963_407i64)
+    b.mul(reg, 6_364_136_223_846_793_005i64)
+        .add(reg, 1_442_695_040_888_963_407i64)
 }
 
 #[cfg(test)]

@@ -26,7 +26,10 @@ pub struct PhasesParams {
 /// sensitive to the frequency threshold (§7.2).
 pub fn phases(name: &str, p: PhasesParams) -> Program {
     assert!(p.slots.is_power_of_two(), "slots must be a power of two");
-    assert!(p.sentences > 0 && p.max_trip > 0 && p.variants > 0, "degenerate phases");
+    assert!(
+        p.sentences > 0 && p.max_trip > 0 && p.variants > 0,
+        "degenerate phases"
+    );
     let mut pb = ProgramBuilder::new();
     pb.name(name);
     let f = pb.begin_func("main");
@@ -53,7 +56,9 @@ pub fn phases(name: &str, p: PhasesParams) -> Program {
         .rem(Reg::ECX, p.max_trip as i64)
         .addi(Reg::ECX, 1)
         .jmp(select);
-    pb.block(select).mov(Reg::EDI, Reg::EDX).jmp_ind(Reg::EDI, phase.clone());
+    pb.block(select)
+        .mov(Reg::EDI, Reg::EDX)
+        .jmp_ind(Reg::EDI, phase.clone());
 
     for (v, &block) in phase.iter().enumerate() {
         let stores = v % 2 == 1;
@@ -74,7 +79,10 @@ pub fn phases(name: &str, p: PhasesParams) -> Program {
             .br_gt(block, next);
     }
 
-    pb.block(next).addi(Reg::R8, 1).cmpi(Reg::R8, p.sentences as i64).br_lt(outer, done);
+    pb.block(next)
+        .addi(Reg::R8, 1)
+        .cmpi(Reg::R8, p.sentences as i64)
+        .br_lt(outer, done);
     pb.block(done).ret();
     pb.finish()
 }
@@ -87,7 +95,12 @@ mod tests {
     use umi_vm::NullSink;
 
     fn params(sentences: usize) -> PhasesParams {
-        PhasesParams { sentences, variants: 12, slots: 1024, max_trip: 5 }
+        PhasesParams {
+            sentences,
+            variants: 12,
+            slots: 1024,
+            max_trip: 5,
+        }
     }
 
     #[test]
@@ -104,7 +117,11 @@ mod tests {
         let p = phases("parser-like", params(30_000));
         let mut rt = DbiRuntime::new(&p, CostModel::default());
         rt.run(&mut NullSink, u64::MAX);
-        assert!(rt.traces().len() >= 6, "many lukewarm loops: {}", rt.traces().len());
+        assert!(
+            rt.traces().len() >= 6,
+            "many lukewarm loops: {}",
+            rt.traces().len()
+        );
     }
 
     #[test]
@@ -117,6 +134,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn rejects_zero_variants() {
-        let _ = phases("bad", PhasesParams { sentences: 1, variants: 0, slots: 8, max_trip: 1 });
+        let _ = phases(
+            "bad",
+            PhasesParams {
+                sentences: 1,
+                variants: 0,
+                slots: 8,
+                max_trip: 1,
+            },
+        );
     }
 }

@@ -21,7 +21,10 @@ pub struct SpmvParams {
 /// regular/irregular pattern of FEM codes like `183.equake`.
 pub fn spmv(name: &str, p: SpmvParams) -> Program {
     assert!(p.rows > 0 && p.nnz > 0 && p.passes > 0, "degenerate spmv");
-    assert!(p.x_elems.is_power_of_two(), "x_elems must be a power of two");
+    assert!(
+        p.x_elems.is_power_of_two(),
+        "x_elems must be a power of two"
+    );
     let mut pb = ProgramBuilder::new();
     pb.name(name);
     let f = pb.begin_func("main");
@@ -59,7 +62,10 @@ pub fn spmv(name: &str, p: SpmvParams) -> Program {
         .addi(Reg::R9, 1)
         .cmpi(Reg::R9, p.rows as i64)
         .br_lt(row, pass_end);
-    pb.block(pass_end).addi(Reg::R8, 1).cmpi(Reg::R8, p.passes as i64).br_lt(pass, done);
+    pb.block(pass_end)
+        .addi(Reg::R8, 1)
+        .cmpi(Reg::R8, p.passes as i64)
+        .br_lt(pass, done);
     pb.block(done).ret();
     pb.finish()
 }
@@ -71,7 +77,15 @@ mod tests {
 
     #[test]
     fn reference_counts() {
-        let p = spmv("s", SpmvParams { rows: 32, nnz: 4, x_elems: 256, passes: 2 });
+        let p = spmv(
+            "s",
+            SpmvParams {
+                rows: 32,
+                nnz: 4,
+                x_elems: 256,
+                passes: 2,
+            },
+        );
         let stats = run_to_end(&p);
         assert_eq!(stats.loads, 2 * 32 * 4 * 2, "colidx + gather per nz");
         assert_eq!(stats.stores, 2 * 32);
@@ -79,19 +93,30 @@ mod tests {
 
     #[test]
     fn large_vector_gathers_miss() {
-        let p = spmv("equake-like", SpmvParams {
-            rows: 4096,
-            nnz: 8,
-            x_elems: 1 << 18, // 2 MB x
-            passes: 2,
-        });
+        let p = spmv(
+            "equake-like",
+            SpmvParams {
+                rows: 4096,
+                nnz: 8,
+                x_elems: 1 << 18, // 2 MB x
+                passes: 2,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r > 0.05, "scattered gathers should miss: {r}");
     }
 
     #[test]
     fn small_vector_is_resident() {
-        let p = spmv("small", SpmvParams { rows: 4096, nnz: 8, x_elems: 1 << 11, passes: 8 });
+        let p = spmv(
+            "small",
+            SpmvParams {
+                rows: 4096,
+                nnz: 8,
+                x_elems: 1 << 11,
+                passes: 8,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r < 0.1, "small x fits: {r}");
     }

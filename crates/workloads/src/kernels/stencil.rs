@@ -19,7 +19,10 @@ pub struct StencilParams {
 /// grid larger than L2 exhibits the classic capacity-miss pattern of the
 /// SPEC CFP codes.
 pub fn stencil(name: &str, p: StencilParams) -> Program {
-    assert!(p.width >= 4 && p.height >= 4 && p.sweeps > 0, "grid too small");
+    assert!(
+        p.width >= 4 && p.height >= 4 && p.sweeps > 0,
+        "grid too small"
+    );
     let mut pb = ProgramBuilder::new();
     pb.name(name);
     let f = pb.begin_func("main");
@@ -57,8 +60,14 @@ pub fn stencil(name: &str, p: StencilParams) -> Program {
         .addi(Reg::ECX, 1)
         .cmpi(Reg::ECX, (p.width - 1) as i64)
         .br_lt(col, row_end);
-    pb.block(row_end).addi(Reg::R9, 1).cmpi(Reg::R9, (p.height - 1) as i64).br_lt(row, sweep_end);
-    pb.block(sweep_end).addi(Reg::R8, 1).cmpi(Reg::R8, p.sweeps as i64).br_lt(sweep, done);
+    pb.block(row_end)
+        .addi(Reg::R9, 1)
+        .cmpi(Reg::R9, (p.height - 1) as i64)
+        .br_lt(row, sweep_end);
+    pb.block(sweep_end)
+        .addi(Reg::R8, 1)
+        .cmpi(Reg::R8, p.sweeps as i64)
+        .br_lt(sweep, done);
     pb.block(done).ret();
     pb.finish()
 }
@@ -71,7 +80,14 @@ mod tests {
     #[test]
     fn reference_counts_match_geometry() {
         let (w, h, s) = (16, 8, 2);
-        let p = stencil("st", StencilParams { width: w, height: h, sweeps: s });
+        let p = stencil(
+            "st",
+            StencilParams {
+                width: w,
+                height: h,
+                sweeps: s,
+            },
+        );
         let stats = run_to_end(&p);
         let interior = ((w - 2) * (h - 2) * s) as u64;
         assert_eq!(stats.loads, 4 * interior);
@@ -81,7 +97,14 @@ mod tests {
     #[test]
     fn large_grid_misses_moderately() {
         // ~2 MB grid: streams miss on each new line; 5 refs per element.
-        let p = stencil("swim-like", StencilParams { width: 512, height: 512, sweeps: 1 });
+        let p = stencil(
+            "swim-like",
+            StencilParams {
+                width: 512,
+                height: 512,
+                sweeps: 1,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r > 0.01 && r < 0.6, "stencil miss ratio out of band: {r}");
     }
@@ -89,7 +112,14 @@ mod tests {
     #[test]
     fn small_grid_is_resident() {
         // 128 KB grid: beyond L1 (constant L2 traffic) but within L2.
-        let p = stencil("small", StencilParams { width: 128, height: 128, sweeps: 40 });
+        let p = stencil(
+            "small",
+            StencilParams {
+                width: 128,
+                height: 128,
+                sweeps: 40,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r < 0.05, "L2-resident stencil should hit: {r}");
     }
@@ -97,6 +127,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn rejects_tiny_grid() {
-        let _ = stencil("bad", StencilParams { width: 2, height: 2, sweeps: 1 });
+        let _ = stencil(
+            "bad",
+            StencilParams {
+                width: 2,
+                height: 2,
+                sweeps: 1,
+            },
+        );
     }
 }

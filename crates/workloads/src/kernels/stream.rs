@@ -21,7 +21,10 @@ pub struct StreamParams {
 /// `passes` passes. With a footprint beyond L2, every line touch misses —
 /// the canonical high-miss, perfectly-strided delinquent load.
 pub fn stream(name: &str, p: StreamParams) -> Program {
-    assert!(p.elems > 0 && p.passes > 0 && p.stride > 0, "degenerate stream");
+    assert!(
+        p.elems > 0 && p.passes > 0 && p.stride > 0,
+        "degenerate stream"
+    );
     let mut pb = ProgramBuilder::new();
     pb.name(name);
     let f = pb.begin_func("main");
@@ -49,13 +52,16 @@ pub fn stream(name: &str, p: StreamParams) -> Program {
         if p.stores {
             bb = bb.store(Reg::EDI + (Reg::ECX, 8), Reg::EDX, Width::W8);
         }
-        bb = bb.nops(p.compute_nops).addi(Reg::ECX, p.stride as i64).cmpi(
-            Reg::ECX,
-            iters * p.stride as i64,
-        );
+        bb = bb
+            .nops(p.compute_nops)
+            .addi(Reg::ECX, p.stride as i64)
+            .cmpi(Reg::ECX, iters * p.stride as i64);
         bb.br_lt(inner, next_pass);
     }
-    pb.block(next_pass).addi(Reg::R8, 1).cmpi(Reg::R8, p.passes as i64).br_lt(outer, done);
+    pb.block(next_pass)
+        .addi(Reg::R8, 1)
+        .cmpi(Reg::R8, p.passes as i64)
+        .br_lt(outer, done);
     pb.block(done).ret();
     pb.finish()
 }
@@ -67,13 +73,16 @@ mod tests {
 
     #[test]
     fn terminates_and_counts() {
-        let p = stream("s", StreamParams {
-            elems: 1024,
-            passes: 3,
-            stride: 1,
-            stores: true,
-            compute_nops: 0,
-        });
+        let p = stream(
+            "s",
+            StreamParams {
+                elems: 1024,
+                passes: 3,
+                stride: 1,
+                stores: true,
+                compute_nops: 0,
+            },
+        );
         let stats = run_to_end(&p);
         assert_eq!(stats.loads, 3 * 1024);
         assert_eq!(stats.stores, 3 * 1024);
@@ -82,13 +91,16 @@ mod tests {
     #[test]
     fn large_footprint_misses_hard() {
         // 4 MB >> 512 KB L2: every line miss, dense 8B stride → 1/8 ratio.
-        let p = stream("art-like", StreamParams {
-            elems: 512 * 1024,
-            passes: 2,
-            stride: 1,
-            stores: false,
-            compute_nops: 0,
-        });
+        let p = stream(
+            "art-like",
+            StreamParams {
+                elems: 512 * 1024,
+                passes: 2,
+                stride: 1,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r > 0.10, "expected heavy misses, got {r}");
     }
@@ -97,13 +109,16 @@ mod tests {
     fn small_footprint_hits() {
         // 64 KB fits L2 comfortably after the first pass; with enough
         // passes the compulsory misses wash out.
-        let p = stream("resident", StreamParams {
-            elems: 8 * 1024,
-            passes: 64,
-            stride: 1,
-            stores: false,
-            compute_nops: 0,
-        });
+        let p = stream(
+            "resident",
+            StreamParams {
+                elems: 8 * 1024,
+                passes: 64,
+                stride: 1,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r < 0.05, "resident stream should hit, got {r}");
     }
@@ -111,13 +126,16 @@ mod tests {
     #[test]
     fn wide_stride_misses_every_access() {
         // 64-byte stride touches a new line every access (ft-like).
-        let p = stream("ft-like", StreamParams {
-            elems: 512 * 1024,
-            passes: 1,
-            stride: 8,
-            stores: false,
-            compute_nops: 0,
-        });
+        let p = stream(
+            "ft-like",
+            StreamParams {
+                elems: 512 * 1024,
+                passes: 1,
+                stride: 8,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r > 0.5, "wide stride must miss nearly always, got {r}");
     }
@@ -125,12 +143,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn rejects_zero_elems() {
-        let _ = stream("bad", StreamParams {
-            elems: 0,
-            passes: 1,
-            stride: 1,
-            stores: false,
-            compute_nops: 0,
-        });
+        let _ = stream(
+            "bad",
+            StreamParams {
+                elems: 0,
+                passes: 1,
+                stride: 1,
+                stores: false,
+                compute_nops: 0,
+            },
+        );
     }
 }

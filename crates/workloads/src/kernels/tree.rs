@@ -95,30 +95,65 @@ mod tests {
 
     #[test]
     fn sum_only_counts_every_node_once_per_pass() {
-        let p = tree("t", TreeParams { nodes: 64, descents: 0, sum_passes: 3 });
+        let p = tree(
+            "t",
+            TreeParams {
+                nodes: 64,
+                descents: 0,
+                sum_passes: 3,
+            },
+        );
         let stats = run_to_end(&p);
         assert_eq!(stats.loads, 3 * 64);
     }
 
     #[test]
     fn descents_terminate_at_leaves() {
-        let p = tree("d", TreeParams { nodes: 1024, descents: 50, sum_passes: 0 });
+        let p = tree(
+            "d",
+            TreeParams {
+                nodes: 1024,
+                descents: 50,
+                sum_passes: 0,
+            },
+        );
         let stats = run_to_end(&p);
         // Each descent visits ~log2(1024) = 10 nodes.
-        assert!(stats.loads >= 50 * 9 && stats.loads <= 50 * 11, "loads {}", stats.loads);
+        assert!(
+            stats.loads >= 50 * 9 && stats.loads <= 50 * 11,
+            "loads {}",
+            stats.loads
+        );
     }
 
     #[test]
     fn large_tree_descents_miss_at_the_bottom() {
         // 4 MB tree: upper levels resident, leaves not.
-        let p = tree("big", TreeParams { nodes: 1 << 18, descents: 20_000, sum_passes: 0 });
+        let p = tree(
+            "big",
+            TreeParams {
+                nodes: 1 << 18,
+                descents: 20_000,
+                sum_passes: 0,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
-        assert!(r > 0.05 && r < 0.6, "tree descent miss ratio out of band: {r}");
+        assert!(
+            r > 0.05 && r < 0.6,
+            "tree descent miss ratio out of band: {r}"
+        );
     }
 
     #[test]
     fn small_tree_is_resident() {
-        let p = tree("small", TreeParams { nodes: 1 << 10, descents: 20_000, sum_passes: 2 });
+        let p = tree(
+            "small",
+            TreeParams {
+                nodes: 1 << 10,
+                descents: 20_000,
+                sum_passes: 2,
+            },
+        );
         let r = p4_l2_miss_ratio(&p);
         assert!(r < 0.01, "16 KB tree must be resident: {r}");
     }
@@ -126,6 +161,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "nothing to do")]
     fn rejects_empty_work() {
-        let _ = tree("bad", TreeParams { nodes: 64, descents: 0, sum_passes: 0 });
+        let _ = tree(
+            "bad",
+            TreeParams {
+                nodes: 64,
+                descents: 0,
+                sum_passes: 0,
+            },
+        );
     }
 }

@@ -9,7 +9,9 @@ use umi::vm::NullSink;
 use umi::workloads::{build, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "181.mcf".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "181.mcf".to_string());
     let program = match build(&name, Scale::Test) {
         Some(p) => p,
         None => {
@@ -23,20 +25,40 @@ fn main() {
     // so shrink the sampling period and frequency threshold proportionally
     // (the paper's 10 ms / 64 defaults assume minutes-long SPEC runs).
     let mut config = UmiConfig::sampled();
-    config.sampling = SamplingMode::Periodic { period_insns: 1_000 };
+    config.sampling = SamplingMode::Periodic {
+        period_insns: 1_000,
+    };
     config.frequency_threshold = 16;
     let mut umi = UmiRuntime::new(&program, config);
     let report = umi.run(&mut NullSink, u64::MAX);
 
     println!("\n=== UMI report for {} ===", report.program_name);
     println!("instructions retired      {:>12}", report.vm_stats.insns);
-    println!("memory references         {:>12}", report.vm_stats.mem_refs());
-    println!("traces instrumented       {:>12}", report.instrumented_traces);
-    println!("profiled operations       {:>12}  ({:.2}% of static memory ops)",
-        report.profiled_ops, report.percent_profiled());
-    println!("profiles collected        {:>12}", report.profiles_collected);
-    println!("analyzer invocations      {:>12}", report.analyzer_invocations);
-    println!("mini-simulated miss ratio {:>11.2}%", 100.0 * report.umi_miss_ratio);
+    println!(
+        "memory references         {:>12}",
+        report.vm_stats.mem_refs()
+    );
+    println!(
+        "traces instrumented       {:>12}",
+        report.instrumented_traces
+    );
+    println!(
+        "profiled operations       {:>12}  ({:.2}% of static memory ops)",
+        report.profiled_ops,
+        report.percent_profiled()
+    );
+    println!(
+        "profiles collected        {:>12}",
+        report.profiles_collected
+    );
+    println!(
+        "analyzer invocations      {:>12}",
+        report.analyzer_invocations
+    );
+    println!(
+        "mini-simulated miss ratio {:>11.2}%",
+        100.0 * report.umi_miss_ratio
+    );
     println!("predicted delinquent loads: {}", report.predicted.len());
     let mut pcs: Vec<_> = report.predicted.iter().collect();
     pcs.sort();
@@ -45,7 +67,13 @@ fn main() {
         let stride = report
             .strides
             .get(pc)
-            .map(|st| format!("stride {:+} B (conf {:.0}%)", st.stride, 100.0 * st.confidence))
+            .map(|st| {
+                format!(
+                    "stride {:+} B (conf {:.0}%)",
+                    st.stride,
+                    100.0 * st.confidence
+                )
+            })
             .unwrap_or_else(|| "no stable stride".to_string());
         println!(
             "  {pc}  miss ratio {:>5.1}%  {stride}",

@@ -25,7 +25,9 @@ fn main() {
         // itself off after each analysis, so the optimized run carries only
         // residual UMI overhead, as in the paper's online scenario.
         let mut config = UmiConfig::sampled();
-        config.sampling = SamplingMode::Periodic { period_insns: 1_000 };
+        config.sampling = SamplingMode::Periodic {
+            period_insns: 1_000,
+        };
         config.frequency_threshold = 16;
         let (opt, _report, plan) =
             run_umi_prefetch(&program, config, platform, PrefetchSetting::Off, 32);

@@ -15,7 +15,9 @@ use umi::vm::NullSink;
 use umi::workloads::{build, Scale};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "179.art".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "179.art".to_string());
     let program = match build(&name, Scale::Test) {
         Some(p) => p,
         None => {
@@ -59,12 +61,7 @@ fn main() {
                     }
                     for a in info.accesses.iter().filter(|a| a.is_demand()) {
                         if let Some(op) = plan.op_of(a.pc) {
-                            store.record(
-                                tid,
-                                op,
-                                a.addr,
-                                a.kind == umi::ir::AccessKind::Store,
-                            );
+                            store.record(tid, op, a.addr, a.kind == umi::ir::AccessKind::Store);
                         }
                     }
                 }

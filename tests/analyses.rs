@@ -78,7 +78,9 @@ fn whatif_is_indifferent_for_resident_workloads() {
     wi.add_scenario("256KB", CacheConfig::with_capacity(256 << 10, 8, 64));
     wi.add_scenario("4MB", CacheConfig::with_capacity(4 << 20, 8, 64));
     wi.analyze(&profiles);
-    let [a, b] = wi.scenarios() else { panic!("two scenarios") };
+    let [a, b] = wi.scenarios() else {
+        panic!("two scenarios")
+    };
     assert!((a.miss_ratio() - b.miss_ratio()).abs() < 0.05);
 }
 

@@ -39,7 +39,10 @@ fn high_miss_workloads_are_predicted_well() {
         let program = build(name, Scale::Test).expect("workload");
         let mut full = FullSimulator::pentium4();
         Vm::new(&program).run(&mut full, u64::MAX);
-        assert!(full.l2_miss_ratio() > 0.01, "{name} should be memory-intensive");
+        assert!(
+            full.l2_miss_ratio() > 0.01,
+            "{name} should be memory-intensive"
+        );
         let truth = full.delinquent_set(0.90);
         assert!(!truth.is_empty());
 
@@ -86,8 +89,12 @@ fn overhead_ordering_matches_figure2() {
     let platform = Platform::pentium4();
     let native = run_native(&program, platform.clone(), PrefetchSetting::Full);
     let (dbi, _) = run_dbi(&program, platform.clone(), PrefetchSetting::Full);
-    let (nosamp, _) =
-        run_umi(&program, UmiConfig::no_sampling(), platform.clone(), PrefetchSetting::Full);
+    let (nosamp, _) = run_umi(
+        &program,
+        UmiConfig::no_sampling(),
+        platform.clone(),
+        PrefetchSetting::Full,
+    );
     assert!(native.cycles <= dbi.cycles);
     assert!(dbi.cycles <= nosamp.cycles);
 }
@@ -107,7 +114,11 @@ fn software_prefetching_works_end_to_end() {
             PrefetchSetting::Off,
             32,
         );
-        assert!(!report.predicted.is_empty(), "{}: nothing predicted", platform.name);
+        assert!(
+            !report.predicted.is_empty(),
+            "{}: nothing predicted",
+            platform.name
+        );
         assert_eq!(plan.len(), 1, "{}: exactly the stream load", platform.name);
         assert!(
             opt.counters.l2_misses < native.counters.l2_misses / 2,
@@ -139,10 +150,18 @@ fn platform_geometries_differentiate() {
 #[test]
 fn umi_ratios_ignore_hardware_prefetching() {
     let program = build("179.art", Scale::Test).expect("art");
-    let (_, off) =
-        run_umi(&program, UmiConfig::no_sampling(), Platform::pentium4(), PrefetchSetting::Off);
-    let (_, on) =
-        run_umi(&program, UmiConfig::no_sampling(), Platform::pentium4(), PrefetchSetting::Full);
+    let (_, off) = run_umi(
+        &program,
+        UmiConfig::no_sampling(),
+        Platform::pentium4(),
+        PrefetchSetting::Off,
+    );
+    let (_, on) = run_umi(
+        &program,
+        UmiConfig::no_sampling(),
+        Platform::pentium4(),
+        PrefetchSetting::Full,
+    );
     assert_eq!(off.umi_miss_ratio, on.umi_miss_ratio);
     assert_eq!(off.predicted, on.predicted);
 }

@@ -72,7 +72,11 @@ fn memory_read_after_write() {
         let width = [1u8, 2, 4, 8][rng.below(4) as usize];
         let mut m = Memory::new();
         m.write(addr, width, value);
-        let mask = if width == 8 { u64::MAX } else { (1u64 << (8 * width)) - 1 };
+        let mask = if width == 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * width)) - 1
+        };
         assert_eq!(m.read(addr, width), value & mask);
     });
 }
@@ -102,16 +106,26 @@ fn delinquent_set_covers_and_is_minimal() {
         let stats: PerPcStats = misses
             .iter()
             .enumerate()
-            .map(|(i, m)| (Pc(i as u64), PcMissStats {
-                load_accesses: m + 1,
-                load_misses: *m,
-                ..Default::default()
-            }))
+            .map(|(i, m)| {
+                (
+                    Pc(i as u64),
+                    PcMissStats {
+                        load_accesses: m + 1,
+                        load_misses: *m,
+                        ..Default::default()
+                    },
+                )
+            })
             .collect();
         let c = delinquent_set(&stats, x);
         let total: u64 = misses.iter().sum();
         if total > 0 {
-            assert!(c.coverage() >= x - 1e-9, "coverage {} < {}", c.coverage(), x);
+            assert!(
+                c.coverage() >= x - 1e-9,
+                "coverage {} < {}",
+                c.coverage(),
+                x
+            );
             // Minimality: dropping the smallest member goes below target.
             let smallest: u64 = c
                 .pcs
@@ -142,7 +156,10 @@ fn pearson_properties() {
         assert_eq!(pearson(&xs, &ys).to_bits(), pearson(&ys, &xs).to_bits());
         let distinct = xs.windows(2).any(|w| w[0] != w[1]);
         if distinct {
-            assert!((r - 1.0).abs() < 1e-6, "affine image must correlate at 1, got {r}");
+            assert!(
+                (r - 1.0).abs() < 1e-6,
+                "affine image must correlate at 1, got {r}"
+            );
         }
     });
 }
