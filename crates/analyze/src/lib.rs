@@ -1,0 +1,64 @@
+//! # umi-analyze — whole-program static analysis over `umi-ir`
+//!
+//! UMI's thesis (Zhao et al., CGO 2007) is that *dynamic* introspection
+//! finds memory behavior that static inspection cannot. This crate is the
+//! static side of that comparison, plus a correctness gate for every
+//! program the decoded-µop VM executes:
+//!
+//! * [`verify`] / [`verify_program`] / [`verify_decoded`] — an IR
+//!   verifier: branch targets resolve, register indices fit the
+//!   interpreter's file, absolute memory operands land in declared data
+//!   segments, pc ranges never overlap, and the decoded lowering's fusion
+//!   invariants (load+op, cmp+branch) hold. `umi-vm` runs it behind
+//!   `debug_assert!` when loading a program.
+//! * [`Cfg`], [`Dominators`], [`natural_loops`] — intra-procedural
+//!   control-flow graphs with dominator trees and natural-loop detection.
+//! * [`liveness`], [`insn_defs`], [`insn_uses`] — per-block def–use
+//!   summaries and live-register sets.
+//! * [`classify_program`] — a static affine/stride classifier that
+//!   symbolically evaluates effective addresses around loop back edges,
+//!   labeling every memory op constant-stride, loop-invariant, or
+//!   irregular. The `table_static` harness in `umi-bench` cross-checks
+//!   these labels against UMI's dynamic profiles on all 32 workloads.
+//!
+//! # Example
+//!
+//! ```
+//! use umi_analyze::{classify_program, verify, StaticClass};
+//! use umi_ir::{ProgramBuilder, Reg, Width};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let main = pb.begin_func("main");
+//! let body = pb.new_block();
+//! let done = pb.new_block();
+//! pb.block(main.entry())
+//!     .movi(Reg::ECX, 0)
+//!     .alloc(Reg::ESI, 8 * 64)
+//!     .jmp(body);
+//! pb.block(body)
+//!     .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+//!     .addi(Reg::ECX, 1)
+//!     .cmpi(Reg::ECX, 64)
+//!     .br_lt(body, done);
+//! pb.block(done).ret();
+//! let program = pb.finish();
+//!
+//! assert_eq!(verify(&program), Ok(()));
+//! let refs = classify_program(&program);
+//! assert_eq!(refs[0].class, StaticClass::ConstantStride(8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod affine;
+mod cfg;
+mod liveness;
+mod verify;
+
+pub use affine::{classify_program, loop_reg_kinds, RegKind, StaticClass, StaticRef};
+pub use cfg::{analyze_program, natural_loops, Cfg, Dominators, FuncAnalysis, NaturalLoop};
+pub use liveness::{insn_defs, insn_uses, liveness, reg_bit, regs_in, term_uses, Liveness};
+pub use verify::{
+    render_errors, verify, verify_decoded, verify_decoded_block, verify_program, VerifyError,
+};

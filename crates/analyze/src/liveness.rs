@@ -1,0 +1,194 @@
+//! Per-instruction def–use sets and iterative live-register analysis.
+//!
+//! Register sets are `u16` bitmasks over the 16 architectural registers
+//! (bit *i* is `Reg::from_index(i)`). Flags are not modeled as a register:
+//! a `Br` terminator reads the flags latched by the most recent `Cmp`,
+//! which the stride classifier never needs to track.
+
+use crate::cfg::Cfg;
+use umi_ir::{Insn, MemRef, Operand, Program, Reg, Terminator};
+
+/// The bit for one register.
+pub fn reg_bit(r: Reg) -> u16 {
+    1u16 << r.index()
+}
+
+/// The registers in a bitmask, in index order.
+pub fn regs_in(mask: u16) -> impl Iterator<Item = Reg> {
+    (0..Reg::COUNT)
+        .filter(move |i| mask & (1 << i) != 0)
+        .map(Reg::from_index)
+}
+
+fn mem_regs(m: &MemRef) -> u16 {
+    m.regs().map(reg_bit).fold(0, |a, b| a | b)
+}
+
+fn operand_regs(o: &Operand) -> u16 {
+    match o {
+        Operand::Reg(r) => reg_bit(*r),
+        Operand::Imm(_) => 0,
+        Operand::Mem(m, _) => mem_regs(m),
+    }
+}
+
+/// Registers read by `insn` (data operands and effective-address
+/// registers), as a bitmask.
+pub fn insn_uses(insn: &Insn) -> u16 {
+    match insn {
+        Insn::Mov { src, .. } => operand_regs(src),
+        Insn::Push { src } => operand_regs(src) | reg_bit(Reg::ESP),
+        Insn::Load { mem, .. } | Insn::Lea { mem, .. } | Insn::Prefetch { mem } => mem_regs(mem),
+        Insn::Store { mem, src, .. } => mem_regs(mem) | operand_regs(src),
+        Insn::Binary { dst, src, .. } => reg_bit(*dst) | operand_regs(src),
+        Insn::Unary { dst, .. } => reg_bit(*dst),
+        Insn::Cmp { a, b } => operand_regs(a) | operand_regs(b),
+        Insn::Pop { .. } => reg_bit(Reg::ESP),
+        Insn::Alloc { size, .. } => operand_regs(size),
+        Insn::Nop => 0,
+    }
+}
+
+/// Registers written by `insn`, as a bitmask.
+pub fn insn_defs(insn: &Insn) -> u16 {
+    match insn {
+        Insn::Mov { dst, .. }
+        | Insn::Load { dst, .. }
+        | Insn::Lea { dst, .. }
+        | Insn::Binary { dst, .. }
+        | Insn::Unary { dst, .. }
+        | Insn::Alloc { dst, .. } => reg_bit(*dst),
+        Insn::Pop { dst } => reg_bit(*dst) | reg_bit(Reg::ESP),
+        Insn::Push { .. } => reg_bit(Reg::ESP),
+        Insn::Store { .. } | Insn::Cmp { .. } | Insn::Prefetch { .. } | Insn::Nop => 0,
+    }
+}
+
+/// Registers read by a terminator (the selector of an indirect jump).
+pub fn term_uses(term: &Terminator) -> u16 {
+    match term {
+        Terminator::JmpInd { sel, .. } => reg_bit(*sel),
+        _ => 0,
+    }
+}
+
+/// Block-level def–use summaries and the live-in/live-out fixpoint.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Upward-exposed uses per block: registers read before any write.
+    pub gen: Vec<u16>,
+    /// Registers written anywhere in the block.
+    pub kill: Vec<u16>,
+    /// Registers live on entry to each block.
+    pub live_in: Vec<u16>,
+    /// Registers live on exit from each block.
+    pub live_out: Vec<u16>,
+}
+
+/// Computes liveness for every block of `program` over a prebuilt `cfg`.
+pub fn liveness(program: &Program, cfg: &Cfg) -> Liveness {
+    let n = program.blocks.len();
+    let mut gen = vec![0u16; n];
+    let mut kill = vec![0u16; n];
+    for (i, b) in program.blocks.iter().enumerate() {
+        for insn in &b.insns {
+            gen[i] |= insn_uses(insn) & !kill[i];
+            kill[i] |= insn_defs(insn);
+        }
+        gen[i] |= term_uses(&b.terminator) & !kill[i];
+    }
+    let mut live_in = vec![0u16; n];
+    let mut live_out = vec![0u16; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            let out = cfg
+                .succs(umi_ir::BlockId(i as u32))
+                .iter()
+                .fold(0u16, |acc, s| acc | live_in[s.index()]);
+            let inn = gen[i] | (out & !kill[i]);
+            if out != live_out[i] || inn != live_in[i] {
+                live_out[i] = out;
+                live_in[i] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness {
+        gen,
+        kill,
+        live_in,
+        live_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{ProgramBuilder, Width};
+
+    #[test]
+    fn def_use_of_common_instructions() {
+        let load = Insn::Load {
+            dst: Reg::EAX,
+            mem: Reg::ESI + (Reg::ECX, 8),
+            width: Width::W8,
+        };
+        assert_eq!(insn_uses(&load), reg_bit(Reg::ESI) | reg_bit(Reg::ECX));
+        assert_eq!(insn_defs(&load), reg_bit(Reg::EAX));
+
+        let push = Insn::Push {
+            src: Operand::Reg(Reg::EBX),
+        };
+        assert_eq!(insn_uses(&push), reg_bit(Reg::EBX) | reg_bit(Reg::ESP));
+        assert_eq!(insn_defs(&push), reg_bit(Reg::ESP));
+
+        let pop = Insn::Pop { dst: Reg::EDX };
+        assert_eq!(insn_uses(&pop), reg_bit(Reg::ESP));
+        assert_eq!(insn_defs(&pop), reg_bit(Reg::EDX) | reg_bit(Reg::ESP));
+    }
+
+    #[test]
+    fn loop_counter_is_live_around_the_backedge() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
+        pb.block(body)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 8)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let cfg = Cfg::build(&p);
+        let lv = liveness(&p, &cfg);
+        let ecx = reg_bit(Reg::ECX);
+        // ECX is read before written in `body` (the add uses it), so it is
+        // live into the body, around the back edge, and out of the entry.
+        assert_ne!(lv.gen[body.index()] & ecx, 0);
+        assert_ne!(lv.live_in[body.index()] & ecx, 0);
+        assert_ne!(lv.live_out[body.index()] & ecx, 0);
+        assert_ne!(lv.live_out[f.entry().index()] & ecx, 0);
+        // Nothing is live out of the exit block.
+        assert_eq!(lv.live_out[done.index()], 0);
+    }
+
+    #[test]
+    fn kill_hides_later_uses() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .movi(Reg::EAX, 7)
+            .add(Reg::EAX, Reg::EAX)
+            .ret();
+        let p = pb.finish();
+        let cfg = Cfg::build(&p);
+        let lv = liveness(&p, &cfg);
+        let i = f.entry().index();
+        // EAX is defined before its use, so it is not upward-exposed.
+        assert_eq!(lv.gen[i] & reg_bit(Reg::EAX), 0);
+        assert_ne!(lv.kill[i] & reg_bit(Reg::EAX), 0);
+    }
+}

@@ -1,0 +1,947 @@
+//! The IR verifier: structural, memory-region, and decoded-lowering
+//! checks.
+//!
+//! Three layers, from cheapest to strictest:
+//!
+//! 1. [`verify_program`] — structural soundness of the [`Program`] graph:
+//!    every referenced block and function exists, jump tables are
+//!    non-empty, block addresses are 4-aligned, start at `CODE_BASE`, and
+//!    never overlap (profiles are keyed per [`Pc`]; overlapping blocks
+//!    would silently merge unrelated ops' columns), memory operands use
+//!    legal scales, and absolute references land inside a declared data
+//!    segment.
+//! 2. [`verify_decoded_block`] — one lowered block against its source:
+//!    register indices fit the interpreter's file, effective addresses and
+//!    widths are well-formed, the access stream matches the canonical
+//!    layout, static load/store counts agree, and the fusion invariants
+//!    hold: a fused `BinMem` must correspond to a source load+op, and a
+//!    compare+branch pair fuses exactly when the compare is the block's
+//!    last instruction (fusion never crosses a block boundary).
+//! 3. [`verify_decoded`] / [`verify`] — the above over a whole
+//!    [`DecodedCache`] / program.
+//!
+//! All checks collect every violation rather than stopping at the first,
+//! so a harness can report a complete diagnosis.
+
+use std::fmt;
+use umi_ir::decoded::{block_access_pcs, NO_REG, SCRATCH0, SCRATCH1};
+use umi_ir::{
+    BasicBlock, BlockId, DataSegment, DecodedBlock, DecodedCache, Ea, Insn, MicroOp, MicroTerm,
+    Operand, Pc, Program, Terminator, Width, CODE_BASE, REG_SLOTS,
+};
+
+/// One verifier finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program's entry function id is out of range.
+    EntryOutOfRange {
+        /// The dangling entry index.
+        entry: usize,
+    },
+    /// A function's entry block id is out of range.
+    FuncEntryOutOfRange {
+        /// Name of the offending function.
+        func: String,
+    },
+    /// Block `i` of the program does not carry id `i`.
+    MisplacedBlock {
+        /// Position in `Program::blocks`.
+        index: usize,
+        /// The id actually stored there.
+        found: BlockId,
+    },
+    /// A terminator targets a block id that does not exist.
+    DanglingTarget {
+        /// The branching block.
+        block: BlockId,
+        /// The dangling target.
+        target: BlockId,
+    },
+    /// A call references a function id that does not exist.
+    UnknownCallee {
+        /// The calling block.
+        block: BlockId,
+    },
+    /// An indirect jump has an empty table.
+    EmptyJumpTable {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// A block's address precedes `CODE_BASE` or is not 4-aligned.
+    BadBlockAddr {
+        /// The offending block.
+        block: BlockId,
+        /// Its address.
+        addr: Pc,
+    },
+    /// Two blocks' pc ranges overlap.
+    OverlappingBlocks {
+        /// The lower block.
+        a: BlockId,
+        /// The block whose range starts inside `a`.
+        b: BlockId,
+    },
+    /// A memory operand uses a scale that is not 1, 2, 4 or 8.
+    BadScale {
+        /// The owning block.
+        block: BlockId,
+        /// The owning instruction.
+        pc: Pc,
+        /// The illegal scale.
+        scale: u8,
+    },
+    /// An absolute memory operand falls outside every declared data
+    /// segment.
+    UndeclaredRegion {
+        /// The owning block.
+        block: BlockId,
+        /// The owning instruction.
+        pc: Pc,
+        /// The absolute address referenced.
+        addr: i64,
+        /// Access width in bytes.
+        width: u64,
+    },
+    /// The decoded cache has a different number of blocks than the
+    /// program.
+    DecodedLenMismatch {
+        /// Blocks in the cache.
+        decoded: usize,
+        /// Blocks in the program.
+        blocks: usize,
+    },
+    /// A decoded block carries a different id than its source.
+    DecodedIdMismatch {
+        /// The source block.
+        block: BlockId,
+        /// The id stored in the decoded block.
+        found: BlockId,
+    },
+    /// A decoded operand register index is outside the interpreter's
+    /// register file.
+    RegisterOutOfRange {
+        /// The owning block.
+        block: BlockId,
+        /// The out-of-range index.
+        index: u8,
+    },
+    /// A decoded effective address is malformed (illegal shift).
+    BadEaShift {
+        /// The owning block.
+        block: BlockId,
+        /// The illegal shift amount.
+        shift: u8,
+    },
+    /// A decoded access width is not 1, 2, 4 or 8 bytes.
+    BadAccessWidth {
+        /// The owning block.
+        block: BlockId,
+        /// The illegal width.
+        width: u8,
+    },
+    /// A decoded block's access-pc stream differs from the canonical
+    /// per-block layout.
+    AccessStreamMismatch {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// A decoded block's retired-instruction count disagrees with its
+    /// source.
+    ArchInsnMismatch {
+        /// The offending block.
+        block: BlockId,
+        /// Count stored in the decoded block.
+        decoded: u64,
+        /// Count implied by the source block.
+        source: u64,
+    },
+    /// A decoded block's static load or store count disagrees with its
+    /// ops.
+    AccessCountMismatch {
+        /// The offending block.
+        block: BlockId,
+        /// `"loads"` or `"stores"`.
+        kind: &'static str,
+    },
+    /// A fused load+op has no matching `Binary`-with-memory source
+    /// instruction at its pc.
+    FusedLoadOpMismatch {
+        /// The owning block.
+        block: BlockId,
+        /// The pc the fused op claims.
+        pc: Pc,
+    },
+    /// The terminator is fused although the source block's last
+    /// instruction is not an eligible compare.
+    SpuriousFusion {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// The source block ends with an eligible compare+branch pair that
+    /// the decoded terminator left unfused.
+    MissedFusion {
+        /// The offending block.
+        block: BlockId,
+    },
+    /// The decoded terminator does not match the source terminator
+    /// (targets, condition, operands, or call resolution).
+    TermMismatch {
+        /// The offending block.
+        block: BlockId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EntryOutOfRange { entry } => {
+                write!(f, "entry function f{entry} does not exist")
+            }
+            VerifyError::FuncEntryOutOfRange { func } => {
+                write!(f, "function {func} has an out-of-range entry block")
+            }
+            VerifyError::MisplacedBlock { index, found } => {
+                write!(f, "block at position {index} carries id {found}")
+            }
+            VerifyError::DanglingTarget { block, target } => {
+                write!(f, "{block} targets nonexistent {target}")
+            }
+            VerifyError::UnknownCallee { block } => {
+                write!(f, "{block} calls a nonexistent function")
+            }
+            VerifyError::EmptyJumpTable { block } => {
+                write!(f, "{block} has an empty jump table")
+            }
+            VerifyError::BadBlockAddr { block, addr } => {
+                write!(f, "{block} has a bad address {addr:?}")
+            }
+            VerifyError::OverlappingBlocks { a, b } => {
+                write!(f, "pc ranges of {a} and {b} overlap")
+            }
+            VerifyError::BadScale { block, pc, scale } => {
+                write!(f, "{block} at {pc:?} uses illegal scale {scale}")
+            }
+            VerifyError::UndeclaredRegion {
+                block,
+                pc,
+                addr,
+                width,
+            } => write!(
+                f,
+                "{block} at {pc:?} references undeclared region [{addr:#x}; {width} bytes]"
+            ),
+            VerifyError::DecodedLenMismatch { decoded, blocks } => {
+                write!(
+                    f,
+                    "decoded cache has {decoded} blocks, program has {blocks}"
+                )
+            }
+            VerifyError::DecodedIdMismatch { block, found } => {
+                write!(f, "decoded block for {block} carries id {found}")
+            }
+            VerifyError::RegisterOutOfRange { block, index } => write!(
+                f,
+                "{block} uses register index {index} (file has {REG_SLOTS} slots)"
+            ),
+            VerifyError::BadEaShift { block, shift } => {
+                write!(f, "{block} has an effective address with shift {shift}")
+            }
+            VerifyError::BadAccessWidth { block, width } => {
+                write!(f, "{block} has an access of width {width}")
+            }
+            VerifyError::AccessStreamMismatch { block } => {
+                write!(
+                    f,
+                    "{block}'s decoded access stream diverges from its source"
+                )
+            }
+            VerifyError::ArchInsnMismatch {
+                block,
+                decoded,
+                source,
+            } => write!(
+                f,
+                "{block} retires {decoded} instructions decoded vs {source} in source"
+            ),
+            VerifyError::AccessCountMismatch { block, kind } => {
+                write!(f, "{block}'s static {kind} count disagrees with its ops")
+            }
+            VerifyError::FusedLoadOpMismatch { block, pc } => {
+                write!(
+                    f,
+                    "{block} fuses a load+op at {pc:?} with no matching source"
+                )
+            }
+            VerifyError::SpuriousFusion { block } => {
+                write!(
+                    f,
+                    "{block} fuses a cmp+branch with no eligible source compare"
+                )
+            }
+            VerifyError::MissedFusion { block } => {
+                write!(f, "{block} leaves an eligible cmp+branch pair unfused")
+            }
+            VerifyError::TermMismatch { block } => {
+                write!(f, "{block}'s decoded terminator diverges from its source")
+            }
+        }
+    }
+}
+
+/// Renders a list of findings, one per line.
+pub fn render_errors(errs: &[VerifyError]) -> String {
+    errs.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn in_declared_region(data: &[DataSegment], addr: i64, width: u64) -> bool {
+    if addr < 0 {
+        return false;
+    }
+    let addr = addr as u64;
+    data.iter()
+        .any(|d| addr >= d.addr && addr + width <= d.addr + d.bytes.len() as u64)
+}
+
+/// Verifies the structural invariants of `program`, collecting every
+/// violation.
+///
+/// # Errors
+///
+/// Returns all findings when any check fails.
+pub fn verify_program(program: &Program) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    let nb = program.blocks.len();
+    let nf = program.funcs.len();
+    if program.entry.index() >= nf {
+        errs.push(VerifyError::EntryOutOfRange {
+            entry: program.entry.index(),
+        });
+    }
+    for func in &program.funcs {
+        if func.entry.index() >= nb {
+            errs.push(VerifyError::FuncEntryOutOfRange {
+                func: func.name.clone(),
+            });
+        }
+    }
+    for (i, block) in program.blocks.iter().enumerate() {
+        if block.id.index() != i {
+            errs.push(VerifyError::MisplacedBlock {
+                index: i,
+                found: block.id,
+            });
+        }
+        if block.addr.0 < CODE_BASE || block.addr.0 % 4 != 0 {
+            errs.push(VerifyError::BadBlockAddr {
+                block: block.id,
+                addr: block.addr,
+            });
+        }
+        match &block.terminator {
+            Terminator::JmpInd { table, .. } if table.is_empty() => {
+                errs.push(VerifyError::EmptyJumpTable { block: block.id });
+            }
+            Terminator::Call { func, .. } if func.index() >= nf => {
+                errs.push(VerifyError::UnknownCallee { block: block.id });
+            }
+            _ => {}
+        }
+        for target in block.terminator.successors() {
+            if target.index() >= nb {
+                errs.push(VerifyError::DanglingTarget {
+                    block: block.id,
+                    target,
+                });
+            }
+        }
+        for (pc, insn) in block.iter_with_pc() {
+            // `mem_refs` covers architectural accesses; prefetch hints and
+            // memory-sized `Alloc` operands still carry address
+            // expressions worth checking for legal scales.
+            let arch = insn.mem_refs().into_iter().map(|(m, w)| (m, w, true));
+            let hints = match insn {
+                Insn::Prefetch { mem } => Some((*mem, Width::W8, false)),
+                Insn::Alloc { size, .. } => size.mem().map(|(m, w)| (m, w, true)),
+                _ => None,
+            };
+            for (mem, width, architectural) in arch.chain(hints) {
+                if let Some((_, scale)) = mem.index {
+                    if !matches!(scale, 1 | 2 | 4 | 8) {
+                        errs.push(VerifyError::BadScale {
+                            block: block.id,
+                            pc,
+                            scale,
+                        });
+                    }
+                }
+                // Absolute references are statically resolvable: demand
+                // accesses must land in a declared data segment. Prefetch
+                // hints are exempt — they may legally run off the end of
+                // an array and cannot fault.
+                if architectural
+                    && mem.is_absolute()
+                    && !in_declared_region(&program.data, mem.disp, width.bytes())
+                {
+                    errs.push(VerifyError::UndeclaredRegion {
+                        block: block.id,
+                        pc,
+                        addr: mem.disp,
+                        width: width.bytes(),
+                    });
+                }
+            }
+        }
+    }
+    // Pc ranges must be disjoint: UMI keys profile columns by pc.
+    let mut spans: Vec<(u64, u64, BlockId)> = program
+        .blocks
+        .iter()
+        .map(|b| (b.addr.0, b.addr.0 + b.byte_size(), b.id))
+        .collect();
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        if w[1].0 < w[0].1 {
+            errs.push(VerifyError::OverlappingBlocks {
+                a: w[0].2,
+                b: w[1].2,
+            });
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// The register index a compare operand lowers to (`Err` = immediate).
+fn lowered_cmp_operand(op: &Operand, scratch: u8) -> Result<u8, i64> {
+    match op {
+        Operand::Reg(r) => Ok(r.index() as u8),
+        Operand::Imm(v) => Err(*v),
+        Operand::Mem(..) => Ok(scratch),
+    }
+}
+
+/// The terminator the lowering rules produce for `block`, including the
+/// cmp+branch fusion decision. Returns `None` when the source references
+/// a nonexistent callee (reported separately by [`verify_program`]).
+fn expected_term(block: &BasicBlock, program: &Program) -> Option<MicroTerm> {
+    Some(match &block.terminator {
+        Terminator::Jmp(t) => MicroTerm::Jmp(*t),
+        Terminator::Br {
+            cond,
+            taken,
+            fallthrough,
+        } => {
+            // Fusion happens exactly when the last lowered op before the
+            // branch is a register/immediate compare — i.e. the last
+            // non-nop source instruction is a `Cmp` (its scratch loads,
+            // if any, precede the compare op itself).
+            let last = block.insns.iter().rev().find(|i| !matches!(i, Insn::Nop));
+            match last {
+                Some(Insn::Cmp { a, b }) => {
+                    let a = lowered_cmp_operand(a, SCRATCH0);
+                    let b = lowered_cmp_operand(b, SCRATCH1);
+                    match (a, b) {
+                        (Ok(a), Ok(b)) => MicroTerm::CmpRRBr {
+                            a,
+                            b,
+                            cond: *cond,
+                            taken: *taken,
+                            fallthrough: *fallthrough,
+                        },
+                        (Ok(a), Err(imm)) => MicroTerm::CmpRIBr {
+                            a,
+                            imm,
+                            cond: *cond,
+                            taken: *taken,
+                            fallthrough: *fallthrough,
+                        },
+                        _ => MicroTerm::Br {
+                            cond: *cond,
+                            taken: *taken,
+                            fallthrough: *fallthrough,
+                        },
+                    }
+                }
+                _ => MicroTerm::Br {
+                    cond: *cond,
+                    taken: *taken,
+                    fallthrough: *fallthrough,
+                },
+            }
+        }
+        Terminator::JmpInd { sel, table } => MicroTerm::JmpInd {
+            sel: sel.index() as u8,
+            table: table.clone().into_boxed_slice(),
+        },
+        Terminator::Call { func, ret_to } => {
+            if func.index() >= program.funcs.len() {
+                return None;
+            }
+            MicroTerm::Call {
+                target: program.func(*func).entry,
+                ret_to: *ret_to,
+            }
+        }
+        Terminator::Ret => MicroTerm::Ret,
+        Terminator::Halt => MicroTerm::Halt,
+    })
+}
+
+fn check_reg(block: BlockId, idx: u8, errs: &mut Vec<VerifyError>) {
+    if idx as usize >= REG_SLOTS {
+        errs.push(VerifyError::RegisterOutOfRange { block, index: idx });
+    }
+}
+
+fn check_ea(block: BlockId, ea: &Ea, errs: &mut Vec<VerifyError>) {
+    for idx in [ea.base, ea.index] {
+        if idx != NO_REG {
+            check_reg(block, idx, errs);
+        }
+    }
+    if ea.shift > 3 {
+        errs.push(VerifyError::BadEaShift {
+            block,
+            shift: ea.shift,
+        });
+    }
+}
+
+fn check_width(block: BlockId, width: u8, errs: &mut Vec<VerifyError>) {
+    if !matches!(width, 1 | 2 | 4 | 8) {
+        errs.push(VerifyError::BadAccessWidth { block, width });
+    }
+}
+
+/// Verifies one decoded block against its source, appending findings to
+/// `errs`. `program` resolves call targets and pc lookups.
+pub fn verify_decoded_block(
+    program: &Program,
+    source: &BasicBlock,
+    decoded: &DecodedBlock,
+    errs: &mut Vec<VerifyError>,
+) {
+    let id = source.id;
+    if decoded.id != id {
+        errs.push(VerifyError::DecodedIdMismatch {
+            block: id,
+            found: decoded.id,
+        });
+    }
+    let source_retired = source.insns.len() as u64 + 1;
+    if decoded.arch_insns != source_retired {
+        errs.push(VerifyError::ArchInsnMismatch {
+            block: id,
+            decoded: decoded.arch_insns,
+            source: source_retired,
+        });
+    }
+
+    let mut stream = Vec::new();
+    let mut loads = 0u32;
+    let mut stores = 0u32;
+    for op in decoded.ops.iter() {
+        match op {
+            MicroOp::MovR { dst, src } | MicroOp::BinRR { dst, src, .. } => {
+                check_reg(id, *dst, errs);
+                check_reg(id, *src, errs);
+            }
+            MicroOp::MovI { dst, .. }
+            | MicroOp::BinRI { dst, .. }
+            | MicroOp::Un { dst, .. }
+            | MicroOp::CmpRI { a: dst, .. }
+            | MicroOp::CmpIR { b: dst, .. } => check_reg(id, *dst, errs),
+            MicroOp::CmpRR { a, b } => {
+                check_reg(id, *a, errs);
+                check_reg(id, *b, errs);
+            }
+            MicroOp::CmpII { .. } => {}
+            MicroOp::Load {
+                dst, ea, width, pc, ..
+            } => {
+                check_reg(id, *dst, errs);
+                check_ea(id, ea, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                loads += 1;
+            }
+            MicroOp::StoreR {
+                ea, src, width, pc, ..
+            } => {
+                check_reg(id, *src, errs);
+                check_ea(id, ea, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                stores += 1;
+            }
+            MicroOp::StoreI { ea, width, pc, .. } => {
+                check_ea(id, ea, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                stores += 1;
+            }
+            MicroOp::Lea { dst, ea } => {
+                check_reg(id, *dst, errs);
+                check_ea(id, ea, errs);
+            }
+            MicroOp::BinMem {
+                op: bop,
+                dst,
+                ea,
+                width,
+                pc,
+            } => {
+                check_reg(id, *dst, errs);
+                check_ea(id, ea, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                loads += 1;
+                // Fused load+op invariant: the op must originate from a
+                // `Binary` instruction with a memory source at this pc.
+                let index = pc.0.wrapping_sub(source.addr.0) / 4;
+                let matches_source = pc.0 >= source.addr.0
+                    && (index as usize) < source.insns.len()
+                    && match &source.insns[index as usize] {
+                        Insn::Binary {
+                            op: sop,
+                            dst: sdst,
+                            src: Operand::Mem(m, w),
+                        } => {
+                            sop == bop
+                                && sdst.index() as u8 == *dst
+                                && Ea::lower(m) == *ea
+                                && w.bytes() as u8 == *width
+                        }
+                        _ => false,
+                    };
+                if !matches_source {
+                    errs.push(VerifyError::FusedLoadOpMismatch { block: id, pc: *pc });
+                }
+            }
+            MicroOp::PushR { src, pc } => {
+                check_reg(id, *src, errs);
+                stream.push(*pc);
+                stores += 1;
+            }
+            MicroOp::PushI { pc, .. } => {
+                stream.push(*pc);
+                stores += 1;
+            }
+            MicroOp::Pop { dst, pc } => {
+                check_reg(id, *dst, errs);
+                stream.push(*pc);
+                loads += 1;
+            }
+            MicroOp::AllocR { dst, size, .. } => {
+                check_reg(id, *dst, errs);
+                check_reg(id, *size, errs);
+            }
+            MicroOp::AllocI { dst, .. } => check_reg(id, *dst, errs),
+            MicroOp::Prefetch { ea, pc } => {
+                check_ea(id, ea, errs);
+                stream.push(*pc);
+            }
+        }
+    }
+    if stream != *decoded.access_pcs || *decoded.access_pcs != block_access_pcs(source)[..] {
+        errs.push(VerifyError::AccessStreamMismatch { block: id });
+    }
+    if loads != decoded.n_loads {
+        errs.push(VerifyError::AccessCountMismatch {
+            block: id,
+            kind: "loads",
+        });
+    }
+    if stores != decoded.n_stores {
+        errs.push(VerifyError::AccessCountMismatch {
+            block: id,
+            kind: "stores",
+        });
+    }
+
+    for idx in term_regs(&decoded.term) {
+        check_reg(id, idx, errs);
+    }
+    for target in term_targets(&decoded.term) {
+        if target.index() >= program.blocks.len() {
+            errs.push(VerifyError::DanglingTarget { block: id, target });
+        }
+    }
+    if let Some(expected) = expected_term(source, program) {
+        if decoded.term != expected {
+            let fused =
+                |t: &MicroTerm| matches!(t, MicroTerm::CmpRRBr { .. } | MicroTerm::CmpRIBr { .. });
+            errs.push(match (fused(&decoded.term), fused(&expected)) {
+                (true, false) => VerifyError::SpuriousFusion { block: id },
+                (false, true) => VerifyError::MissedFusion { block: id },
+                _ => VerifyError::TermMismatch { block: id },
+            });
+        }
+    }
+}
+
+fn term_regs(term: &MicroTerm) -> Vec<u8> {
+    match term {
+        MicroTerm::CmpRRBr { a, b, .. } => vec![*a, *b],
+        MicroTerm::CmpRIBr { a, .. } => vec![*a],
+        MicroTerm::JmpInd { sel, .. } => vec![*sel],
+        _ => Vec::new(),
+    }
+}
+
+fn term_targets(term: &MicroTerm) -> Vec<BlockId> {
+    match term {
+        MicroTerm::Jmp(t) => vec![*t],
+        MicroTerm::Br {
+            taken, fallthrough, ..
+        }
+        | MicroTerm::CmpRRBr {
+            taken, fallthrough, ..
+        }
+        | MicroTerm::CmpRIBr {
+            taken, fallthrough, ..
+        } => vec![*taken, *fallthrough],
+        MicroTerm::JmpInd { table, .. } => table.to_vec(),
+        MicroTerm::Call { target, ret_to } => vec![*target, *ret_to],
+        MicroTerm::Ret | MicroTerm::Halt => Vec::new(),
+    }
+}
+
+/// Verifies a whole decoded cache against `program`.
+///
+/// # Errors
+///
+/// Returns all findings when any check fails.
+pub fn verify_decoded(program: &Program, cache: &DecodedCache) -> Result<(), Vec<VerifyError>> {
+    let mut errs = Vec::new();
+    if cache.len() != program.blocks.len() {
+        errs.push(VerifyError::DecodedLenMismatch {
+            decoded: cache.len(),
+            blocks: program.blocks.len(),
+        });
+    } else {
+        for block in &program.blocks {
+            verify_decoded_block(program, block, cache.block(block.id), &mut errs);
+        }
+    }
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        Err(errs)
+    }
+}
+
+/// Runs the full verifier: structural checks first, then — only when the
+/// structure is sound — lowers the program and checks the decoded
+/// invariants.
+///
+/// # Errors
+///
+/// Returns all findings when any check fails.
+pub fn verify(program: &Program) -> Result<(), Vec<VerifyError>> {
+    verify_program(program)?;
+    verify_decoded(program, &DecodedCache::lower(program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{MemRef, ProgramBuilder, Reg, Width};
+
+    fn tiny() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 8 * 16)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 16)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn accepts_a_well_formed_program() {
+        assert_eq!(verify(&tiny()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_a_dangling_branch_target() {
+        let mut p = tiny();
+        p.blocks[0].terminator = Terminator::Jmp(BlockId(99));
+        let errs = verify(&p).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::DanglingTarget {
+                target: BlockId(99),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejects_an_undeclared_absolute_region() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let globals = pb.data_words(&[1, 2, 3, 4]);
+        pb.block(f.entry())
+            .load(Reg::EAX, MemRef::absolute(globals), Width::W8)
+            // 8 words past a 4-word segment: nothing declared there.
+            .load(Reg::EBX, MemRef::absolute(globals + 64), Width::W8)
+            .ret();
+        let p = pb.finish();
+        let errs = verify_program(&p).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], VerifyError::UndeclaredRegion { .. }));
+        // A load that straddles the end of a segment is also rejected.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let globals = pb.data_words(&[1]);
+        pb.block(f.entry())
+            .load(Reg::EAX, MemRef::absolute(globals + 4), Width::W8)
+            .ret();
+        let _ = f;
+        assert!(verify_program(&pb.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_an_out_of_range_register() {
+        let p = tiny();
+        let cache = DecodedCache::lower(&p);
+        let source = p.block(BlockId(1));
+        let mut bad = cache.block(BlockId(1)).clone();
+        let mut ops = bad.ops.to_vec();
+        ops[0] = MicroOp::MovR {
+            dst: REG_SLOTS as u8 + 7,
+            src: 0,
+        };
+        bad.ops = ops.into_boxed_slice();
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, source, &bad, &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::RegisterOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_overlapping_block_ranges() {
+        let mut p = tiny();
+        // Slide block 1 back so it starts inside block 0.
+        p.blocks[1].addr = Pc(p.blocks[0].addr.0 + 4);
+        let errs = verify_program(&p).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::OverlappingBlocks { .. })));
+    }
+
+    #[test]
+    fn rejects_a_spurious_fusion() {
+        let p = tiny();
+        let cache = DecodedCache::lower(&p);
+        // Block 0 ends in a plain jmp; grafting a fused compare+branch
+        // onto it has no eligible source compare.
+        let mut bad = cache.block(BlockId(0)).clone();
+        bad.term = MicroTerm::CmpRIBr {
+            a: 0,
+            imm: 0,
+            cond: umi_ir::Cond::Eq,
+            taken: BlockId(0),
+            fallthrough: BlockId(1),
+        };
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, p.block(BlockId(0)), &bad, &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::SpuriousFusion { .. })));
+    }
+
+    #[test]
+    fn rejects_a_missed_fusion() {
+        let p = tiny();
+        let cache = DecodedCache::lower(&p);
+        // Block 1 ends with cmp+br, which must fuse; un-fusing it back
+        // into a CmpRI op plus plain Br violates the invariant.
+        let mut bad = cache.block(BlockId(1)).clone();
+        let (a, imm, cond, taken, fallthrough) = match &bad.term {
+            MicroTerm::CmpRIBr {
+                a,
+                imm,
+                cond,
+                taken,
+                fallthrough,
+            } => (*a, *imm, *cond, *taken, *fallthrough),
+            t => panic!("expected fused term, got {t:?}"),
+        };
+        let mut ops = bad.ops.to_vec();
+        ops.push(MicroOp::CmpRI { a, imm });
+        bad.ops = ops.into_boxed_slice();
+        bad.term = MicroTerm::Br {
+            cond,
+            taken,
+            fallthrough,
+        };
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, p.block(BlockId(1)), &bad, &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::MissedFusion { .. })));
+    }
+
+    #[test]
+    fn rejects_a_forged_load_op_fusion() {
+        let p = tiny();
+        let cache = DecodedCache::lower(&p);
+        let source = p.block(BlockId(1));
+        let mut bad = cache.block(BlockId(1)).clone();
+        let mut ops = bad.ops.to_vec();
+        // Replace the plain load with a fused add-from-memory at the same
+        // pc: the source instruction there is a `Load`, not a `Binary`.
+        let (ea, width, pc) = match ops[0] {
+            MicroOp::Load { ea, width, pc, .. } => (ea, width, pc),
+            op => panic!("expected load, got {op:?}"),
+        };
+        ops[0] = MicroOp::BinMem {
+            op: umi_ir::BinOp::Add,
+            dst: Reg::EAX.index() as u8,
+            ea,
+            width,
+            pc,
+        };
+        bad.ops = ops.into_boxed_slice();
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, source, &bad, &mut errs);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, VerifyError::FusedLoadOpMismatch { .. })));
+    }
+
+    #[test]
+    fn lowered_suite_blocks_pass_wholesale() {
+        let p = tiny();
+        let cache = DecodedCache::lower(&p);
+        assert_eq!(verify_decoded(&p, &cache), Ok(()));
+    }
+
+    #[test]
+    fn errors_render_one_per_line() {
+        let errs = vec![
+            VerifyError::EmptyJumpTable { block: BlockId(3) },
+            VerifyError::UnknownCallee { block: BlockId(4) },
+        ];
+        let text = render_errors(&errs);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("b3"));
+    }
+}

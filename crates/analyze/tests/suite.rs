@@ -1,0 +1,41 @@
+//! The verifier and classifier over the full 32-workload suite.
+
+use umi_analyze::{classify_program, render_errors, verify, StaticClass};
+use umi_workloads::{all32, Scale};
+
+#[test]
+fn verifier_accepts_every_workload() {
+    for spec in all32() {
+        let program = spec.build(Scale::Test);
+        if let Err(errs) = verify(&program) {
+            panic!(
+                "{}: verifier rejected the program:\n{}",
+                spec.name,
+                render_errors(&errs)
+            );
+        }
+    }
+}
+
+#[test]
+fn classifier_finds_strides_and_irregularity_across_the_suite() {
+    let mut strided = 0usize;
+    let mut irregular = 0usize;
+    for spec in all32() {
+        let program = spec.build(Scale::Test);
+        for r in classify_program(&program) {
+            match r.class {
+                StaticClass::ConstantStride(s) => {
+                    assert_ne!(s, 0, "{}: zero stride must be LoopInvariant", spec.name);
+                    strided += 1;
+                }
+                StaticClass::Irregular => irregular += 1,
+                _ => {}
+            }
+        }
+    }
+    // The suite mixes dense array kernels with pointer chasing: the
+    // static view must see both shapes.
+    assert!(strided > 0, "no constant-stride ops found suite-wide");
+    assert!(irregular > 0, "no irregular ops found suite-wide");
+}

@@ -15,6 +15,7 @@
 //! | `fig4` | running time, AMD K7, ± SW prefetch |
 //! | `fig5` | running time, P4, HW prefetch on: SW / HW / SW+HW |
 //! | `fig6` | L2 misses, P4: SW / HW / SW+HW |
+//! | `table_static` | static (umi-analyze) vs dynamic classification agreement |
 //! | `sensitivity` | §7.2 threshold & profile-length sweeps |
 //! | `ablations` | design-choice ablations from DESIGN.md §5 |
 //!

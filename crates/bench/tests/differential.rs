@@ -6,6 +6,7 @@
 //! workload of the main evaluation suite. The legacy engine is retained
 //! precisely so this equivalence stays checkable.
 
+use umi_analyze::{render_errors, verify};
 use umi_vm::{CollectSink, Vm};
 use umi_workloads::{all32, Scale};
 
@@ -19,6 +20,18 @@ const MAX_INSNS: u64 = 2_000_000;
 fn decoded_engine_matches_tree_walk_on_all_workloads() {
     for spec in all32() {
         let program = spec.build(Scale::Test);
+
+        // A decoded-vs-tree divergence on an ill-formed program would be
+        // a red herring: gate the differential on the static verifier
+        // (program and decoded lowering both) so any failure below is a
+        // genuine engine bug.
+        if let Err(errs) = verify(&program) {
+            panic!(
+                "{}: verifier rejected the program:\n{}",
+                spec.name,
+                render_errors(&errs)
+            );
+        }
 
         let mut decoded_sink = CollectSink::default();
         let decoded = Vm::new(&program).run(&mut decoded_sink, MAX_INSNS);

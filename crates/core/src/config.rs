@@ -102,6 +102,14 @@ pub struct UmiConfig {
     /// executions — the "bursty profiling" cadence (§3). With sampling,
     /// re-selection is the sampler's job and this is unused.
     pub burst_gap_execs: u64,
+    /// Tally a dynamic reference-pattern classification
+    /// ([`crate::RefPattern`]) for *every* profiled operation the analyzer
+    /// drains, not just predicted delinquent loads. Off by default: the
+    /// paper's pipeline only needs strides for its predicted set, and the
+    /// extra per-column pass is pure introspection. The `table_static`
+    /// harness enables it to cross-check UMI's dynamic view against the
+    /// static affine classifier in `umi-analyze`.
+    pub classify_patterns: bool,
 }
 
 impl UmiConfig {
@@ -146,6 +154,7 @@ impl UmiConfig {
             instrument_cost_base: 1_000,
             instrument_cost_per_op: 20,
             burst_gap_execs: 1_024,
+            classify_patterns: false,
         }
     }
 

@@ -80,7 +80,7 @@ pub use delinquency::DelinquencyTracker;
 pub use instrumentor::{Instrumentor, TraceInstrumentation};
 pub use metrics::{pearson, PredictionQuality};
 pub use minisim::MiniSimulator;
-pub use patterns::{classify, classify_default, working_set, RefPattern, WorkingSet};
+pub use patterns::{classify, classify_default, working_set, PatternTally, RefPattern, WorkingSet};
 pub use profiles::{AddressProfile, ProfileStore, TriggerReason};
 pub use report::UmiReport;
 pub use runtime::UmiRuntime;

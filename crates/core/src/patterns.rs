@@ -8,7 +8,7 @@
 
 use crate::profiles::AddressProfile;
 use crate::stride::detect_stride;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 /// The predominant reference pattern of one instruction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +51,74 @@ pub fn classify(column: &[u64], local_footprint: u64) -> Option<RefPattern> {
 /// [`classify`] with the Pentium 4 L2 capacity as the locality bound.
 pub fn classify_default(column: &[u64]) -> Option<RefPattern> {
     classify(column, 512 << 10)
+}
+
+/// Accumulated dynamic classification of one profiled instruction across
+/// analyzer invocations: one vote per drained address-profile column the
+/// instruction appeared in. Filled by the runtime when
+/// [`UmiConfig::classify_patterns`](crate::UmiConfig::classify_patterns)
+/// is set; consumed by the `table_static` harness, which compares the
+/// dominant dynamic pattern against the static affine classifier.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PatternTally {
+    /// Columns classified [`RefPattern::Constant`].
+    pub constant: u32,
+    /// Columns classified [`RefPattern::Strided`].
+    pub strided: u32,
+    /// Columns classified [`RefPattern::IrregularLocal`].
+    pub irregular_local: u32,
+    /// Columns classified [`RefPattern::IrregularWide`].
+    pub irregular_wide: u32,
+    /// Votes per detected stride value (bytes), for strided columns. A
+    /// `BTreeMap` so iteration order — and everything derived from it —
+    /// is deterministic.
+    pub stride_votes: BTreeMap<i64, u32>,
+}
+
+impl PatternTally {
+    /// Adds one column's verdict (and its detected stride, when strided).
+    pub fn record(&mut self, pattern: RefPattern, stride: Option<i64>) {
+        match pattern {
+            RefPattern::Constant => self.constant += 1,
+            RefPattern::Strided => self.strided += 1,
+            RefPattern::IrregularLocal => self.irregular_local += 1,
+            RefPattern::IrregularWide => self.irregular_wide += 1,
+        }
+        if let Some(s) = stride {
+            *self.stride_votes.entry(s).or_insert(0) += 1;
+        }
+    }
+
+    /// Total classified columns.
+    pub fn total(&self) -> u32 {
+        self.constant + self.strided + self.irregular_local + self.irregular_wide
+    }
+
+    /// The pattern with the most votes; ties break toward the more
+    /// regular pattern (Constant > Strided > IrregularLocal >
+    /// IrregularWide), so the result is deterministic.
+    pub fn dominant(&self) -> Option<RefPattern> {
+        let ranked = [
+            (self.constant, RefPattern::Constant),
+            (self.strided, RefPattern::Strided),
+            (self.irregular_local, RefPattern::IrregularLocal),
+            (self.irregular_wide, RefPattern::IrregularWide),
+        ];
+        let best = ranked.iter().map(|(n, _)| *n).max().unwrap_or(0);
+        if best == 0 {
+            return None;
+        }
+        ranked.iter().find(|(n, _)| *n == best).map(|(_, p)| *p)
+    }
+
+    /// The stride value with the most votes; ties break toward the
+    /// smaller magnitude, then the smaller value.
+    pub fn dominant_stride(&self) -> Option<i64> {
+        self.stride_votes
+            .iter()
+            .max_by(|(sa, na), (sb, nb)| na.cmp(nb).then(sb.abs().cmp(&sa.abs())).then(sb.cmp(sa)))
+            .map(|(s, _)| *s)
+    }
 }
 
 /// An estimate of a profile's working set: distinct cache lines touched,
@@ -142,6 +210,34 @@ mod tests {
     fn short_columns_are_unclassified() {
         assert_eq!(classify_default(&[1, 2, 3]), None);
         assert_eq!(classify_default(&[]), None);
+    }
+
+    #[test]
+    fn tally_dominant_prefers_regular_on_ties() {
+        let mut t = PatternTally::default();
+        assert_eq!(t.dominant(), None);
+        t.record(RefPattern::Strided, Some(8));
+        t.record(RefPattern::IrregularWide, None);
+        // 1–1 tie: the more regular (prefetchable) pattern wins.
+        assert_eq!(t.dominant(), Some(RefPattern::Strided));
+        t.record(RefPattern::IrregularWide, None);
+        assert_eq!(t.dominant(), Some(RefPattern::IrregularWide));
+        assert_eq!(t.total(), 3);
+    }
+
+    #[test]
+    fn tally_dominant_stride_breaks_ties_by_magnitude() {
+        let mut t = PatternTally::default();
+        assert_eq!(t.dominant_stride(), None);
+        t.record(RefPattern::Strided, Some(64));
+        t.record(RefPattern::Strided, Some(-8));
+        t.record(RefPattern::Strided, Some(8));
+        t.record(RefPattern::Strided, Some(8));
+        assert_eq!(t.dominant_stride(), Some(8));
+        t.record(RefPattern::Strided, Some(-8));
+        t.record(RefPattern::Strided, Some(64));
+        // 2–2–2 tie: smaller magnitude drops 64, smaller value picks -8.
+        assert_eq!(t.dominant_stride(), Some(-8));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The end-of-run introspection report.
 
+use crate::patterns::PatternTally;
 use crate::stride::StrideInfo;
 use std::collections::{HashMap, HashSet};
 use umi_cache::PerPcStats;
@@ -20,6 +21,11 @@ pub struct UmiReport {
     /// Detected reference strides for predicted loads (input to the
     /// software prefetcher).
     pub strides: HashMap<Pc, StrideInfo>,
+    /// Per-operation dynamic reference-pattern tallies across all
+    /// profiled ops. Empty unless
+    /// [`UmiConfig::classify_patterns`](crate::UmiConfig::classify_patterns)
+    /// was set.
+    pub patterns: HashMap<Pc, PatternTally>,
     /// Cumulative per-instruction mini-simulation statistics.
     pub per_pc: PerPcStats,
     /// Address profiles handed to the analyzer ("Profiles Collected",
@@ -80,6 +86,7 @@ mod tests {
             umi_miss_ratio: 0.0,
             predicted: HashSet::new(),
             strides: HashMap::new(),
+            patterns: HashMap::new(),
             per_pc: PerPcStats::new(),
             profiles_collected: 0,
             analyzer_invocations: 0,

@@ -5,6 +5,7 @@ use crate::config::{SamplingMode, UmiConfig};
 use crate::delinquency::DelinquencyTracker;
 use crate::instrumentor::{Instrumentor, TraceInstrumentation, NO_COL};
 use crate::minisim::MiniSimulator;
+use crate::patterns::{classify_default, PatternTally, RefPattern};
 use crate::profiles::ProfileStore;
 use crate::report::UmiReport;
 use crate::selector::RegionSelector;
@@ -50,6 +51,9 @@ pub struct UmiRuntime<'p> {
     /// per profiled operation.
     is_load_table: Vec<u8>,
     strides: HashMap<Pc, StrideInfo>,
+    /// Per-operation dynamic pattern votes; only filled when
+    /// `config.classify_patterns` is set.
+    patterns: HashMap<Pc, PatternTally>,
     profiles_collected: u64,
     umi_overhead: u64,
     next_sample: u64,
@@ -124,6 +128,7 @@ impl<'p> UmiRuntime<'p> {
             cooldown: Vec::new(),
             is_load_table,
             strides: HashMap::new(),
+            patterns: HashMap::new(),
             profiles_collected: 0,
             umi_overhead: 0,
             next_sample,
@@ -333,13 +338,28 @@ impl<'p> UmiRuntime<'p> {
         self.tracker.label(&result);
 
         // Stride discovery for every predicted load present in the drained
-        // profiles (the prefetcher's input).
+        // profiles (the prefetcher's input), plus — when enabled — a
+        // reference-pattern vote per column for *every* profiled op.
         for (_, profile) in &drained {
             for (col, pc) in profile.ops.iter().enumerate() {
-                if self.tracker.predicted().contains(pc) {
-                    let column = profile.column(col as u16);
+                let predicted = self.tracker.predicted().contains(pc);
+                if !predicted && !self.config.classify_patterns {
+                    continue;
+                }
+                let column = profile.column(col as u16);
+                if predicted {
                     if let Some(s) = detect_stride(&column, 4, 0.5) {
                         self.strides.insert(*pc, s);
+                    }
+                }
+                if self.config.classify_patterns {
+                    if let Some(p) = classify_default(&column) {
+                        let stride = if p == RefPattern::Strided {
+                            detect_stride(&column, 3, 0.6).map(|s| s.stride)
+                        } else {
+                            None
+                        };
+                        self.patterns.entry(*pc).or_default().record(p, stride);
                     }
                 }
             }
@@ -389,6 +409,7 @@ impl<'p> UmiRuntime<'p> {
             umi_miss_ratio: self.minisim.miss_ratio(),
             predicted: self.tracker.predicted().clone(),
             strides: self.strides.clone(),
+            patterns: self.patterns.clone(),
             per_pc: self.minisim.per_pc().clone(),
             profiles_collected: self.profiles_collected,
             analyzer_invocations: self.minisim.invocations(),

@@ -744,6 +744,113 @@ mod tests {
     }
 
     #[test]
+    fn cmp_branch_split_across_blocks_does_not_fuse() {
+        // The flags latch across block boundaries: a compare in one block
+        // may feed a branch in the next. Fusion must not cross the
+        // boundary — the compare stays a standalone op and the branch
+        // stays a plain `Br` reading the latched flags.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let brid = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).cmpi(Reg::ECX, 10).jmp(brid);
+        pb.block(brid).br_lt(done, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let cache = DecodedCache::lower(&p);
+        let head = cache.block(f.entry());
+        assert!(
+            matches!(head.ops.last(), Some(MicroOp::CmpRI { imm: 10, .. })),
+            "compare must survive unfused in its own block: {:?}",
+            head.ops
+        );
+        assert!(matches!(head.term, MicroTerm::Jmp(_)));
+        let branch = cache.block(brid);
+        assert!(branch.ops.is_empty());
+        assert!(
+            matches!(branch.term, MicroTerm::Br { .. }),
+            "a branch with no preceding compare op must stay unfused: {:?}",
+            branch.term
+        );
+    }
+
+    #[test]
+    fn load_op_fusion_feeding_a_fused_branch_operand() {
+        // `add eax, [esi]` fuses into a BinMem; the following
+        // `cmp eax, 0` + branch then fuses over the *result* of that
+        // load+op. Both fusions must coexist and keep the access slot.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).alloc(Reg::ESI, 64).jmp(body);
+        pb.block(body)
+            .add(Reg::EAX, Operand::Mem(MemRef::base(Reg::ESI), Width::W8))
+            .cmpi(Reg::EAX, 0)
+            .br_eq(done, body);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let b = DecodedCache::lower(&p).block(body).clone();
+        assert_eq!(b.ops.len(), 1, "cmp fused away, only the load+op remains");
+        let eax = Reg::EAX.index() as u8;
+        assert!(
+            matches!(
+                b.ops[0],
+                MicroOp::BinMem {
+                    op: BinOp::Add,
+                    dst,
+                    width: 8,
+                    ..
+                } if dst == eax
+            ),
+            "load+op must fuse even when its result feeds the branch: {:?}",
+            b.ops[0]
+        );
+        assert!(
+            matches!(b.term, MicroTerm::CmpRIBr { a, imm: 0, .. } if a == eax),
+            "compare over the loaded result must still fuse: {:?}",
+            b.term
+        );
+        // The fused load keeps exactly one access slot at the add's pc.
+        assert_eq!(b.access_pcs.len(), 1);
+        assert_eq!(b.access_pcs[0], p.block(body).insn_pc(0));
+        assert_eq!((b.n_loads, b.n_stores), (1, 0));
+    }
+
+    #[test]
+    fn memory_cmp_before_branch_still_fuses_via_scratch() {
+        // A compare *with* a memory operand lowers to a scratch load plus
+        // a register compare — which is still eligible for branch fusion;
+        // the access slot must survive on the scratch load.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64)
+            .cmp(
+                Operand::Mem(MemRef::base(Reg::ESI), Width::W8),
+                Operand::Imm(7),
+            )
+            .br_eq(done, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let b = DecodedCache::lower(&p).block(f.entry()).clone();
+        assert!(matches!(
+            b.ops.last(),
+            Some(MicroOp::Load { dst: SCRATCH0, .. })
+        ));
+        assert!(matches!(
+            b.term,
+            MicroTerm::CmpRIBr {
+                a: SCRATCH0,
+                imm: 7,
+                ..
+            }
+        ));
+        assert_eq!(b.access_pcs.len(), 1);
+    }
+
+    #[test]
     fn call_targets_are_preresolved() {
         let mut pb = ProgramBuilder::new();
         let main = pb.begin_func("main");

@@ -105,6 +105,7 @@ mod tests {
                     )
                 })
                 .collect::<Map<_, _>>(),
+            patterns: Map::new(),
             per_pc: umi_cache::PerPcStats::new(),
             profiles_collected: 0,
             analyzer_invocations: 0,

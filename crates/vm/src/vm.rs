@@ -111,6 +111,10 @@ impl<'p> Vm<'p> {
     /// Creates a VM with the program's data segments loaded, the stack
     /// pointer at [`STACK_TOP`] and the heap cursor at [`HEAP_BASE`], and
     /// the program lowered into its decoded code cache.
+    ///
+    /// In debug builds the program and its lowering are run through the
+    /// `umi-analyze` verifier first; a malformed program panics here, at
+    /// load time, instead of corrupting profiles mid-run.
     pub fn new(program: &'p Program) -> Vm<'p> {
         let mut mem = Memory::new();
         for seg in &program.data {
@@ -120,9 +124,25 @@ impl<'p> Vm<'p> {
         regs[Reg::ESP.index()] = STACK_TOP as i64;
         regs[Reg::EBP.index()] = STACK_TOP as i64;
         let entry = program.func(program.entry).entry;
+        let decoded = DecodedCache::lower(program);
+        debug_assert!(
+            {
+                let ok = umi_analyze::verify_program(program)
+                    .and_then(|()| umi_analyze::verify_decoded(program, &decoded));
+                if let Err(errs) = &ok {
+                    eprintln!(
+                        "Vm::load: program '{}' failed verification:\n{}",
+                        program.name,
+                        umi_analyze::render_errors(errs)
+                    );
+                }
+                ok.is_ok()
+            },
+            "program failed static verification at load (see stderr)"
+        );
         Vm {
             program,
-            decoded: Rc::new(DecodedCache::lower(program)),
+            decoded: Rc::new(decoded),
             regs,
             flags: (0, 0),
             mem,

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Smoke test: build + tier-1 tests, then run three representative
+# Smoke test: build + tier-1 tests, then run four representative
 # harnesses at CI scale and require byte-identical output against the
 # golden files — with the parallel engine on (UMI_JOBS=2), so any
 # nondeterminism in the fan-out shows up as a diff.
@@ -13,7 +13,7 @@ cargo test -q
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for bin in table6 table4 fig3; do
+for bin in table6 table4 fig3 table_static; do
     UMI_SCALE=test UMI_JOBS=2 ./target/release/$bin > "$tmp/$bin.txt"
     if ! diff -u "results/golden/$bin.txt" "$tmp/$bin.txt"; then
         echo "smoke: $bin output differs from results/golden/$bin.txt" >&2

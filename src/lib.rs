@@ -8,6 +8,7 @@
 //! | Module | Crate | Role |
 //! |---|---|---|
 //! | [`ir`] | `umi-ir` | virtual x86-flavoured ISA |
+//! | [`analyze`] | `umi-analyze` | IR verifier + static CFG/stride analysis |
 //! | [`vm`] | `umi-vm` | block-stepping interpreter |
 //! | [`cache`] | `umi-cache` | cache simulation + Cachegrind-equivalent |
 //! | [`hw`] | `umi-hw` | Pentium 4 / AMD K7 machine models |
@@ -32,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use umi_analyze as analyze;
 pub use umi_cache as cache;
 pub use umi_core as core;
 pub use umi_dbi as dbi;
