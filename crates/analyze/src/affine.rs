@@ -7,11 +7,11 @@
 //!
 //! * **invariant** — never written inside the loop;
 //! * **induction** — every write adds or subtracts a compile-time
-//!   constant and sits in a block that dominates every latch (so it
-//!   executes exactly once per iteration); the per-iteration delta is the
-//!   sum of the constants;
-//! * **varying** — anything else (conditional updates, loads, non-affine
-//!   arithmetic).
+//!   constant and sits in a block that dominates every latch *and* is not
+//!   inside a strictly nested loop (so it executes exactly once per
+//!   iteration); the per-iteration delta is the sum of the constants;
+//! * **varying** — anything else (conditional updates, updates repeated
+//!   by an inner loop, loads, non-affine arithmetic).
 //!
 //! The address then advances by `Σ coeff(reg) × delta(reg)` per iteration
 //! (coefficient 1 for the base, the scale for the index), which yields the
@@ -20,7 +20,7 @@
 //! makes the op **irregular** — statically unknowable, the class UMI's
 //! dynamic profiles exist to resolve.
 
-use crate::cfg::{analyze_program, Cfg, Dominators, NaturalLoop};
+use crate::cfg::{analyze_program, innermost_loop_map, Cfg, Dominators, NaturalLoop};
 use crate::liveness::{insn_defs, regs_in};
 use std::collections::HashMap;
 use umi_ir::{BinOp, BlockId, Insn, MemRef, Operand, Pc, Program, Reg, Width};
@@ -68,6 +68,50 @@ pub struct StaticRef {
     pub class: StaticClass,
 }
 
+/// Blocks of `lp` that sit inside a strictly nested loop.
+///
+/// An instruction in such a block runs an unknown number of times per
+/// iteration of `lp` (once per *inner* iteration), so even a plain
+/// `add reg, imm` there is not affine in `lp`'s frame — without this,
+/// an inner-loop bump of a register shared with the outer loop would be
+/// mistaken for a once-per-outer-iteration induction step.
+fn nested_blocks(
+    program: &Program,
+    lp: &NaturalLoop,
+    doms: &Dominators,
+) -> std::collections::BTreeSet<BlockId> {
+    use std::collections::BTreeSet;
+    // Predecessor edges restricted to the loop body, plus every back
+    // edge `latch -> header` of a loop nested inside `lp` (a body-internal
+    // edge onto a dominator that is not `lp`'s own header).
+    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    let mut inner_edges = Vec::new();
+    for &b in &lp.body {
+        for s in crate::cfg::intra_successors(&program.block(b).terminator) {
+            if !lp.body.contains(&s) {
+                continue;
+            }
+            preds.entry(s).or_default().push(b);
+            if s != lp.header && doms.dominates(s, b) {
+                inner_edges.push((b, s));
+            }
+        }
+    }
+    let mut nested = BTreeSet::new();
+    for (latch, header) in inner_edges {
+        // Standard natural-loop body: the header plus everything that
+        // reaches the latch without passing through the header.
+        nested.insert(header);
+        let mut work = vec![latch];
+        while let Some(b) = work.pop() {
+            if b != header && nested.insert(b) {
+                work.extend(preds.get(&b).into_iter().flatten().copied());
+            }
+        }
+    }
+    nested
+}
+
 /// Classifies every register of `program` with respect to one loop.
 pub fn loop_reg_kinds(
     program: &Program,
@@ -76,8 +120,10 @@ pub fn loop_reg_kinds(
 ) -> [RegKind; Reg::COUNT] {
     let mut written = [false; Reg::COUNT];
     let mut delta: [Option<i64>; Reg::COUNT] = [Some(0); Reg::COUNT];
+    let nested = nested_blocks(program, lp, doms);
     for &bid in &lp.body {
-        let every_iteration = lp.latches.iter().all(|&l| doms.dominates(bid, l));
+        let every_iteration =
+            !nested.contains(&bid) && lp.latches.iter().all(|&l| doms.dominates(bid, l));
         for insn in &program.block(bid).insns {
             let affine = match insn {
                 Insn::Binary {
@@ -147,20 +193,7 @@ pub fn classify_program(program: &Program) -> Vec<StaticRef> {
     let funcs = analyze_program(program, &cfg);
 
     // Innermost loop per block: the smallest containing body.
-    let mut innermost: Vec<Option<(usize, usize)>> = vec![None; program.blocks.len()];
-    for (fi, fa) in funcs.iter().enumerate() {
-        for (li, lp) in fa.loops.iter().enumerate() {
-            for &b in &lp.body {
-                let better = match innermost[b.index()] {
-                    None => true,
-                    Some((pfi, pli)) => lp.body.len() < funcs[pfi].loops[pli].body.len(),
-                };
-                if better {
-                    innermost[b.index()] = Some((fi, li));
-                }
-            }
-        }
-    }
+    let innermost = innermost_loop_map(program.blocks.len(), &funcs);
 
     let mut kinds: HashMap<(usize, usize), [RegKind; Reg::COUNT]> = HashMap::new();
     let mut out = Vec::new();
@@ -299,6 +332,103 @@ mod tests {
         let refs = classify_program(&pb.finish());
         assert_eq!(refs.len(), 1);
         assert_eq!(refs[0].class, StaticClass::NotInLoop);
+    }
+
+    #[test]
+    fn pure_negative_base_stride() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 64)
+            .alloc(Reg::ESI, 8 * 64)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .sub(Reg::ESI, 8i64)
+            .sub(Reg::ECX, 1i64)
+            .cmpi(Reg::ECX, 0)
+            .br_gt(body, done);
+        pb.block(done).ret();
+        let refs = classify_program(&pb.finish());
+        let _ = f;
+        let load = refs.iter().find(|r| !r.is_store).unwrap();
+        assert_eq!(load.class, StaticClass::ConstantStride(-8));
+    }
+
+    #[test]
+    fn two_latches_with_different_increments_are_irregular() {
+        // A loop with two back edges, each bumping the address register
+        // by a different constant: the per-iteration delta depends on
+        // the path taken, so neither candidate may be picked.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let head = pb.new_block();
+        let latch_a = pb.new_block();
+        let latch_b = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 1 << 12)
+            .jmp(head);
+        pb.block(head)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::EAX, 0)
+            .br_eq(latch_a, latch_b);
+        pb.block(latch_a)
+            .addi(Reg::ESI, 8)
+            .cmpi(Reg::ECX, 64)
+            .br_lt(head, done);
+        pb.block(latch_b)
+            .addi(Reg::ESI, 16)
+            .cmpi(Reg::ECX, 64)
+            .br_lt(head, done);
+        pb.block(done).ret();
+        let refs = classify_program(&pb.finish());
+        let _ = f;
+        let load = refs.iter().find(|r| !r.is_store).unwrap();
+        assert_eq!(load.class, StaticClass::Irregular);
+    }
+
+    #[test]
+    fn nested_loops_sharing_an_induction_register() {
+        // esi advances by 8 per inner iteration and by an extra 64 in the
+        // outer latch. The inner load is a clean 8-byte stride in its own
+        // frame; the outer-latch load must NOT treat the inner bump as a
+        // once-per-outer-iteration step (it runs 16 times), so the outer
+        // ref is irregular.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let outer_head = pb.new_block();
+        let inner = pb.new_block();
+        let outer_latch = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 1 << 14)
+            .jmp(outer_head);
+        pb.block(outer_head).movi(Reg::EDX, 0).jmp(inner);
+        pb.block(inner)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ESI, 8)
+            .addi(Reg::EDX, 1)
+            .cmpi(Reg::EDX, 16)
+            .br_lt(inner, outer_latch);
+        pb.block(outer_latch)
+            .load(Reg::EBX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ESI, 64)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 4)
+            .br_lt(outer_head, done);
+        pb.block(done).ret();
+        let refs = classify_program(&pb.finish());
+        let _ = f;
+        let loads: Vec<_> = refs.iter().filter(|r| !r.is_store).collect();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].class, StaticClass::ConstantStride(8));
+        assert_eq!(loads[1].class, StaticClass::Irregular);
     }
 
     #[test]

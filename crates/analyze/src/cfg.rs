@@ -24,7 +24,7 @@ pub struct Cfg {
 
 /// Successor blocks of a terminator within the owning function: direct
 /// targets, plus the resume block of a call.
-fn intra_successors(term: &Terminator) -> Vec<BlockId> {
+pub(crate) fn intra_successors(term: &Terminator) -> Vec<BlockId> {
     match term {
         Terminator::Jmp(t) => vec![*t],
         Terminator::Br {
@@ -256,6 +256,27 @@ pub fn natural_loops(cfg: &Cfg, doms: &Dominators) -> Vec<NaturalLoop> {
         }
     }
     by_header.into_values().collect()
+}
+
+/// Maps every block to its innermost containing loop, identified as
+/// `(function index, loop index)` into `funcs` — the smallest loop body
+/// wins. Blocks outside every loop map to `None`.
+pub fn innermost_loop_map(n_blocks: usize, funcs: &[FuncAnalysis]) -> Vec<Option<(usize, usize)>> {
+    let mut innermost: Vec<Option<(usize, usize)>> = vec![None; n_blocks];
+    for (fi, fa) in funcs.iter().enumerate() {
+        for (li, lp) in fa.loops.iter().enumerate() {
+            for &b in &lp.body {
+                let better = match innermost[b.index()] {
+                    None => true,
+                    Some((pfi, pli)) => lp.body.len() < funcs[pfi].loops[pli].body.len(),
+                };
+                if better {
+                    innermost[b.index()] = Some((fi, li));
+                }
+            }
+        }
+    }
+    innermost
 }
 
 /// Dominators and loops of one function.

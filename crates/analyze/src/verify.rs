@@ -191,6 +191,92 @@ pub enum VerifyError {
     },
 }
 
+impl VerifyError {
+    /// The instruction the finding is localized to, when it is one.
+    pub fn pc(&self) -> Option<Pc> {
+        match self {
+            VerifyError::BadScale { pc, .. }
+            | VerifyError::UndeclaredRegion { pc, .. }
+            | VerifyError::FusedLoadOpMismatch { pc, .. } => Some(*pc),
+            _ => None,
+        }
+    }
+
+    /// The block the finding is localized to, when it is one.
+    pub fn block(&self) -> Option<BlockId> {
+        match self {
+            VerifyError::EntryOutOfRange { .. }
+            | VerifyError::FuncEntryOutOfRange { .. }
+            | VerifyError::DecodedLenMismatch { .. } => None,
+            VerifyError::MisplacedBlock { found, .. } => Some(*found),
+            VerifyError::OverlappingBlocks { a, .. } => Some(*a),
+            VerifyError::DanglingTarget { block, .. }
+            | VerifyError::UnknownCallee { block }
+            | VerifyError::EmptyJumpTable { block }
+            | VerifyError::BadBlockAddr { block, .. }
+            | VerifyError::BadScale { block, .. }
+            | VerifyError::UndeclaredRegion { block, .. }
+            | VerifyError::DecodedIdMismatch { block, .. }
+            | VerifyError::RegisterOutOfRange { block, .. }
+            | VerifyError::BadEaShift { block, .. }
+            | VerifyError::BadAccessWidth { block, .. }
+            | VerifyError::AccessStreamMismatch { block }
+            | VerifyError::ArchInsnMismatch { block, .. }
+            | VerifyError::AccessCountMismatch { block, .. }
+            | VerifyError::FusedLoadOpMismatch { block, .. }
+            | VerifyError::SpuriousFusion { block }
+            | VerifyError::MissedFusion { block }
+            | VerifyError::TermMismatch { block } => Some(*block),
+        }
+    }
+
+    /// Stable kind rank (declaration order) used for diagnostic sorting.
+    fn rank(&self) -> u8 {
+        match self {
+            VerifyError::EntryOutOfRange { .. } => 0,
+            VerifyError::FuncEntryOutOfRange { .. } => 1,
+            VerifyError::MisplacedBlock { .. } => 2,
+            VerifyError::DanglingTarget { .. } => 3,
+            VerifyError::UnknownCallee { .. } => 4,
+            VerifyError::EmptyJumpTable { .. } => 5,
+            VerifyError::BadBlockAddr { .. } => 6,
+            VerifyError::OverlappingBlocks { .. } => 7,
+            VerifyError::BadScale { .. } => 8,
+            VerifyError::UndeclaredRegion { .. } => 9,
+            VerifyError::DecodedLenMismatch { .. } => 10,
+            VerifyError::DecodedIdMismatch { .. } => 11,
+            VerifyError::RegisterOutOfRange { .. } => 12,
+            VerifyError::BadEaShift { .. } => 13,
+            VerifyError::BadAccessWidth { .. } => 14,
+            VerifyError::AccessStreamMismatch { .. } => 15,
+            VerifyError::ArchInsnMismatch { .. } => 16,
+            VerifyError::AccessCountMismatch { .. } => 17,
+            VerifyError::FusedLoadOpMismatch { .. } => 18,
+            VerifyError::SpuriousFusion { .. } => 19,
+            VerifyError::MissedFusion { .. } => 20,
+            VerifyError::TermMismatch { .. } => 21,
+        }
+    }
+}
+
+/// Sorts findings into emission order: program-level first, then by
+/// `(pc, kind, block)` with the rendered message as the final tiebreak —
+/// byte-identical output regardless of how the findings were collected.
+pub fn sort_errors(errs: &mut [VerifyError]) {
+    errs.sort_by(|a, b| {
+        let key = |e: &VerifyError| {
+            (
+                e.pc().map_or(0, |p| p.0),
+                e.rank(),
+                e.block().map_or(0, |b| b.0),
+            )
+        };
+        key(a)
+            .cmp(&key(b))
+            .then_with(|| a.to_string().cmp(&b.to_string()))
+    });
+}
+
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -413,6 +499,7 @@ pub fn verify_program(program: &Program) -> Result<(), Vec<VerifyError>> {
     if errs.is_empty() {
         Ok(())
     } else {
+        sort_errors(&mut errs);
         Err(errs)
     }
 }
@@ -733,6 +820,7 @@ pub fn verify_decoded(program: &Program, cache: &DecodedCache) -> Result<(), Vec
     if errs.is_empty() {
         Ok(())
     } else {
+        sort_errors(&mut errs);
         Err(errs)
     }
 }
@@ -932,6 +1020,45 @@ mod tests {
         let p = tiny();
         let cache = DecodedCache::lower(&p);
         assert_eq!(verify_decoded(&p, &cache), Ok(()));
+    }
+
+    #[test]
+    fn findings_emit_in_stable_pc_kind_order() {
+        let mut p = tiny();
+        // Three findings at mixed positions, pushed by unrelated checks:
+        // a dangling target (no pc), an undeclared absolute load and an
+        // illegal scale on a *later* pc of an *earlier* block.
+        p.blocks[2].terminator = Terminator::Jmp(BlockId(99));
+        p.blocks[1].insns[0] = Insn::Load {
+            dst: Reg::EAX,
+            mem: MemRef::absolute(0xdead_0000),
+            width: Width::W8,
+        };
+        p.blocks[1].insns[1] = Insn::Load {
+            dst: Reg::EAX,
+            mem: MemRef {
+                base: Some(Reg::ESI),
+                index: Some((Reg::ECX, 3)),
+                disp: 0,
+            },
+            width: Width::W8,
+        };
+        let errs = verify_program(&p).unwrap_err();
+        let again = verify_program(&p).unwrap_err();
+        assert_eq!(errs, again, "verifier output must be run-to-run identical");
+        assert_eq!(errs.len(), 3);
+        // Pc-less findings lead; localized ones follow in pc order.
+        assert!(matches!(errs[0], VerifyError::DanglingTarget { .. }));
+        assert!(matches!(errs[1], VerifyError::UndeclaredRegion { .. }));
+        assert!(matches!(errs[2], VerifyError::BadScale { .. }));
+        assert!(errs[1].pc().unwrap() < errs[2].pc().unwrap());
+        let keys: Vec<_> = errs
+            .iter()
+            .map(|e| (e.pc().map_or(0, |p| p.0), e.block()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 
     #[test]

@@ -12,8 +12,8 @@ fn main() {
     let mut harness = Harness::new("fig4", scale);
     let (rows, stats) = prefetch_cells(
         scale,
-        Platform::k7(),
-        sampled_config(scale),
+        &Platform::k7(),
+        &sampled_config(scale),
         false,
         harness.jobs(),
     );

@@ -13,8 +13,8 @@ fn main() {
     let mut harness = Harness::new("fig6", scale);
     let (rows, stats) = prefetch_cells(
         scale,
-        Platform::pentium4(),
-        sampled_config(scale),
+        &Platform::pentium4(),
+        &sampled_config(scale),
         true,
         harness.jobs(),
     );

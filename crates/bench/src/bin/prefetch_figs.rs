@@ -35,16 +35,16 @@ fn main() {
     // pass feeds only Figure 4, so it skips them.
     let (p4, p4_stats) = prefetch_cells(
         scale,
-        Platform::pentium4(),
-        sampled_config(scale),
+        &Platform::pentium4(),
+        &sampled_config(scale),
         true,
         harness.jobs(),
     );
     harness.absorb(p4_stats);
     let (k7, k7_stats) = prefetch_cells(
         scale,
-        Platform::k7(),
-        sampled_config(scale),
+        &Platform::k7(),
+        &sampled_config(scale),
         false,
         harness.jobs(),
     );

@@ -1,0 +1,404 @@
+//! `umi_lint`: the static CI gate — delinquent-load prediction, IR
+//! lints, and prefetch-plan verification over all 32 workloads *and*
+//! their prefetch-rewritten variants.
+//!
+//! Per workload the gate runs four static passes:
+//!
+//! 1. the IR verifier ([`umi_analyze::verify`]) on the original program
+//!    (a rejection is a build bug and aborts the harness);
+//! 2. the lint suite ([`umi_analyze::lint_program`]) on the original;
+//! 3. the static cache-behavior model
+//!    ([`umi_analyze::predict_program`]) against the profiler's
+//!    effective logical-cache geometry, scored for agreement against the
+//!    *dynamic* delinquency labels of a full UMI run;
+//! 4. the prefetch pipeline (`PrefetchPlan::from_report` →
+//!    [`inject_prefetches`]) followed by verifier + lints + the plan
+//!    checker ([`check_rewritten`]) on the rewritten program.
+//!
+//! Stdout is the agreement table plus every diagnostic, byte-stable at a
+//! fixed scale (diffed against `results/golden/umi_lint.txt` by
+//! `scripts/smoke.sh`). A machine-readable copy lands in
+//! `results/umi_lint.json`. The process exits non-zero on any
+//! Error-severity diagnostic or when static-vs-dynamic agreement drops
+//! below the 70% bar, so CI can gate on it directly.
+
+use umi_analyze::{
+    lint_program, predict_program, render_errors, verify, CacheGeometry, Delinquency, Severity,
+};
+use umi_bench::engine::{Cell, Harness};
+use umi_bench::scale_from_env;
+use umi_core::{DynamicDelinquency, UmiConfig, UmiRuntime};
+use umi_prefetch::{check_rewritten, inject_prefetches, PrefetchPlan};
+use umi_vm::NullSink;
+use umi_workloads::{all32, Scale};
+
+/// Prefetch distance (in references ahead) used for the rewrite under
+/// test — the mid-range setting of the paper's Figure 4 sweep.
+const DISTANCE_REFS: i64 = 32;
+
+/// Minimum static-vs-dynamic delinquency agreement (both sides definite)
+/// the gate accepts, in percent.
+const AGREEMENT_BAR: f64 = 70.0;
+
+/// One recorded diagnostic: which program variant it was found in
+/// (`orig` or `rw`), its severity, and its rendered form.
+struct Finding {
+    variant: &'static str,
+    severity: Severity,
+    /// Structured fields for the JSON report.
+    pc: Option<u64>,
+    kind: &'static str,
+    message: String,
+    /// Full display line for stdout.
+    rendered: String,
+}
+
+/// Per-workload gate results.
+#[derive(Default)]
+struct Row {
+    /// Unfiltered static loads (the population the delinquency model
+    /// predicts over).
+    loads: usize,
+    /// Static verdicts.
+    s_hot: usize,
+    s_cold: usize,
+    s_unknown: usize,
+    /// Dynamic labels over the same loads.
+    d_hot: usize,
+    d_cold: usize,
+    /// Both sides definite and matching / clashing.
+    agree: usize,
+    disagree: usize,
+    /// Prefetch hints planted by the rewrite.
+    hints: usize,
+    /// All diagnostics, already stably ordered per pass.
+    findings: Vec<Finding>,
+}
+
+impl Row {
+    fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+}
+
+/// Whether a static and a dynamic delinquency verdict match. Only called
+/// when both sides are definite.
+fn agrees(s: Delinquency, d: DynamicDelinquency) -> bool {
+    matches!(
+        (s, d),
+        (Delinquency::PredictHot, DynamicDelinquency::Hot)
+            | (Delinquency::PredictCold, DynamicDelinquency::Cold)
+    )
+}
+
+/// Runs the four static passes plus the dynamic cross-check for one
+/// workload. Pure function of the (program, scale) pair.
+fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
+    if let Err(errs) = verify(program) {
+        panic!(
+            "{name}: verifier rejected the original program:\n{}",
+            render_errors(&errs)
+        );
+    }
+
+    let config = UmiConfig::no_sampling();
+    let floor = config.delinquency_floor;
+    let sim = config.effective_sim_cache();
+    let geom = CacheGeometry {
+        sets: sim.sets,
+        ways: sim.ways,
+        line_size: sim.line_size,
+    };
+
+    let mut row = Row::default();
+    for lint in lint_program(program) {
+        row.findings.push(Finding {
+            variant: "orig",
+            severity: lint.severity,
+            pc: Some(lint.pc.0),
+            kind: lint.kind.name(),
+            message: lint.message.clone(),
+            rendered: lint.to_string(),
+        });
+    }
+
+    let preds = predict_program(program, &geom, floor);
+
+    let mut umi = UmiRuntime::new(program, config);
+    let report = umi.run(&mut NullSink, u64::MAX);
+    let insns = report.vm_stats.insns;
+
+    // Static verdict vs dynamic label, loads only (UMI's delinquency
+    // machinery tracks loads; stores never enter the predicted set).
+    for p in preds.iter().filter(|p| !p.sref.filtered && !p.sref.is_store) {
+        row.loads += 1;
+        match p.verdict {
+            Delinquency::PredictHot => row.s_hot += 1,
+            Delinquency::PredictCold => row.s_cold += 1,
+            Delinquency::Unknown => row.s_unknown += 1,
+        }
+        let dynamic = report.delinquency_label(p.sref.pc);
+        match dynamic {
+            DynamicDelinquency::Hot => row.d_hot += 1,
+            DynamicDelinquency::Cold => row.d_cold += 1,
+            DynamicDelinquency::Unprofiled => {}
+        }
+        if p.verdict != Delinquency::Unknown && dynamic != DynamicDelinquency::Unprofiled {
+            if agrees(p.verdict, dynamic) {
+                row.agree += 1;
+            } else {
+                row.disagree += 1;
+            }
+        }
+    }
+
+    // The prefetch-rewritten variant: plan from the dynamic report,
+    // inject, then re-verify, re-lint, and check the plan.
+    let plan = PrefetchPlan::from_report(&report, DISTANCE_REFS);
+    row.hints = plan.len();
+    let rewritten = inject_prefetches(program, &plan);
+    if let Err(errs) = verify(&rewritten) {
+        for e in &errs {
+            row.findings.push(Finding {
+                variant: "rw",
+                severity: Severity::Error,
+                pc: e.pc().map(|pc| pc.0),
+                kind: "verifier",
+                message: e.to_string(),
+                rendered: format!("[error] verifier: {e}"),
+            });
+        }
+    }
+    for lint in lint_program(&rewritten) {
+        row.findings.push(Finding {
+            variant: "rw",
+            severity: lint.severity,
+            pc: Some(lint.pc.0),
+            kind: lint.kind.name(),
+            message: lint.message.clone(),
+            rendered: lint.to_string(),
+        });
+    }
+    for diag in check_rewritten(&rewritten, &geom, floor) {
+        row.findings.push(Finding {
+            variant: "rw",
+            severity: diag.severity(),
+            pc: Some(diag.pc.0),
+            kind: diag.kind.name(),
+            message: diag.message.clone(),
+            rendered: diag.to_string(),
+        });
+    }
+
+    (row, insns)
+}
+
+/// Minimal JSON string escaping for the hand-rolled report (the crate
+/// has no JSON dependency — see `umi_bench::report`).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the full gate result as `results/umi_lint.json`.
+/// Best-effort: a read-only checkout must not turn into a gate failure.
+fn write_json(scale: Scale, rows: &[(String, Row)], agree: usize, both: usize, errors: usize) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::Bench => "bench",
+    };
+    out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+    out.push_str(&format!(
+        "  \"agreement\": {{\"agree\": {agree}, \"both_definite\": {both}, \"percent\": {:.1}}},\n",
+        if both > 0 {
+            100.0 * agree as f64 / both as f64
+        } else {
+            0.0
+        }
+    ));
+    out.push_str(&format!("  \"error_findings\": {errors},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, (name, row)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(name)));
+        out.push_str(&format!("      \"loads\": {},\n", row.loads));
+        out.push_str(&format!(
+            "      \"static\": {{\"hot\": {}, \"cold\": {}, \"unknown\": {}}},\n",
+            row.s_hot, row.s_cold, row.s_unknown
+        ));
+        out.push_str(&format!(
+            "      \"dynamic\": {{\"hot\": {}, \"cold\": {}}},\n",
+            row.d_hot, row.d_cold
+        ));
+        out.push_str(&format!(
+            "      \"agree\": {}, \"disagree\": {}, \"hints\": {},\n",
+            row.agree, row.disagree, row.hints
+        ));
+        out.push_str("      \"diagnostics\": [");
+        for (j, f) in row.findings.iter().enumerate() {
+            let comma = if j + 1 < row.findings.len() { "," } else { "" };
+            let pc = f.pc.map_or("null".to_string(), |pc| format!("\"{pc:#x}\""));
+            out.push_str(&format!(
+                "\n        {{\"program\": \"{}\", \"pc\": {pc}, \"severity\": \"{}\", \"kind\": \"{}\", \"message\": \"{}\"}}{comma}",
+                if f.variant == "rw" { "rewritten" } else { "original" },
+                f.severity,
+                f.kind,
+                json_escape(&f.message)
+            ));
+        }
+        if row.findings.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n      ]\n");
+        }
+        out.push_str(&format!("    }}{comma}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    let path = std::path::Path::new("results").join("umi_lint.json");
+    let write = std::fs::create_dir_all("results").and_then(|()| std::fs::write(&path, out));
+    if let Err(e) = write {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let mut harness = Harness::new("umi_lint", scale);
+    let rows: Vec<Row> = harness.run(&all32(), |spec| {
+        let program = spec.build(scale);
+        let (row, insns) = gate_workload(&program, spec.name);
+        Cell {
+            label: spec.name.to_string(),
+            insns,
+            value: row,
+        }
+    });
+
+    println!("umi-lint: static delinquency model, IR lints, prefetch-plan verification");
+    println!(
+        "{:<14} {:>5} {:>5} {:>6} {:>5} {:>5} {:>6} {:>5} {:>6} {:>5} {:>4} {:>3}",
+        "benchmark",
+        "loads",
+        "s-hot",
+        "s-cold",
+        "s-unk",
+        "d-hot",
+        "d-cold",
+        "agree",
+        "disagr",
+        "hints",
+        "warn",
+        "err"
+    );
+    let named: Vec<(String, Row)> = all32()
+        .iter()
+        .map(|s| s.name.to_string())
+        .zip(rows)
+        .collect();
+    let mut total = Row::default();
+    let mut warnings = 0usize;
+    let mut errors = 0usize;
+    for (name, row) in &named {
+        println!(
+            "{:<14} {:>5} {:>5} {:>6} {:>5} {:>5} {:>6} {:>5} {:>6} {:>5} {:>4} {:>3}",
+            name,
+            row.loads,
+            row.s_hot,
+            row.s_cold,
+            row.s_unknown,
+            row.d_hot,
+            row.d_cold,
+            row.agree,
+            row.disagree,
+            row.hints,
+            row.warnings(),
+            row.errors(),
+        );
+        total.loads += row.loads;
+        total.s_hot += row.s_hot;
+        total.s_cold += row.s_cold;
+        total.s_unknown += row.s_unknown;
+        total.d_hot += row.d_hot;
+        total.d_cold += row.d_cold;
+        total.agree += row.agree;
+        total.disagree += row.disagree;
+        total.hints += row.hints;
+        warnings += row.warnings();
+        errors += row.errors();
+    }
+    println!(
+        "{:<14} {:>5} {:>5} {:>6} {:>5} {:>5} {:>6} {:>5} {:>6} {:>5} {:>4} {:>3}",
+        "total",
+        total.loads,
+        total.s_hot,
+        total.s_cold,
+        total.s_unknown,
+        total.d_hot,
+        total.d_cold,
+        total.agree,
+        total.disagree,
+        total.hints,
+        warnings,
+        errors,
+    );
+
+    let both = total.agree + total.disagree;
+    let pct = if both > 0 {
+        100.0 * total.agree as f64 / both as f64
+    } else {
+        0.0
+    };
+    println!("\nstatic-vs-dynamic delinquency agreement where both sides are definite: {}/{both} ({pct:.1}%)", total.agree);
+
+    println!("\ndiagnostics (stable order: workload, then pass, then pc/kind):");
+    let mut any = false;
+    for (name, row) in &named {
+        if row.findings.is_empty() {
+            continue;
+        }
+        any = true;
+        println!("  {name}:");
+        for f in &row.findings {
+            println!("    [{}] {}", f.variant, f.rendered);
+        }
+    }
+    if !any {
+        println!("  (none)");
+    }
+
+    write_json(scale, &named, total.agree, both, errors);
+
+    let agreement_ok = both == 0 || pct >= AGREEMENT_BAR;
+    if errors == 0 && agreement_ok {
+        println!("\numi-lint: PASS ({warnings} warnings, 0 errors, agreement bar {AGREEMENT_BAR:.0}%)");
+        harness.finish();
+    } else {
+        println!(
+            "\numi-lint: FAIL ({errors} error-severity findings, agreement {pct:.1}% vs bar {AGREEMENT_BAR:.0}%)"
+        );
+        harness.finish();
+        std::process::exit(1);
+    }
+}

@@ -111,8 +111,8 @@ fn study_cell(
 /// only the prefetch-off measurements (all Figures 3/4 need).
 pub fn prefetch_cells(
     scale: Scale,
-    platform: Platform,
-    config: UmiConfig,
+    platform: &Platform,
+    config: &UmiConfig,
     hw_variants: bool,
     jobs: usize,
 ) -> (Vec<PrefetchRow>, Vec<CellStat>) {
@@ -124,20 +124,20 @@ pub fn prefetch_cells(
 pub fn prefetch_cells_for(
     specs: &[WorkloadSpec],
     scale: Scale,
-    platform: Platform,
-    config: UmiConfig,
+    platform: &Platform,
+    config: &UmiConfig,
     hw_variants: bool,
     jobs: usize,
 ) -> (Vec<PrefetchRow>, Vec<CellStat>) {
     let (rows, stats) = run_cells(jobs, specs, |spec| {
-        study_cell(spec, scale, &platform, &config, hw_variants)
+        study_cell(spec, scale, platform, config, hw_variants)
     });
     (rows.into_iter().flatten().collect(), stats)
 }
 
 /// [`prefetch_cells`] with the full measurement set and the `UMI_JOBS`
 /// worker count — the drop-in equivalent of the old sequential study.
-pub fn prefetch_study(scale: Scale, platform: Platform, config: UmiConfig) -> Vec<PrefetchRow> {
+pub fn prefetch_study(scale: Scale, platform: &Platform, config: &UmiConfig) -> Vec<PrefetchRow> {
     let jobs = crate::engine::jobs_from_env();
     prefetch_cells(scale, platform, config, true, jobs).0
 }

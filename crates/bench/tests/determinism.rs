@@ -25,8 +25,8 @@ fn prefetch_study_rows_identical_across_job_counts() {
         prefetch_cells_for(
             &specs,
             Scale::Test,
-            Platform::pentium4(),
-            sampled_config(Scale::Test),
+            &Platform::pentium4(),
+            &sampled_config(Scale::Test),
             true,
             jobs,
         )
@@ -51,8 +51,8 @@ fn prefetch_stats_keep_workload_order() {
         prefetch_cells_for(
             &specs,
             Scale::Test,
-            Platform::k7(),
-            sampled_config(Scale::Test),
+            &Platform::k7(),
+            &sampled_config(Scale::Test),
             false,
             jobs,
         )

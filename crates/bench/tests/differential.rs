@@ -5,8 +5,14 @@
 //! and the same dynamic access stream, access by access, on every
 //! workload of the main evaluation suite. The legacy engine is retained
 //! precisely so this equivalence stays checkable.
+//!
+//! The prefetch rewrite path is gated the same way: every *rewritten*
+//! program (post-`umi-prefetch` injection) must clear the full IR
+//! verifier, just as the originals do, so a rewrite bug can never hide
+//! behind the dynamic harnesses.
 
-use umi_analyze::{render_errors, verify};
+use umi_analyze::{classify_program, render_errors, verify, StaticClass};
+use umi_prefetch::{inject_prefetches, PlanEntry, PrefetchPlan};
 use umi_vm::{CollectSink, Vm};
 use umi_workloads::{all32, Scale};
 
@@ -63,4 +69,54 @@ fn decoded_engine_matches_tree_walk_on_all_workloads() {
             );
         }
     }
+}
+
+/// Every rewritten program must clear the IR verifier (program *and*
+/// decoded lowering), exactly as the originals are gated above.
+///
+/// The plan is synthesized from the static classification rather than a
+/// UMI run: every unfiltered constant-stride load gets a hint at 32
+/// references of distance. That plants strictly more hints than the
+/// dynamic planner ever would (its predicted set is a subset of the
+/// strided loads), so this exercises the rewriter harder than the
+/// production pipeline does, on all 32 workloads, without the cost of 32
+/// profiling runs in a debug-profile test.
+#[test]
+fn rewritten_programs_clear_the_verifier_on_all_workloads() {
+    const DISTANCE_REFS: i64 = 32;
+    let mut rewritten_any = false;
+    for spec in all32() {
+        let program = spec.build(Scale::Test);
+        let entries: Vec<_> = classify_program(&program)
+            .into_iter()
+            .filter(|r| !r.is_store && !r.filtered)
+            .filter_map(|r| match r.class {
+                StaticClass::ConstantStride(s) => Some((
+                    r.pc,
+                    PlanEntry {
+                        stride: s,
+                        distance_bytes: s.saturating_mul(DISTANCE_REFS),
+                    },
+                )),
+                _ => None,
+            })
+            .collect();
+        if entries.is_empty() {
+            continue;
+        }
+        rewritten_any = true;
+        let plan = PrefetchPlan::from_entries(entries);
+        let rewritten = inject_prefetches(&program, &plan);
+        if let Err(errs) = verify(&rewritten) {
+            panic!(
+                "{}: verifier rejected the prefetch-rewritten program:\n{}",
+                spec.name,
+                render_errors(&errs)
+            );
+        }
+    }
+    assert!(
+        rewritten_any,
+        "the suite must contain at least one statically strided load"
+    );
 }

@@ -2,6 +2,35 @@
 
 use std::fmt;
 
+/// Virtual page size in bytes. A software prefetch that stays within one
+/// page of its guarded load can never fault on a different page than the
+/// demand access itself; the prefetch planner clamps distances to this,
+/// and the static plan verifier rejects anything beyond it.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Minimum useful prefetch distance in bytes: two cache lines. Anything
+/// shorter prefetches the line the demand access is about to touch
+/// anyway (a byte-stride copy would prefetch its own line).
+pub const MIN_PREFETCH_DISTANCE_BYTES: u64 = 128;
+
+// === Timing of the paper's evaluation machines (§6) ===
+//
+// These live here, next to the geometries below, so the hardware model
+// (`umi-hw`) and the static analyses (`umi-analyze`, the prefetch-plan
+// verifier) reason from one set of constants.
+
+/// Pentium 4: extra stall cycles for an L1-miss/L2-hit reference.
+pub const PENTIUM4_L2_HIT_CYCLES: u64 = 18;
+
+/// Pentium 4: extra stall cycles for a reference served from memory.
+pub const PENTIUM4_MEMORY_CYCLES: u64 = 250;
+
+/// AMD K7: extra stall cycles for an L1-miss/L2-hit reference.
+pub const K7_L2_HIT_CYCLES: u64 = 12;
+
+/// AMD K7: extra stall cycles for a reference served from memory.
+pub const K7_MEMORY_CYCLES: u64 = 130;
+
 /// Replacement policy for a [`SetAssocCache`](crate::SetAssocCache).
 ///
 /// The paper's mini-simulator "implements an LRU replacement policy

@@ -36,7 +36,10 @@ mod per_insn;
 mod set_assoc;
 mod stats;
 
-pub use config::{CacheConfig, ReplacementPolicy};
+pub use config::{
+    CacheConfig, ReplacementPolicy, K7_L2_HIT_CYCLES, K7_MEMORY_CYCLES,
+    MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES, PENTIUM4_L2_HIT_CYCLES, PENTIUM4_MEMORY_CYCLES,
+};
 pub use delinquent::{delinquent_set, DelinquentSet};
 pub use full_sim::FullSimulator;
 pub use hierarchy::{Hierarchy, HitLevel};

@@ -82,7 +82,7 @@ pub use metrics::{pearson, PredictionQuality};
 pub use minisim::MiniSimulator;
 pub use patterns::{classify, classify_default, working_set, PatternTally, RefPattern, WorkingSet};
 pub use profiles::{AddressProfile, ProfileStore, TriggerReason};
-pub use report::UmiReport;
+pub use report::{DynamicDelinquency, UmiReport};
 pub use runtime::UmiRuntime;
 pub use selector::RegionSelector;
 pub use stride::{detect_stride, StrideInfo};

@@ -58,7 +58,46 @@ pub struct UmiReport {
     pub dbi_stats: DbiStats,
 }
 
+/// The dynamic delinquency label UMI's run assigned one operation —
+/// the ground truth the static `umi_lint` verdicts are scored against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DynamicDelinquency {
+    /// In the predicted delinquent set `P`.
+    Hot,
+    /// Profiled as a load (mini-simulated at least once) but never
+    /// predicted delinquent.
+    Cold,
+    /// Never mini-simulated as a load: sampled out, filtered, or below
+    /// the frequency threshold — the dynamic side has no opinion.
+    Unprofiled,
+}
+
+impl DynamicDelinquency {
+    /// Short stable label used in reports and goldens.
+    pub fn label(self) -> &'static str {
+        match self {
+            DynamicDelinquency::Hot => "hot",
+            DynamicDelinquency::Cold => "cold",
+            DynamicDelinquency::Unprofiled => "unprofiled",
+        }
+    }
+}
+
 impl UmiReport {
+    /// The dynamic delinquency label for the operation at `pc`.
+    ///
+    /// A method rather than a stored field: it is a pure function of the
+    /// prediction set and the per-pc profile already in the report.
+    pub fn delinquency_label(&self, pc: Pc) -> DynamicDelinquency {
+        if self.predicted.contains(&pc) {
+            DynamicDelinquency::Hot
+        } else if self.per_pc.get(pc).load_accesses > 0 {
+            DynamicDelinquency::Cold
+        } else {
+            DynamicDelinquency::Unprofiled
+        }
+    }
+
     /// "% Profiled" of Table 3: profiled operations over the program's
     /// static memory instructions.
     pub fn percent_profiled(&self) -> f64 {
@@ -108,6 +147,23 @@ mod tests {
         let r = blank();
         assert!((r.percent_profiled() - 25.0).abs() < 1e-12);
         assert_eq!(r.total_overhead_cycles(), 15);
+    }
+
+    #[test]
+    fn delinquency_labels_partition_hot_cold_unprofiled() {
+        let mut r = blank();
+        r.predicted.insert(Pc(0x40_0000));
+        for _ in 0..10 {
+            r.per_pc.record_load(Pc(0x40_0000), true);
+            r.per_pc.record_load(Pc(0x40_0004), false);
+        }
+        assert_eq!(r.delinquency_label(Pc(0x40_0000)), DynamicDelinquency::Hot);
+        assert_eq!(r.delinquency_label(Pc(0x40_0004)), DynamicDelinquency::Cold);
+        assert_eq!(
+            r.delinquency_label(Pc(0x40_0008)),
+            DynamicDelinquency::Unprofiled
+        );
+        assert_eq!(DynamicDelinquency::Hot.label(), "hot");
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Platform descriptions: cache geometry and timing.
 
-use umi_cache::CacheConfig;
+use umi_cache::{
+    CacheConfig, K7_L2_HIT_CYCLES, K7_MEMORY_CYCLES, PENTIUM4_L2_HIT_CYCLES,
+    PENTIUM4_MEMORY_CYCLES,
+};
 
 /// A simulated evaluation platform (paper §6, "Experimental Methodology").
 ///
@@ -37,8 +40,8 @@ impl Platform {
             name: "Pentium 4",
             l1: CacheConfig::pentium4_l1d(),
             l2: CacheConfig::pentium4_l2(),
-            l2_hit_cycles: 18,
-            memory_cycles: 250,
+            l2_hit_cycles: PENTIUM4_L2_HIT_CYCLES,
+            memory_cycles: PENTIUM4_MEMORY_CYCLES,
             clock_mhz: 3060,
             has_hw_prefetch: true,
         }
@@ -51,8 +54,8 @@ impl Platform {
             name: "AMD K7",
             l1: CacheConfig::k7_l1d(),
             l2: CacheConfig::k7_l2(),
-            l2_hit_cycles: 12,
-            memory_cycles: 130,
+            l2_hit_cycles: K7_L2_HIT_CYCLES,
+            memory_cycles: K7_MEMORY_CYCLES,
             clock_mhz: 1200,
             has_hw_prefetch: false,
         }

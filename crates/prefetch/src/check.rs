@@ -1,0 +1,489 @@
+//! Static verification of prefetch-rewritten programs.
+//!
+//! [`inject_prefetches`](crate::inject_prefetches) plants hints derived
+//! from *dynamic* stride profiles; this checker proves, per inserted
+//! prefetch, that the rewrite could not have gone wrong in any of the
+//! ways a prefetcher classically does:
+//!
+//! * **UnsafePrefetch** (error) — the hint does not guard any following
+//!   load of the same address expression, or reaches more than a page
+//!   past it. A same-expression, same-page hint can only touch pages the
+//!   demand access itself is about to touch, so it can never fault where
+//!   the program would not.
+//! * **StrideMismatch** (error) — the static affine classifier *knows*
+//!   the guarded load's stride and the hint contradicts it: wrong
+//!   direction, a distance under the planner's two-line minimum, or a
+//!   prefetch for a provably stationary (loop-invariant) address.
+//!   Statically irregular loads are exempt: resolving those with runtime
+//!   profiles is exactly UMI's value (paper §7), and the checker only
+//!   reports contradictions it can prove.
+//! * **RedundantPrefetch** (error) — two hints in one innermost loop
+//!   cover the same address expression within one cache line; the second
+//!   can only waste bandwidth.
+//! * **MissedCandidate** (warning) — a load the static model predicts
+//!   delinquent ([`Delinquency::PredictHot`]) with a known stride has no
+//!   covering hint in its loop. A warning, not an error: the dynamic
+//!   profiler may have (correctly) measured the load cold.
+//!
+//! Diagnostics are stably ordered by `(pc, kind, block)`, like the
+//! `umi-analyze` lint suite they feed into the `umi_lint` CI gate with.
+
+use std::fmt;
+use umi_analyze::{predict_program, CacheGeometry, Delinquency, Severity, StaticClass};
+use umi_cache::{MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES};
+use umi_ir::{BlockId, Insn, MemRef, Pc, Program, Reg};
+
+/// The kinds of prefetch-plan finding, in report order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CheckKind {
+    /// A hint that guards no load or reaches past the page guarantee.
+    UnsafePrefetch,
+    /// A hint contradicting the provable stride of its guarded load.
+    StrideMismatch,
+    /// A hint already covered by an earlier hint in the same loop.
+    RedundantPrefetch,
+    /// A predicted-hot strided load left without any hint.
+    MissedCandidate,
+}
+
+impl CheckKind {
+    /// Short stable name used in reports and goldens.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::UnsafePrefetch => "unsafe-prefetch",
+            CheckKind::StrideMismatch => "stride-mismatch",
+            CheckKind::RedundantPrefetch => "redundant-prefetch",
+            CheckKind::MissedCandidate => "missed-candidate",
+        }
+    }
+
+    /// The severity this kind always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            CheckKind::MissedCandidate => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One prefetch-plan finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanDiagnostic {
+    /// Address of the offending prefetch (or uncovered load).
+    pub pc: Pc,
+    /// The owning block.
+    pub block: BlockId,
+    /// What was found.
+    pub kind: CheckKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl PlanDiagnostic {
+    /// The severity of this finding (fixed per kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+}
+
+impl fmt::Display for PlanDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:#x} [{}] {}: {} ({})",
+            self.pc.0,
+            self.severity(),
+            self.kind.name(),
+            self.message,
+            self.block
+        )
+    }
+}
+
+/// The address *expression* of a reference — everything but the
+/// displacement. Two refs with equal shape walk memory in lockstep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct ExprShape {
+    base: Option<Reg>,
+    index: Option<(Reg, u8)>,
+}
+
+impl ExprShape {
+    fn of(m: &MemRef) -> ExprShape {
+        ExprShape {
+            base: m.base,
+            index: m.index,
+        }
+    }
+}
+
+/// Checks every prefetch hint of a (typically rewritten) `program`
+/// against the static affine/cache model.
+///
+/// `geom` is the cache geometry the delinquency predictions are scored
+/// against and `hot_miss_floor` the dynamic threshold floor they assume —
+/// pass the same values as `umi_analyze::predict_program`.
+///
+/// The result is sorted by `(pc, kind, block)` and deterministic.
+pub fn check_rewritten(
+    program: &Program,
+    geom: &CacheGeometry,
+    hot_miss_floor: f64,
+) -> Vec<PlanDiagnostic> {
+    let preds = predict_program(program, geom, hot_miss_floor);
+    let mut out = Vec::new();
+
+    // Classification and loop id per load pc (loads only: hints guard
+    // loads). `classify_program` orders loads before stores at one pc.
+    let class_of = |pc: Pc| {
+        preds
+            .iter()
+            .find(|p| p.sref.pc == pc && !p.sref.is_store)
+            .map(|p| p.sref.class)
+    };
+
+    // Hints grouped per innermost loop for the redundancy / coverage
+    // checks. Blocks outside any loop group per block: a straight-line
+    // duplicate pair is just as redundant.
+    let cfg = umi_analyze::Cfg::build(program);
+    let funcs = umi_analyze::analyze_program(program, &cfg);
+    let innermost = umi_analyze::innermost_loop_map(program.blocks.len(), &funcs);
+    let group_of = |block: BlockId| {
+        innermost[block.index()].map_or((usize::MAX, block.index()), |(f, l)| (f, l))
+    };
+
+    // (group, shape) -> first hint seen, in pc order.
+    let mut seen: Vec<((usize, usize), ExprShape, Pc, i64)> = Vec::new();
+
+    for block in &program.blocks {
+        for (i, (pc, insn)) in block.iter_with_pc().enumerate() {
+            let Insn::Prefetch { mem } = insn else {
+                continue;
+            };
+
+            // The guarded load: the first following instruction in the
+            // block with an unfiltered load of the same expression shape.
+            let guarded = block.insns[i + 1..].iter().enumerate().find_map(|(j, g)| {
+                g.loads()
+                    .into_iter()
+                    .map(|(m, _)| m)
+                    .find(|m| !m.is_filtered() && ExprShape::of(m) == ExprShape::of(mem))
+                    .map(|m| (block.insn_pc(i + 1 + j), m))
+            });
+            let Some((load_pc, load_mem)) = guarded else {
+                out.push(PlanDiagnostic {
+                    pc,
+                    block: block.id,
+                    kind: CheckKind::UnsafePrefetch,
+                    message: format!("hint {mem} guards no following load of the same expression"),
+                });
+                continue;
+            };
+
+            let delta = mem.disp.wrapping_sub(load_mem.disp);
+            if delta.unsigned_abs() > PAGE_BYTES {
+                out.push(PlanDiagnostic {
+                    pc,
+                    block: block.id,
+                    kind: CheckKind::UnsafePrefetch,
+                    message: format!(
+                        "distance {delta} exceeds the {PAGE_BYTES}-byte page guarantee"
+                    ),
+                });
+            }
+
+            match class_of(load_pc) {
+                Some(StaticClass::ConstantStride(s)) => {
+                    if delta.signum() != s.signum() {
+                        out.push(PlanDiagnostic {
+                            pc,
+                            block: block.id,
+                            kind: CheckKind::StrideMismatch,
+                            message: format!(
+                                "distance {delta} runs against the provable stride {s}"
+                            ),
+                        });
+                    } else if delta.unsigned_abs() < MIN_PREFETCH_DISTANCE_BYTES {
+                        out.push(PlanDiagnostic {
+                            pc,
+                            block: block.id,
+                            kind: CheckKind::StrideMismatch,
+                            message: format!(
+                                "distance {delta} is under the {MIN_PREFETCH_DISTANCE_BYTES}-byte \
+                                 minimum"
+                            ),
+                        });
+                    }
+                }
+                Some(StaticClass::LoopInvariant) => {
+                    out.push(PlanDiagnostic {
+                        pc,
+                        block: block.id,
+                        kind: CheckKind::StrideMismatch,
+                        message: format!("guarded load {load_mem} is provably loop-invariant"),
+                    });
+                }
+                // Irregular / NotInLoop / unclassified: the hint rests on
+                // dynamic knowledge the static model cannot contradict.
+                _ => {}
+            }
+
+            // Redundancy: an earlier hint in the same loop covering the
+            // same expression within a line.
+            let group = group_of(block.id);
+            let shape = ExprShape::of(mem);
+            if let Some((_, _, first_pc, first_disp)) = seen
+                .iter()
+                .find(|(g, sh, _, _)| *g == group && *sh == shape)
+                .copied()
+            {
+                if mem.disp.wrapping_sub(first_disp).unsigned_abs() < geom.line_size {
+                    out.push(PlanDiagnostic {
+                        pc,
+                        block: block.id,
+                        kind: CheckKind::RedundantPrefetch,
+                        message: format!("hint {mem} duplicates the hint at {:#x}", first_pc.0),
+                    });
+                }
+            } else {
+                seen.push((group, shape, pc, mem.disp));
+            }
+        }
+    }
+
+    // Coverage: predicted-hot strided loads with no hint in their loop.
+    for p in &preds {
+        if p.sref.is_store
+            || p.sref.filtered
+            || p.verdict != Delinquency::PredictHot
+            || !matches!(p.sref.class, StaticClass::ConstantStride(_))
+        {
+            continue;
+        }
+        let group = group_of(p.sref.block);
+        let shape = ExprShape::of(&p.sref.mem);
+        let covered = seen
+            .iter()
+            .any(|(g, sh, _, _)| *g == group && *sh == shape);
+        if !covered {
+            out.push(PlanDiagnostic {
+                pc: p.sref.pc,
+                block: p.sref.block,
+                kind: CheckKind::MissedCandidate,
+                message: format!(
+                    "predicted-hot load {} (footprint {} bytes) has no covering hint",
+                    p.sref.mem,
+                    p.footprint.unwrap_or(0)
+                ),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| {
+        (a.pc, a.kind, a.block)
+            .cmp(&(b.pc, b.kind, b.block))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanEntry, PrefetchPlan};
+    use crate::rewrite::inject_prefetches;
+    use umi_ir::{ProgramBuilder, Width};
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry {
+            sets: 256,
+            ways: 8,
+            line_size: 64,
+        }
+    }
+
+    /// A hot streaming loop: load [esi]; esi += 64, 64K iterations.
+    fn hot_stream() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 64 * 65_537)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ESI, 64)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 65_536)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    fn load_pc(p: &Program) -> Pc {
+        p.blocks
+            .iter()
+            .flat_map(|b| b.iter_with_pc())
+            .find(|(_, i)| i.is_load())
+            .map(|(pc, _)| pc)
+            .expect("program has a load")
+    }
+
+    fn kinds(diags: &[PlanDiagnostic]) -> Vec<CheckKind> {
+        diags.iter().map(|d| d.kind).collect()
+    }
+
+    fn rewrite_with(p: &Program, stride: i64, distance: i64) -> Program {
+        let plan = PrefetchPlan::from_entries([(
+            load_pc(p),
+            PlanEntry {
+                stride,
+                distance_bytes: distance,
+            },
+        )]);
+        inject_prefetches(p, &plan)
+    }
+
+    #[test]
+    fn a_well_planned_rewrite_is_clean() {
+        let rewritten = rewrite_with(&hot_stream(), 64, 2048);
+        assert_eq!(check_rewritten(&rewritten, &geom(), 0.10), Vec::new());
+    }
+
+    #[test]
+    fn uncovered_hot_load_is_a_missed_candidate() {
+        let diags = check_rewritten(&hot_stream(), &geom(), 0.10);
+        assert_eq!(kinds(&diags), vec![CheckKind::MissedCandidate]);
+        assert_eq!(diags[0].severity(), Severity::Warning);
+        assert_eq!(diags[0].pc, load_pc(&hot_stream()));
+    }
+
+    #[test]
+    fn page_overreach_is_unsafe() {
+        let rewritten = rewrite_with(&hot_stream(), 64, PAGE_BYTES as i64 + 64);
+        let diags = check_rewritten(&rewritten, &geom(), 0.10);
+        assert_eq!(kinds(&diags), vec![CheckKind::UnsafePrefetch]);
+        assert_eq!(diags[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn orphan_hint_is_unsafe() {
+        // A hand-planted hint whose expression guards nothing: the only
+        // load uses ESI, the hint uses EDI.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .prefetch(Reg::EDI + 256)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .ret();
+        let _ = f;
+        let diags = check_rewritten(&pb.finish(), &geom(), 0.10);
+        assert_eq!(kinds(&diags), vec![CheckKind::UnsafePrefetch]);
+        assert!(diags[0].message.contains("guards no following load"));
+    }
+
+    #[test]
+    fn wrong_direction_is_a_stride_mismatch() {
+        // The loop walks forward by 64; the hint reaches backward.
+        let rewritten = rewrite_with(&hot_stream(), 64, -2048);
+        let diags = check_rewritten(&rewritten, &geom(), 0.10);
+        assert_eq!(kinds(&diags), vec![CheckKind::StrideMismatch]);
+        assert!(diags[0].message.contains("against the provable stride"));
+    }
+
+    #[test]
+    fn short_distance_is_a_stride_mismatch() {
+        let rewritten = rewrite_with(&hot_stream(), 64, 64);
+        let diags = check_rewritten(&rewritten, &geom(), 0.10);
+        assert_eq!(kinds(&diags), vec![CheckKind::StrideMismatch]);
+        assert!(diags[0].message.contains("minimum"));
+    }
+
+    #[test]
+    fn loop_invariant_target_is_a_stride_mismatch() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 4096)
+            .jmp(body);
+        pb.block(body)
+            .prefetch(Reg::ESI + 256)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 64)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let _ = f;
+        let diags = check_rewritten(&pb.finish(), &geom(), 0.10);
+        // The invariant load also trips the zero-stride IR lint, but this
+        // checker reports the plan side: a stationary prefetch target.
+        assert_eq!(kinds(&diags), vec![CheckKind::StrideMismatch]);
+        assert!(diags[0].message.contains("loop-invariant"));
+    }
+
+    #[test]
+    fn duplicate_hint_in_a_loop_is_redundant() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 64 * 65_537)
+            .jmp(body);
+        pb.block(body)
+            .prefetch(Reg::ESI + 2048)
+            .prefetch(Reg::ESI + 2080) // 32 bytes on: same line, same loop
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ESI, 64)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 65_536)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let _ = f;
+        let diags = check_rewritten(&pb.finish(), &geom(), 0.10);
+        assert_eq!(kinds(&diags), vec![CheckKind::RedundantPrefetch]);
+        assert_eq!(diags[0].severity(), Severity::Error);
+    }
+
+    #[test]
+    fn distinct_hints_a_line_apart_are_not_redundant() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 64 * 65_537)
+            .jmp(body);
+        pb.block(body)
+            .prefetch(Reg::ESI + 2048)
+            .prefetch(Reg::ESI + 2112) // a full line on: distinct target
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ESI, 64)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 65_536)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let _ = f;
+        assert_eq!(check_rewritten(&pb.finish(), &geom(), 0.10), Vec::new());
+    }
+
+    #[test]
+    fn diagnostics_are_deterministic_and_sorted() {
+        let rewritten = rewrite_with(&hot_stream(), 64, 64);
+        let a = check_rewritten(&rewritten, &geom(), 0.10);
+        let b = check_rewritten(&rewritten, &geom(), 0.10);
+        assert_eq!(a, b);
+        let keys: Vec<_> = a.iter().map(|d| (d.pc, d.kind, d.block)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

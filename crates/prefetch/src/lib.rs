@@ -22,9 +22,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod check;
 pub mod harness;
 mod plan;
 mod rewrite;
 
+pub use check::{check_rewritten, CheckKind, PlanDiagnostic};
 pub use plan::{PlanEntry, PrefetchPlan};
 pub use rewrite::inject_prefetches;

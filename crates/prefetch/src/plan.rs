@@ -1,6 +1,7 @@
 //! Prefetch planning from introspection results.
 
 use std::collections::HashMap;
+use umi_cache::{MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES};
 use umi_core::UmiReport;
 use umi_ir::Pc;
 
@@ -38,7 +39,9 @@ impl PrefetchPlan {
                     // ahead (a byte-stride copy would otherwise prefetch
                     // its own line), at most a page.
                     let raw = info.stride.saturating_mul(distance_refs);
-                    let magnitude = raw.unsigned_abs().clamp(128, 4096) as i64;
+                    let magnitude =
+                        raw.unsigned_abs()
+                            .clamp(MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES) as i64;
                     entries.insert(
                         *pc,
                         PlanEntry {

@@ -1,7 +1,13 @@
 //! Program rewriting: planting prefetch instructions.
 
 use crate::plan::PrefetchPlan;
+use umi_analyze::{analyze_program, innermost_loop_map, Cfg};
 use umi_ir::{BasicBlock, Insn, MemRef, Pc, Program, CODE_BASE};
+
+/// Coalescing radius for duplicate hints, in bytes. Both modeled
+/// platforms (Pentium 4 and K7 L2) use 64-byte lines, so two hints of
+/// the same address expression closer than this fetch the same line.
+const COALESCE_LINE_BYTES: i64 = 64;
 
 /// Rewrites `program`, inserting a `prefetch` instruction immediately
 /// before every load in the plan. The prefetch reuses the load's address
@@ -10,14 +16,33 @@ use umi_ir::{BasicBlock, Insn, MemRef, Pc, Program, CODE_BASE};
 /// prefetch requests" trace rewriting, applied at program granularity
 /// (see DESIGN.md).
 ///
+/// Hints are coalesced per innermost loop: when two planned loads share
+/// an address expression and their prefetch targets land within one
+/// cache line ([`COALESCE_LINE_BYTES`]), only the first is planted —
+/// the line arrives once either way, and the duplicate would be pure
+/// overhead (flagged by [`crate::check_rewritten`] as
+/// `RedundantPrefetch` if planted).
+///
 /// Instruction addresses are re-laid out; the returned program is
 /// self-consistent but its `Pc`s differ from the original's wherever
 /// instructions were inserted.
 pub fn inject_prefetches(program: &Program, plan: &PrefetchPlan) -> Program {
+    let cfg = Cfg::build(program);
+    let funcs = analyze_program(program, &cfg);
+    let innermost = innermost_loop_map(program.blocks.len(), &funcs);
+
     let mut blocks = Vec::with_capacity(program.blocks.len());
     let mut addr = CODE_BASE;
     let mut injected = 0usize;
+    /// One already-planted hint: its loop-or-block group plus the full
+    /// target expression. Program order makes the survivor deterministic.
+    struct Planted {
+        group: (usize, usize),
+        target: MemRef,
+    }
+    let mut planted: Vec<Planted> = Vec::new();
     for block in &program.blocks {
+        let group = innermost[block.id.index()].unwrap_or((usize::MAX, block.id.index()));
         let mut insns = Vec::with_capacity(block.insns.len());
         for (pc, insn) in block.iter_with_pc() {
             if let Some(entry) = plan.get(pc) {
@@ -26,8 +51,18 @@ pub fn inject_prefetches(program: &Program, plan: &PrefetchPlan) -> Program {
                         disp: mem.disp.wrapping_add(entry.distance_bytes),
                         ..mem
                     };
-                    insns.push(Insn::Prefetch { mem: target });
-                    injected += 1;
+                    let duplicate = planted.iter().any(|p| {
+                        p.group == group
+                            && p.target.base == target.base
+                            && p.target.index == target.index
+                            && target.disp.wrapping_sub(p.target.disp).unsigned_abs()
+                                < COALESCE_LINE_BYTES as u64
+                    });
+                    if !duplicate {
+                        planted.push(Planted { group, target });
+                        insns.push(Insn::Prefetch { mem: target });
+                        injected += 1;
+                    }
                 }
             }
             insns.push(insn.clone());
@@ -155,6 +190,96 @@ mod tests {
         let mut sink = CountSink::default();
         Vm::new(&rewritten).run(&mut sink, u64::MAX);
         assert_eq!(sink.prefetches, 1000, "one prefetch per iteration");
+    }
+
+    #[test]
+    fn same_line_hints_coalesce_within_a_loop() {
+        // Two planned loads off the same base, 8 bytes apart: their
+        // prefetch targets share a line, so only the first hint lands.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 1 << 16)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .load(Reg::EBX, Reg::ESI + 8, Width::W8)
+            .addi(Reg::ESI, 16)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 1000)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let _ = f;
+        let pcs: Vec<Pc> = p
+            .blocks
+            .iter()
+            .flat_map(|b| b.iter_with_pc())
+            .filter(|(_, i)| i.is_load())
+            .map(|(pc, _)| pc)
+            .collect();
+        let entry = PlanEntry {
+            stride: 16,
+            distance_bytes: 256,
+        };
+        let plan = PrefetchPlan::from_entries(pcs.iter().map(|&pc| (pc, entry)));
+        let rewritten = inject_prefetches(&p, &plan);
+        let prefetches: Vec<_> = rewritten
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .filter(|i| matches!(i, Insn::Prefetch { .. }))
+            .collect();
+        assert_eq!(prefetches.len(), 1, "second same-line hint coalesces");
+        match prefetches[0] {
+            Insn::Prefetch { mem } => assert_eq!(mem.disp, 256),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn far_apart_hints_both_survive() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 1 << 16)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .load(Reg::EBX, Reg::ESI + 4096, Width::W8)
+            .addi(Reg::ESI, 16)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 1000)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        let _ = f;
+        let pcs: Vec<Pc> = p
+            .blocks
+            .iter()
+            .flat_map(|b| b.iter_with_pc())
+            .filter(|(_, i)| i.is_load())
+            .map(|(pc, _)| pc)
+            .collect();
+        let entry = PlanEntry {
+            stride: 16,
+            distance_bytes: 256,
+        };
+        let plan = PrefetchPlan::from_entries(pcs.iter().map(|&pc| (pc, entry)));
+        let rewritten = inject_prefetches(&p, &plan);
+        let prefetches = rewritten
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insns)
+            .filter(|i| matches!(i, Insn::Prefetch { .. }))
+            .count();
+        assert_eq!(prefetches, 2, "distinct-line hints both land");
     }
 
     #[test]

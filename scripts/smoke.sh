@@ -1,8 +1,13 @@
 #!/bin/sh
-# Smoke test: build + tier-1 tests, then run four representative
+# Smoke test: build + tier-1 tests, then run five representative
 # harnesses at CI scale and require byte-identical output against the
 # golden files — with the parallel engine on (UMI_JOBS=2), so any
 # nondeterminism in the fan-out shows up as a diff.
+#
+# umi_lint is both a harness and a gate: it exits non-zero on any
+# Error-severity static diagnostic or when static-vs-dynamic delinquency
+# agreement drops below its bar, which aborts this script before the
+# golden comparison.
 #
 # Run from the repository root: scripts/smoke.sh
 set -eu
@@ -13,7 +18,7 @@ cargo test -q
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for bin in table6 table4 fig3 table_static; do
+for bin in table6 table4 fig3 table_static umi_lint; do
     UMI_SCALE=test UMI_JOBS=2 ./target/release/$bin > "$tmp/$bin.txt"
     if ! diff -u "results/golden/$bin.txt" "$tmp/$bin.txt"; then
         echo "smoke: $bin output differs from results/golden/$bin.txt" >&2

@@ -92,7 +92,7 @@ fn overhead_ordering_matches_figure2() {
     let (nosamp, _) = run_umi(
         &program,
         UmiConfig::no_sampling(),
-        platform.clone(),
+        platform,
         PrefetchSetting::Full,
     );
     assert!(native.cycles <= dbi.cycles);
