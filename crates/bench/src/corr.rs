@@ -5,9 +5,8 @@
 use crate::engine::Cell;
 use umi_cache::{CacheConfig, FullSimulator};
 use umi_core::{UmiConfig, UmiRuntime};
-use umi_hw::{Platform, PrefetchSetting};
-use umi_prefetch::harness::run_native;
-use umi_vm::{NullSink, Vm};
+use umi_hw::{Machine, Platform, PrefetchSetting};
+use umi_vm::Tee;
 use umi_workloads::{Scale, WorkloadSpec};
 
 /// One workload's miss ratios under every measurement in Table 4.
@@ -29,52 +28,56 @@ pub struct CorrRow {
     pub umi_k7: f64,
 }
 
-/// Measures one workload: three native platform runs, one full
-/// simulation, and two UMI introspection runs. Pure in its inputs, so
-/// cells can run on any engine thread.
+/// Measures one workload — three hardware platforms, the full
+/// simulation, and both UMI mini-simulation geometries — in a single
+/// interpreter pass. Pure in its inputs, so cells can run on any engine
+/// thread.
+///
+/// The pass is the UMI introspection run; the four passive models (three
+/// machines and the Cachegrind-equivalent) ride its access stream
+/// through a [`Tee`] fan-out. The DBI forwards the program's unmodified
+/// demand stream to the sink, so each model finishes in exactly the
+/// state its dedicated run would reach — the batched sinks consume whole
+/// blocks per call — and the K7 mini-simulation is a shadow geometry on
+/// the same analyzer invocations ([`UmiRuntime::add_shadow_sim`]).
+/// Previously this cell re-interpreted the workload six times; the
+/// ratios are bit-identical either way.
 pub fn corr_cell(spec: &WorkloadSpec, scale: Scale) -> Cell<CorrRow> {
     let program = spec.build(scale);
 
-    let hw_p4_off = run_native(&program, Platform::pentium4(), PrefetchSetting::Off);
-    let hw_p4_on = run_native(&program, Platform::pentium4(), PrefetchSetting::Full);
-    let hw_k7 = run_native(&program, Platform::k7(), PrefetchSetting::Off);
-
+    let mut hw_p4_off = Machine::new(Platform::pentium4(), PrefetchSetting::Off);
+    let mut hw_p4_on = Machine::new(Platform::pentium4(), PrefetchSetting::Full);
+    let mut hw_k7 = Machine::new(Platform::k7(), PrefetchSetting::Off);
     let mut cg = FullSimulator::pentium4();
-    let cg_run = Vm::new(&program).run(&mut cg, u64::MAX);
 
     // Bursty (no-sampling) introspection: at our scaled-down run lengths
     // the sampled duty cycle is too thin for the analyzer's reuse-based
     // accounting; the bursty mode is the same mechanism at the duty the
     // paper's minutes-long runs would deliver.
-    let (umi_p4, umi_p4_insns) = {
-        let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
-        let r = umi.run(&mut NullSink, u64::MAX);
-        (r.umi_miss_ratio, r.vm_stats.insns)
+    let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
+    let mut k7_cfg = UmiConfig::no_sampling().sim_cache(CacheConfig::k7_l2());
+    k7_cfg.sim_l1_filter = CacheConfig::k7_l1d();
+    let k7_shadow = umi.add_shadow_sim(&k7_cfg);
+
+    let report = {
+        let mut pair = Tee(&mut hw_k7, &mut cg);
+        let mut triple = Tee(&mut hw_p4_on, &mut pair);
+        let mut sink = Tee(&mut hw_p4_off, &mut triple);
+        umi.run(&mut sink, u64::MAX)
     };
-    let (umi_k7, umi_k7_insns) = {
-        let mut cfg = UmiConfig::no_sampling().sim_cache(CacheConfig::k7_l2());
-        cfg.sim_l1_filter = CacheConfig::k7_l1d();
-        let mut umi = UmiRuntime::new(&program, cfg);
-        let r = umi.run(&mut NullSink, u64::MAX);
-        (r.umi_miss_ratio, r.vm_stats.insns)
-    };
+    assert!(umi.finished(), "workload {} did not finish", program.name);
 
     Cell {
         label: spec.name.to_string(),
-        insns: hw_p4_off.insns
-            + hw_p4_on.insns
-            + hw_k7.insns
-            + cg_run.stats.insns
-            + umi_p4_insns
-            + umi_k7_insns,
+        insns: report.vm_stats.insns,
         value: CorrRow {
             spec: *spec,
-            hw_p4_off: hw_p4_off.counters.l2_miss_ratio(),
-            hw_p4_on: hw_p4_on.counters.l2_miss_ratio(),
-            hw_k7: hw_k7.counters.l2_miss_ratio(),
+            hw_p4_off: hw_p4_off.counters().l2_miss_ratio(),
+            hw_p4_on: hw_p4_on.counters().l2_miss_ratio(),
+            hw_k7: hw_k7.counters().l2_miss_ratio(),
             cachegrind: cg.l2_miss_ratio(),
-            umi_p4,
-            umi_k7,
+            umi_p4: report.umi_miss_ratio,
+            umi_k7: umi.shadow_sims()[k7_shadow].miss_ratio(),
         },
     }
 }

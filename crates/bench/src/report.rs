@@ -29,9 +29,36 @@ const SEED_BASELINE: &[(&str, f64)] = &[("table4", 21.06), ("table6", 6.94), ("f
 /// code-cache PR measures its speedup against.
 const PR1_BASELINE: &[(&str, f64)] = &[("table4", 12.26), ("table6", 3.69), ("fig3", 6.65)];
 
+/// Wall-clock seconds of the PR 5 revision (the last one before the
+/// batched/SoA cache sink; best of 3, `UMI_SCALE=test`, `UMI_JOBS=1`,
+/// single-core container) — the baseline the batched-sink PR measures
+/// its speedup against.
+const PR5_BASELINE: &[(&str, f64)] = &[("table4", 11.95), ("table6", 3.31), ("fig3", 6.52)];
+
+/// Interleaved A/B wall-clock medians for the single-pass/batched-sink
+/// revision: `(harness, this build, PR 5 binaries)`, alternating runs
+/// within one session (16 samples each, `UMI_SCALE=test`, `UMI_JOBS=1`,
+/// single-core container). Recorded statically because the container's
+/// clock drifts ±20% between sessions — only interleaved pairs are
+/// comparable, so the live `speedup_vs_pr5` field (current wall over the
+/// PR 5 session's recording) can read high or low on any given run.
+const PR6_INTERLEAVED: &[(&str, f64, f64)] = &[
+    ("table4", 7.51, 10.52),
+    ("table6", 2.77, 3.52),
+    ("fig3", 5.04, 6.04),
+];
+
 /// `PR1_BASELINE` lookup.
 fn pr1_baseline(name: &str) -> Option<f64> {
     PR1_BASELINE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, s)| *s)
+}
+
+/// `PR5_BASELINE` lookup.
+fn pr5_baseline(name: &str) -> Option<f64> {
+    PR5_BASELINE
         .iter()
         .find(|(n, _)| *n == name)
         .map(|(_, s)| *s)
@@ -62,6 +89,11 @@ fn entry_json(name: &str, scale: Scale, jobs: usize, wall: f64, stats: &[CellSta
     if let Some(base) = pr1_baseline(name) {
         if wall > 0.0 {
             out.push_str(&format!("      \"speedup_vs_pr1\": {:.2},\n", base / wall));
+        }
+    }
+    if let Some(base) = pr5_baseline(name) {
+        if wall > 0.0 {
+            out.push_str(&format!("      \"speedup_vs_pr5\": {:.2},\n", base / wall));
         }
     }
     out.push_str(&format!("      \"total_insns\": {total_insns},\n"));
@@ -150,6 +182,31 @@ fn render(entries: &[(String, String)]) -> String {
     for (i, (name, secs)) in PR1_BASELINE.iter().enumerate() {
         let comma = if i + 1 < PR1_BASELINE.len() { "," } else { "" };
         out.push_str(&format!("    \"{name}\": {secs:.2}{comma}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"pr5_baseline\": {\n");
+    out.push_str(
+        "    \"note\": \"PR 5 wall-clock, UMI_SCALE=test, UMI_JOBS=1, best of 3, single-core container; the batched cache-sink PR measures against this\",\n",
+    );
+    for (i, (name, secs)) in PR5_BASELINE.iter().enumerate() {
+        let comma = if i + 1 < PR5_BASELINE.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {secs:.2}{comma}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"pr6_interleaved\": {\n");
+    out.push_str(
+        "    \"note\": \"single-pass cells + batched SoA sink vs PR 5 binaries: interleaved A/B medians (16 samples each), UMI_SCALE=test, UMI_JOBS=1, single-core container\",\n",
+    );
+    for (i, (name, new, old)) in PR6_INTERLEAVED.iter().enumerate() {
+        let comma = if i + 1 < PR6_INTERLEAVED.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"new_seconds\": {new:.2}, \"pr5_seconds\": {old:.2}, \"speedup\": {:.2}}}{comma}\n",
+            old / new
+        ));
     }
     out.push_str("  },\n");
     out.push_str("  \"harnesses\": {\n");

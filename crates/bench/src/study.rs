@@ -1,10 +1,11 @@
 //! Shared measurement procedure for the prefetching figures (3–6).
 
 use crate::engine::{run_cells, Cell, CellStat};
-use umi_core::UmiConfig;
-use umi_hw::{Platform, PrefetchSetting};
+use umi_core::{UmiConfig, UmiRuntime};
+use umi_hw::{Machine, Platform, PrefetchSetting};
 use umi_prefetch::harness::{run_native, run_umi, RunOutcome};
 use umi_prefetch::{inject_prefetches, PrefetchPlan};
+use umi_vm::Tee;
 use umi_workloads::{all32, Scale, WorkloadSpec};
 
 /// Measurements for one prefetch-friendly workload.
@@ -42,18 +43,29 @@ fn study_cell(
 ) -> Cell<Option<PrefetchRow>> {
     let program = spec.build(scale);
     let mut insns = 0u64;
-    // Plan from an introspection pass with HW prefetch off (prefetch
-    // does not change what UMI sees anyway — it ignores prefetch side
-    // effects). Runs are deterministic, so this single pass doubles as
-    // the "UMI only" measurement, and workloads without a plan are
-    // rejected before any further run.
-    let (umi_only_off, report) = run_umi(
-        &program,
-        config.clone(),
-        platform.clone(),
-        PrefetchSetting::Off,
-    );
-    insns += umi_only_off.insns;
+    // Pass 1: introspection over the unmodified program with the HW
+    // model riding as the sink (prefetch off — prefetch does not change
+    // what UMI sees anyway; it ignores prefetch side effects). The DBI
+    // forwards the exact native demand stream, so this one pass yields
+    // the "UMI only" outcome, the plan, AND the native baseline — same
+    // machine state, minus the runtime-overhead cycles. Workloads
+    // without a plan are rejected before any further run.
+    let mut machine_off = Machine::new(platform.clone(), PrefetchSetting::Off);
+    let mut umi = UmiRuntime::new(&program, config.clone());
+    let report = umi.run(&mut machine_off, u64::MAX);
+    assert!(umi.finished(), "workload {} did not finish", program.name);
+    let pass_insns = report.vm_stats.insns;
+    insns += pass_insns;
+    let native_off = RunOutcome {
+        cycles: machine_off.total_cycles(pass_insns),
+        counters: machine_off.counters(),
+        insns: pass_insns,
+    };
+    let umi_only_off = RunOutcome {
+        cycles: native_off.cycles + report.dbi_overhead_cycles + report.umi_overhead_cycles,
+        counters: native_off.counters,
+        insns: pass_insns,
+    };
     let plan = PrefetchPlan::from_report(&report, 32);
     if plan.is_empty() {
         return Cell {
@@ -63,28 +75,46 @@ fn study_cell(
         };
     }
     let optimized = inject_prefetches(&program, &plan);
-    let (umi_sw_off, _) = run_umi(
-        &optimized,
-        config.clone(),
-        platform.clone(),
-        PrefetchSetting::Off,
+    // Pass 2: introspection over the optimized program. The prefetch-on
+    // machine (Figures 5/6) rides the same pass through a `Tee` — the
+    // setting changes only machine-internal behaviour, never the stream
+    // the sink receives — so both SW-prefetch bars come from one
+    // interpretation. Only the native-HW bar still needs its own run
+    // (nothing else interprets the unmodified program with prefetch on).
+    let mut sw_off = Machine::new(platform.clone(), PrefetchSetting::Off);
+    let mut sw_hw = hw_variants.then(|| Machine::new(platform.clone(), PrefetchSetting::Full));
+    let mut umi2 = UmiRuntime::new(&optimized, config.clone());
+    let report2 = match sw_hw.as_mut() {
+        Some(hw) => {
+            let mut sink = Tee(&mut sw_off, hw);
+            umi2.run(&mut sink, u64::MAX)
+        }
+        None => umi2.run(&mut sw_off, u64::MAX),
+    };
+    assert!(
+        umi2.finished(),
+        "workload {} did not finish",
+        optimized.name
     );
-    let native_off = run_native(&program, platform.clone(), PrefetchSetting::Off);
-    insns += umi_sw_off.insns + native_off.insns;
-    // The HW-prefetch-on variants only feed Figures 5 and 6; Figures 3
-    // and 4 skip two full runs per workload by not measuring them.
-    let (native_hw, umi_sw_hw) = if hw_variants {
-        let native_hw = run_native(&program, platform.clone(), PrefetchSetting::Full);
-        let (umi_sw_hw, _) = run_umi(
-            &optimized,
-            config.clone(),
-            platform.clone(),
-            PrefetchSetting::Full,
-        );
-        insns += native_hw.insns + umi_sw_hw.insns;
-        (Some(native_hw), Some(umi_sw_hw))
+    let overhead2 = report2.dbi_overhead_cycles + report2.umi_overhead_cycles;
+    let pass2_insns = report2.vm_stats.insns;
+    insns += pass2_insns;
+    let umi_sw_off = RunOutcome {
+        cycles: sw_off.total_cycles(pass2_insns) + overhead2,
+        counters: sw_off.counters(),
+        insns: pass2_insns,
+    };
+    let umi_sw_hw = sw_hw.map(|hw| RunOutcome {
+        cycles: hw.total_cycles(pass2_insns) + overhead2,
+        counters: hw.counters(),
+        insns: pass2_insns,
+    });
+    let native_hw = if hw_variants {
+        let out = run_native(&program, platform.clone(), PrefetchSetting::Full);
+        insns += out.insns;
+        Some(out)
     } else {
-        (None, None)
+        None
     };
     Cell {
         label: spec.name.to_string(),

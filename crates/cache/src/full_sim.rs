@@ -3,7 +3,7 @@
 use crate::config::CacheConfig;
 use crate::delinquent::{delinquent_set, DelinquentSet};
 use crate::hierarchy::{Hierarchy, HitLevel};
-use crate::per_insn::PerPcStats;
+use crate::per_insn::{PcMissStats, PerPcStats};
 use crate::stats::CacheStats;
 use umi_vm::AccessSink;
 
@@ -16,6 +16,28 @@ use umi_vm::AccessSink;
 /// attributes L2 misses to the issuing instruction. Prefetch hints are
 /// ignored, as in Cachegrind ("the UMI and Cachegrind miss ratios are
 /// unchanged since they ignore any prefetching side effects", §6.2).
+///
+/// # Batched consumption
+///
+/// The simulator overrides [`AccessSink::access_batch`]: a whole block's
+/// accesses are consumed in one call, and consecutive references to the
+/// same L1 line — the dominant shape of demand traffic — are coalesced
+/// into one set lookup plus a deferred bulk update
+/// ([`Hierarchy::l1_reuse_mru`]). The run detector carries across batch
+/// boundaries, so a unit-stride loop that touches a line once per block
+/// still coalesces. Outcomes, statistics, and replacement state are
+/// identical to the per-item path (run tails are L1 hits by construction);
+/// the batch-vs-per-item differential test enforces this.
+///
+/// # Sampled mode
+///
+/// [`FullSimulator::with_sampling`] builds a *set-sampled* simulator: only
+/// references whose line number falls in every `factor`-th sampling class
+/// are simulated, and per-pc counts are extrapolated by `factor`
+/// ([`FullSimulator::extrapolated_per_pc`]). Sampled sets still see their
+/// complete reference stream, so conflict and capacity behavior inside
+/// them is exact; miss *ratios* need no extrapolation at all. Off by
+/// default — exact mode is bit-for-bit unchanged.
 ///
 /// Feed it to a [`Vm`](umi_vm::Vm) run as the access sink, then extract the
 /// delinquent set:
@@ -46,17 +68,74 @@ pub struct FullSimulator {
     l2_loads: CacheStats,
     /// L2 statistics restricted to stores.
     l2_stores: CacheStats,
+    /// `log2(l1 line size)`, for same-line run detection.
+    l1_shift: u32,
+    /// L1 line number of the most recent *simulated* demand reference
+    /// (`u64::MAX` = none yet). A reference to the same line is a
+    /// guaranteed L1 hit: the previous reference left the line resident
+    /// and nothing evicted it since.
+    cur_block: u64,
+    /// Deferred same-line L1 hits not yet applied to the hierarchy.
+    /// Always zero outside [`AccessSink::access_batch`], so every public
+    /// accessor observes settled state.
+    pending: u64,
+    /// Whether any deferred hit was a store (dirty-bit OR).
+    pending_write: bool,
+    /// Set-sampling mask (`factor - 1`); zero = exact mode. A reference
+    /// is simulated iff `line_number & sample_mask == 0`.
+    sample_mask: u64,
 }
 
 impl FullSimulator {
     /// Creates a simulator over the given L1/L2 geometry.
     pub fn new(l1: CacheConfig, l2: CacheConfig) -> FullSimulator {
+        let hierarchy = Hierarchy::new(l1, l2);
+        let l1_shift = hierarchy.l1_line_shift();
         FullSimulator {
-            hierarchy: Hierarchy::new(l1, l2),
+            hierarchy,
             per_pc: PerPcStats::new(),
             l2_loads: CacheStats::default(),
             l2_stores: CacheStats::default(),
+            l1_shift,
+            cur_block: u64::MAX,
+            pending: 0,
+            pending_write: false,
+            sample_mask: 0,
         }
+    }
+
+    /// Creates a *set-sampled* simulator: only references whose line
+    /// number satisfies `line % factor == 0` are simulated, and
+    /// [`extrapolated_per_pc`](Self::extrapolated_per_pc) scales counts
+    /// back up by `factor`. `factor == 1` is exact mode.
+    ///
+    /// Because sets are power-of-two-many and lines map to sets by their
+    /// low bits, the filter selects every `factor`-th set *at both
+    /// levels* and those sets observe their complete reference streams —
+    /// classic set sampling, so within-set conflict behavior is exact and
+    /// only cross-set variance is sampled away.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is a power of two no larger than either
+    /// level's set count, and both levels share one line size (the filter
+    /// must pick whole sets at both levels).
+    pub fn with_sampling(l1: CacheConfig, l2: CacheConfig, factor: u32) -> FullSimulator {
+        assert!(
+            factor.is_power_of_two(),
+            "sampling factor {factor} not a power of two"
+        );
+        assert_eq!(
+            l1.line_size, l2.line_size,
+            "set sampling needs one line size across levels"
+        );
+        assert!(
+            (factor as usize) <= l1.sets.min(l2.sets),
+            "sampling factor {factor} exceeds the smaller set count"
+        );
+        let mut sim = FullSimulator::new(l1, l2);
+        sim.sample_mask = (factor - 1) as u64;
+        sim
     }
 
     /// A simulator of the paper's Pentium 4 memory system.
@@ -64,18 +143,60 @@ impl FullSimulator {
         FullSimulator::new(CacheConfig::pentium4_l1d(), CacheConfig::pentium4_l2())
     }
 
+    /// A set-sampled Pentium 4 simulator (see
+    /// [`with_sampling`](Self::with_sampling)).
+    pub fn pentium4_sampled(factor: u32) -> FullSimulator {
+        FullSimulator::with_sampling(
+            CacheConfig::pentium4_l1d(),
+            CacheConfig::pentium4_l2(),
+            factor,
+        )
+    }
+
     /// A simulator of the paper's AMD Athlon K7 memory system.
     pub fn k7() -> FullSimulator {
         FullSimulator::new(CacheConfig::k7_l1d(), CacheConfig::k7_l2())
     }
 
+    /// The set-sampling factor (1 in exact mode).
+    pub fn sample_factor(&self) -> u32 {
+        self.sample_mask as u32 + 1
+    }
+
     /// Per-instruction statistics accumulated so far.
+    ///
+    /// In sampled mode these are the *raw* counts over the sampled sets;
+    /// ratio-style consumers (miss ratios, delinquency coverage) can use
+    /// them directly, count-style consumers want
+    /// [`extrapolated_per_pc`](Self::extrapolated_per_pc).
     pub fn per_pc(&self) -> &PerPcStats {
         &self.per_pc
     }
 
+    /// Per-instruction statistics extrapolated to the full reference
+    /// stream: raw counts times the sampling factor. Identical to
+    /// [`per_pc`](Self::per_pc) in exact mode.
+    pub fn extrapolated_per_pc(&self) -> PerPcStats {
+        let f = self.sample_factor() as u64;
+        self.per_pc
+            .iter()
+            .map(|(pc, s)| {
+                (
+                    pc,
+                    PcMissStats {
+                        load_accesses: s.load_accesses * f,
+                        load_misses: s.load_misses * f,
+                        store_accesses: s.store_accesses * f,
+                        store_misses: s.store_misses * f,
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Overall L2 statistics (loads + stores), as the paper computes miss
-    /// ratios: L2 misses over L2 references.
+    /// ratios: L2 misses over L2 references. Raw sampled counts in
+    /// sampled mode (the ratio is unaffected by uniform scaling).
     pub fn l2_stats(&self) -> CacheStats {
         let mut s = self.l2_loads;
         s.merge(self.l2_stores);
@@ -105,15 +226,35 @@ impl FullSimulator {
     pub fn delinquent_set(&self, x: f64) -> DelinquentSet {
         delinquent_set(&self.per_pc, x)
     }
-}
 
-impl AccessSink for FullSimulator {
+    /// Applies deferred same-line hits to the L1. Called whenever a run
+    /// ends (and at batch end, so state is settled between sink calls).
     #[inline]
-    fn access(&mut self, access: umi_ir::MemAccess) {
-        if !access.is_demand() {
+    fn flush_run(&mut self) {
+        if self.pending > 0 {
+            self.hierarchy
+                .l1_reuse_mru(self.pending, self.pending_write);
+            self.pending = 0;
+            self.pending_write = false;
+        }
+    }
+
+    /// Simulates one demand reference; run tails bypass the hierarchy.
+    #[inline]
+    fn demand(&mut self, access: umi_ir::MemAccess) {
+        let is_store = access.kind == umi_ir::AccessKind::Store;
+        let block = access.addr >> self.l1_shift;
+        if block == self.cur_block {
+            // Same L1 line as the previous simulated reference: a
+            // guaranteed L1 hit — never reaches L2, never misses. Defer
+            // the L1 bookkeeping; only the per-pc table needs the item.
+            self.pending += 1;
+            self.pending_write |= is_store;
+            self.per_pc.record(access.pc, is_store, false);
             return;
         }
-        let is_store = access.kind == umi_ir::AccessKind::Store;
+        self.flush_run();
+        self.cur_block = block;
         let level = if is_store {
             self.hierarchy.access_write(access.addr)
         } else {
@@ -130,6 +271,43 @@ impl AccessSink for FullSimulator {
             l2.accesses += 1;
             l2.misses += l2_miss as u64;
         }
+    }
+
+    /// Demand filter + sampling filter, shared by both sink entry points.
+    ///
+    /// The sampling filter keys on the line number, so every reference of
+    /// a same-line run lands on the same side of it — a run is simulated
+    /// or skipped as a whole, and the run invariant (previous *simulated*
+    /// reference pinned the line) survives sampling.
+    #[inline]
+    fn consider(&mut self, access: umi_ir::MemAccess) {
+        if !access.is_demand() {
+            return;
+        }
+        if self.sample_mask != 0 && (access.addr >> self.l1_shift) & self.sample_mask != 0 {
+            return;
+        }
+        self.demand(access);
+    }
+}
+
+impl AccessSink for FullSimulator {
+    #[inline]
+    fn access(&mut self, access: umi_ir::MemAccess) {
+        self.consider(access);
+        self.flush_run();
+    }
+
+    fn access_batch(&mut self, batch: &[umi_ir::MemAccess]) {
+        // The demand filter, sampling filter, and per-pc routing are
+        // resolved per item, but the hierarchy is only consulted once per
+        // same-line run; the run detector (`cur_block`) spans batch
+        // boundaries, so per-block batches of a streaming loop coalesce
+        // into one lookup per line, not one per block.
+        for &access in batch {
+            self.consider(access);
+        }
+        self.flush_run();
     }
 }
 
@@ -186,5 +364,67 @@ mod tests {
         assert_eq!(l2.misses, 1);
         assert_eq!(sim.l1_stats().accesses, 3);
         assert_eq!(sim.l2_miss_ratio(), 1.0);
+    }
+
+    #[test]
+    fn batch_equals_per_item_on_runs() {
+        // One batch holding a same-line run (with a store), a prefetch in
+        // the middle of a run, and a line change.
+        let batch = [
+            acc(1, 0x1000, AccessKind::Load),
+            acc(2, 0x1008, AccessKind::Store),
+            acc(3, 0x1010, AccessKind::Prefetch),
+            acc(4, 0x1018, AccessKind::Load),
+            acc(5, 0x2000, AccessKind::Load),
+            acc(6, 0x1020, AccessKind::Load), // back: L1 hit, not a run tail
+        ];
+        let mut batched = FullSimulator::pentium4();
+        batched.access_batch(&batch);
+        let mut itemized = FullSimulator::pentium4();
+        for &a in &batch {
+            AccessSink::access(&mut itemized, a);
+        }
+        assert_eq!(batched.l1_stats(), itemized.l1_stats());
+        assert_eq!(batched.l2_stats(), itemized.l2_stats());
+        for pc in 1..=6u64 {
+            assert_eq!(batched.per_pc().get(Pc(pc)), itemized.per_pc().get(Pc(pc)));
+        }
+    }
+
+    #[test]
+    fn sampling_filters_whole_lines_and_extrapolates() {
+        let factor = 4u32;
+        let mut exact = FullSimulator::pentium4();
+        let mut sampled = FullSimulator::pentium4_sampled(factor);
+        // Stream over 64 fresh lines, two references per line.
+        for i in 0..64u64 {
+            for a in [
+                acc(1, 0x100_0000 + i * 64, AccessKind::Load),
+                acc(1, 0x100_0020 + i * 64, AccessKind::Load),
+            ] {
+                exact.access(a);
+                sampled.access(a);
+            }
+        }
+        assert_eq!(sampled.sample_factor(), factor);
+        assert_eq!(exact.sample_factor(), 1);
+        // A quarter of the lines are simulated, miss behavior identical
+        // per line, so raw counts are a quarter and the ratio matches.
+        assert_eq!(sampled.l1_stats().accesses * factor as u64, 128);
+        assert_eq!(sampled.l2_miss_ratio(), exact.l2_miss_ratio());
+        let raw = sampled.per_pc().get(Pc(1));
+        let scaled = sampled.extrapolated_per_pc().get(Pc(1));
+        assert_eq!(scaled.load_accesses, raw.load_accesses * factor as u64);
+        assert_eq!(
+            scaled.load_accesses,
+            exact.per_pc().get(Pc(1)).load_accesses
+        );
+        assert_eq!(scaled.load_misses, exact.per_pc().get(Pc(1)).load_misses);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn sampling_factor_must_be_power_of_two() {
+        let _ = FullSimulator::pentium4_sampled(3);
     }
 }

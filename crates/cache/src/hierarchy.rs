@@ -73,6 +73,27 @@ impl Hierarchy {
         }
     }
 
+    /// Re-references the most recently accessed L1 line `n` more times
+    /// (`any_write` = whether any of them writes) without a set scan — the
+    /// batch sinks' run-coalescing primitive.
+    ///
+    /// Sound whenever the previous demand reference through this hierarchy
+    /// touched the same L1 line: that reference left the line resident in
+    /// L1 (hit or fill), nothing evicted it since, so each of the `n`
+    /// repeats would be an L1 hit that never reaches L2. See
+    /// [`SetAssocCache::reuse_mru`] for the per-line equivalence argument.
+    #[inline]
+    pub fn l1_reuse_mru(&mut self, n: u64, any_write: bool) {
+        self.l1.reuse_mru(n, any_write);
+    }
+
+    /// `log2(l1 line size)` — the shift batch sinks use to detect
+    /// same-line runs (run tails are L1-resident by construction, so L1
+    /// geometry is the right granularity).
+    pub fn l1_line_shift(&self) -> u32 {
+        self.l1.line_shift()
+    }
+
     /// Installs the line containing `addr` into L2 only, without counting
     /// demand statistics — the effect of an L2 prefetch (both the Pentium 4
     /// hardware prefetcher and the paper's software prefetcher target L2).

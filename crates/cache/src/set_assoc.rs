@@ -1,4 +1,11 @@
 //! The set-associative cache.
+//!
+//! State lives in a data-oriented (SoA) layout: one flat `u64` tag array
+//! scanned way-contiguously per set, logical LRU/FIFO time in its own
+//! array, and validity/dirtiness as one bitmask word per set. A set probe
+//! therefore touches a single host cache line of tags instead of a strided
+//! walk over four-field `Line` structs, and the victim scan only loads the
+//! time array on an actual miss.
 
 use crate::config::{CacheConfig, ReplacementPolicy};
 use crate::stats::CacheStats;
@@ -12,23 +19,6 @@ pub struct AccessOutcome {
     pub evicted: Option<u64>,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// Whether the line has been written since it was filled.
-    dirty: bool,
-    /// Logical insertion/use time, from the per-cache access counter.
-    time: u64,
-}
-
-const EMPTY: Line = Line {
-    tag: 0,
-    valid: false,
-    dirty: false,
-    time: 0,
-};
-
 /// A set-associative cache over line-aligned addresses.
 ///
 /// Mirrors the paper's mini-simulator (§5): each reference maps to a set,
@@ -38,7 +28,15 @@ const EMPTY: Line = Line {
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    lines: Vec<Line>,
+    /// Per-line tags, sets back to back, ways contiguous within a set.
+    tags: Vec<u64>,
+    /// Per-line logical time (LRU refresh time / FIFO insertion time).
+    times: Vec<u64>,
+    /// Per-set validity bitmask: bit `w` of `valid[s]` is way `w` of set
+    /// `s` (associativity is capped at 64 ways by [`SetAssocCache::new`]).
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask, same bit assignment as `valid`.
+    dirty: Vec<u64>,
     clock: u64,
     stats: CacheStats,
     /// xorshift state for [`ReplacementPolicy::Random`].
@@ -50,28 +48,55 @@ pub struct SetAssocCache {
     set_mask: usize,
     /// `log2(sets)`.
     set_bits: u32,
+    /// Bitmask with one bit per way (`(1 << ways) - 1`, saturated).
+    ways_full: u64,
     /// Line address of the most recently hit/filled line, for the MRU
     /// fast path (sequential references within one line dominate demand
     /// traffic). `u64::MAX` = no cached slot.
     last_block: u64,
-    /// Index into `lines` of that line.
+    /// Index into `tags`/`times` of that line.
     last_slot: usize,
+    /// Set index of that line (indexes `valid`/`dirty`).
+    last_set: usize,
+    /// Single-bit way mask of that line within its set's bitmask words.
+    last_bit: u64,
 }
 
 impl SetAssocCache {
     /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the associativity exceeds 64 (the per-set valid/dirty
+    /// state is one bitmask word).
     pub fn new(config: CacheConfig) -> SetAssocCache {
+        assert!(
+            config.ways <= 64,
+            "associativity {} exceeds the 64-way bitmask limit",
+            config.ways
+        );
+        let lines = config.sets * config.ways;
         SetAssocCache {
             config,
-            lines: vec![EMPTY; config.sets * config.ways],
+            tags: vec![0; lines],
+            times: vec![0; lines],
+            valid: vec![0; config.sets],
+            dirty: vec![0; config.sets],
             clock: 0,
             stats: CacheStats::default(),
             rng: 0x9e37_79b9_7f4a_7c15,
             line_shift: config.line_size.trailing_zeros(),
             set_mask: config.sets - 1,
             set_bits: config.sets.trailing_zeros(),
+            ways_full: if config.ways == 64 {
+                u64::MAX
+            } else {
+                (1u64 << config.ways) - 1
+            },
             last_block: u64::MAX,
             last_slot: 0,
+            last_set: 0,
+            last_bit: 0,
         }
     }
 
@@ -90,138 +115,216 @@ impl SetAssocCache {
         self.stats = CacheStats::default();
     }
 
+    /// `log2(line_size)` — the shift that turns an address into a line
+    /// (block) number. Batch consumers use it to detect same-line runs.
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
     /// References `addr` as a read, updating replacement state and
     /// statistics.
     #[inline]
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
-        self.access_rw(addr, false)
+        self.access_inner::<true>(addr, false)
     }
 
     /// References `addr` as a write: like [`access`](Self::access), and
     /// additionally marks the line dirty (write-back, write-allocate).
     #[inline]
     pub fn access_write(&mut self, addr: u64) -> AccessOutcome {
-        self.access_rw(addr, true)
+        self.access_inner::<true>(addr, true)
     }
 
+    /// `COUNT` selects whether the access updates demand statistics: the
+    /// demand path counts, the prefetch-fill path does not. Replacement
+    /// state, the logical clock, and the Random-policy rng advance
+    /// identically either way.
     #[inline]
-    fn access_rw(&mut self, addr: u64, write: bool) -> AccessOutcome {
+    fn access_inner<const COUNT: bool>(&mut self, addr: u64, write: bool) -> AccessOutcome {
         self.clock += 1;
         let clock = self.clock;
         let block = addr >> self.line_shift;
         let tag = block >> self.set_bits;
         // MRU fast path: a repeat reference to the line hit or filled last
-        // time skips the set scan. The tag/valid re-check makes the cached
+        // time skips the set scan. The valid/tag re-check makes the cached
         // slot self-invalidating (eviction or flush changes either), so
         // outcomes and replacement state are identical to the full scan.
-        if block == self.last_block {
-            let line = &mut self.lines[self.last_slot];
-            if line.valid && line.tag == tag {
+        if block == self.last_block
+            && self.valid[self.last_set] & self.last_bit != 0
+            && self.tags[self.last_slot] == tag
+        {
+            if COUNT {
                 self.stats.accesses += 1;
+            }
+            if self.config.policy == ReplacementPolicy::Lru {
+                self.times[self.last_slot] = clock;
+            }
+            if write {
+                self.dirty[self.last_set] |= self.last_bit;
+            }
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
+        }
+        let ways = self.config.ways;
+        let set = block as usize & self.set_mask;
+        let base = set * ways;
+        let vword = self.valid[set];
+
+        if COUNT {
+            self.stats.accesses += 1;
+        }
+        // Hit scan: tags of valid ways only, lowest way first. Only the
+        // tag array is touched until the outcome is known.
+        let mut m = vword;
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
                 if self.config.policy == ReplacementPolicy::Lru {
-                    line.time = clock;
+                    self.times[base + w] = clock; // LRU refresh; FIFO keeps insert time
                 }
-                line.dirty |= write;
+                if write {
+                    self.dirty[set] |= 1u64 << w;
+                }
+                self.last_block = block;
+                self.last_slot = base + w;
+                self.last_set = set;
+                self.last_bit = 1u64 << w;
                 return AccessOutcome {
                     hit: true,
                     evicted: None,
                 };
             }
+            m &= m - 1;
         }
-        let ways = self.config.ways;
-        let base = (block as usize & self.set_mask) * ways;
-        let policy = self.config.policy;
-        let set = &mut self.lines[base..base + ways];
+        if COUNT {
+            self.stats.misses += 1;
+        }
 
-        self.stats.accesses += 1;
-        // Single pass: look for the tag while tracking the would-be victim
-        // (first invalid way, else the first oldest-time way).
-        let mut invalid: Option<usize> = None;
-        let mut oldest = 0usize;
-        let mut oldest_time = u64::MAX;
-        for (i, line) in set.iter_mut().enumerate() {
-            if line.valid {
-                if line.tag == tag {
-                    if policy == ReplacementPolicy::Lru {
-                        line.time = clock; // LRU refresh; FIFO keeps insert time
+        // Miss: prefer the first invalid way, else the policy's victim
+        // (for LRU/FIFO the first way with the minimal time — the time
+        // array is only read here, on the miss path).
+        let victim = if vword != self.ways_full {
+            (!vword).trailing_zeros() as usize
+        } else {
+            match self.config.policy {
+                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                    let mut oldest = 0usize;
+                    let mut oldest_time = self.times[base];
+                    for w in 1..ways {
+                        if self.times[base + w] < oldest_time {
+                            oldest_time = self.times[base + w];
+                            oldest = w;
+                        }
                     }
-                    line.dirty |= write;
-                    self.last_block = block;
-                    self.last_slot = base + i;
-                    return AccessOutcome {
-                        hit: true,
-                        evicted: None,
-                    };
+                    oldest
                 }
-                if line.time < oldest_time {
-                    oldest_time = line.time;
-                    oldest = i;
-                }
-            } else if invalid.is_none() {
-                invalid = Some(i);
-            }
-        }
-        self.stats.misses += 1;
-
-        // Miss: prefer an invalid line, else the policy's victim.
-        let victim = match invalid {
-            Some(i) => i,
-            None => match policy {
-                ReplacementPolicy::Lru | ReplacementPolicy::Fifo => oldest,
                 ReplacementPolicy::Random => {
                     // xorshift64*
                     self.rng ^= self.rng << 13;
                     self.rng ^= self.rng >> 7;
                     self.rng ^= self.rng << 17;
-                    (self.rng % set.len() as u64) as usize
+                    (self.rng % ways as u64) as usize
                 }
-            },
+            }
         };
-        let old = set[victim];
-        set[victim] = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            time: clock,
+        let bit = 1u64 << victim;
+        let old_valid = vword & bit != 0;
+        let old_dirty = old_valid && self.dirty[set] & bit != 0;
+        let evicted = if old_valid {
+            if COUNT && old_dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(self.reconstruct_addr(addr, self.tags[base + victim]))
+        } else {
+            None
         };
+        self.tags[base + victim] = tag;
+        self.times[base + victim] = clock;
+        self.valid[set] |= bit;
+        if write {
+            self.dirty[set] |= bit;
+        } else {
+            self.dirty[set] &= !bit;
+        }
         self.last_block = block;
         self.last_slot = base + victim;
-        if old.valid && old.dirty {
-            self.stats.writebacks += 1;
-        }
-        let evicted = old.valid.then(|| self.reconstruct_addr(addr, old.tag));
+        self.last_set = set;
+        self.last_bit = bit;
         AccessOutcome {
             hit: false,
             evicted,
         }
     }
 
-    /// Inserts the line containing `addr` without counting an access or a
-    /// miss — used to model prefetch fills.
+    /// Re-references the most recently accessed line `n` more times
+    /// (`any_write` = whether any of them writes), without scanning the
+    /// set: the batch consumers' run-coalescing primitive.
+    ///
+    /// Equivalent to `n` calls of [`access`](Self::access) /
+    /// [`access_write`](Self::access_write) on that line — all guaranteed
+    /// hits — provided the line was hit or filled by the immediately
+    /// preceding access to *this* cache: each per-item call would bump the
+    /// clock and the access counter, OR the dirty bit, and leave the LRU
+    /// time at the final clock value, which is exactly what one bulk
+    /// update does.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the MRU slot is still valid (it cannot have
+    /// been evicted, since no access intervened).
+    #[inline]
+    pub fn reuse_mru(&mut self, n: u64, any_write: bool) {
+        debug_assert!(
+            self.last_bit != 0 && self.valid[self.last_set] & self.last_bit != 0,
+            "reuse_mru without a preceding access"
+        );
+        self.clock += n;
+        self.stats.accesses += n;
+        if self.config.policy == ReplacementPolicy::Lru {
+            self.times[self.last_slot] = self.clock;
+        }
+        if any_write {
+            self.dirty[self.last_set] |= self.last_bit;
+        }
+    }
+
+    /// Inserts the line containing `addr` without counting an access, a
+    /// miss, or a writeback — used to model prefetch fills, which are not
+    /// demand traffic. Replacement state (clock, LRU times, Random rng,
+    /// MRU slot) advances exactly as a demand read would.
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
-        let was = self.stats;
-        let out = self.access(addr);
-        self.stats = was; // fills are not demand traffic
-        out.evicted
+        self.access_inner::<false>(addr, false).evicted
     }
 
     /// Whether the line containing `addr` is present, without touching
     /// replacement state or statistics.
     pub fn probe(&self, addr: u64) -> bool {
-        let tag = addr >> self.line_shift >> self.set_bits;
-        let s = ((addr >> self.line_shift) as usize) & self.set_mask;
-        let range = s * self.config.ways..(s + 1) * self.config.ways;
-        self.lines[range].iter().any(|l| l.valid && l.tag == tag)
+        let block = addr >> self.line_shift;
+        let tag = block >> self.set_bits;
+        let set = block as usize & self.set_mask;
+        let base = set * self.config.ways;
+        let mut m = self.valid[set];
+        while m != 0 {
+            let w = m.trailing_zeros() as usize;
+            if self.tags[base + w] == tag {
+                return true;
+            }
+            m &= m - 1;
+        }
+        false
     }
 
     /// Invalidates every line (the analyzer's periodic flush, §5).
     pub fn flush(&mut self) {
-        self.lines.fill(EMPTY);
+        self.valid.fill(0);
+        self.dirty.fill(0);
     }
 
     /// Number of valid lines currently resident.
     pub fn resident_lines(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     fn reconstruct_addr(&self, probe_addr: u64, tag: u64) -> u64 {
@@ -303,6 +406,56 @@ mod tests {
         assert_eq!(c.stats(), CacheStats::default());
         assert!(c.probe(set0(1)));
         assert!(c.access(set0(1)).hit, "fill installed the line");
+    }
+
+    #[test]
+    fn fill_never_counts_writebacks() {
+        // Dirty a full set, then fill a conflicting line: the dirty
+        // eviction must not show up in the stats (the old save/restore
+        // hack hid it; the dedicated path must too).
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access_write(set0(1));
+        c.access_write(set0(2));
+        let before = c.stats();
+        let evicted = c.fill(set0(3));
+        assert_eq!(evicted, Some(set0(1)), "fill still evicts");
+        assert_eq!(c.stats(), before, "fill touched the stats");
+    }
+
+    #[test]
+    fn fill_advances_replacement_like_a_read() {
+        // Interleaving fills must leave clock/LRU state exactly as the
+        // stats-save/restore implementation did: the filled line is MRU.
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access(set0(1));
+        c.fill(set0(2)); // later logical time than tag 1
+        let out = c.access(set0(3));
+        assert_eq!(out.evicted, Some(set0(1)), "fill did not refresh time");
+    }
+
+    #[test]
+    fn reuse_mru_matches_per_item_accesses() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let mut bulk = tiny(policy);
+            let mut item = tiny(policy);
+            bulk.access(set0(1));
+            item.access(set0(1));
+            bulk.reuse_mru(3, true);
+            item.access(set0(1));
+            item.access_write(set0(1));
+            item.access(set0(1));
+            // Same stats and same observable replacement behavior.
+            assert_eq!(bulk.stats(), item.stats(), "{policy:?}");
+            bulk.access(set0(2));
+            item.access(set0(2));
+            let b = bulk.access(set0(3));
+            let i = item.access(set0(3));
+            assert_eq!(b, i, "{policy:?}: diverged after bulk reuse");
+        }
     }
 
     #[test]

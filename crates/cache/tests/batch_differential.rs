@@ -1,0 +1,225 @@
+//! Batch ⇄ per-item differential for the coalescing sinks.
+//!
+//! The batched paths ([`AccessSink::access_batch`] on [`FullSimulator`],
+//! `reuse_mru` on [`SetAssocCache`]) defer bookkeeping for same-line runs.
+//! These properties pin them to genuinely independent per-item references
+//! — NOT to `FullSimulator::access`, which shares the coalescing code —
+//! across all three replacement policies: identical statistics, identical
+//! per-pc tables, and identical eviction sequences.
+
+use umi_cache::{
+    AccessOutcome, CacheConfig, CacheStats, FullSimulator, Hierarchy, HitLevel, PerPcStats,
+    ReplacementPolicy, SetAssocCache,
+};
+use umi_ir::{AccessKind, MemAccess, Pc};
+use umi_testkit::{check, Xoshiro256pp};
+use umi_vm::AccessSink;
+
+const LINE: u64 = 64;
+
+/// A random access stream shaped like real demand traffic: short
+/// same-line runs (the batched paths' fast case) over a small line
+/// universe (forcing conflicts and evictions), with occasional stores and
+/// prefetch hints sprinkled in.
+fn random_stream(rng: &mut Xoshiro256pp, refs: usize, lines: u64) -> Vec<MemAccess> {
+    let mut out = Vec::with_capacity(refs + 8);
+    while out.len() < refs {
+        let line = rng.below(lines);
+        for _ in 0..=rng.below(5) {
+            let kind = match rng.below(10) {
+                0 => AccessKind::Prefetch,
+                1 | 2 => AccessKind::Store,
+                _ => AccessKind::Load,
+            };
+            out.push(MemAccess {
+                pc: Pc(1 + rng.below(16)),
+                addr: line * LINE + rng.below(LINE),
+                width: 8,
+                kind,
+            });
+        }
+    }
+    out
+}
+
+/// The per-item ground truth for [`FullSimulator`]: the pre-batching
+/// demand loop, re-stated directly over a [`Hierarchy`].
+struct RefSim {
+    hierarchy: Hierarchy,
+    per_pc: PerPcStats,
+    l2: CacheStats,
+}
+
+impl RefSim {
+    fn new(l1: CacheConfig, l2: CacheConfig) -> RefSim {
+        RefSim {
+            hierarchy: Hierarchy::new(l1, l2),
+            per_pc: PerPcStats::new(),
+            l2: CacheStats::default(),
+        }
+    }
+
+    fn access(&mut self, a: MemAccess) {
+        if !a.is_demand() {
+            return;
+        }
+        let store = a.kind == AccessKind::Store;
+        let level = if store {
+            self.hierarchy.access_write(a.addr)
+        } else {
+            self.hierarchy.access(a.addr)
+        };
+        let l2_miss = level == HitLevel::Memory;
+        self.per_pc.record(a.pc, store, l2_miss);
+        if level != HitLevel::L1 {
+            self.l2.accesses += 1;
+            self.l2.misses += l2_miss as u64;
+        }
+    }
+}
+
+fn full_sim_matches_per_item(policy: ReplacementPolicy) {
+    check(
+        &format!("batched FullSimulator matches per-item ({policy:?})"),
+        48,
+        |rng| {
+            let l1 = CacheConfig::new(1 << rng.below(3), 1 << rng.below(3), LINE)
+                .policy(policy);
+            let l2 =
+                CacheConfig::new(l1.sets * 4, (l1.ways * 2).min(8), LINE).policy(policy);
+            let stream = random_stream(rng, 1500, 24 * l1.sets as u64);
+
+            let mut batched = FullSimulator::new(l1, l2);
+            let mut reference = RefSim::new(l1, l2);
+
+            // Random batch splits, so runs start, span, and end on batch
+            // boundaries in every combination.
+            let mut i = 0;
+            while i < stream.len() {
+                let end = (i + 1 + rng.below(7) as usize).min(stream.len());
+                batched.access_batch(&stream[i..end]);
+                i = end;
+            }
+            for &a in &stream {
+                reference.access(a);
+            }
+
+            assert_eq!(batched.l1_stats(), reference.hierarchy.l1_stats());
+            assert_eq!(
+                batched.l2_stats().accesses,
+                reference.l2.accesses,
+                "L2 demand references diverge"
+            );
+            assert_eq!(batched.l2_stats().misses, reference.l2.misses);
+            assert_eq!(
+                batched.l2_writebacks(),
+                reference.hierarchy.l2_stats().writebacks
+            );
+            for pc in 1..=16u64 {
+                assert_eq!(
+                    batched.per_pc().get(Pc(pc)),
+                    reference.per_pc.get(Pc(pc)),
+                    "per-pc table diverges at pc {pc}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn batched_full_sim_matches_per_item_lru() {
+    full_sim_matches_per_item(ReplacementPolicy::Lru);
+}
+
+#[test]
+fn batched_full_sim_matches_per_item_fifo() {
+    full_sim_matches_per_item(ReplacementPolicy::Fifo);
+}
+
+#[test]
+fn batched_full_sim_matches_per_item_random() {
+    full_sim_matches_per_item(ReplacementPolicy::Random);
+}
+
+/// `reuse_mru` against per-item accesses at the cache level, *including
+/// the eviction sequence*: run heads must evict exactly what the per-item
+/// path evicts, run tails must be pure hits that evict nothing, and the
+/// replacement stream (LRU clocks, FIFO order, the Random policy's RNG)
+/// must stay in lockstep throughout.
+fn coalesced_eviction_sequence_matches(policy: ReplacementPolicy) {
+    check(
+        &format!("coalesced eviction sequence matches ({policy:?})"),
+        48,
+        |rng| {
+            let cfg = CacheConfig::new(1 << rng.below(3), 1 << rng.below(3), LINE)
+                .policy(policy);
+            let mut itemized = SetAssocCache::new(cfg);
+            let mut coalesced = SetAssocCache::new(cfg);
+
+            let mut cur = u64::MAX;
+            let mut pending = 0u64;
+            let mut any_write = false;
+            let flush = |c: &mut SetAssocCache, pending: &mut u64, any_write: &mut bool| {
+                if *pending > 0 {
+                    c.reuse_mru(*pending, *any_write);
+                    *pending = 0;
+                    *any_write = false;
+                }
+            };
+
+            for step in 0..600 {
+                let line = rng.below(16 * cfg.sets as u64);
+                for _ in 0..=rng.below(4) {
+                    let addr = line * LINE + rng.below(LINE);
+                    let write = rng.below(4) == 0;
+                    let want = if write {
+                        itemized.access_write(addr)
+                    } else {
+                        itemized.access(addr)
+                    };
+                    if line == cur {
+                        pending += 1;
+                        any_write |= write;
+                        assert_eq!(
+                            want,
+                            AccessOutcome {
+                                hit: true,
+                                evicted: None
+                            },
+                            "run tail must be a pure hit at step {step}"
+                        );
+                    } else {
+                        flush(&mut coalesced, &mut pending, &mut any_write);
+                        cur = line;
+                        let got = if write {
+                            coalesced.access_write(addr)
+                        } else {
+                            coalesced.access(addr)
+                        };
+                        assert_eq!(
+                            got, want,
+                            "run-head outcome (incl. eviction) diverges at step {step}"
+                        );
+                    }
+                }
+            }
+            flush(&mut coalesced, &mut pending, &mut any_write);
+            assert_eq!(coalesced.stats(), itemized.stats());
+        },
+    );
+}
+
+#[test]
+fn coalesced_evictions_match_lru() {
+    coalesced_eviction_sequence_matches(ReplacementPolicy::Lru);
+}
+
+#[test]
+fn coalesced_evictions_match_fifo() {
+    coalesced_eviction_sequence_matches(ReplacementPolicy::Fifo);
+}
+
+#[test]
+fn coalesced_evictions_match_random() {
+    coalesced_eviction_sequence_matches(ReplacementPolicy::Random);
+}

@@ -32,6 +32,15 @@ pub struct UmiRuntime<'p> {
     instrumentor: Instrumentor,
     store: ProfileStore,
     minisim: MiniSimulator,
+    /// Extra mini-simulators fed the same drained profiles as the primary
+    /// one, each over its own cache geometry
+    /// ([`add_shadow_sim`](Self::add_shadow_sim)). Analysis results never
+    /// feed back into region selection, instrumentation, or profile
+    /// collection, so a shadow's cumulative statistics are identical to
+    /// what a second full run configured with that geometry would
+    /// produce — at the cost of one extra analysis pass per invocation
+    /// instead of a whole re-execution.
+    shadows: Vec<MiniSimulator>,
     tracker: DelinquencyTracker,
     /// Instrumentation plans, kept across activation episodes. Trace ids
     /// are dense cache indices, so all per-trace state here lives in flat
@@ -116,6 +125,7 @@ impl<'p> UmiRuntime<'p> {
                 m.set_exclude_compulsory(config.exclude_compulsory);
                 m
             },
+            shadows: Vec::new(),
             tracker: DelinquencyTracker::new(
                 config.delinquency_initial,
                 config.delinquency_step,
@@ -158,6 +168,39 @@ impl<'p> UmiRuntime<'p> {
     /// The mini-simulator (cumulative introspection results).
     pub fn minisim(&self) -> &MiniSimulator {
         &self.minisim
+    }
+
+    /// Attaches a shadow mini-simulator with `config`'s simulation
+    /// geometry (cache, L1 accounting filter, warm-up, flush policy,
+    /// compulsory-miss handling) and returns its index.
+    ///
+    /// Every analyzer invocation replays the drained profiles through all
+    /// shadows after the primary mini-simulator. Introspection is
+    /// geometry-blind upstream of analysis — which traces get selected,
+    /// instrumented, and profiled depends only on execution frequency,
+    /// operation filtering, profile capacity, and the jitter stream — so
+    /// the shadow ends the run in exactly the state a dedicated run with
+    /// that configuration would reach. Table 4's K7-geometry column rides
+    /// the P4 run this way instead of re-interpreting the workload.
+    pub fn add_shadow_sim(&mut self, config: &UmiConfig) -> usize {
+        if let Err(e) = config.validate() {
+            panic!("invalid shadow configuration: {e}");
+        }
+        let mut m = MiniSimulator::with_l1_filter(
+            config.effective_sim_cache(),
+            config.effective_l1_filter(),
+            config.warmup_rows,
+            config.flush_after_cycles,
+        );
+        m.set_exclude_compulsory(config.exclude_compulsory);
+        self.shadows.push(m);
+        self.shadows.len() - 1
+    }
+
+    /// The shadow mini-simulators, in [`add_shadow_sim`](Self::add_shadow_sim)
+    /// order.
+    pub fn shadow_sims(&self) -> &[MiniSimulator] {
+        &self.shadows
     }
 
     /// The predicted delinquent loads so far.
@@ -331,6 +374,12 @@ impl<'p> UmiRuntime<'p> {
             let idx = (pc.0.wrapping_sub(CODE_BASE) >> 2) as usize;
             table.get(idx).copied() == Some(2)
         });
+        for shadow in &mut self.shadows {
+            shadow.analyze(&drained, now, |pc| {
+                let idx = (pc.0.wrapping_sub(CODE_BASE) >> 2) as usize;
+                table.get(idx).copied() == Some(2)
+            });
+        }
         self.umi_overhead += result.refs_simulated * self.config.analyze_cost_per_ref;
         if let Some(r) = responsible {
             self.tracker.decay(r);
@@ -560,6 +609,32 @@ mod tests {
         let report = umi.run(&mut NullSink, u64::MAX);
         assert_eq!(plain.stats(), report.vm_stats);
         assert_eq!(plain.reg(Reg::ECX), umi.dbi().vm().reg(Reg::ECX));
+    }
+
+    #[test]
+    fn shadow_sim_matches_dedicated_run() {
+        use umi_cache::CacheConfig;
+        let p = streaming(200_000);
+        let mut k7_cfg = UmiConfig::no_sampling().sim_cache(CacheConfig::k7_l2());
+        k7_cfg.sim_l1_filter = CacheConfig::k7_l1d();
+
+        // Dedicated K7-geometry run.
+        let mut dedicated = UmiRuntime::new(&p, k7_cfg.clone());
+        let dedicated_report = dedicated.run(&mut NullSink, u64::MAX);
+
+        // P4-geometry run with a K7 shadow riding along.
+        let mut umi = UmiRuntime::new(&p, UmiConfig::no_sampling());
+        let idx = umi.add_shadow_sim(&k7_cfg);
+        let report = umi.run(&mut NullSink, u64::MAX);
+
+        let shadow = &umi.shadow_sims()[idx];
+        assert_eq!(shadow.overall(), dedicated.minisim().overall());
+        assert_eq!(shadow.miss_ratio(), dedicated_report.umi_miss_ratio);
+        assert_eq!(shadow.invocations(), dedicated_report.analyzer_invocations);
+        assert!(
+            report.analyzer_invocations > 0 && shadow.overall().accesses > 0,
+            "the shadow must actually have simulated something"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::counters::HwCounters;
 use crate::platform::Platform;
 use crate::prefetcher::{AdjacentLinePrefetcher, PrefetchEngine, StridePrefetcher};
 use umi_cache::{Hierarchy, HitLevel};
-use umi_ir::{AccessKind, MemAccess};
+use umi_ir::{AccessKind, MemAccess, Pc};
 use umi_vm::AccessSink;
 
 /// Which hardware prefetchers are enabled (paper §8: "The prefetchers can
@@ -49,6 +49,21 @@ pub struct Machine {
     /// Line address of the most recent L2 miss, for the MLP/row-buffer
     /// discount.
     last_miss_line: Option<u64>,
+    /// `log2(l1 line size)`, for same-line run detection.
+    l1_shift: u32,
+    /// L1 line number of the most recent demand reference (`u64::MAX` =
+    /// none yet). Repeats of this line are deferred into `pending` and
+    /// settled as one `l1_reuse_mru` call: they are guaranteed L1 hits
+    /// (nothing between them can evict the line — prefetch fills touch
+    /// only L2), so they cost no stall and never reach L2.
+    cur_block: u64,
+    /// Deferred same-line demand repeats not yet applied to L1.
+    pending: u64,
+    /// Whether any deferred repeat was a store.
+    pending_write: bool,
+    /// Reusable scratch for prefetcher decisions (avoids a `Vec`
+    /// allocation per observed reference).
+    fill_buf: Vec<u64>,
 }
 
 impl Machine {
@@ -67,6 +82,7 @@ impl Machine {
         let adjacent =
             (effective != PrefetchSetting::Off).then(|| AdjacentLinePrefetcher::new(line));
         let stride = (effective == PrefetchSetting::Full).then(|| StridePrefetcher::pentium4(line));
+        let l1_shift = platform.l1.line_size.trailing_zeros();
         Machine {
             hierarchy: Hierarchy::new(platform.l1, platform.l2),
             platform,
@@ -76,6 +92,11 @@ impl Machine {
             sw_fills: 0,
             stall_cycles: 0,
             last_miss_line: None,
+            l1_shift,
+            cur_block: u64::MAX,
+            pending: 0,
+            pending_write: false,
+            fill_buf: Vec::new(),
         }
     }
 
@@ -114,8 +135,8 @@ impl Machine {
         insns + self.stall_cycles
     }
 
-    fn install_prefetches(&mut self, lines: Vec<u64>, hw: bool) {
-        for line in lines {
+    fn install_prefetches(&mut self, lines: &[u64], hw: bool) {
+        for &line in lines {
             if !self.hierarchy.probe_l2(line) {
                 self.hierarchy.prefetch_fill_l2(line);
                 if hw {
@@ -126,16 +147,80 @@ impl Machine {
             }
         }
     }
-}
 
-impl AccessSink for Machine {
-    fn access(&mut self, access: MemAccess) {
+    /// Installs the scratch buffer's lines as hardware prefetch fills.
+    /// Indexed loop rather than an iterator so the buffer and the
+    /// hierarchy can be borrowed disjointly from `&mut self`.
+    fn drain_fill_buf(&mut self) {
+        for i in 0..self.fill_buf.len() {
+            let line = self.fill_buf[i];
+            if !self.hierarchy.probe_l2(line) {
+                self.hierarchy.prefetch_fill_l2(line);
+                self.hw_fills += 1;
+            }
+        }
+        self.fill_buf.clear();
+    }
+
+    /// Runs both enabled prefetchers on one observed demand reference and
+    /// installs what they propose, in the same order as the per-item path
+    /// (adjacent's fills land before stride observes).
+    #[inline]
+    fn observe_and_install(&mut self, pc: Pc, line: u64, l2_miss: bool) {
+        if let Some(adj) = &mut self.adjacent {
+            adj.observe_into(pc, line, l2_miss, &mut self.fill_buf);
+            if !self.fill_buf.is_empty() {
+                self.drain_fill_buf();
+            }
+        }
+        if let Some(st) = &mut self.stride {
+            st.observe_into(pc, line, l2_miss, &mut self.fill_buf);
+            if !self.fill_buf.is_empty() {
+                self.drain_fill_buf();
+            }
+        }
+    }
+
+    /// Settles deferred same-line repeats into L1. Must run before any
+    /// other L1 access and at the end of every sink call, so external
+    /// observers ([`Machine::counters`]) always see settled state.
+    #[inline]
+    fn flush_run(&mut self) {
+        if self.pending > 0 {
+            self.hierarchy
+                .l1_reuse_mru(self.pending, self.pending_write);
+            self.pending = 0;
+            self.pending_write = false;
+        }
+    }
+
+    #[inline]
+    fn handle(&mut self, access: MemAccess) {
         if access.kind == AccessKind::Prefetch {
             // Software prefetch: install into L2, charge one issue cycle.
+            // L2-only, so it does not break a pending L1 run.
             self.stall_cycles += 1;
-            self.install_prefetches(vec![self.platform.l2.line_addr(access.addr)], false);
+            self.install_prefetches(&[self.platform.l2.line_addr(access.addr)], false);
             return;
         }
+
+        let block = access.addr >> self.l1_shift;
+        if block == self.cur_block {
+            // Same-line repeat: a guaranteed L1 hit. Defer the L1
+            // bookkeeping; no stall, no L2 reference. Prefetchers still
+            // observe every demand reference (their stream training and
+            // replacement clocks must see identical traffic), with
+            // `l2_miss = false` exactly as the per-item path would pass.
+            self.pending += 1;
+            self.pending_write |= access.kind == AccessKind::Store;
+            if self.adjacent.is_some() || self.stride.is_some() {
+                let line = self.platform.l2.line_addr(access.addr);
+                self.observe_and_install(access.pc, line, false);
+            }
+            return;
+        }
+        self.flush_run();
+        self.cur_block = block;
 
         let level = if access.kind == AccessKind::Store {
             self.hierarchy.access_write(access.addr)
@@ -168,16 +253,27 @@ impl AccessSink for Machine {
         // Hardware prefetchers observe demand traffic at line granularity.
         if self.adjacent.is_some() || self.stride.is_some() {
             let line = self.platform.l2.line_addr(access.addr);
-            let l2_miss = level == HitLevel::Memory;
-            if let Some(adj) = &mut self.adjacent {
-                let fills = adj.observe(access.pc, line, l2_miss);
-                self.install_prefetches(fills, true);
-            }
-            if let Some(st) = &mut self.stride {
-                let fills = st.observe(access.pc, line, l2_miss);
-                self.install_prefetches(fills, true);
-            }
+            self.observe_and_install(access.pc, line, level == HitLevel::Memory);
         }
+    }
+}
+
+impl AccessSink for Machine {
+    fn access(&mut self, access: MemAccess) {
+        self.handle(access);
+        self.flush_run();
+    }
+
+    /// Batch path: the per-block batches the VM delivers are consumed with
+    /// same-line runs coalesced. `cur_block` deliberately survives across
+    /// batches (the MRU L1 line stays resident between them), so runs that
+    /// span batch boundaries still coalesce; only the deferred counts are
+    /// settled per call.
+    fn access_batch(&mut self, accesses: &[MemAccess]) {
+        for &access in accesses {
+            self.handle(access);
+        }
+        self.flush_run();
     }
 }
 

@@ -9,11 +9,23 @@ use umi_ir::Pc;
 /// A hardware prefetch engine: observes demand references (at line
 /// granularity) and proposes line addresses to install into L2.
 pub trait PrefetchEngine {
-    /// Observes one demand reference; returns line addresses to prefetch.
+    /// Observes one demand reference; pushes line addresses to prefetch
+    /// into `out` (which the caller reuses across decisions — engines
+    /// must append, never clear).
     ///
     /// `line_addr` is the line-aligned address, `l2_miss` whether the
-    /// reference missed L2.
-    fn observe(&mut self, pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64>;
+    /// reference missed L2. This runs once per demand reference, so it
+    /// yields into the caller's buffer instead of allocating a `Vec` per
+    /// decision.
+    fn observe_into(&mut self, pc: Pc, line_addr: u64, l2_miss: bool, out: &mut Vec<u64>);
+
+    /// Convenience wrapper over [`observe_into`](Self::observe_into) that
+    /// allocates: tests and one-shot callers.
+    fn observe(&mut self, pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(pc, line_addr, l2_miss, &mut out);
+        out
+    }
 
     /// Resets all predictor state.
     fn reset(&mut self);
@@ -34,11 +46,9 @@ impl AdjacentLinePrefetcher {
 }
 
 impl PrefetchEngine for AdjacentLinePrefetcher {
-    fn observe(&mut self, _pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64> {
+    fn observe_into(&mut self, _pc: Pc, line_addr: u64, l2_miss: bool, out: &mut Vec<u64>) {
         if l2_miss {
-            vec![line_addr ^ self.line_size]
-        } else {
-            Vec::new()
+            out.push(line_addr ^ self.line_size);
         }
     }
 
@@ -64,6 +74,11 @@ pub struct StridePrefetcher {
     line_size: u64,
     distance: u64,
     clock: u64,
+    /// Slot of the most recently observed pc — a pure lookup memo.
+    /// Demand pcs repeat in runs (loop bodies), so the stream found last
+    /// time is almost always the one needed now; pc-uniqueness of valid
+    /// streams makes the shortcut observationally identical to the scan.
+    last_slot: usize,
 }
 
 impl StridePrefetcher {
@@ -85,21 +100,30 @@ impl StridePrefetcher {
             line_size,
             distance,
             clock: 0,
+            last_slot: 0,
         }
     }
 }
 
 impl PrefetchEngine for StridePrefetcher {
-    fn observe(&mut self, pc: Pc, line_addr: u64, l2_miss: bool) -> Vec<u64> {
+    fn observe_into(&mut self, pc: Pc, line_addr: u64, l2_miss: bool, out: &mut Vec<u64>) {
         self.clock += 1;
         let clock = self.clock;
 
-        if let Some(s) = self.streams.iter_mut().find(|s| s.valid && s.pc == pc) {
+        let memo = &self.streams[self.last_slot];
+        let found = if memo.valid && memo.pc == pc {
+            Some(self.last_slot)
+        } else {
+            self.streams.iter().position(|s| s.valid && s.pc == pc)
+        };
+        if let Some(i) = found {
+            self.last_slot = i;
+            let s = &mut self.streams[i];
             s.lru = clock;
             let delta = line_addr as i64 - s.last_line as i64;
             s.last_line = line_addr;
             if delta == 0 {
-                return Vec::new(); // same line; no new information
+                return; // same line; no new information
             }
             if delta == s.stride {
                 s.confidence = s.confidence.saturating_add(1);
@@ -111,28 +135,28 @@ impl PrefetchEngine for StridePrefetcher {
             // are trained continuously but throttle issue, which is what
             // keeps them from eliminating every streaming miss.
             if !l2_miss {
-                return Vec::new();
+                return;
             }
             if s.confidence >= 2 {
-                let mut out = Vec::with_capacity(self.distance as usize);
                 for k in 1..=self.distance {
                     let target = line_addr as i64 + s.stride * k as i64;
                     if target >= 0 {
                         out.push(target as u64 & !(self.line_size - 1));
                     }
                 }
-                return out;
             }
-            return Vec::new();
+            return;
         }
 
         // Allocate a new stream (reuse invalid or the least recently used).
         let slot = self
             .streams
-            .iter_mut()
-            .min_by_key(|s| if s.valid { s.lru } else { 0 })
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| if s.valid { s.lru } else { 0 })
+            .map(|(i, _)| i)
             .expect("at least one stream");
-        *slot = Stream {
+        self.streams[slot] = Stream {
             pc,
             last_line: line_addr,
             stride: 0,
@@ -140,12 +164,13 @@ impl PrefetchEngine for StridePrefetcher {
             lru: clock,
             valid: true,
         };
-        Vec::new()
+        self.last_slot = slot;
     }
 
     fn reset(&mut self) {
         self.streams.iter_mut().for_each(|s| *s = Stream::default());
         self.clock = 0;
+        self.last_slot = 0;
     }
 }
 

@@ -1,0 +1,245 @@
+//! Batch ⇄ per-item differential for the [`Machine`] sink.
+//!
+//! `Machine::access_batch` coalesces same-line demand runs into one
+//! hierarchy lookup plus a deferred bulk update, while the prefetchers
+//! keep observing every reference. This property pins the batched machine
+//! to an independent per-item reference — the pre-batching access loop,
+//! re-stated here over the same [`Hierarchy`] and prefetch engines — on
+//! every counter and on the stall-cycle total, across prefetch settings,
+//! platforms, and replacement policies.
+
+use umi_cache::{CacheConfig, Hierarchy, HitLevel, ReplacementPolicy};
+use umi_hw::{
+    AdjacentLinePrefetcher, Machine, Platform, PrefetchEngine, PrefetchSetting, StridePrefetcher,
+};
+use umi_ir::{AccessKind, MemAccess, Pc};
+use umi_testkit::{check, Xoshiro256pp};
+use umi_vm::AccessSink;
+
+/// The original per-item machine loop: full hierarchy access per
+/// reference, stall accounting, MLP discount, prefetcher observe/install.
+struct RefMachine {
+    platform: Platform,
+    hierarchy: Hierarchy,
+    adjacent: Option<AdjacentLinePrefetcher>,
+    stride: Option<StridePrefetcher>,
+    hw_fills: u64,
+    sw_fills: u64,
+    stall_cycles: u64,
+    last_miss_line: Option<u64>,
+}
+
+impl RefMachine {
+    fn new(platform: Platform, prefetch: PrefetchSetting) -> RefMachine {
+        let effective = if platform.has_hw_prefetch {
+            prefetch
+        } else {
+            PrefetchSetting::Off
+        };
+        let line = platform.l2.line_size;
+        let adjacent =
+            (effective != PrefetchSetting::Off).then(|| AdjacentLinePrefetcher::new(line));
+        let stride = (effective == PrefetchSetting::Full).then(|| StridePrefetcher::pentium4(line));
+        RefMachine {
+            hierarchy: Hierarchy::new(platform.l1, platform.l2),
+            platform,
+            adjacent,
+            stride,
+            hw_fills: 0,
+            sw_fills: 0,
+            stall_cycles: 0,
+            last_miss_line: None,
+        }
+    }
+
+    fn install(&mut self, lines: Vec<u64>, hw: bool) {
+        for line in lines {
+            if !self.hierarchy.probe_l2(line) {
+                self.hierarchy.prefetch_fill_l2(line);
+                if hw {
+                    self.hw_fills += 1;
+                } else {
+                    self.sw_fills += 1;
+                }
+            }
+        }
+    }
+
+    fn access(&mut self, access: MemAccess) {
+        if access.kind == AccessKind::Prefetch {
+            self.stall_cycles += 1;
+            self.install(vec![self.platform.l2.line_addr(access.addr)], false);
+            return;
+        }
+        let level = if access.kind == AccessKind::Store {
+            self.hierarchy.access_write(access.addr)
+        } else {
+            self.hierarchy.access(access.addr)
+        };
+        match level {
+            HitLevel::L1 => {}
+            HitLevel::L2 => self.stall_cycles += self.platform.l2_hit_cycles,
+            HitLevel::Memory => {
+                let line = self.platform.l2.line_addr(access.addr);
+                let near = self
+                    .last_miss_line
+                    .is_some_and(|prev| prev.abs_diff(line) <= 16 * self.platform.l2.line_size);
+                self.stall_cycles += if near {
+                    self.platform.memory_cycles / 3
+                } else {
+                    self.platform.memory_cycles
+                };
+                self.last_miss_line = Some(line);
+            }
+        }
+        if self.adjacent.is_some() || self.stride.is_some() {
+            let line = self.platform.l2.line_addr(access.addr);
+            let l2_miss = level == HitLevel::Memory;
+            if let Some(adj) = &mut self.adjacent {
+                let fills = adj.observe(access.pc, line, l2_miss);
+                self.install(fills, true);
+            }
+            if let Some(st) = &mut self.stride {
+                let fills = st.observe(access.pc, line, l2_miss);
+                self.install(fills, true);
+            }
+        }
+    }
+}
+
+/// Demand traffic with the shapes the batch path special-cases: same-line
+/// runs in a hot working set, unit-stride streaming bursts (arming the
+/// stride prefetcher, spilling past L2), and software prefetch hints
+/// landing mid-run.
+fn random_stream(rng: &mut Xoshiro256pp, refs: usize) -> Vec<MemAccess> {
+    let mut out = Vec::with_capacity(refs + 16);
+    let mut cursor = 0x100_0000u64; // streaming frontier, far from the hot set
+    while out.len() < refs {
+        match rng.below(4) {
+            // A same-line run in the hot working set.
+            0..=1 => {
+                let line = rng.below(256) * 64;
+                for _ in 0..=rng.below(5) {
+                    let kind = match rng.below(12) {
+                        0 => AccessKind::Prefetch,
+                        1 | 2 => AccessKind::Store,
+                        _ => AccessKind::Load,
+                    };
+                    out.push(MemAccess {
+                        pc: Pc(1 + rng.below(16)),
+                        addr: line + rng.below(64),
+                        width: 8,
+                        kind,
+                    });
+                }
+            }
+            // A unit-stride streaming burst from one pc.
+            2 => {
+                let pc = Pc(100 + rng.below(4));
+                for _ in 0..=rng.below(12) {
+                    out.push(MemAccess {
+                        pc,
+                        addr: cursor,
+                        width: 8,
+                        kind: AccessKind::Load,
+                    });
+                    cursor += 64;
+                }
+            }
+            // A far pointer-chase-like jump (full-latency miss).
+            _ => out.push(MemAccess {
+                pc: Pc(50),
+                addr: 0x4000_0000 + rng.below(1 << 24),
+                width: 8,
+                kind: AccessKind::Load,
+            }),
+        }
+    }
+    out
+}
+
+fn machine_matches(platform: fn() -> Platform, setting: PrefetchSetting, label: &str) {
+    check(label, 32, |rng| {
+        let stream = random_stream(rng, 1200);
+        let mut batched = Machine::new(platform(), setting);
+        let mut reference = RefMachine::new(platform(), setting);
+
+        let mut i = 0;
+        while i < stream.len() {
+            let end = (i + 1 + rng.below(9) as usize).min(stream.len());
+            batched.access_batch(&stream[i..end]);
+            i = end;
+        }
+        for &a in &stream {
+            reference.access(a);
+        }
+
+        let got = batched.counters();
+        assert_eq!(got.l1_refs, reference.hierarchy.l1_stats().accesses);
+        assert_eq!(got.l1_misses, reference.hierarchy.l1_stats().misses);
+        assert_eq!(got.l2_refs, reference.hierarchy.l2_stats().accesses);
+        assert_eq!(got.l2_misses, reference.hierarchy.l2_stats().misses);
+        assert_eq!(got.hw_prefetch_fills, reference.hw_fills);
+        assert_eq!(got.sw_prefetch_fills, reference.sw_fills);
+        assert_eq!(batched.stall_cycles(), reference.stall_cycles);
+    });
+}
+
+#[test]
+fn pentium4_prefetch_off() {
+    machine_matches(
+        Platform::pentium4,
+        PrefetchSetting::Off,
+        "batched Machine matches per-item (P4, off)",
+    );
+}
+
+#[test]
+fn pentium4_adjacent_only() {
+    machine_matches(
+        Platform::pentium4,
+        PrefetchSetting::AdjacentOnly,
+        "batched Machine matches per-item (P4, adjacent)",
+    );
+}
+
+#[test]
+fn pentium4_full_prefetch() {
+    machine_matches(
+        Platform::pentium4,
+        PrefetchSetting::Full,
+        "batched Machine matches per-item (P4, full)",
+    );
+}
+
+#[test]
+fn k7_no_prefetch_hardware() {
+    machine_matches(
+        Platform::k7,
+        PrefetchSetting::Full,
+        "batched Machine matches per-item (K7)",
+    );
+}
+
+/// A synthetic platform with Random-replacement caches: the coalesced
+/// path must keep the victim RNG in lockstep with the per-item path (run
+/// tails are hits and must not advance it).
+#[test]
+fn random_replacement_stays_in_lockstep() {
+    fn random_platform() -> Platform {
+        Platform {
+            name: "random-replacement test rig",
+            l1: CacheConfig::new(16, 4, 64).policy(ReplacementPolicy::Random),
+            l2: CacheConfig::new(256, 8, 64).policy(ReplacementPolicy::Random),
+            l2_hit_cycles: 10,
+            memory_cycles: 200,
+            clock_mhz: 1000,
+            has_hw_prefetch: true,
+        }
+    }
+    machine_matches(
+        random_platform,
+        PrefetchSetting::Full,
+        "batched Machine matches per-item (Random policy)",
+    );
+}

@@ -52,6 +52,6 @@ mod stats;
 mod vm;
 
 pub use memory::Memory;
-pub use sink::{AccessSink, CollectSink, CountSink, FnSink, NullSink};
+pub use sink::{AccessSink, CollectSink, CountSink, FnSink, NullSink, Tee};
 pub use stats::VmStats;
 pub use vm::{BlockExit, ExitKind, RunResult, Vm};

@@ -82,6 +82,43 @@ impl<F: FnMut(MemAccess)> AccessSink for FnSink<F> {
     }
 }
 
+/// Fans one access stream out to two sinks (both see every access, in
+/// order). Nest `Tee`s to drive any number of sinks from a single VM
+/// pass:
+///
+/// ```
+/// use umi_vm::{AccessSink, CountSink, Tee};
+/// use umi_ir::{AccessKind, MemAccess, Pc};
+///
+/// let (mut a, mut b, mut c) = (CountSink::default(), CountSink::default(), CountSink::default());
+/// {
+///     let mut inner = Tee(&mut b, &mut c);
+///     let mut tee = Tee(&mut a, &mut inner);
+///     tee.access(MemAccess { pc: Pc(0x400000), addr: 0, width: 8, kind: AccessKind::Load });
+/// }
+/// assert_eq!((a.loads, b.loads, c.loads), (1, 1, 1));
+/// ```
+///
+/// Batches are forwarded as batches, so downstream batch overrides (run
+/// coalescing in the cache sinks) stay effective. The harnesses use this
+/// to measure several passive models — hardware machines, the full
+/// simulator — from one interpreter pass instead of re-running the
+/// program per model.
+#[derive(Debug)]
+pub struct Tee<'a, A: AccessSink, B: AccessSink>(pub &'a mut A, pub &'a mut B);
+
+impl<A: AccessSink, B: AccessSink> AccessSink for Tee<'_, A, B> {
+    fn access(&mut self, access: MemAccess) {
+        self.0.access(access);
+        self.1.access(access);
+    }
+
+    fn access_batch(&mut self, batch: &[MemAccess]) {
+        self.0.access_batch(batch);
+        self.1.access_batch(batch);
+    }
+}
+
 impl<S: AccessSink + ?Sized> AccessSink for &mut S {
     fn access(&mut self, access: MemAccess) {
         (**self).access(access);
@@ -149,6 +186,20 @@ mod tests {
         let mut inner = CollectSink::default();
         feed_batch(&mut inner, &batch);
         assert_eq!(inner.accesses.len(), 3);
+    }
+
+    #[test]
+    fn tee_forwards_batches_as_batches() {
+        let batch = [acc(AccessKind::Load), acc(AccessKind::Store)];
+        let mut collect = CollectSink::default();
+        let mut counts = CountSink::default();
+        {
+            let mut tee = Tee(&mut collect, &mut counts);
+            tee.access_batch(&batch);
+            tee.access(acc(AccessKind::Prefetch));
+        }
+        assert_eq!(collect.accesses.len(), 3);
+        assert_eq!((counts.loads, counts.stores, counts.prefetches), (1, 1, 1));
     }
 
     #[test]

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Smoke test: build + tier-1 tests, then run five representative
+# Smoke test: build + tier-1 tests, then run six representative
 # harnesses at CI scale and require byte-identical output against the
 # golden files — with the parallel engine on (UMI_JOBS=2), so any
-# nondeterminism in the fan-out shows up as a diff.
+# nondeterminism in the fan-out shows up as a diff. cache_sink doubles
+# as a correctness gate: it asserts sink agreement and the sampled-mode
+# error bound before printing.
 #
 # umi_lint is both a harness and a gate: it exits non-zero on any
 # Error-severity static diagnostic or when static-vs-dynamic delinquency
@@ -18,7 +20,7 @@ cargo test -q
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for bin in table6 table4 fig3 table_static umi_lint; do
+for bin in table6 table4 fig3 table_static umi_lint cache_sink; do
     UMI_SCALE=test UMI_JOBS=2 ./target/release/$bin > "$tmp/$bin.txt"
     if ! diff -u "results/golden/$bin.txt" "$tmp/$bin.txt"; then
         echo "smoke: $bin output differs from results/golden/$bin.txt" >&2
