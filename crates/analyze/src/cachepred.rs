@@ -228,8 +228,13 @@ pub fn predict_program(
                     .iter()
                     .all(|&lat| fa.doms.dominates(sref.block, lat))
             });
-            let (footprint, verdict) =
-                predict_ref(sref.class, loop_trips, every_iteration, geom, hot_miss_floor);
+            let (footprint, verdict) = predict_ref(
+                sref.class,
+                loop_trips,
+                every_iteration,
+                geom,
+                hot_miss_floor,
+            );
             CachePrediction {
                 sref,
                 trips: loop_trips,
@@ -439,9 +444,7 @@ mod tests {
         let _ = f;
         let loads: Vec<_> = preds.iter().filter(|p| !p.sref.is_store).collect();
         assert_eq!(loads.len(), 2);
-        assert!(loads
-            .iter()
-            .all(|p| p.verdict == Delinquency::PredictCold));
+        assert!(loads.iter().all(|p| p.verdict == Delinquency::PredictCold));
     }
 
     #[test]

@@ -59,13 +59,15 @@ mod liveness;
 mod verify;
 
 pub use affine::{classify_program, loop_reg_kinds, RegKind, StaticClass, StaticRef};
-pub use cachepred::{loop_trip_bound, predict_program, CacheGeometry, CachePrediction, Delinquency};
+pub use cachepred::{
+    loop_trip_bound, predict_program, CacheGeometry, CachePrediction, Delinquency,
+};
 pub use cfg::{
     analyze_program, innermost_loop_map, natural_loops, Cfg, Dominators, FuncAnalysis, NaturalLoop,
 };
 pub use lint::{lint_program, Lint, LintKind, Severity};
 pub use liveness::{insn_defs, insn_uses, liveness, reg_bit, regs_in, term_uses, Liveness};
 pub use verify::{
-    render_errors, sort_errors, verify, verify_decoded, verify_decoded_block, verify_program,
-    VerifyError,
+    render_errors, sort_errors, verify, verify_decoded, verify_decoded_block,
+    verify_decoded_block_with, verify_decoded_with, verify_program, VerifyError,
 };

@@ -234,7 +234,10 @@ mod tests {
             .movi(Reg::EAX, 2) // dead: never read before ret
             .ret();
         let lints = lint_program(&pb.finish());
-        assert_eq!(kinds(&lints), vec![LintKind::DeadStore, LintKind::DeadStore]);
+        assert_eq!(
+            kinds(&lints),
+            vec![LintKind::DeadStore, LintKind::DeadStore]
+        );
         assert_eq!(lints[0].pc.0 + 4, lints[1].pc.0);
     }
 
@@ -255,7 +258,10 @@ mod tests {
         let f = pb.begin_func("main");
         let next = pb.new_block();
         pb.block(f.entry()).movi(Reg::EAX, 7).jmp(next);
-        pb.block(next).add(Reg::EBX, Reg::EAX).push_val(Reg::EBX).ret();
+        pb.block(next)
+            .add(Reg::EBX, Reg::EAX)
+            .push_val(Reg::EBX)
+            .ret();
         assert_eq!(lint_program(&pb.finish()), Vec::new());
     }
 

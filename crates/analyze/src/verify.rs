@@ -26,8 +26,8 @@
 use std::fmt;
 use umi_ir::decoded::{block_access_pcs, NO_REG, SCRATCH0, SCRATCH1};
 use umi_ir::{
-    BasicBlock, BlockId, DataSegment, DecodedBlock, DecodedCache, Ea, Insn, MicroOp, MicroTerm,
-    Operand, Pc, Program, Terminator, Width, CODE_BASE, REG_SLOTS,
+    BasicBlock, BlockId, DataSegment, DecodedBlock, DecodedCache, Ea, FusionLevel, Insn, MicroOp,
+    MicroTerm, Operand, Pc, Program, Terminator, Width, CODE_BASE, REG_SLOTS,
 };
 
 /// One verifier finding.
@@ -171,17 +171,21 @@ pub enum VerifyError {
         /// The pc the fused op claims.
         pc: Pc,
     },
-    /// The terminator is fused although the source block's last
-    /// instruction is not an eligible compare.
+    /// The decoded block carries a fused form the claimed fusion level
+    /// (and the source idiom) does not produce at that position.
     SpuriousFusion {
         /// The offending block.
         block: BlockId,
+        /// Display name of the offending fused form.
+        form: &'static str,
     },
-    /// The source block ends with an eligible compare+branch pair that
-    /// the decoded terminator left unfused.
+    /// The source block contains an idiom the claimed fusion level must
+    /// fuse, but the decoded block left it unfused.
     MissedFusion {
         /// The offending block.
         block: BlockId,
+        /// Display name of the expected fused form.
+        form: &'static str,
     },
     /// The decoded terminator does not match the source terminator
     /// (targets, condition, operands, or call resolution).
@@ -224,8 +228,8 @@ impl VerifyError {
             | VerifyError::ArchInsnMismatch { block, .. }
             | VerifyError::AccessCountMismatch { block, .. }
             | VerifyError::FusedLoadOpMismatch { block, .. }
-            | VerifyError::SpuriousFusion { block }
-            | VerifyError::MissedFusion { block }
+            | VerifyError::SpuriousFusion { block, .. }
+            | VerifyError::MissedFusion { block, .. }
             | VerifyError::TermMismatch { block } => Some(*block),
         }
     }
@@ -358,14 +362,11 @@ impl fmt::Display for VerifyError {
                     "{block} fuses a load+op at {pc:?} with no matching source"
                 )
             }
-            VerifyError::SpuriousFusion { block } => {
-                write!(
-                    f,
-                    "{block} fuses a cmp+branch with no eligible source compare"
-                )
+            VerifyError::SpuriousFusion { block, form } => {
+                write!(f, "{block} fuses a {form} with no eligible source idiom")
             }
-            VerifyError::MissedFusion { block } => {
-                write!(f, "{block} leaves an eligible cmp+branch pair unfused")
+            VerifyError::MissedFusion { block, form } => {
+                write!(f, "{block} leaves an eligible {form} fusion unfused")
             }
             VerifyError::TermMismatch { block } => {
                 write!(f, "{block}'s decoded terminator diverges from its source")
@@ -606,12 +607,28 @@ fn check_width(block: BlockId, width: u8, errs: &mut Vec<VerifyError>) {
     }
 }
 
-/// Verifies one decoded block against its source, appending findings to
-/// `errs`. `program` resolves call targets and pc lookups.
+/// Verifies one decoded block against its source, assuming the block was
+/// lowered at [`FusionLevel::Full`]. See [`verify_decoded_block_with`].
 pub fn verify_decoded_block(
     program: &Program,
     source: &BasicBlock,
     decoded: &DecodedBlock,
+    errs: &mut Vec<VerifyError>,
+) {
+    verify_decoded_block_with(program, source, decoded, FusionLevel::Full, errs);
+}
+
+/// Verifies one decoded block against its source, appending findings to
+/// `errs`. `program` resolves call targets and pc lookups. `level` is
+/// the fusion level the block claims to be lowered at: the fusion
+/// invariants are level-aware, so a `Baseline` cache is not flagged for
+/// "missing" superinstructions and a `Full` cache is flagged when an
+/// expected fusion did not fire.
+pub fn verify_decoded_block_with(
+    program: &Program,
+    source: &BasicBlock,
+    decoded: &DecodedBlock,
+    level: FusionLevel,
     errs: &mut Vec<VerifyError>,
 ) {
     let id = source.id;
@@ -641,9 +658,14 @@ pub fn verify_decoded_block(
             }
             MicroOp::MovI { dst, .. }
             | MicroOp::BinRI { dst, .. }
+            | MicroOp::BinRIRI { dst, .. }
             | MicroOp::Un { dst, .. }
             | MicroOp::CmpRI { a: dst, .. }
             | MicroOp::CmpIR { b: dst, .. } => check_reg(id, *dst, errs),
+            MicroOp::MovBinRI { dst, src, .. } | MicroOp::MovBinRIRI { dst, src, .. } => {
+                check_reg(id, *dst, errs);
+                check_reg(id, *src, errs);
+            }
             MicroOp::CmpRR { a, b } => {
                 check_reg(id, *a, errs);
                 check_reg(id, *b, errs);
@@ -658,6 +680,19 @@ pub fn verify_decoded_block(
                 stream.push(*pc);
                 loads += 1;
             }
+            MicroOp::LoadBD {
+                dst,
+                base,
+                width,
+                pc,
+                ..
+            } => {
+                check_reg(id, *dst, errs);
+                check_reg(id, *base, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                loads += 1;
+            }
             MicroOp::StoreR {
                 ea, src, width, pc, ..
             } => {
@@ -666,6 +701,58 @@ pub fn verify_decoded_block(
                 check_width(id, *width, errs);
                 stream.push(*pc);
                 stores += 1;
+            }
+            MicroOp::StoreRBD {
+                src,
+                base,
+                width,
+                pc,
+                ..
+            } => {
+                check_reg(id, *src, errs);
+                check_reg(id, *base, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                stores += 1;
+            }
+            MicroOp::LoadRI {
+                dst, ea, width, pc, ..
+            } => {
+                check_reg(id, *dst, errs);
+                check_ea(id, ea, errs);
+                check_width(id, *width, errs);
+                stream.push(*pc);
+                loads += 1;
+                // Fused load+immediate-op invariant: the access must
+                // originate from a load-like source instruction into the
+                // same register at this pc (the immediate op itself is
+                // pinned by the expected-lowering comparison below).
+                let index = pc.0.wrapping_sub(source.addr.0) / 4;
+                let matches_source = pc.0 >= source.addr.0
+                    && (index as usize) < source.insns.len()
+                    && match &source.insns[index as usize] {
+                        Insn::Load {
+                            dst: sdst,
+                            mem,
+                            width: w,
+                        } => {
+                            sdst.index() as u8 == *dst
+                                && Ea::lower(mem) == *ea
+                                && w.bytes() as u8 == *width
+                        }
+                        Insn::Mov {
+                            dst: sdst,
+                            src: Operand::Mem(m, w),
+                        } => {
+                            sdst.index() as u8 == *dst
+                                && Ea::lower(m) == *ea
+                                && w.bytes() as u8 == *width
+                        }
+                        _ => false,
+                    };
+                if !matches_source {
+                    errs.push(VerifyError::FusedLoadOpMismatch { block: id, pc: *pc });
+                }
             }
             MicroOp::StoreI { ea, width, pc, .. } => {
                 check_ea(id, ea, errs);
@@ -760,23 +847,212 @@ pub fn verify_decoded_block(
             errs.push(VerifyError::DanglingTarget { block: id, target });
         }
     }
-    if let Some(expected) = expected_term(source, program) {
-        if decoded.term != expected {
+    // Fusion invariants, checked against the lowering the claimed level
+    // must produce: the baseline (PR 2) lowering of the source, plus —
+    // at `Full` — the verifier's *own* model of the superinstruction
+    // peephole ([`model_fuse_block`]), deliberately re-stated rather
+    // than shared with `umi-ir` so a bug in the production pass cannot
+    // vouch for itself. `expected_term` returning `None` means the
+    // source calls a nonexistent function (reported by
+    // [`verify_program`]); lowering it would panic, so skip.
+    if let Some(mut exp_term) = expected_term(source, program) {
+        let mut exp_ops = DecodedBlock::lower_with(source, program, FusionLevel::Baseline)
+            .ops
+            .to_vec();
+        if level == FusionLevel::Full {
+            model_fuse_block(&mut exp_ops, &mut exp_term);
+        }
+        // First op divergence, classified: a fused form on the decoded
+        // side is spurious, a fused form on the expected side was
+        // missed. Divergences between unfused forms are covered by the
+        // structural checks above.
+        for i in 0..decoded.ops.len().max(exp_ops.len()) {
+            let (got, want) = (decoded.ops.get(i), exp_ops.get(i));
+            if got == want {
+                continue;
+            }
+            if let Some(form) = got.and_then(full_only_form) {
+                errs.push(VerifyError::SpuriousFusion { block: id, form });
+            } else if let Some(form) = want.and_then(full_only_form) {
+                errs.push(VerifyError::MissedFusion { block: id, form });
+            }
+            break;
+        }
+        if decoded.term != exp_term {
+            let three_wide = |t: &MicroTerm| matches!(t, MicroTerm::BinRICmpRIBr { .. });
             let fused =
                 |t: &MicroTerm| matches!(t, MicroTerm::CmpRRBr { .. } | MicroTerm::CmpRIBr { .. });
-            errs.push(match (fused(&decoded.term), fused(&expected)) {
-                (true, false) => VerifyError::SpuriousFusion { block: id },
-                (false, true) => VerifyError::MissedFusion { block: id },
-                _ => VerifyError::TermMismatch { block: id },
+            errs.push(match (three_wide(&decoded.term), three_wide(&exp_term)) {
+                (true, false) => VerifyError::SpuriousFusion {
+                    block: id,
+                    form: decoded.term.name(),
+                },
+                (false, true) => VerifyError::MissedFusion {
+                    block: id,
+                    form: exp_term.name(),
+                },
+                _ => match (fused(&decoded.term), fused(&exp_term)) {
+                    (true, false) => VerifyError::SpuriousFusion {
+                        block: id,
+                        form: decoded.term.name(),
+                    },
+                    (false, true) => VerifyError::MissedFusion {
+                        block: id,
+                        form: exp_term.name(),
+                    },
+                    _ => VerifyError::TermMismatch { block: id },
+                },
             });
         }
+    }
+}
+
+/// The display name of `op` when it is a form only [`FusionLevel::Full`]
+/// produces, `None` for every baseline-legal op.
+fn full_only_form(op: &MicroOp) -> Option<&'static str> {
+    matches!(
+        op,
+        MicroOp::LoadBD { .. }
+            | MicroOp::StoreRBD { .. }
+            | MicroOp::LoadRI { .. }
+            | MicroOp::MovBinRI { .. }
+            | MicroOp::BinRIRI { .. }
+            | MicroOp::MovBinRIRI { .. }
+    )
+    .then(|| op.name())
+}
+
+/// The verifier's independent model of one pair-fusion rewrite. Mirrors
+/// the semantics the lowering must implement: every rule consumes a
+/// data-dependent pair (the second op reads the first's destination), so
+/// no memory access is skipped or reordered.
+fn model_fuse_pair(a: &MicroOp, b: &MicroOp) -> Option<MicroOp> {
+    let (bop, bin_dst, bimm) = match *b {
+        MicroOp::BinRI { op, dst, imm } => (op, dst, imm),
+        _ => return None,
+    };
+    match *a {
+        MicroOp::Load { dst, ea, width, pc } if dst == bin_dst => Some(MicroOp::LoadRI {
+            op: bop,
+            dst,
+            ea,
+            width,
+            imm: bimm,
+            pc,
+        }),
+        MicroOp::MovR { dst, src } if dst == bin_dst => Some(MicroOp::MovBinRI {
+            op: bop,
+            dst,
+            src,
+            imm: bimm,
+        }),
+        MicroOp::BinRI { op, dst, imm } if dst == bin_dst => Some(MicroOp::BinRIRI {
+            op1: op,
+            op2: bop,
+            dst,
+            imm1: imm,
+            imm2: bimm,
+        }),
+        MicroOp::MovBinRI { op, dst, src, imm } if dst == bin_dst => Some(MicroOp::MovBinRIRI {
+            op1: op,
+            op2: bop,
+            dst,
+            src,
+            imm1: imm,
+            imm2: bimm,
+        }),
+        _ => None,
+    }
+}
+
+/// The verifier's independent model of the [`FusionLevel::Full`]
+/// peephole: greedy left-to-right pair fusion to a fixpoint, then
+/// back-edge terminator fusion, then effective-address specialization.
+fn model_fuse_block(ops: &mut Vec<MicroOp>, term: &mut MicroTerm) {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut out = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            match ops.get(i + 1).and_then(|b| model_fuse_pair(&ops[i], b)) {
+                Some(fused) => {
+                    out.push(fused);
+                    i += 2;
+                    changed = true;
+                }
+                None => {
+                    out.push(ops[i]);
+                    i += 1;
+                }
+            }
+        }
+        *ops = out;
+    }
+    if let MicroTerm::CmpRIBr {
+        a,
+        imm,
+        cond,
+        taken,
+        fallthrough,
+    } = *term
+    {
+        if let Some(&MicroOp::BinRI {
+            op,
+            dst,
+            imm: op_imm,
+        }) = ops.last()
+        {
+            if dst == a {
+                ops.pop();
+                *term = MicroTerm::BinRICmpRIBr {
+                    op,
+                    a,
+                    op_imm,
+                    cmp_imm: imm,
+                    cond,
+                    taken,
+                    fallthrough,
+                };
+            }
+        }
+    }
+    for op in ops.iter_mut() {
+        let bd = |ea: &Ea| {
+            (ea.base != NO_REG && ea.index == NO_REG)
+                .then(|| i32::try_from(ea.disp).ok())
+                .flatten()
+        };
+        *op = match *op {
+            MicroOp::Load { dst, ea, width, pc } => match bd(&ea) {
+                Some(disp) => MicroOp::LoadBD {
+                    dst,
+                    base: ea.base,
+                    disp,
+                    width,
+                    pc,
+                },
+                None => *op,
+            },
+            MicroOp::StoreR { ea, src, width, pc } => match bd(&ea) {
+                Some(disp) => MicroOp::StoreRBD {
+                    src,
+                    base: ea.base,
+                    disp,
+                    width,
+                    pc,
+                },
+                None => *op,
+            },
+            other => other,
+        };
     }
 }
 
 fn term_regs(term: &MicroTerm) -> Vec<u8> {
     match term {
         MicroTerm::CmpRRBr { a, b, .. } => vec![*a, *b],
-        MicroTerm::CmpRIBr { a, .. } => vec![*a],
+        MicroTerm::CmpRIBr { a, .. } | MicroTerm::BinRICmpRIBr { a, .. } => vec![*a],
         MicroTerm::JmpInd { sel, .. } => vec![*sel],
         _ => Vec::new(),
     }
@@ -793,6 +1069,9 @@ fn term_targets(term: &MicroTerm) -> Vec<BlockId> {
         }
         | MicroTerm::CmpRIBr {
             taken, fallthrough, ..
+        }
+        | MicroTerm::BinRICmpRIBr {
+            taken, fallthrough, ..
         } => vec![*taken, *fallthrough],
         MicroTerm::JmpInd { table, .. } => table.to_vec(),
         MicroTerm::Call { target, ret_to } => vec![*target, *ret_to],
@@ -800,12 +1079,27 @@ fn term_targets(term: &MicroTerm) -> Vec<BlockId> {
     }
 }
 
-/// Verifies a whole decoded cache against `program`.
+/// Verifies a whole decoded cache against `program`, assuming it was
+/// lowered at [`FusionLevel::Full`].
 ///
 /// # Errors
 ///
 /// Returns all findings when any check fails.
 pub fn verify_decoded(program: &Program, cache: &DecodedCache) -> Result<(), Vec<VerifyError>> {
+    verify_decoded_with(program, cache, FusionLevel::Full)
+}
+
+/// Verifies a whole decoded cache against `program` at an explicit
+/// [`FusionLevel`].
+///
+/// # Errors
+///
+/// Returns all findings when any check fails.
+pub fn verify_decoded_with(
+    program: &Program,
+    cache: &DecodedCache,
+    level: FusionLevel,
+) -> Result<(), Vec<VerifyError>> {
     let mut errs = Vec::new();
     if cache.len() != program.blocks.len() {
         errs.push(VerifyError::DecodedLenMismatch {
@@ -814,7 +1108,7 @@ pub fn verify_decoded(program: &Program, cache: &DecodedCache) -> Result<(), Vec
         });
     } else {
         for block in &program.blocks {
-            verify_decoded_block(program, block, cache.block(block.id), &mut errs);
+            verify_decoded_block_with(program, block, cache.block(block.id), level, &mut errs);
         }
     }
     if errs.is_empty() {
@@ -959,32 +1253,213 @@ mod tests {
     fn rejects_a_missed_fusion() {
         let p = tiny();
         let cache = DecodedCache::lower(&p);
-        // Block 1 ends with cmp+br, which must fuse; un-fusing it back
-        // into a CmpRI op plus plain Br violates the invariant.
+        // Block 1's `addi; cmpi; br` back edge must fuse three-wide at
+        // `Full`; un-fusing the update back into a standalone `BinRI`
+        // plus a plain cmp+branch violates the invariant.
         let mut bad = cache.block(BlockId(1)).clone();
-        let (a, imm, cond, taken, fallthrough) = match &bad.term {
-            MicroTerm::CmpRIBr {
+        let (op, a, op_imm, cmp_imm, cond, taken, fallthrough) = match &bad.term {
+            MicroTerm::BinRICmpRIBr {
+                op,
                 a,
-                imm,
+                op_imm,
+                cmp_imm,
                 cond,
                 taken,
                 fallthrough,
-            } => (*a, *imm, *cond, *taken, *fallthrough),
-            t => panic!("expected fused term, got {t:?}"),
+            } => (*op, *a, *op_imm, *cmp_imm, *cond, *taken, *fallthrough),
+            t => panic!("expected three-wide fused term, got {t:?}"),
         };
         let mut ops = bad.ops.to_vec();
-        ops.push(MicroOp::CmpRI { a, imm });
+        ops.push(MicroOp::BinRI {
+            op,
+            dst: a,
+            imm: op_imm,
+        });
         bad.ops = ops.into_boxed_slice();
-        bad.term = MicroTerm::Br {
+        bad.term = MicroTerm::CmpRIBr {
+            a,
+            imm: cmp_imm,
             cond,
             taken,
             fallthrough,
         };
         let mut errs = Vec::new();
         verify_decoded_block(&p, p.block(BlockId(1)), &bad, &mut errs);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::MissedFusion {
+                form: "add_cmp_br",
+                ..
+            }
+        )));
+    }
+
+    /// A block exercising every profile-guided superinstruction: a
+    /// `load; addi` pair (→ `LoadRI`), a `mov; shr; and` hash triple
+    /// (→ `MovBinRIRI`), a `mul; addi` LCG update (→ `BinRIRI`), a
+    /// base+disp store (→ `StoreRBD`), and an `addi; cmpi; br` back edge
+    /// (→ `BinRICmpRIBr`).
+    fn fusable() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .movi(Reg::EAX, 1)
+            .alloc(Reg::ESI, 8 * 16)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EBX, Reg::ESI + 8, Width::W8)
+            .addi(Reg::EBX, 3)
+            .mov(Reg::EDX, Reg::EAX)
+            .shr(Reg::EDX, 4)
+            .and(Reg::EDX, 15)
+            .mul(Reg::EAX, 6_364_136_223_846_793_005_i64)
+            .addi(Reg::EAX, 1_442_695_040_888_963_407_i64)
+            .store(Reg::ESI + 16, Reg::EBX, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 16)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        pb.finish()
+    }
+
+    #[test]
+    fn full_lowering_of_the_fusable_idioms_passes() {
+        let p = fusable();
+        assert_eq!(verify(&p), Ok(()));
+        let body = BlockId(1);
+        let b = DecodedCache::lower(&p).block(body).clone();
+        let names: Vec<_> = b.ops.iter().map(MicroOp::name).collect();
+        assert_eq!(
+            names,
+            ["load_add", "mov_bin_ri_ri", "bin_ri_ri", "store_bd"],
+            "every idiom must fuse: {:?}",
+            b.ops
+        );
+        assert!(matches!(b.term, MicroTerm::BinRICmpRIBr { .. }));
+        // A baseline cache of the same program also verifies — the
+        // invariants are level-aware.
+        let base = DecodedCache::lower_with(&p, FusionLevel::Baseline);
+        assert_eq!(
+            verify_decoded_with(&p, &base, FusionLevel::Baseline),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn rejects_superinstructions_in_a_baseline_cache() {
+        let p = fusable();
+        let body = BlockId(1);
+        // Grafting the Full lowering into a cache that claims Baseline
+        // must flag the first superinstruction as spurious.
+        let full = DecodedCache::lower(&p).block(body).clone();
+        let mut errs = Vec::new();
+        verify_decoded_block_with(&p, p.block(body), &full, FusionLevel::Baseline, &mut errs);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::SpuriousFusion {
+                form: "load_add",
+                ..
+            }
+        )));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::SpuriousFusion {
+                form: "add_cmp_br",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejects_a_missed_superinstruction() {
+        let p = fusable();
+        let body = BlockId(1);
+        // A cache that claims Full but ships the baseline ops has missed
+        // the first pair fusion.
+        let mut bad = DecodedCache::lower(&p).block(body).clone();
+        let baseline = DecodedBlock::lower_with(p.block(body), &p, FusionLevel::Baseline);
+        bad.ops = baseline.ops;
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, p.block(body), &bad, &mut errs);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::MissedFusion {
+                form: "load_add",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejects_a_missed_ea_specialization() {
+        let p = fusable();
+        let body = BlockId(1);
+        // Un-specializing the base+disp store back to a generic StoreR
+        // must be flagged: Full lowering owes the specialized form.
+        let mut bad = DecodedCache::lower(&p).block(body).clone();
+        let mut ops = bad.ops.to_vec();
+        let pos = ops
+            .iter()
+            .position(|op| matches!(op, MicroOp::StoreRBD { .. }))
+            .expect("fused block has a specialized store");
+        let (src, base, disp, width, pc) = match ops[pos] {
+            MicroOp::StoreRBD {
+                src,
+                base,
+                disp,
+                width,
+                pc,
+            } => (src, base, disp, width, pc),
+            _ => unreachable!(),
+        };
+        ops[pos] = MicroOp::StoreR {
+            ea: Ea {
+                base,
+                index: NO_REG,
+                shift: 0,
+                disp: disp as i64,
+            },
+            src,
+            width,
+            pc,
+        };
+        bad.ops = ops.into_boxed_slice();
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, p.block(body), &bad, &mut errs);
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            VerifyError::MissedFusion {
+                form: "store_bd",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn rejects_a_forged_load_ri_fusion() {
+        let p = fusable();
+        let body = BlockId(1);
+        let mut bad = DecodedCache::lower(&p).block(body).clone();
+        let mut ops = bad.ops.to_vec();
+        // Point the fused load+op at the pc of the *store* instruction:
+        // the source there is not a load into this register.
+        let store_pc = match ops.iter().find(|op| matches!(op, MicroOp::StoreRBD { .. })) {
+            Some(MicroOp::StoreRBD { pc, .. }) => *pc,
+            _ => panic!("fused block has a specialized store"),
+        };
+        match &mut ops[0] {
+            MicroOp::LoadRI { pc, .. } => *pc = store_pc,
+            op => panic!("expected fused load+op first, got {op:?}"),
+        }
+        bad.ops = ops.into_boxed_slice();
+        let mut errs = Vec::new();
+        verify_decoded_block(&p, p.block(body), &bad, &mut errs);
         assert!(errs
             .iter()
-            .any(|e| matches!(e, VerifyError::MissedFusion { .. })));
+            .any(|e| matches!(e, VerifyError::FusedLoadOpMismatch { .. })));
     }
 
     #[test]

@@ -140,7 +140,10 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
 
     // Static verdict vs dynamic label, loads only (UMI's delinquency
     // machinery tracks loads; stores never enter the predicted set).
-    for p in preds.iter().filter(|p| !p.sref.filtered && !p.sref.is_store) {
+    for p in preds
+        .iter()
+        .filter(|p| !p.sref.filtered && !p.sref.is_store)
+    {
         row.loads += 1;
         match p.verdict {
             Delinquency::PredictHot => row.s_hot += 1,
@@ -392,7 +395,9 @@ fn main() {
 
     let agreement_ok = both == 0 || pct >= AGREEMENT_BAR;
     if errors == 0 && agreement_ok {
-        println!("\numi-lint: PASS ({warnings} warnings, 0 errors, agreement bar {AGREEMENT_BAR:.0}%)");
+        println!(
+            "\numi-lint: PASS ({warnings} warnings, 0 errors, agreement bar {AGREEMENT_BAR:.0}%)"
+        );
         harness.finish();
     } else {
         println!(

@@ -12,6 +12,7 @@
 //! behind the dynamic harnesses.
 
 use umi_analyze::{classify_program, render_errors, verify, StaticClass};
+use umi_ir::{FusionLevel, Program};
 use umi_prefetch::{inject_prefetches, PlanEntry, PrefetchPlan};
 use umi_vm::{CollectSink, Vm};
 use umi_workloads::{all32, Scale};
@@ -21,6 +22,44 @@ use umi_workloads::{all32, Scale};
 /// keeps the debug-profile suite affordable while every workload's inner
 /// loops execute many times over.
 const MAX_INSNS: u64 = 2_000_000;
+
+/// Runs `program` under the tree walker and under the decoded engine at
+/// both fusion levels, and asserts all three agree on the architectural
+/// statistics and the dynamic access stream, access by access.
+fn assert_engines_agree(name: &str, program: &Program) {
+    let mut tree_sink = CollectSink::default();
+    let tree = Vm::new(program).run_tree(&mut tree_sink, MAX_INSNS);
+
+    for level in [FusionLevel::Baseline, FusionLevel::Full] {
+        let mut decoded_sink = CollectSink::default();
+        let decoded = Vm::with_fusion_level(program, level).run(&mut decoded_sink, MAX_INSNS);
+
+        assert_eq!(
+            decoded.finished, tree.finished,
+            "{name}: finished diverges at {level:?}"
+        );
+        assert_eq!(
+            decoded.stats, tree.stats,
+            "{name}: VmStats diverge at {level:?}"
+        );
+        assert_eq!(
+            decoded_sink.accesses.len(),
+            tree_sink.accesses.len(),
+            "{name}: access counts diverge at {level:?}"
+        );
+        if let Some(i) = decoded_sink
+            .accesses
+            .iter()
+            .zip(&tree_sink.accesses)
+            .position(|(a, b)| a != b)
+        {
+            panic!(
+                "{name}: access streams diverge at {level:?}, index {i}: decoded={:?} tree={:?}",
+                decoded_sink.accesses[i], tree_sink.accesses[i]
+            );
+        }
+    }
+}
 
 #[test]
 fn decoded_engine_matches_tree_walk_on_all_workloads() {
@@ -39,35 +78,7 @@ fn decoded_engine_matches_tree_walk_on_all_workloads() {
             );
         }
 
-        let mut decoded_sink = CollectSink::default();
-        let decoded = Vm::new(&program).run(&mut decoded_sink, MAX_INSNS);
-
-        let mut tree_sink = CollectSink::default();
-        let tree = Vm::new(&program).run_tree(&mut tree_sink, MAX_INSNS);
-
-        assert_eq!(
-            decoded.finished, tree.finished,
-            "{}: finished diverges",
-            spec.name
-        );
-        assert_eq!(decoded.stats, tree.stats, "{}: VmStats diverge", spec.name);
-        assert_eq!(
-            decoded_sink.accesses.len(),
-            tree_sink.accesses.len(),
-            "{}: access counts diverge",
-            spec.name
-        );
-        if let Some(i) = decoded_sink
-            .accesses
-            .iter()
-            .zip(&tree_sink.accesses)
-            .position(|(a, b)| a != b)
-        {
-            panic!(
-                "{}: access streams diverge at index {i}: decoded={:?} tree={:?}",
-                spec.name, decoded_sink.accesses[i], tree_sink.accesses[i]
-            );
-        }
+        assert_engines_agree(spec.name, &program);
     }
 }
 
@@ -114,6 +125,11 @@ fn rewritten_programs_clear_the_verifier_on_all_workloads() {
                 render_errors(&errs)
             );
         }
+        // The rewritten variant must also execute identically under the
+        // superinstruction engine: prefetch injection changes block
+        // shapes (new hint ops between fusable pairs), so it exercises
+        // fusion boundaries the original programs never form.
+        assert_engines_agree(spec.name, &rewritten);
     }
     assert!(
         rewritten_any,

@@ -84,6 +84,9 @@ pub struct FullSimulator {
     /// Set-sampling mask (`factor - 1`); zero = exact mode. A reference
     /// is simulated iff `line_number & sample_mask == 0`.
     sample_mask: u64,
+    /// Whether per-instruction attribution is maintained (the default).
+    /// See [`ratios_only`](Self::ratios_only).
+    track_per_pc: bool,
 }
 
 impl FullSimulator {
@@ -101,7 +104,22 @@ impl FullSimulator {
             pending: 0,
             pending_write: false,
             sample_mask: 0,
+            track_per_pc: true,
         }
+    }
+
+    /// Drops per-instruction attribution: only the aggregate L1/L2
+    /// statistics (and thus the miss ratios) are maintained, and
+    /// [`per_pc`](Self::per_pc) stays empty. For consumers that never read
+    /// the per-pc table — `corr_cell`'s prefetch-off hardware stand-ins
+    /// read nothing but `l2_miss_ratio` — this removes a hash-table
+    /// update per simulated reference from the demand path. Cache
+    /// contents, replacement state, and every aggregate statistic are
+    /// unchanged.
+    #[must_use]
+    pub fn ratios_only(mut self) -> FullSimulator {
+        self.track_per_pc = false;
+        self
     }
 
     /// Creates a *set-sampled* simulator: only references whose line
@@ -250,7 +268,9 @@ impl FullSimulator {
             // the L1 bookkeeping; only the per-pc table needs the item.
             self.pending += 1;
             self.pending_write |= is_store;
-            self.per_pc.record(access.pc, is_store, false);
+            if self.track_per_pc {
+                self.per_pc.record(access.pc, is_store, false);
+            }
             return;
         }
         self.flush_run();
@@ -261,7 +281,9 @@ impl FullSimulator {
             self.hierarchy.access(access.addr)
         };
         let l2_miss = level == HitLevel::Memory;
-        self.per_pc.record(access.pc, is_store, l2_miss);
+        if self.track_per_pc {
+            self.per_pc.record(access.pc, is_store, l2_miss);
+        }
         if level != HitLevel::L1 {
             let l2 = if is_store {
                 &mut self.l2_stores
@@ -289,6 +311,63 @@ impl FullSimulator {
         }
         self.demand(access);
     }
+
+    /// Exact-mode batch loop: item-for-item the same outcomes as
+    /// [`consider`](Self::consider) with sampling off, but the run
+    /// detector and deferred-run counters stay in locals across the whole
+    /// batch instead of bouncing through `&mut self` per reference. The
+    /// deferred run is settled before returning, so every public accessor
+    /// still observes settled state between sink calls.
+    fn batch_exact(&mut self, batch: &[umi_ir::MemAccess]) {
+        let mut cur_block = self.cur_block;
+        let mut pending = self.pending;
+        let mut pending_write = self.pending_write;
+        for a in batch {
+            if !a.is_demand() {
+                continue;
+            }
+            let is_store = a.kind == umi_ir::AccessKind::Store;
+            let block = a.addr >> self.l1_shift;
+            if block == cur_block {
+                pending += 1;
+                pending_write |= is_store;
+                if self.track_per_pc {
+                    self.per_pc.record(a.pc, is_store, false);
+                }
+                continue;
+            }
+            if pending > 0 {
+                self.hierarchy.l1_reuse_mru(pending, pending_write);
+                pending = 0;
+                pending_write = false;
+            }
+            cur_block = block;
+            let level = if is_store {
+                self.hierarchy.access_write(a.addr)
+            } else {
+                self.hierarchy.access(a.addr)
+            };
+            let l2_miss = level == HitLevel::Memory;
+            if self.track_per_pc {
+                self.per_pc.record(a.pc, is_store, l2_miss);
+            }
+            if level != HitLevel::L1 {
+                let l2 = if is_store {
+                    &mut self.l2_stores
+                } else {
+                    &mut self.l2_loads
+                };
+                l2.accesses += 1;
+                l2.misses += l2_miss as u64;
+            }
+        }
+        if pending > 0 {
+            self.hierarchy.l1_reuse_mru(pending, pending_write);
+        }
+        self.cur_block = cur_block;
+        self.pending = 0;
+        self.pending_write = false;
+    }
 }
 
 impl AccessSink for FullSimulator {
@@ -303,7 +382,13 @@ impl AccessSink for FullSimulator {
         // resolved per item, but the hierarchy is only consulted once per
         // same-line run; the run detector (`cur_block`) spans batch
         // boundaries, so per-block batches of a streaming loop coalesce
-        // into one lookup per line, not one per block.
+        // into one lookup per line, not one per block. With sampling off
+        // (the exact mode every shipped harness runs) the batch loop keeps
+        // the run state in registers for the whole batch.
+        if self.sample_mask == 0 {
+            self.batch_exact(batch);
+            return;
+        }
         for &access in batch {
             self.consider(access);
         }
@@ -426,5 +511,25 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn sampling_factor_must_be_power_of_two() {
         let _ = FullSimulator::pentium4_sampled(3);
+    }
+
+    #[test]
+    fn ratios_only_matches_aggregate_stats_exactly() {
+        let mut full = FullSimulator::pentium4();
+        let mut lean = FullSimulator::pentium4().ratios_only();
+        // Mix of streaming misses, run tails (with stores), and a re-read.
+        let mut stream = Vec::new();
+        for i in 0..200u64 {
+            stream.push(acc(1, 0x100_0000 + i * 64, AccessKind::Load));
+            stream.push(acc(2, 0x100_0008 + i * 64, AccessKind::Store));
+            stream.push(acc(3, 0x200_0000, AccessKind::Load));
+        }
+        full.access_batch(&stream);
+        lean.access_batch(&stream);
+        assert_eq!(full.l1_stats(), lean.l1_stats());
+        assert_eq!(full.l2_stats(), lean.l2_stats());
+        assert_eq!(full.l2_miss_ratio(), lean.l2_miss_ratio());
+        assert!(lean.per_pc().is_empty(), "ratios-only must not attribute");
+        assert!(!full.per_pc().is_empty());
     }
 }

@@ -83,10 +83,8 @@ fn full_sim_matches_per_item(policy: ReplacementPolicy) {
         &format!("batched FullSimulator matches per-item ({policy:?})"),
         48,
         |rng| {
-            let l1 = CacheConfig::new(1 << rng.below(3), 1 << rng.below(3), LINE)
-                .policy(policy);
-            let l2 =
-                CacheConfig::new(l1.sets * 4, (l1.ways * 2).min(8), LINE).policy(policy);
+            let l1 = CacheConfig::new(1 << rng.below(3), 1 << rng.below(3), LINE).policy(policy);
+            let l2 = CacheConfig::new(l1.sets * 4, (l1.ways * 2).min(8), LINE).policy(policy);
             let stream = random_stream(rng, 1500, 24 * l1.sets as u64);
 
             let mut batched = FullSimulator::new(l1, l2);
@@ -151,8 +149,7 @@ fn coalesced_eviction_sequence_matches(policy: ReplacementPolicy) {
         &format!("coalesced eviction sequence matches ({policy:?})"),
         48,
         |rng| {
-            let cfg = CacheConfig::new(1 << rng.below(3), 1 << rng.below(3), LINE)
-                .policy(policy);
+            let cfg = CacheConfig::new(1 << rng.below(3), 1 << rng.below(3), LINE).policy(policy);
             let mut itemized = SetAssocCache::new(cfg);
             let mut coalesced = SetAssocCache::new(cfg);
 

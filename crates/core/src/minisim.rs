@@ -183,6 +183,20 @@ impl MiniSimulator {
             flushed,
             ..Default::default()
         };
+        // Run coalescing: a reference to the very lines the previous
+        // reference touched is a guaranteed hit in both the logical cache
+        // and the L1 accounting filter (nothing intervened to evict them,
+        // and restamping an already-MRU line before the set is touched
+        // again leaves every LRU comparison unchanged), so the accounting
+        // below drops it via `l1_hit` and its `seen_lines` insert is a
+        // no-op. Such tails — ubiquitous in strided profiles, where an op
+        // walks a cache line across consecutive rows — skip all three
+        // structure probes. State carries across rows and profiles, so
+        // the memo does too.
+        let cache_shift = self.cache.line_shift();
+        let filter_shift = self.l1_filter.line_shift();
+        let mut prev_block = u64::MAX;
+        let mut prev_fblock = u64::MAX;
         for (tid, profile) in profiles {
             // Invocation-local per-op accounting, indexed by column.
             let mut acc = vec![(0u64, 0u64); profile.ops.len()];
@@ -190,6 +204,13 @@ impl MiniSimulator {
                 let counting = row_idx >= self.warmup_rows;
                 for r in row {
                     result.refs_simulated += 1;
+                    let block = r.addr >> cache_shift;
+                    let fblock = r.addr >> filter_shift;
+                    if block == prev_block && fblock == prev_fblock {
+                        continue;
+                    }
+                    prev_block = block;
+                    prev_fblock = fblock;
                     let hit = self.cache.access(r.addr).hit;
                     let l1_hit = self.l1_filter.access(r.addr).hit;
                     let first_touch = self.exclude_compulsory

@@ -256,6 +256,68 @@ impl Machine {
             self.observe_and_install(access.pc, line, level == HitLevel::Memory);
         }
     }
+
+    /// Prefetch-off batch loop: item-for-item the same outcomes as
+    /// [`handle`](Self::handle) with both prefetchers absent, but the run
+    /// detector, deferred-run counters, and stall accumulator live in
+    /// locals for the whole batch instead of bouncing through `&mut self`
+    /// per reference, and there are no per-item prefetcher checks. The
+    /// deferred run is settled before returning (the caller's `flush_run`
+    /// then finds nothing pending).
+    fn batch_prefetch_off(&mut self, accesses: &[MemAccess]) {
+        let mut cur_block = self.cur_block;
+        let mut pending = self.pending;
+        let mut pending_write = self.pending_write;
+        let mut stall = 0u64;
+        for a in accesses {
+            if a.kind == AccessKind::Prefetch {
+                // L2-only: does not break the pending L1 run.
+                stall += 1;
+                self.install_prefetches(&[self.platform.l2.line_addr(a.addr)], false);
+                continue;
+            }
+            let block = a.addr >> self.l1_shift;
+            if block == cur_block {
+                pending += 1;
+                pending_write |= a.kind == AccessKind::Store;
+                continue;
+            }
+            if pending > 0 {
+                self.hierarchy.l1_reuse_mru(pending, pending_write);
+                pending = 0;
+                pending_write = false;
+            }
+            cur_block = block;
+            let level = if a.kind == AccessKind::Store {
+                self.hierarchy.access_write(a.addr)
+            } else {
+                self.hierarchy.access(a.addr)
+            };
+            match level {
+                HitLevel::L1 => {}
+                HitLevel::L2 => stall += self.platform.l2_hit_cycles,
+                HitLevel::Memory => {
+                    let line = self.platform.l2.line_addr(a.addr);
+                    let near = self
+                        .last_miss_line
+                        .is_some_and(|prev| prev.abs_diff(line) <= 16 * self.platform.l2.line_size);
+                    stall += if near {
+                        self.platform.memory_cycles / 3
+                    } else {
+                        self.platform.memory_cycles
+                    };
+                    self.last_miss_line = Some(line);
+                }
+            }
+        }
+        if pending > 0 {
+            self.hierarchy.l1_reuse_mru(pending, pending_write);
+        }
+        self.cur_block = cur_block;
+        self.pending = 0;
+        self.pending_write = false;
+        self.stall_cycles += stall;
+    }
 }
 
 impl AccessSink for Machine {
@@ -268,8 +330,14 @@ impl AccessSink for Machine {
     /// same-line runs coalesced. `cur_block` deliberately survives across
     /// batches (the MRU L1 line stays resident between them), so runs that
     /// span batch boundaries still coalesce; only the deferred counts are
-    /// settled per call.
+    /// settled per call. With no prefetcher enabled — every prefetch-off
+    /// machine, i.e. most of Figure 3 and Table 4's traffic — the batch
+    /// runs through a register-local loop instead of the per-item handler.
     fn access_batch(&mut self, accesses: &[MemAccess]) {
+        if self.adjacent.is_none() && self.stride.is_none() {
+            self.batch_prefetch_off(accesses);
+            return;
+        }
         for &access in accesses {
             self.handle(access);
         }

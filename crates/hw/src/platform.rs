@@ -1,8 +1,7 @@
 //! Platform descriptions: cache geometry and timing.
 
 use umi_cache::{
-    CacheConfig, K7_L2_HIT_CYCLES, K7_MEMORY_CYCLES, PENTIUM4_L2_HIT_CYCLES,
-    PENTIUM4_MEMORY_CYCLES,
+    CacheConfig, K7_L2_HIT_CYCLES, K7_MEMORY_CYCLES, PENTIUM4_L2_HIT_CYCLES, PENTIUM4_MEMORY_CYCLES,
 };
 
 /// A simulated evaluation platform (paper §6, "Experimental Methodology").

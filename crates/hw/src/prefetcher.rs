@@ -55,29 +55,38 @@ impl PrefetchEngine for AdjacentLinePrefetcher {
     fn reset(&mut self) {}
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Stream {
-    pc: Pc,
-    last_line: u64,
-    stride: i64,
-    confidence: u8,
-    lru: u64,
-    valid: bool,
-}
-
 /// IP-indexed stride prefetching with a fixed number of streams (8 on the
 /// Pentium 4). Two consecutive equal line-strides arm a stream; armed
 /// streams prefetch `distance` strides ahead.
+///
+/// Stream state is stored field-per-array (SoA) rather than as an array
+/// of stream structs: `observe_into` runs once per demand reference and
+/// both of its scans — the pc match and the LRU victim search — then
+/// walk one small dense array apiece instead of striding over multi-line
+/// structs. Consecutive demand references almost never share a pc (loop
+/// bodies interleave their loads), so the pc scan is the common path,
+/// not the `last_slot` memo.
 #[derive(Clone, Debug)]
 pub struct StridePrefetcher {
-    streams: Vec<Stream>,
+    /// Owning pc per slot (garbage for invalid slots — masked by `valid`).
+    pcs: Vec<u64>,
+    /// Last observed line address per slot.
+    last_lines: Vec<u64>,
+    /// Armed stride per slot (line-address delta).
+    strides: Vec<i64>,
+    /// Consecutive equal-stride observations per slot.
+    confidences: Vec<u8>,
+    /// Last-touch clock per slot, for LRU reuse.
+    lrus: Vec<u64>,
+    /// Validity bitmask: bit `i` = slot `i` holds a live stream (stream
+    /// counts are ≤ 64; [`StridePrefetcher::new`] enforces it).
+    valid: u64,
     line_size: u64,
     distance: u64,
     clock: u64,
     /// Slot of the most recently observed pc — a pure lookup memo.
-    /// Demand pcs repeat in runs (loop bodies), so the stream found last
-    /// time is almost always the one needed now; pc-uniqueness of valid
-    /// streams makes the shortcut observationally identical to the scan.
+    /// pc-uniqueness of valid streams makes the shortcut observationally
+    /// identical to the scan.
     last_slot: usize,
 }
 
@@ -92,16 +101,44 @@ impl StridePrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if `streams` is zero.
+    /// Panics unless `1 ..= 64` streams are requested (validity is one
+    /// bitmask word).
     pub fn new(streams: usize, line_size: u64, distance: u64) -> StridePrefetcher {
-        assert!(streams > 0, "need at least one stream");
+        assert!(
+            (1..=64).contains(&streams),
+            "stream count {streams} outside 1..=64"
+        );
         StridePrefetcher {
-            streams: vec![Stream::default(); streams],
+            pcs: vec![0; streams],
+            last_lines: vec![0; streams],
+            strides: vec![0; streams],
+            confidences: vec![0; streams],
+            lrus: vec![0; streams],
+            valid: 0,
             line_size,
             distance,
             clock: 0,
             last_slot: 0,
         }
+    }
+
+    /// First valid slot owned by `pc`, or `None`. Equivalent to the
+    /// original struct-array `position` scan: valid streams have unique
+    /// pcs, so "first match over valid slots" is "the match".
+    #[inline]
+    fn find(&self, pc: u64) -> Option<usize> {
+        if self.valid & (1 << self.last_slot) != 0 && self.pcs[self.last_slot] == pc {
+            return Some(self.last_slot);
+        }
+        let mut m = self.valid;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            if self.pcs[i] == pc {
+                return Some(i);
+            }
+            m &= m - 1;
+        }
+        None
     }
 }
 
@@ -110,26 +147,19 @@ impl PrefetchEngine for StridePrefetcher {
         self.clock += 1;
         let clock = self.clock;
 
-        let memo = &self.streams[self.last_slot];
-        let found = if memo.valid && memo.pc == pc {
-            Some(self.last_slot)
-        } else {
-            self.streams.iter().position(|s| s.valid && s.pc == pc)
-        };
-        if let Some(i) = found {
+        if let Some(i) = self.find(pc.0) {
             self.last_slot = i;
-            let s = &mut self.streams[i];
-            s.lru = clock;
-            let delta = line_addr as i64 - s.last_line as i64;
-            s.last_line = line_addr;
+            self.lrus[i] = clock;
+            let delta = line_addr as i64 - self.last_lines[i] as i64;
+            self.last_lines[i] = line_addr;
             if delta == 0 {
                 return; // same line; no new information
             }
-            if delta == s.stride {
-                s.confidence = s.confidence.saturating_add(1);
+            if delta == self.strides[i] {
+                self.confidences[i] = self.confidences[i].saturating_add(1);
             } else {
-                s.stride = delta;
-                s.confidence = 1;
+                self.strides[i] = delta;
+                self.confidences[i] = 1;
             }
             // Prefetches issue only on demand misses: real prefetchers
             // are trained continuously but throttle issue, which is what
@@ -137,9 +167,9 @@ impl PrefetchEngine for StridePrefetcher {
             if !l2_miss {
                 return;
             }
-            if s.confidence >= 2 {
+            if self.confidences[i] >= 2 {
                 for k in 1..=self.distance {
-                    let target = line_addr as i64 + s.stride * k as i64;
+                    let target = line_addr as i64 + self.strides[i] * k as i64;
                     if target >= 0 {
                         out.push(target as u64 & !(self.line_size - 1));
                     }
@@ -148,27 +178,35 @@ impl PrefetchEngine for StridePrefetcher {
             return;
         }
 
-        // Allocate a new stream (reuse invalid or the least recently used).
-        let slot = self
-            .streams
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, s)| if s.valid { s.lru } else { 0 })
-            .map(|(i, _)| i)
-            .expect("at least one stream");
-        self.streams[slot] = Stream {
-            pc,
-            last_line: line_addr,
-            stride: 0,
-            confidence: 0,
-            lru: clock,
-            valid: true,
+        // Allocate a new stream: the first invalid slot, else the first
+        // least-recently-used one — the order the struct-array
+        // `min_by_key` (invalid keyed 0, stable min) produced.
+        let n = self.pcs.len();
+        let full = if n == 64 { u64::MAX } else { (1 << n) - 1 };
+        let slot = if self.valid != full {
+            (!self.valid).trailing_zeros() as usize
+        } else {
+            let mut oldest = 0usize;
+            let mut oldest_lru = self.lrus[0];
+            for (i, &lru) in self.lrus.iter().enumerate().skip(1) {
+                if lru < oldest_lru {
+                    oldest_lru = lru;
+                    oldest = i;
+                }
+            }
+            oldest
         };
+        self.pcs[slot] = pc.0;
+        self.last_lines[slot] = line_addr;
+        self.strides[slot] = 0;
+        self.confidences[slot] = 0;
+        self.lrus[slot] = clock;
+        self.valid |= 1 << slot;
         self.last_slot = slot;
     }
 
     fn reset(&mut self) {
-        self.streams.iter_mut().for_each(|s| *s = Stream::default());
+        self.valid = 0;
         self.clock = 0;
         self.last_slot = 0;
     }

@@ -1,0 +1,80 @@
+//! Prefetch-off [`Machine`] ⇄ [`FullSimulator`] counter identity.
+//!
+//! With hardware prefetch off, a machine's cache counters are the same
+//! simulation as a Cachegrind-equivalent full simulation over the same
+//! geometry: both push the identical demand stream through the identical
+//! [`Hierarchy`](umi_cache::Hierarchy) implementation, and the stall
+//! model the machine additionally runs never feeds back into the caches.
+//! Table 4's "Cachegrind vs P4, no HW prefetch" correlation is exactly
+//! 1.000 *because* of this identity, and `corr_cell` relies on it to
+//! read the prefetch-off hardware rows off the full simulators instead
+//! of running two more per-reference machine simulations. This property
+//! pins the identity on random batched streams for both platforms.
+
+use umi_cache::FullSimulator;
+use umi_hw::{Machine, Platform, PrefetchSetting};
+use umi_ir::{AccessKind, MemAccess, Pc};
+use umi_testkit::{check, Xoshiro256pp};
+use umi_vm::AccessSink;
+
+/// Random demand stream with same-line runs, strided phases, and
+/// pointer-chase jumps, delivered in random-length batches.
+fn drive(rng: &mut Xoshiro256pp, machine: &mut Machine, sim: &mut FullSimulator) {
+    let mut addr = 0x10_0000u64;
+    let n_batches = 4 + (rng.next_u64() % 12) as usize;
+    for _ in 0..n_batches {
+        let len = 1 + (rng.next_u64() % 24) as usize;
+        let mut batch = Vec::with_capacity(len);
+        for _ in 0..len {
+            match rng.next_u64() % 10 {
+                // Same-line run tail.
+                0..=4 => addr += rng.next_u64() % 8,
+                // Strided step (64-byte lines).
+                5..=7 => addr += 64 + (rng.next_u64() % 3) * 64,
+                // Wide jump (chase).
+                _ => addr = 0x10_0000 + (rng.next_u64() % (1 << 24)),
+            }
+            let kind = if rng.next_u64().is_multiple_of(4) {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            batch.push(MemAccess {
+                pc: Pc(4 * (1 + rng.next_u64() % 16)),
+                addr,
+                width: 8,
+                kind,
+            });
+        }
+        machine.access_batch(&batch);
+        sim.access_batch(&batch);
+    }
+}
+
+#[test]
+fn prefetch_off_machine_counters_equal_the_full_simulation() {
+    for (platform, sim) in [
+        (Platform::pentium4(), FullSimulator::pentium4 as fn() -> _),
+        (Platform::k7(), FullSimulator::k7 as fn() -> _),
+    ] {
+        check("machine_fullsim_equiv", 96, |rng: &mut Xoshiro256pp| {
+            let mut machine = Machine::new(platform.clone(), PrefetchSetting::Off);
+            let mut full = sim();
+            drive(rng, &mut machine, &mut full);
+            let hw = machine.counters();
+            let l2 = full.l2_stats();
+            assert_eq!(hw.l2_refs, l2.accesses, "L2 reference counts diverge");
+            assert_eq!(hw.l2_misses, l2.misses, "L2 miss counts diverge");
+            assert_eq!(
+                hw.l1_refs,
+                full.l1_stats().accesses,
+                "L1 reference counts diverge"
+            );
+            assert_eq!(
+                hw.l1_misses,
+                full.l1_stats().misses,
+                "L1 miss counts diverge"
+            );
+        });
+    }
+}

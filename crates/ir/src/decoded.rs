@@ -31,6 +31,25 @@ use crate::operand::{MemRef, Operand, Width};
 use crate::program::Program;
 use crate::reg::Reg;
 
+/// How aggressively [`DecodedCache::lower`] fuses micro-ops.
+///
+/// `Baseline` is the PR 2 lowering: only the canonical load+op
+/// ([`MicroOp::BinMem`]) and compare+branch ([`MicroTerm::CmpRRBr`] /
+/// [`MicroTerm::CmpRIBr`]) pairs fuse. `Full` additionally applies the
+/// profile-guided superinstructions and effective-address
+/// specializations chosen from the `table_profile` opcode-pair ranking
+/// (see [`fuse_block`]). Both levels preserve the architectural
+/// semantics and the access stream exactly; the `umi-bench` differential
+/// tests and the `umi-analyze` lowering verifier pin this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FusionLevel {
+    /// Load+op and compare+branch fusion only (the PR 2 lowering).
+    Baseline,
+    /// All profile-guided superinstructions and EA specializations.
+    #[default]
+    Full,
+}
+
 /// Sentinel register index meaning "no register" in an [`Ea`].
 pub const NO_REG: u8 = u8::MAX;
 
@@ -64,6 +83,19 @@ pub struct Ea {
 }
 
 impl Ea {
+    /// The addressing shape this effective address uses, as a stable
+    /// label for the opcode profile (`table_profile` ranks these to pick
+    /// which shapes deserve dedicated micro-ops).
+    pub fn shape(&self) -> &'static str {
+        match (self.base != NO_REG, self.index != NO_REG, self.disp != 0) {
+            (true, false, false) => "base",
+            (true, false, true) => "base+disp",
+            (true, true, _) => "base+index",
+            (false, true, _) => "index",
+            (false, false, _) => "abs",
+        }
+    }
+
     /// Lowers a [`MemRef`] into its pre-resolved form.
     pub fn lower(m: &MemRef) -> Ea {
         let (index, shift) = match m.index {
@@ -84,8 +116,84 @@ impl Ea {
 /// Register operands are plain file indices (possibly the scratch slots),
 /// widths are byte counts, and memory operands carry their [`Ea`] plus the
 /// originating instruction's [`Pc`] for the access stream.
+///
+/// Variants are declared hot-first, in the dynamic-frequency order the
+/// `table_profile` harness measured across the 32-workload suite, so the
+/// hot opcodes share low discriminants (and the interpreter keeps their
+/// handlers inline while pushing the cold tail out of line). The enum is
+/// kept at its pre-fusion 40 bytes — a fused form that would grow it
+/// (e.g. the measured-hot memory+memory pairs, which would need two
+/// [`Ea`]s and two [`Pc`]s) is deliberately not a variant.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MicroOp {
+    /// Specialized load, `base + disp32` addressing (the dominant
+    /// measured EA shape): `regs[dst] = width:[regs[base] + disp]`.
+    LoadBD {
+        /// Destination register index.
+        dst: u8,
+        /// Base register index (never [`NO_REG`]).
+        base: u8,
+        /// Constant displacement.
+        disp: i32,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Memory load into a register (zero-extended).
+    Load {
+        /// Destination register index.
+        dst: u8,
+        /// Effective address.
+        ea: Ea,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Specialized store, `base + disp32` addressing:
+    /// `width:[regs[base] + disp] = regs[src]`.
+    StoreRBD {
+        /// Source register index.
+        src: u8,
+        /// Base register index (never [`NO_REG`]).
+        base: u8,
+        /// Constant displacement.
+        disp: i32,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// Memory store from a register.
+    StoreR {
+        /// Effective address.
+        ea: Ea,
+        /// Source register index.
+        src: u8,
+        /// Access width in bytes.
+        width: u8,
+        /// Originating instruction.
+        pc: Pc,
+    },
+    /// `regs[dst] = regs[dst] op imm`.
+    BinRI {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left operand) register index.
+        dst: u8,
+        /// Right immediate operand.
+        imm: i64,
+    },
+    /// `regs[dst] = regs[dst] op regs[src]`.
+    BinRR {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left operand) register index.
+        dst: u8,
+        /// Right operand register index.
+        src: u8,
+    },
     /// `regs[dst] = regs[src]`.
     MovR {
         /// Destination register index.
@@ -100,23 +208,76 @@ pub enum MicroOp {
         /// Immediate value.
         imm: i64,
     },
-    /// Memory load into a register (zero-extended).
-    Load {
+    /// Fused load+op (profile-guided): `regs[dst] = width:[ea] op imm` —
+    /// a load immediately combined by the following `BinRI` on the same
+    /// destination. One access, one dispatch.
+    LoadRI {
+        /// The operation applied to the loaded value.
+        op: BinOp,
         /// Destination register index.
         dst: u8,
         /// Effective address.
         ea: Ea,
         /// Access width in bytes.
         width: u8,
-        /// Originating instruction.
+        /// Right immediate operand.
+        imm: i64,
+        /// Originating instruction of the load.
         pc: Pc,
     },
-    /// Memory store from a register.
-    StoreR {
-        /// Effective address.
-        ea: Ea,
+    /// Fused mov+op (profile-guided): `regs[dst] = regs[src] op imm` —
+    /// a register copy immediately combined by the following `BinRI` on
+    /// the copy's destination.
+    MovBinRI {
+        /// The operation.
+        op: BinOp,
+        /// Destination register index.
+        dst: u8,
         /// Source register index.
         src: u8,
+        /// Right immediate operand.
+        imm: i64,
+    },
+    /// Fused op+op (profile-guided): `regs[dst] = (regs[dst] op1 imm1)
+    /// op2 imm2` — two immediate ALU ops on the same destination (the
+    /// LCG `mul`+`add` update is the dominant instance).
+    BinRIRI {
+        /// The first operation.
+        op1: BinOp,
+        /// The second operation.
+        op2: BinOp,
+        /// Destination register index.
+        dst: u8,
+        /// First immediate operand.
+        imm1: i64,
+        /// Second immediate operand.
+        imm2: i64,
+    },
+    /// Fused mov+op+op (profile-guided): `regs[dst] = (regs[src] op1
+    /// imm1) op2 imm2` — the hash-index idiom `mov; shr; and` in one
+    /// dispatch.
+    MovBinRIRI {
+        /// The first operation.
+        op1: BinOp,
+        /// The second operation.
+        op2: BinOp,
+        /// Destination register index.
+        dst: u8,
+        /// Source register index.
+        src: u8,
+        /// First immediate operand.
+        imm1: i64,
+        /// Second immediate operand.
+        imm2: i64,
+    },
+    /// Fused load+op: `regs[dst] = regs[dst] op width:[ea]`.
+    BinMem {
+        /// The operation.
+        op: BinOp,
+        /// Destination (and left operand) register index.
+        dst: u8,
+        /// Effective address of the loaded right operand.
+        ea: Ea,
         /// Access width in bytes.
         width: u8,
         /// Originating instruction.
@@ -139,37 +300,6 @@ pub enum MicroOp {
         dst: u8,
         /// Effective address computed.
         ea: Ea,
-    },
-    /// `regs[dst] = regs[dst] op regs[src]`.
-    BinRR {
-        /// The operation.
-        op: BinOp,
-        /// Destination (and left operand) register index.
-        dst: u8,
-        /// Right operand register index.
-        src: u8,
-    },
-    /// `regs[dst] = regs[dst] op imm`.
-    BinRI {
-        /// The operation.
-        op: BinOp,
-        /// Destination (and left operand) register index.
-        dst: u8,
-        /// Right immediate operand.
-        imm: i64,
-    },
-    /// Fused load+op: `regs[dst] = regs[dst] op width:[ea]`.
-    BinMem {
-        /// The operation.
-        op: BinOp,
-        /// Destination (and left operand) register index.
-        dst: u8,
-        /// Effective address of the loaded right operand.
-        ea: Ea,
-        /// Access width in bytes.
-        width: u8,
-        /// Originating instruction.
-        pc: Pc,
     },
     /// `regs[dst] = op regs[dst]`.
     Un {
@@ -254,6 +384,169 @@ pub enum MicroOp {
     },
 }
 
+/// Stable lowercase label of a [`BinOp`] for opcode-profile keys.
+pub fn binop_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+/// `binop_name(op)` with an operand-shape suffix (column 0 = `_rr`,
+/// 1 = `_ri`, 2 = `_mem`, 3 = fused `load_…`, 4 = fused `mov_…_i`,
+/// 5 = fused `…_cmp_br`).
+fn bin_suffixed(op: BinOp, column: usize) -> &'static str {
+    const NAMES: [[&str; 6]; 10] = [
+        [
+            "add_rr",
+            "add_ri",
+            "add_mem",
+            "load_add",
+            "mov_add_i",
+            "add_cmp_br",
+        ],
+        [
+            "sub_rr",
+            "sub_ri",
+            "sub_mem",
+            "load_sub",
+            "mov_sub_i",
+            "sub_cmp_br",
+        ],
+        [
+            "mul_rr",
+            "mul_ri",
+            "mul_mem",
+            "load_mul",
+            "mov_mul_i",
+            "mul_cmp_br",
+        ],
+        [
+            "div_rr",
+            "div_ri",
+            "div_mem",
+            "load_div",
+            "mov_div_i",
+            "div_cmp_br",
+        ],
+        [
+            "rem_rr",
+            "rem_ri",
+            "rem_mem",
+            "load_rem",
+            "mov_rem_i",
+            "rem_cmp_br",
+        ],
+        [
+            "and_rr",
+            "and_ri",
+            "and_mem",
+            "load_and",
+            "mov_and_i",
+            "and_cmp_br",
+        ],
+        [
+            "or_rr",
+            "or_ri",
+            "or_mem",
+            "load_or",
+            "mov_or_i",
+            "or_cmp_br",
+        ],
+        [
+            "xor_rr",
+            "xor_ri",
+            "xor_mem",
+            "load_xor",
+            "mov_xor_i",
+            "xor_cmp_br",
+        ],
+        [
+            "shl_rr",
+            "shl_ri",
+            "shl_mem",
+            "load_shl",
+            "mov_shl_i",
+            "shl_cmp_br",
+        ],
+        [
+            "shr_rr",
+            "shr_ri",
+            "shr_mem",
+            "load_shr",
+            "mov_shr_i",
+            "shr_cmp_br",
+        ],
+    ];
+    NAMES[op as usize][column]
+}
+
+/// The interpreter streams micro-ops through L1 in the hot loop; fused
+/// variants are sized to keep the enum at its pre-fusion 40 bytes.
+const _: () = assert!(std::mem::size_of::<MicroOp>() <= 40);
+
+impl MicroOp {
+    /// Stable display name for the opcode profile. Binary ops embed the
+    /// operator (`add_ri`, `shl_ri`, …) because fusion decisions care
+    /// which operator dominates a pair, not just its operand shape.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MicroOp::MovR { .. } => "mov_r",
+            MicroOp::MovI { .. } => "mov_i",
+            MicroOp::Load { .. } => "load",
+            MicroOp::LoadBD { .. } => "load_bd",
+            MicroOp::StoreR { .. } => "store_r",
+            MicroOp::StoreRBD { .. } => "store_bd",
+            MicroOp::StoreI { .. } => "store_i",
+            MicroOp::Lea { .. } => "lea",
+            MicroOp::BinRR { op, .. } => bin_suffixed(*op, 0),
+            MicroOp::BinRI { op, .. } => bin_suffixed(*op, 1),
+            MicroOp::BinMem { op, .. } => bin_suffixed(*op, 2),
+            MicroOp::LoadRI { op, .. } => bin_suffixed(*op, 3),
+            MicroOp::MovBinRI { op, .. } => bin_suffixed(*op, 4),
+            MicroOp::BinRIRI { .. } => "bin_ri_ri",
+            MicroOp::MovBinRIRI { .. } => "mov_bin_ri_ri",
+            MicroOp::Un { .. } => "un",
+            MicroOp::CmpRR { .. } => "cmp_rr",
+            MicroOp::CmpRI { .. } => "cmp_ri",
+            MicroOp::CmpIR { .. } => "cmp_ir",
+            MicroOp::CmpII { .. } => "cmp_ii",
+            MicroOp::PushR { .. } => "push_r",
+            MicroOp::PushI { .. } => "push_i",
+            MicroOp::Pop { .. } => "pop",
+            MicroOp::AllocR { .. } => "alloc_r",
+            MicroOp::AllocI { .. } => "alloc_i",
+            MicroOp::Prefetch { .. } => "prefetch",
+        }
+    }
+
+    /// The *generic* effective address this op computes, if it has one.
+    /// The specialized `LoadBD`/`StoreRBD` forms return `None`: in the
+    /// opcode profile's EA-shape panel they no longer count as generic
+    /// address computations, which is exactly the reduction the
+    /// specialization exists to show.
+    pub fn ea(&self) -> Option<&Ea> {
+        match self {
+            MicroOp::Load { ea, .. }
+            | MicroOp::StoreR { ea, .. }
+            | MicroOp::StoreI { ea, .. }
+            | MicroOp::Lea { ea, .. }
+            | MicroOp::BinMem { ea, .. }
+            | MicroOp::LoadRI { ea, .. }
+            | MicroOp::Prefetch { ea, .. } => Some(ea),
+            _ => None,
+        }
+    }
+}
+
 /// How a decoded block exits, with call targets pre-resolved to the
 /// callee's entry block and the hottest compare+branch pair fused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -296,6 +589,26 @@ pub enum MicroTerm {
         /// Target when it does not.
         fallthrough: BlockId,
     },
+    /// Fused `reg op= imm` + `cmp reg, imm` + branch (profile-guided):
+    /// the measured-hottest loop back-edge idiom — induction-variable
+    /// update, bound check, and branch in one dispatch. Updates the
+    /// register and still latches the flags.
+    BinRICmpRIBr {
+        /// The update operation.
+        op: BinOp,
+        /// Updated (and compared) register index.
+        a: u8,
+        /// Immediate operand of the update.
+        op_imm: i64,
+        /// Right immediate compare operand.
+        cmp_imm: i64,
+        /// Branch condition.
+        cond: Cond,
+        /// Target when the condition holds.
+        taken: BlockId,
+        /// Target when it does not.
+        fallthrough: BlockId,
+    },
     /// Indirect jump: `table[regs[sel] % len]`.
     JmpInd {
         /// Selector register index.
@@ -314,6 +627,23 @@ pub enum MicroTerm {
     Ret,
     /// Stop execution.
     Halt,
+}
+
+impl MicroTerm {
+    /// Stable display name for the opcode profile.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MicroTerm::Jmp(_) => "jmp",
+            MicroTerm::Br { .. } => "br",
+            MicroTerm::CmpRRBr { .. } => "cmp_rr_br",
+            MicroTerm::CmpRIBr { .. } => "cmp_ri_br",
+            MicroTerm::BinRICmpRIBr { op, .. } => bin_suffixed(*op, 5),
+            MicroTerm::JmpInd { .. } => "jmp_ind",
+            MicroTerm::Call { .. } => "call",
+            MicroTerm::Ret => "ret",
+            MicroTerm::Halt => "halt",
+        }
+    }
 }
 
 /// One basic block, lowered.
@@ -341,41 +671,36 @@ pub struct DecodedBlock {
 }
 
 impl DecodedBlock {
-    /// Lowers one basic block. `program` resolves call targets.
+    /// Lowers one basic block at [`FusionLevel::Full`]. `program`
+    /// resolves call targets.
     pub fn lower(block: &BasicBlock, program: &Program) -> DecodedBlock {
+        DecodedBlock::lower_with(block, program, FusionLevel::Full)
+    }
+
+    /// Lowers one basic block at the given fusion level.
+    pub fn lower_with(block: &BasicBlock, program: &Program, level: FusionLevel) -> DecodedBlock {
         let mut ops = Vec::with_capacity(block.insns.len());
         for (pc, insn) in block.iter_with_pc() {
             lower_insn(pc, insn, &mut ops);
         }
-        let term = lower_terminator(&block.terminator, program, &mut ops);
-        let access_pcs: Vec<Pc> = ops.iter().filter_map(op_access_pc).collect();
+        let mut term = lower_terminator(&block.terminator, program, &mut ops);
+        if level == FusionLevel::Full {
+            fuse_block(&mut ops, &mut term);
+        }
+        let access_pcs: Vec<Pc> = ops
+            .iter()
+            .filter_map(op_access_pc)
+            .chain(term_access_pc(&term))
+            .collect();
         debug_assert_eq!(
             access_pcs,
             block_access_pcs(block),
             "lowered access slots must match the tree-walk stream ({:?})",
             block.id
         );
-        let n_loads = ops
-            .iter()
-            .filter(|op| {
-                matches!(
-                    op,
-                    MicroOp::Load { .. } | MicroOp::BinMem { .. } | MicroOp::Pop { .. }
-                )
-            })
-            .count() as u32;
-        let n_stores = ops
-            .iter()
-            .filter(|op| {
-                matches!(
-                    op,
-                    MicroOp::StoreR { .. }
-                        | MicroOp::StoreI { .. }
-                        | MicroOp::PushR { .. }
-                        | MicroOp::PushI { .. }
-                )
-            })
-            .count() as u32;
+        let n_loads =
+            ops.iter().filter(|op| op_is_load(op)).count() as u32 + u32::from(term_is_load(&term));
+        let n_stores = ops.iter().filter(|op| op_is_store(op)).count() as u32;
         DecodedBlock {
             id: block.id,
             ops: ops.into_boxed_slice(),
@@ -396,15 +721,25 @@ pub struct DecodedCache {
 }
 
 impl DecodedCache {
-    /// Lowers every block of `program`.
+    /// Lowers every block of `program` at [`FusionLevel::Full`].
     pub fn lower(program: &Program) -> DecodedCache {
+        DecodedCache::lower_with(program, FusionLevel::Full)
+    }
+
+    /// Lowers every block of `program` at the given fusion level.
+    pub fn lower_with(program: &Program, level: FusionLevel) -> DecodedCache {
         DecodedCache {
             blocks: program
                 .blocks
                 .iter()
-                .map(|b| DecodedBlock::lower(b, program))
+                .map(|b| DecodedBlock::lower_with(b, program, level))
                 .collect(),
         }
+    }
+
+    /// Iterates the decoded blocks in [`BlockId`] order.
+    pub fn iter(&self) -> impl Iterator<Item = &DecodedBlock> {
+        self.blocks.iter()
     }
 
     /// The decoded form of `id`.
@@ -432,7 +767,10 @@ impl DecodedCache {
 fn op_access_pc(op: &MicroOp) -> Option<Pc> {
     match op {
         MicroOp::Load { pc, .. }
+        | MicroOp::LoadBD { pc, .. }
+        | MicroOp::LoadRI { pc, .. }
         | MicroOp::StoreR { pc, .. }
+        | MicroOp::StoreRBD { pc, .. }
         | MicroOp::StoreI { pc, .. }
         | MicroOp::BinMem { pc, .. }
         | MicroOp::PushR { pc, .. }
@@ -440,6 +778,227 @@ fn op_access_pc(op: &MicroOp) -> Option<Pc> {
         | MicroOp::Pop { pc, .. }
         | MicroOp::Prefetch { pc, .. } => Some(*pc),
         _ => None,
+    }
+}
+
+/// Whether `op` performs a demand load.
+fn op_is_load(op: &MicroOp) -> bool {
+    matches!(
+        op,
+        MicroOp::Load { .. }
+            | MicroOp::LoadBD { .. }
+            | MicroOp::LoadRI { .. }
+            | MicroOp::BinMem { .. }
+            | MicroOp::Pop { .. }
+    )
+}
+
+/// Whether `op` performs a demand store.
+fn op_is_store(op: &MicroOp) -> bool {
+    matches!(
+        op,
+        MicroOp::StoreR { .. }
+            | MicroOp::StoreRBD { .. }
+            | MicroOp::StoreI { .. }
+            | MicroOp::PushR { .. }
+            | MicroOp::PushI { .. }
+    )
+}
+
+/// The pc of the memory access a fused terminator performs, if any.
+/// (No current fused terminator touches memory — the measured-hot
+/// back-edge idiom is ALU + compare + branch — but the access-stream
+/// plumbing treats terminators uniformly so a future load-bearing form
+/// only has to extend this match.)
+fn term_access_pc(term: &MicroTerm) -> Option<Pc> {
+    let _ = term;
+    None
+}
+
+/// Whether the terminator performs a demand load.
+fn term_is_load(term: &MicroTerm) -> bool {
+    term_access_pc(term).is_some()
+}
+
+/// Fuses one adjacent micro-op pair into a superinstruction, if the pair
+/// matches one of the profile-chosen shapes (see [`fuse_block`]).
+///
+/// Every rule fuses a *data-dependent* pair — the second op reads the
+/// first op's destination — so no rule can skip over or reorder a memory
+/// access, and each fused op still performs at most one access at its
+/// original pc.
+fn fuse_pair(a: &MicroOp, b: &MicroOp) -> Option<MicroOp> {
+    match (*a, *b) {
+        // load dst, [ea]; dst op= imm  →  dst = [ea] op imm.
+        (
+            MicroOp::Load { dst, ea, width, pc },
+            MicroOp::BinRI {
+                op,
+                dst: bin_dst,
+                imm,
+            },
+        ) if bin_dst == dst => Some(MicroOp::LoadRI {
+            op,
+            dst,
+            ea,
+            width,
+            imm,
+            pc,
+        }),
+        // dst = src; dst op= imm  →  dst = src op imm.
+        (
+            MicroOp::MovR { dst, src },
+            MicroOp::BinRI {
+                op,
+                dst: bin_dst,
+                imm,
+            },
+        ) if bin_dst == dst => Some(MicroOp::MovBinRI { op, dst, src, imm }),
+        // dst op1= imm1; dst op2= imm2  →  one dispatch (LCG update).
+        (
+            MicroOp::BinRI {
+                op: op1,
+                dst,
+                imm: imm1,
+            },
+            MicroOp::BinRI {
+                op: op2,
+                dst: bin_dst,
+                imm: imm2,
+            },
+        ) if bin_dst == dst => Some(MicroOp::BinRIRI {
+            op1,
+            op2,
+            dst,
+            imm1,
+            imm2,
+        }),
+        // dst = src op1 imm1; dst op2= imm2  →  the hash-index triple
+        // (`mov; shr; and`), reached on the second fusion pass.
+        (
+            MicroOp::MovBinRI {
+                op: op1,
+                dst,
+                src,
+                imm: imm1,
+            },
+            MicroOp::BinRI {
+                op: op2,
+                dst: bin_dst,
+                imm: imm2,
+            },
+        ) if bin_dst == dst => Some(MicroOp::MovBinRIRI {
+            op1,
+            op2,
+            dst,
+            src,
+            imm1,
+            imm2,
+        }),
+        _ => None,
+    }
+}
+
+/// Rewrites a generic-EA op into its specialized `base + disp32` form
+/// when the address uses the measured-dominant shape (base register, no
+/// index, displacement within i32).
+fn specialize_ea(op: MicroOp) -> MicroOp {
+    let base_disp = |ea: &Ea| -> Option<(u8, i32)> {
+        if ea.base != NO_REG && ea.index == NO_REG {
+            i32::try_from(ea.disp).ok().map(|disp| (ea.base, disp))
+        } else {
+            None
+        }
+    };
+    match op {
+        MicroOp::Load { dst, ea, width, pc } => match base_disp(&ea) {
+            Some((base, disp)) => MicroOp::LoadBD {
+                dst,
+                base,
+                disp,
+                width,
+                pc,
+            },
+            None => op,
+        },
+        MicroOp::StoreR { ea, src, width, pc } => match base_disp(&ea) {
+            Some((base, disp)) => MicroOp::StoreRBD {
+                src,
+                base,
+                disp,
+                width,
+                pc,
+            },
+            None => op,
+        },
+        _ => op,
+    }
+}
+
+/// The [`FusionLevel::Full`] peephole: rewrites a baseline-lowered block
+/// in place, fusing the measured-hot micro-op pairs into
+/// superinstructions and specializing the hot effective-address shapes.
+///
+/// Pair fusion runs to a fixpoint so chains fuse greedily left-to-right
+/// (`mov; shr; and` needs two passes to become one [`MicroOp::MovBinRIRI`]).
+/// The loop terminates because every rewrite strictly shrinks `ops`.
+/// Terminator fusion and EA specialization run once afterwards: a load
+/// eligible for both [`MicroOp::LoadRI`] and [`MicroOp::LoadBD`] prefers
+/// the pair fusion, which removes a whole dispatch.
+fn fuse_block(ops: &mut Vec<MicroOp>, term: &mut MicroTerm) {
+    loop {
+        let mut changed = false;
+        let mut out: Vec<MicroOp> = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            if i + 1 < ops.len() {
+                if let Some(fused) = fuse_pair(&ops[i], &ops[i + 1]) {
+                    out.push(fused);
+                    i += 2;
+                    changed = true;
+                    continue;
+                }
+            }
+            out.push(ops[i]);
+            i += 1;
+        }
+        *ops = out;
+        if !changed {
+            break;
+        }
+    }
+    // Back-edge fusion: `a op= imm` feeding an already-fused cmp+branch
+    // over `a` collapses into the three-wide terminator.
+    if let MicroTerm::CmpRIBr {
+        a,
+        imm,
+        cond,
+        taken,
+        fallthrough,
+    } = *term
+    {
+        if let Some(&MicroOp::BinRI {
+            op,
+            dst,
+            imm: op_imm,
+        }) = ops.last()
+        {
+            if dst == a {
+                ops.pop();
+                *term = MicroTerm::BinRICmpRIBr {
+                    op,
+                    a,
+                    op_imm,
+                    cmp_imm: imm,
+                    cond,
+                    taken,
+                    fallthrough,
+                };
+            }
+        }
+    }
+    for op in ops.iter_mut() {
+        *op = specialize_ea(*op);
     }
 }
 
@@ -692,11 +1251,25 @@ mod tests {
         let p = pb.finish();
         let cache = DecodedCache::lower(&p);
         let b = cache.block(body);
-        // nop elided, cmp fused into the terminator: only the add remains.
-        assert_eq!(b.ops.len(), 1);
-        assert!(matches!(b.term, MicroTerm::CmpRIBr { imm: 10, .. }));
+        // nop elided, cmp fused into the terminator, and at `Full` the
+        // induction update folds in too: the body empties entirely.
+        assert_eq!(b.ops.len(), 0);
+        assert!(matches!(
+            b.term,
+            MicroTerm::BinRICmpRIBr {
+                op: BinOp::Add,
+                op_imm: 1,
+                cmp_imm: 10,
+                ..
+            }
+        ));
         // ...but the retired-instruction count still covers all four slots.
         assert_eq!(b.arch_insns, 4);
+        // The baseline lowering keeps the update as a standalone op.
+        let base = DecodedCache::lower_with(&p, FusionLevel::Baseline);
+        let b = base.block(body);
+        assert_eq!(b.ops.len(), 1);
+        assert!(matches!(b.term, MicroTerm::CmpRIBr { imm: 10, .. }));
     }
 
     #[test]
@@ -713,9 +1286,11 @@ mod tests {
         pb.block(done).ret();
         let p = pb.finish();
         let b = DecodedCache::lower(&p).block(f.entry()).clone();
+        // Base-only addressing, so the scratch loads take the
+        // specialized base+disp form at `Full`.
         assert!(matches!(
             b.ops[0],
-            MicroOp::Load {
+            MicroOp::LoadBD {
                 dst: SCRATCH0,
                 width: 8,
                 ..
@@ -723,7 +1298,7 @@ mod tests {
         ));
         assert!(matches!(
             b.ops[1],
-            MicroOp::Load {
+            MicroOp::LoadBD {
                 dst: SCRATCH1,
                 width: 4,
                 ..
@@ -837,7 +1412,7 @@ mod tests {
         let b = DecodedCache::lower(&p).block(f.entry()).clone();
         assert!(matches!(
             b.ops.last(),
-            Some(MicroOp::Load { dst: SCRATCH0, .. })
+            Some(MicroOp::LoadBD { dst: SCRATCH0, .. })
         ));
         assert!(matches!(
             b.term,
@@ -848,6 +1423,56 @@ mod tests {
             }
         ));
         assert_eq!(b.access_pcs.len(), 1);
+    }
+
+    #[test]
+    fn pair_fusion_wins_over_ea_specialization() {
+        // A base+disp load whose result is immediately combined is
+        // eligible for both `LoadRI` (pair fusion) and `LoadBD` (EA
+        // specialization); the pair fusion must win — it removes a whole
+        // dispatch instead of just cheapening the address computation.
+        // 64-bit immediates (the LCG constants) must fuse too.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64)
+            .load(Reg::EAX, Reg::ESI + 8, Width::W8)
+            .addi(Reg::EAX, 6_364_136_223_846_793_005)
+            .ret();
+        let p = pb.finish();
+        let b = DecodedCache::lower(&p).block(f.entry()).clone();
+        assert!(
+            matches!(
+                b.ops.last(),
+                Some(MicroOp::LoadRI {
+                    op: BinOp::Add,
+                    imm: 6_364_136_223_846_793_005,
+                    width: 8,
+                    ..
+                })
+            ),
+            "load+addi must fuse into LoadRI, not specialize to LoadBD: {:?}",
+            b.ops
+        );
+        // The access slot survives at the load's pc.
+        assert_eq!(b.access_pcs.len(), 1);
+        assert_eq!((b.n_loads, b.n_stores), (1, 0));
+    }
+
+    #[test]
+    fn fusion_stops_at_register_dependence_boundaries() {
+        // Adjacent immediate ops on *different* destinations must not
+        // fuse; the rules only consume data-dependent pairs.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .addi(Reg::EAX, 1)
+            .addi(Reg::EBX, 2)
+            .ret();
+        let p = pb.finish();
+        let b = DecodedCache::lower(&p).block(f.entry()).clone();
+        assert_eq!(b.ops.len(), 2, "independent ops must stay separate");
+        assert!(b.ops.iter().all(|op| matches!(op, MicroOp::BinRI { .. })));
     }
 
     #[test]

@@ -61,7 +61,7 @@ mod reg;
 
 pub use block::{BasicBlock, BlockId, Terminator};
 pub use builder::{BlockBuilder, FuncHandle, ProgramBuilder};
-pub use decoded::{DecodedBlock, DecodedCache, Ea, MicroOp, MicroTerm, REG_SLOTS};
+pub use decoded::{DecodedBlock, DecodedCache, Ea, FusionLevel, MicroOp, MicroTerm, REG_SLOTS};
 pub use event::{AccessKind, MemAccess, Pc};
 pub use insn::{BinOp, Cond, Insn, UnOp};
 pub use layout::{CODE_BASE, HEAP_BASE, STACK_TOP, STATIC_BASE};

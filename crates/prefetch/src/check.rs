@@ -262,9 +262,7 @@ pub fn check_rewritten(
         }
         let group = group_of(p.sref.block);
         let shape = ExprShape::of(&p.sref.mem);
-        let covered = seen
-            .iter()
-            .any(|(g, sh, _, _)| *g == group && *sh == shape);
+        let covered = seen.iter().any(|(g, sh, _, _)| *g == group && *sh == shape);
         if !covered {
             out.push(PlanDiagnostic {
                 pc: p.sref.pc,

@@ -39,9 +39,10 @@ impl PrefetchPlan {
                     // ahead (a byte-stride copy would otherwise prefetch
                     // its own line), at most a page.
                     let raw = info.stride.saturating_mul(distance_refs);
-                    let magnitude =
-                        raw.unsigned_abs()
-                            .clamp(MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES) as i64;
+                    let magnitude = raw
+                        .unsigned_abs()
+                        .clamp(MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES)
+                        as i64;
                     entries.insert(
                         *pc,
                         PlanEntry {

@@ -46,12 +46,16 @@
 #![warn(missing_docs)]
 
 mod memory;
+#[cfg(feature = "op-profile")]
+mod profile;
 mod sink;
 mod stats;
 #[allow(clippy::module_inception)]
 mod vm;
 
 pub use memory::Memory;
+#[cfg(feature = "op-profile")]
+pub use profile::OpProfile;
 pub use sink::{AccessSink, CollectSink, CountSink, FnSink, NullSink, Tee};
 pub use stats::VmStats;
 pub use vm::{BlockExit, ExitKind, RunResult, Vm};

@@ -1,0 +1,156 @@
+//! Self-profiling of the decoded engine: opcode and opcode-pair
+//! frequencies (the `op-profile` feature).
+//!
+//! UMI's thesis is that cheap online profiles should drive optimization;
+//! this module turns that loop on the interpreter itself. The runtime
+//! cost is one per-block counter increment — blocks are straight-line,
+//! so the *dynamic* opcode and pair frequencies are exactly the static
+//! per-block op sequences weighted by how often each block executed.
+//! [`OpProfile::collect`] does that weighting after the run, off the hot
+//! path, by walking the [`DecodedCache`] once.
+//!
+//! The resulting ranking is what chose the `FusionLevel::Full`
+//! superinstructions and effective-address specializations in
+//! `umi_ir::decoded` (see the `table_profile` harness for the
+//! before/after comparison across the full suite).
+
+use std::collections::BTreeMap;
+use umi_ir::DecodedCache;
+
+/// Aggregated opcode / opcode-pair / EA-shape frequencies of one or more
+/// decoded-engine runs.
+///
+/// All maps are `BTreeMap`s keyed by stable `&'static str` names
+/// ([`umi_ir::MicroOp::name`] / [`umi_ir::MicroTerm::name`] /
+/// [`umi_ir::Ea::shape`]), so iteration — and any table printed from it
+/// — is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Dynamic basic-block executions.
+    pub blocks: u64,
+    /// Dynamic micro-ops executed, terminators included.
+    pub total_ops: u64,
+    /// Dynamic executions per opcode (terminators included).
+    pub ops: BTreeMap<&'static str, u64>,
+    /// Dynamic executions per adjacent opcode pair. Pairs are counted
+    /// within a block (blocks are the dispatch unit): every adjacent
+    /// `(op, op)` plus the final `(op, terminator)` pair.
+    pub pairs: BTreeMap<(&'static str, &'static str), u64>,
+    /// Dynamic effective-address computations per addressing shape.
+    pub ea_shapes: BTreeMap<&'static str, u64>,
+}
+
+impl OpProfile {
+    /// Weighs the static per-block op sequences of `decoded` by the
+    /// per-block execution counts (indexed by dense `BlockId`, as
+    /// recorded by `Vm`).
+    pub fn collect(decoded: &DecodedCache, counts: &[u64]) -> OpProfile {
+        let mut p = OpProfile::default();
+        for (block, &n) in decoded.iter().zip(counts) {
+            if n == 0 {
+                continue;
+            }
+            p.blocks += n;
+            p.total_ops += n * (block.ops.len() as u64 + 1);
+            let mut prev: Option<&'static str> = None;
+            for op in block.ops.iter() {
+                let name = op.name();
+                *p.ops.entry(name).or_insert(0) += n;
+                if let Some(ea) = op.ea() {
+                    *p.ea_shapes.entry(ea.shape()).or_insert(0) += n;
+                }
+                if let Some(prev) = prev {
+                    *p.pairs.entry((prev, name)).or_insert(0) += n;
+                }
+                prev = Some(name);
+            }
+            let term = block.term.name();
+            *p.ops.entry(term).or_insert(0) += n;
+            if let Some(prev) = prev {
+                *p.pairs.entry((prev, term)).or_insert(0) += n;
+            }
+        }
+        p
+    }
+
+    /// Accumulates `other` into `self` (for suite-wide aggregation).
+    pub fn merge(&mut self, other: &OpProfile) {
+        self.blocks += other.blocks;
+        self.total_ops += other.total_ops;
+        for (&k, &v) in &other.ops {
+            *self.ops.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.pairs {
+            *self.pairs.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.ea_shapes {
+            *self.ea_shapes.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// The `n` most-executed opcodes, by count descending then name —
+    /// deterministic for golden output.
+    pub fn top_ops(&self, n: usize) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<_> = self.ops.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// The `n` most-executed adjacent pairs, by count descending then
+    /// names.
+    pub fn top_pairs(&self, n: usize) -> Vec<((&'static str, &'static str), u64)> {
+        let mut v: Vec<_> = self.pairs.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{DecodedCache, FusionLevel, ProgramBuilder, Reg};
+
+    #[test]
+    fn profile_weighs_static_sequences_by_block_counts() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry()).movi(Reg::ECX, 0).jmp(body);
+        pb.block(body)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 10)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let p = pb.finish();
+        // Candidate ranking profiles the *baseline* lowering, where the
+        // back-edge idiom is still an `add_ri` op + fused cmp+branch.
+        let decoded = DecodedCache::lower_with(&p, FusionLevel::Baseline);
+        // entry once, body ten times, done once.
+        let counts = [1u64, 10, 1];
+        let prof = OpProfile::collect(&decoded, &counts);
+        assert_eq!(prof.blocks, 12);
+        assert_eq!(prof.ops["add_ri"], 10);
+        assert_eq!(prof.ops["cmp_ri_br"], 10);
+        assert_eq!(prof.ops["mov_i"], 1);
+        assert_eq!(prof.pairs[&("add_ri", "cmp_ri_br")], 10);
+        // entry: mov_i + jmp = 2 ops × 1; body: add_ri + fused term = 2 × 10;
+        // done: ret = 1 × 1.
+        assert_eq!(prof.total_ops, 2 + 20 + 1);
+
+        let mut merged = prof.clone();
+        merged.merge(&prof);
+        assert_eq!(merged.ops["add_ri"], 20);
+        assert_eq!(merged.top_pairs(1)[0].0, ("add_ri", "cmp_ri_br"));
+
+        // At `Full` the pair the profile flagged is gone: the back edge
+        // collapses into the three-wide `add_cmp_br` terminator and the
+        // body block dispatches a single micro-op.
+        let full = OpProfile::collect(&DecodedCache::lower(&p), &counts);
+        assert_eq!(full.ops["add_cmp_br"], 10);
+        assert!(!full.ops.contains_key("add_ri"));
+        assert_eq!(full.total_ops, 2 + 10 + 1);
+    }
+}

@@ -4,7 +4,7 @@ use crate::memory::Memory;
 use crate::sink::AccessSink;
 use crate::stats::VmStats;
 use std::rc::Rc;
-use umi_ir::decoded::{DecodedCache, Ea, MicroOp, MicroTerm, NO_REG, REG_SLOTS};
+use umi_ir::decoded::{DecodedCache, Ea, FusionLevel, MicroOp, MicroTerm, NO_REG, REG_SLOTS};
 use umi_ir::{
     AccessKind, BasicBlock, BinOp, BlockId, Insn, MemAccess, MemRef, Operand, Pc, Program, Reg,
     Terminator, UnOp, Width, HEAP_BASE, STACK_TOP,
@@ -105,6 +105,12 @@ pub struct Vm<'p> {
     next_block: Option<BlockId>,
     /// Accesses of the block currently being / most recently executed.
     access_buf: Vec<MemAccess>,
+    /// Per-block execution counters for the opcode profiler, indexed by
+    /// dense `BlockId`; `None` until [`Vm::enable_op_profile`] — the
+    /// profiler is opt-in per VM, off by default, and the whole field
+    /// compiles out without the `op-profile` feature.
+    #[cfg(feature = "op-profile")]
+    op_counts: Option<Box<[u64]>>,
 }
 
 impl<'p> Vm<'p> {
@@ -116,6 +122,16 @@ impl<'p> Vm<'p> {
     /// `umi-analyze` verifier first; a malformed program panics here, at
     /// load time, instead of corrupting profiles mid-run.
     pub fn new(program: &'p Program) -> Vm<'p> {
+        Vm::with_fusion_level(program, FusionLevel::default())
+    }
+
+    /// [`Vm::new`], but lowering the decoded cache at an explicit
+    /// [`FusionLevel`]. `Baseline` disables the profile-guided
+    /// superinstructions and EA specializations — the two engines are
+    /// architecturally identical (same results, same access stream), so
+    /// this knob exists for A/B measurement (`vm_dispatch`) and for the
+    /// before/after fusion profiles in `table_profile`.
+    pub fn with_fusion_level(program: &'p Program, level: FusionLevel) -> Vm<'p> {
         let mut mem = Memory::new();
         for seg in &program.data {
             mem.write_bytes(seg.addr, &seg.bytes);
@@ -124,11 +140,11 @@ impl<'p> Vm<'p> {
         regs[Reg::ESP.index()] = STACK_TOP as i64;
         regs[Reg::EBP.index()] = STACK_TOP as i64;
         let entry = program.func(program.entry).entry;
-        let decoded = DecodedCache::lower(program);
+        let decoded = DecodedCache::lower_with(program, level);
         debug_assert!(
             {
                 let ok = umi_analyze::verify_program(program)
-                    .and_then(|()| umi_analyze::verify_decoded(program, &decoded));
+                    .and_then(|()| umi_analyze::verify_decoded_with(program, &decoded, level));
                 if let Err(errs) = &ok {
                     eprintln!(
                         "Vm::load: program '{}' failed verification:\n{}",
@@ -151,7 +167,31 @@ impl<'p> Vm<'p> {
             stats: VmStats::default(),
             next_block: Some(entry),
             access_buf: Vec::with_capacity(64),
+            #[cfg(feature = "op-profile")]
+            op_counts: None,
         }
+    }
+
+    /// Turns on the opcode profiler for this VM (requires the
+    /// `op-profile` feature): from now on every dispatched block bumps a
+    /// per-block counter — the only hot-path cost. Frequencies are
+    /// derived from the counters by [`Vm::op_profile`].
+    #[cfg(feature = "op-profile")]
+    pub fn enable_op_profile(&mut self) {
+        if self.op_counts.is_none() {
+            self.op_counts = Some(vec![0u64; self.decoded.len()].into_boxed_slice());
+        }
+    }
+
+    /// The opcode / opcode-pair / EA-shape frequencies observed so far,
+    /// or `None` if [`Vm::enable_op_profile`] was never called. Blocks
+    /// are straight-line, so the dynamic frequencies are exactly the
+    /// static per-block sequences weighted by the execution counters.
+    #[cfg(feature = "op-profile")]
+    pub fn op_profile(&self) -> Option<crate::OpProfile> {
+        self.op_counts
+            .as_deref()
+            .map(|counts| crate::OpProfile::collect(&self.decoded, counts))
     }
 
     /// The program being executed.
@@ -260,35 +300,92 @@ impl<'p> Vm<'p> {
         self.set_r(dst, base as i64);
     }
 
+    /// Hot-path dispatch: the measured-hot opcodes (see `table_profile`)
+    /// are handled inline, in frequency order; everything else falls
+    /// through to the out-of-line cold handler so the hot loop's code
+    /// stays compact.
     #[inline(always)]
     fn exec_micro(&mut self, op: &MicroOp) {
-        let sp = Reg::ESP.index() as u8;
         match *op {
-            MicroOp::MovR { dst, src } => self.set_r(dst, self.r(src)),
-            MicroOp::MovI { dst, imm } => self.set_r(dst, imm),
+            MicroOp::LoadBD {
+                dst,
+                base,
+                disp,
+                width,
+                pc,
+            } => {
+                let addr = (self.r(base) as u64).wrapping_add(disp as i64 as u64);
+                let v = self.dload(pc, addr, width);
+                self.set_r(dst, v);
+            }
             MicroOp::Load { dst, ea, width, pc } => {
                 let addr = self.ea(&ea);
                 let v = self.dload(pc, addr, width);
                 self.set_r(dst, v);
+            }
+            MicroOp::StoreRBD {
+                src,
+                base,
+                disp,
+                width,
+                pc,
+            } => {
+                let addr = (self.r(base) as u64).wrapping_add(disp as i64 as u64);
+                let v = self.r(src);
+                self.dstore(pc, addr, width, v);
             }
             MicroOp::StoreR { ea, src, width, pc } => {
                 let addr = self.ea(&ea);
                 let v = self.r(src);
                 self.dstore(pc, addr, width, v);
             }
-            MicroOp::StoreI { ea, imm, width, pc } => {
-                let addr = self.ea(&ea);
-                self.dstore(pc, addr, width, imm);
+            MicroOp::BinRI { op, dst, imm } => {
+                let a = self.r(dst);
+                self.set_r(dst, apply_binop(op, a, imm));
             }
-            MicroOp::Lea { dst, ea } => self.set_r(dst, self.ea(&ea) as i64),
             MicroOp::BinRR { op, dst, src } => {
                 let a = self.r(dst);
                 let b = self.r(src);
                 self.set_r(dst, apply_binop(op, a, b));
             }
-            MicroOp::BinRI { op, dst, imm } => {
-                let a = self.r(dst);
+            MicroOp::MovR { dst, src } => self.set_r(dst, self.r(src)),
+            MicroOp::MovI { dst, imm } => self.set_r(dst, imm),
+            MicroOp::LoadRI {
+                op,
+                dst,
+                ea,
+                width,
+                imm,
+                pc,
+            } => {
+                let addr = self.ea(&ea);
+                let v = self.dload(pc, addr, width);
+                self.set_r(dst, apply_binop(op, v, imm));
+            }
+            MicroOp::MovBinRI { op, dst, src, imm } => {
+                let a = self.r(src);
                 self.set_r(dst, apply_binop(op, a, imm));
+            }
+            MicroOp::BinRIRI {
+                op1,
+                op2,
+                dst,
+                imm1,
+                imm2,
+            } => {
+                let v = apply_binop(op1, self.r(dst), imm1);
+                self.set_r(dst, apply_binop(op2, v, imm2));
+            }
+            MicroOp::MovBinRIRI {
+                op1,
+                op2,
+                dst,
+                src,
+                imm1,
+                imm2,
+            } => {
+                let v = apply_binop(op1, self.r(src), imm1);
+                self.set_r(dst, apply_binop(op2, v, imm2));
             }
             MicroOp::BinMem {
                 op,
@@ -302,6 +399,22 @@ impl<'p> Vm<'p> {
                 let a = self.r(dst);
                 self.set_r(dst, apply_binop(op, a, b));
             }
+            ref cold => self.exec_micro_cold(cold),
+        }
+    }
+
+    /// Cold-path dispatch: ops the opcode profile measured below ~1% of
+    /// the dynamic mix. Out-of-line on purpose — see [`Vm::exec_micro`].
+    #[cold]
+    #[inline(never)]
+    fn exec_micro_cold(&mut self, op: &MicroOp) {
+        let sp = Reg::ESP.index() as u8;
+        match *op {
+            MicroOp::StoreI { ea, imm, width, pc } => {
+                let addr = self.ea(&ea);
+                self.dstore(pc, addr, width, imm);
+            }
+            MicroOp::Lea { dst, ea } => self.set_r(dst, self.ea(&ea) as i64),
             MicroOp::Un { op, dst } => {
                 let a = self.r(dst);
                 self.set_r(
@@ -347,6 +460,9 @@ impl<'p> Vm<'p> {
                     kind: AccessKind::Prefetch,
                 });
             }
+            // Hot ops are fully handled in `exec_micro` and never reach
+            // the cold path.
+            _ => unreachable!("hot micro-op dispatched to the cold path"),
         }
     }
 
@@ -393,6 +509,24 @@ impl<'p> Vm<'p> {
                     (Some(*fallthrough), ExitKind::BranchNotTaken)
                 }
             }
+            MicroTerm::BinRICmpRIBr {
+                op,
+                a,
+                op_imm,
+                cmp_imm,
+                cond,
+                taken,
+                fallthrough,
+            } => {
+                let v = apply_binop(*op, self.r(*a), *op_imm);
+                self.set_r(*a, v);
+                self.flags = (v, *cmp_imm);
+                if cond.eval(self.flags.0, self.flags.1) {
+                    (Some(*taken), ExitKind::BranchTaken)
+                } else {
+                    (Some(*fallthrough), ExitKind::BranchNotTaken)
+                }
+            }
             MicroTerm::JmpInd { sel, table } => {
                 let idx = (self.r(*sel) as u64 % table.len() as u64) as usize;
                 (Some(table[idx]), ExitKind::Indirect)
@@ -431,6 +565,10 @@ impl<'p> Vm<'p> {
     fn step_block_in<S: AccessSink>(&mut self, decoded: &DecodedCache, sink: &mut S) -> BlockExit {
         let id = self.next_block.expect("program already finished");
         let block = decoded.block(id);
+        #[cfg(feature = "op-profile")]
+        if let Some(counts) = &mut self.op_counts {
+            counts[id.index()] += 1;
+        }
         self.stats.blocks += 1;
         // Retired instructions (bodies + terminator) and demand accesses
         // are counted per block from the decoded block's static totals:
