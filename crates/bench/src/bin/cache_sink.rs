@@ -18,11 +18,13 @@
 //! stdout. `insns` in that report counts sink *references* here (each
 //! pattern is consumed once per sink configuration).
 
+use std::sync::Arc;
 use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
 use umi_cache::{CacheConfig, CacheStats, FullSimulator};
 use umi_hw::{HwCounters, Machine, Platform, PrefetchSetting};
 use umi_ir::{AccessKind, MemAccess, Pc};
+use umi_trace::{store, ExecTrace, TraceWriter};
 use umi_vm::AccessSink;
 use umi_workloads::Scale;
 
@@ -127,10 +129,26 @@ struct Row {
     full_stalls: u64,
 }
 
-fn feed<S: AccessSink>(sink: &mut S, stream: &[MemAccess]) {
-    for chunk in stream.chunks(BATCH) {
-        sink.access_batch(chunk);
+/// The pattern's stream as a trace, from the cross-harness cache when
+/// possible: the generator is deterministic, so the capture key only
+/// has to describe it exhaustively. Captured in raw (template) mode —
+/// each `BATCH`-sized chunk becomes one pseudo-block record, so replay
+/// delivers the exact `access_batch` chunking `feed` used to.
+fn pattern_trace(pattern: &Pattern, refs: usize) -> Arc<ExecTrace> {
+    let key = store::context_key(&format!(
+        "cache_sink:{}:refs={refs}:batch={BATCH}",
+        pattern.name
+    ));
+    if let Some(trace) = store::fetch(key) {
+        return trace;
     }
+    let stream = (pattern.generate)(refs);
+    let mut writer = TraceWriter::new();
+    for chunk in stream.chunks(BATCH) {
+        writer.access_batch(chunk);
+        writer.end_block_auto();
+    }
+    store::publish(writer.finish_raw(key))
 }
 
 fn main() {
@@ -141,20 +159,20 @@ fn main() {
     };
     let mut harness = Harness::new("cache_sink", scale);
     let rows: Vec<Row> = harness.run(PATTERNS, |pattern| {
-        let stream = (pattern.generate)(refs);
+        let trace = pattern_trace(pattern, refs);
 
         let mut exact = FullSimulator::pentium4();
-        feed(&mut exact, &stream);
+        trace.replay_into(&mut exact);
         let mut sampled = FullSimulator::pentium4_sampled(SAMPLE_FACTOR);
-        feed(&mut sampled, &stream);
+        trace.replay_into(&mut sampled);
         let mut off = Machine::new(Platform::pentium4(), PrefetchSetting::Off);
-        feed(&mut off, &stream);
+        trace.replay_into(&mut off);
         let mut full = Machine::new(Platform::pentium4(), PrefetchSetting::Full);
-        feed(&mut full, &stream);
+        trace.replay_into(&mut full);
 
         Cell {
             label: pattern.name.to_string(),
-            insns: 4 * stream.len() as u64,
+            insns: 4 * trace.summary().accesses,
             value: Row {
                 l1: exact.l1_stats(),
                 l2: exact.l2_stats(),

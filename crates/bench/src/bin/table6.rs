@@ -5,7 +5,7 @@
 use umi_bench::engine::{Cell, Harness};
 use umi_bench::{mean, scale_from_env};
 use umi_cache::FullSimulator;
-use umi_core::{PredictionQuality, UmiConfig, UmiRuntime};
+use umi_core::{introspect_cached, PredictionQuality, UmiConfig};
 use umi_workloads::all32;
 
 fn main() {
@@ -14,14 +14,15 @@ fn main() {
     let rows: Vec<(f64, PredictionQuality)> = harness.run(&all32(), |spec| {
         let program = spec.build(scale);
 
-        // One interpreter pass: the full simulator rides the UMI run as
-        // its access sink. The DBI forwards the unmodified demand stream,
-        // so the ground truth it accumulates is bit-identical to a
-        // dedicated native pass — previously this cell interpreted the
-        // workload twice.
+        // One capture-or-replay pass: the full simulator rides the UMI
+        // run as its access sink. The DBI forwards the unmodified demand
+        // stream, so the ground truth it accumulates is bit-identical to
+        // a dedicated native pass; replaying a cached trace is
+        // bit-identical to interpreting (the differential tests prove
+        // both identities).
         let mut full = FullSimulator::pentium4();
-        let mut umi = UmiRuntime::new(&program, UmiConfig::no_sampling());
-        let report = umi.run(&mut full, u64::MAX);
+        let ci = introspect_cached(&program, &UmiConfig::no_sampling(), &[], &mut full);
+        let report = ci.report;
         let truth = full.delinquent_set(0.90);
 
         let q = PredictionQuality::compute(

@@ -1,0 +1,118 @@
+//! trace_stat — records trace-cache economics into
+//! `results/BENCH_pipeline.json`.
+//!
+//! Usage: `trace_stat <trace-dir> <cold_seconds> <warm_seconds>`
+//!
+//! `scripts/smoke.sh` runs a golden harness twice against the same
+//! `UMI_TRACE_DIR` — a cold pass that captures and a warm pass that
+//! replays — and hands the directory plus both wall-clocks here. This
+//! binary validates every `.umitrace` entry the cold pass wrote
+//! (re-reading them through the same checksummed loader the harnesses
+//! use) and records capture cost, replay speedup, and the encoding's
+//! bits-per-access under the `"trace_cache"` key.
+
+use umi_trace::ExecTrace;
+use umi_vm::NullSink;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().collect();
+    let verbose = args.iter().any(|a| a == "-v");
+    args.retain(|a| a != "-v");
+    if args.len() != 4 {
+        eprintln!("usage: trace_stat [-v] <trace-dir> <cold_seconds> <warm_seconds>");
+        std::process::exit(2);
+    }
+    let dir = std::path::Path::new(&args[1]);
+    let cold: f64 = args[2].parse().expect("cold_seconds must be a number");
+    let warm: f64 = args[3].parse().expect("warm_seconds must be a number");
+
+    let mut traces = 0u64;
+    let mut file_bytes = 0u64;
+    let mut event_bytes = 0u64;
+    let mut accesses = 0u64;
+    let mut insns = 0u64;
+    let mut decode = std::time::Duration::ZERO;
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|e| {
+        eprintln!("trace_stat: cannot read {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(umi_trace::store::TRACE_EXT) {
+            continue;
+        }
+        let bytes = std::fs::read(&path).expect("read trace entry");
+        let trace = match ExecTrace::from_bytes(&bytes, None) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("trace_stat: skipping {}: {err}", path.display());
+                continue;
+            }
+        };
+        traces += 1;
+        file_bytes += bytes.len() as u64;
+        event_bytes += trace.event_bytes() as u64;
+        accesses += trace.summary().accesses;
+        insns += trace.summary().stats.insns;
+        let t = std::time::Instant::now();
+        trace.replay_into(&mut NullSink);
+        decode += t.elapsed();
+        if verbose {
+            let s = trace.summary();
+            eprintln!(
+                "  {}: {} bytes, dict {}, records {}, accesses {} ({:.2} bits/access)",
+                path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+                bytes.len(),
+                trace.dict().len(),
+                s.records,
+                s.accesses,
+                8.0 * bytes.len() as f64 / s.accesses.max(1) as f64,
+            );
+        }
+    }
+    if traces == 0 {
+        eprintln!("trace_stat: no valid traces in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    let bits_per_access = if accesses > 0 {
+        8.0 * file_bytes as f64 / accesses as f64
+    } else {
+        0.0
+    };
+    let speedup = if warm > 0.0 { cold / warm } else { 0.0 };
+    let decode_s = decode.as_secs_f64();
+    let maccess_per_s = if decode_s > 0.0 {
+        accesses as f64 / decode_s / 1e6
+    } else {
+        0.0
+    };
+
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(
+        "      \"note\": \"cold capture vs warm replay of one golden harness, same UMI_TRACE_DIR; sizes over all entries the cold pass wrote\",\n",
+    );
+    body.push_str(&format!("      \"cold_capture_seconds\": {cold:.3},\n"));
+    body.push_str(&format!("      \"warm_replay_seconds\": {warm:.3},\n"));
+    body.push_str(&format!("      \"replay_speedup\": {speedup:.2},\n"));
+    body.push_str(&format!("      \"traces\": {traces},\n"));
+    body.push_str(&format!("      \"trace_bytes\": {file_bytes},\n"));
+    body.push_str(&format!("      \"event_bytes\": {event_bytes},\n"));
+    body.push_str(&format!("      \"accesses\": {accesses},\n"));
+    body.push_str(&format!("      \"traced_insns\": {insns},\n"));
+    body.push_str(&format!(
+        "      \"bits_per_access\": {bits_per_access:.3},\n"
+    ));
+    body.push_str(&format!(
+        "      \"decode_maccesses_per_second\": {maccess_per_s:.1}\n"
+    ));
+    body.push_str("    }");
+    umi_bench::report::record_raw("trace_cache", body);
+
+    println!(
+        "trace_cache: {traces} trace(s), {file_bytes} bytes, {accesses} accesses \
+         ({bits_per_access:.2} bits/access, decode {maccess_per_s:.0} Macc/s); \
+         cold {cold:.2}s -> warm {warm:.2}s ({speedup:.2}x)"
+    );
+}

@@ -1,9 +1,9 @@
 //! Shared measurement procedure for the prefetching figures (3–6).
 
 use crate::engine::{run_cells, Cell, CellStat};
-use umi_core::{UmiConfig, UmiRuntime};
+use umi_core::{introspect_cached, introspect_traced, UmiConfig, UmiRuntime};
 use umi_hw::{Machine, Platform, PrefetchSetting};
-use umi_prefetch::harness::{run_native, run_umi, RunOutcome};
+use umi_prefetch::harness::{run_native_trace, run_umi, RunOutcome};
 use umi_prefetch::{inject_prefetches, PrefetchPlan};
 use umi_vm::Tee;
 use umi_workloads::{all32, Scale, WorkloadSpec};
@@ -49,11 +49,17 @@ fn study_cell(
     // forwards the exact native demand stream, so this one pass yields
     // the "UMI only" outcome, the plan, AND the native baseline — same
     // machine state, minus the runtime-overhead cycles. Workloads
-    // without a plan are rejected before any further run.
+    // without a plan are rejected before any further run. Feedback-free,
+    // so it runs capture-or-replay against the trace cache; the HW
+    // variants re-drive the pass-1 stream through a prefetch-on machine
+    // later, so they force capture even without a cross-process cache.
     let mut machine_off = Machine::new(platform.clone(), PrefetchSetting::Off);
-    let mut umi = UmiRuntime::new(&program, config.clone());
-    let report = umi.run(&mut machine_off, u64::MAX);
-    assert!(umi.finished(), "workload {} did not finish", program.name);
+    let ci = if hw_variants {
+        introspect_traced(&program, config, &[], &mut machine_off)
+    } else {
+        introspect_cached(&program, config, &[], &mut machine_off)
+    };
+    let report = ci.report;
     let pass_insns = report.vm_stats.insns;
     insns += pass_insns;
     let native_off = RunOutcome {
@@ -110,7 +116,11 @@ fn study_cell(
         insns: pass2_insns,
     });
     let native_hw = if hw_variants {
-        let out = run_native(&program, platform.clone(), PrefetchSetting::Full);
+        // Replayed, not re-interpreted: the prefetch setting changes only
+        // machine-internal behaviour, so the pass-1 trace drives the
+        // prefetch-on machine to exactly the state a live run reaches.
+        let trace = ci.trace.as_ref().expect("traced introspection kept its capture");
+        let out = run_native_trace(trace, platform.clone(), PrefetchSetting::Full);
         insns += out.insns;
         Some(out)
     } else {

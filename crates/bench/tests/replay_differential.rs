@@ -1,0 +1,165 @@
+//! Suite-wide differential test: for every workload, a replayed
+//! introspection run must be *byte-identical* to the live one — same
+//! UMI report, same full-simulator statistics, same hardware-machine
+//! counters, same shadow mini-simulator ratios. This is the identity
+//! the trace cache rests on: if it holds for all 32 workloads, swapping
+//! replay in for live interpretation can never change a golden.
+//!
+//! `UmiReport` deliberately has no `PartialEq` (its per-pc table is an
+//! open-addressed map whose layout is an implementation detail), so
+//! the comparison canonicalizes: every set/map is rendered sorted by
+//! key, scalars exactly.
+
+use std::fmt::Write as _;
+use umi_core::{introspect_traced, UmiConfig, UmiReport};
+use umi_hw::{Machine, Platform, PrefetchSetting};
+use umi_workloads::{all32, Scale};
+
+/// Deterministic rendering of a report: sorted sets/maps, exact floats
+/// (`{:?}` round-trips f64), scalar fields verbatim.
+fn canonical(r: &UmiReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program={}", r.program_name);
+    let _ = writeln!(out, "umi_miss_ratio={:?}", r.umi_miss_ratio);
+
+    let mut predicted: Vec<u64> = r.predicted.iter().map(|pc| pc.0).collect();
+    predicted.sort_unstable();
+    let _ = writeln!(out, "predicted={predicted:?}");
+
+    let mut strides: Vec<(u64, String)> = r
+        .strides
+        .iter()
+        .map(|(pc, s)| (pc.0, format!("{s:?}")))
+        .collect();
+    strides.sort_unstable();
+    let _ = writeln!(out, "strides={strides:?}");
+
+    let mut patterns: Vec<(u64, String)> = r
+        .patterns
+        .iter()
+        .map(|(pc, t)| (pc.0, format!("{t:?}")))
+        .collect();
+    patterns.sort_unstable();
+    let _ = writeln!(out, "patterns={patterns:?}");
+
+    let mut per_pc: Vec<(u64, String)> = r
+        .per_pc
+        .iter()
+        .map(|(pc, v)| (pc.0, format!("{v:?}")))
+        .collect();
+    per_pc.sort_unstable();
+    let _ = writeln!(out, "per_pc={per_pc:?}");
+
+    let _ = writeln!(
+        out,
+        "profiles={} invocations={} flushes={} traces={} ops={} loads={} stores={}",
+        r.profiles_collected,
+        r.analyzer_invocations,
+        r.cache_flushes,
+        r.instrumented_traces,
+        r.profiled_ops,
+        r.static_loads,
+        r.static_stores,
+    );
+    let _ = writeln!(
+        out,
+        "umi_cycles={} dbi_cycles={} samples={}",
+        r.umi_overhead_cycles, r.dbi_overhead_cycles, r.samples_taken
+    );
+    let _ = writeln!(out, "vm={:?}", r.vm_stats);
+    let _ = writeln!(out, "dbi={:?}", r.dbi_stats);
+    out
+}
+
+#[test]
+fn replay_is_byte_identical_to_live_for_all_workloads() {
+    let scale = Scale::Test;
+    let mut shadow = UmiConfig::no_sampling().sim_cache(umi_cache::CacheConfig::k7_l2());
+    shadow.sim_l1_filter = umi_cache::CacheConfig::k7_l1d();
+    for spec in all32() {
+        let program = spec.build(scale);
+
+        // First call: cache miss, runs live, captures and publishes
+        // (forced — no `UMI_TRACE_DIR` in the test environment).
+        let mut full_live = umi_cache::FullSimulator::pentium4();
+        let live = introspect_traced(
+            &program,
+            &UmiConfig::no_sampling(),
+            std::slice::from_ref(&shadow),
+            &mut full_live,
+        );
+        assert!(!live.replayed, "{}: first run must be live", spec.name);
+
+        // Second call: same program, must hit the in-memory cache.
+        let mut full_replay = umi_cache::FullSimulator::pentium4();
+        let replay = introspect_traced(
+            &program,
+            &UmiConfig::no_sampling(),
+            std::slice::from_ref(&shadow),
+            &mut full_replay,
+        );
+        assert!(replay.replayed, "{}: second run must replay", spec.name);
+
+        // The whole introspection result is identical.
+        assert_eq!(
+            canonical(&live.report),
+            canonical(&replay.report),
+            "{}: UMI report diverged under replay",
+            spec.name
+        );
+        assert_eq!(
+            live.shadow_miss_ratios, replay.shadow_miss_ratios,
+            "{}: shadow mini-sim diverged under replay",
+            spec.name
+        );
+
+        // So is everything the sink saw.
+        assert_eq!(
+            full_live.l1_stats(),
+            full_replay.l1_stats(),
+            "{}: L1 diverged",
+            spec.name
+        );
+        assert_eq!(
+            full_live.l2_stats(),
+            full_replay.l2_stats(),
+            "{}: L2 diverged",
+            spec.name
+        );
+        assert_eq!(
+            full_live.l2_writebacks(),
+            full_replay.l2_writebacks(),
+            "{}: writebacks diverged",
+            spec.name
+        );
+
+        // And a consumer driven purely from the trace (no DBI stack at
+        // all) agrees with one that rode the live run.
+        let mut hw_live = Machine::new(Platform::pentium4(), PrefetchSetting::Full);
+        let mut hw_replay = Machine::new(Platform::pentium4(), PrefetchSetting::Full);
+        let live_trace = live.trace.as_ref().expect("traced run keeps its capture");
+        let replay_trace = replay.trace.as_ref().expect("replay returns its trace");
+        live_trace.replay_into(&mut hw_live);
+        replay_trace.replay_into(&mut hw_replay);
+        assert_eq!(
+            hw_live.counters(),
+            hw_replay.counters(),
+            "{}: machine counters diverged",
+            spec.name
+        );
+        assert_eq!(
+            hw_live.stall_cycles(),
+            hw_replay.stall_cycles(),
+            "{}: machine stalls diverged",
+            spec.name
+        );
+
+        // The trace's summary is the live run's architectural truth.
+        assert_eq!(
+            live_trace.summary().stats,
+            live.report.vm_stats,
+            "{}: trace summary disagrees with live stats",
+            spec.name
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Capture-or-replay introspection: run a full UMI session over a
+//! program, sourcing the native block/access stream from the
+//! cross-harness trace cache when possible and capturing it when not.
+//!
+//! This is the entry point the feedback-free harness cells use: the
+//! introspection *results* (report, shadow-sim statistics, sink
+//! batches) are byte-identical either way, because the replay cursor
+//! honors the exact [`umi_vm::BlockSource`] contract of the live
+//! interpreter. Feedback-dependent passes — anything executing a
+//! *modified* program, like prefetch-injected re-runs — must stay
+//! live; a trace is only valid for the exact program it was captured
+//! from (the content key enforces this).
+//!
+//! Capture is not free (the writer sees every access batch), so it is
+//! *conditional*: [`introspect_cached`] attaches the tracer on a cache
+//! miss only when the cross-process cache (`UMI_TRACE_DIR`) is enabled
+//! — otherwise nothing would ever reuse the capture and the run would
+//! pay pure overhead. Consumers that need the trace itself (e.g. to
+//! replay it into further sinks within the same process) use
+//! [`introspect_traced`], which always captures on a miss.
+
+use crate::config::UmiConfig;
+use crate::report::UmiReport;
+use crate::runtime::UmiRuntime;
+use std::sync::Arc;
+use umi_dbi::{CostModel, DbiRuntime};
+use umi_ir::Program;
+use umi_trace::store;
+use umi_trace::{ExecTrace, ReplayCursor, TraceWriter};
+use umi_vm::{AccessSink, BlockSource};
+
+/// What a capture-or-replay introspection run produced.
+pub struct CachedIntrospection {
+    /// The UMI report (identical between live and replayed runs).
+    pub report: UmiReport,
+    /// Cumulative L2 miss ratio of each shadow mini-simulator, in the
+    /// order the configurations were passed.
+    pub shadow_miss_ratios: Vec<f64>,
+    /// The execution trace backing (or captured during) the run:
+    /// always present on a cache hit or under [`introspect_traced`],
+    /// and on a miss under [`introspect_cached`] when `UMI_TRACE_DIR`
+    /// is set. `None` means the run was plain live with no tracer
+    /// attached (nothing would have reused the capture).
+    pub trace: Option<Arc<ExecTrace>>,
+    /// Whether the stream came from the trace cache (false = run
+    /// live this call).
+    pub replayed: bool,
+}
+
+fn drive<'p, X: BlockSource<'p>, S: AccessSink>(
+    mut umi: UmiRuntime<'p, X>,
+    shadows: &[UmiConfig],
+    sink: &mut S,
+) -> (UmiRuntime<'p, X>, UmiReport, Vec<f64>) {
+    let idxs: Vec<usize> = shadows.iter().map(|c| umi.add_shadow_sim(c)).collect();
+    let report = umi.run(sink, u64::MAX);
+    let ratios = idxs
+        .iter()
+        .map(|&i| umi.shadow_sims()[i].miss_ratio())
+        .collect();
+    (umi, report, ratios)
+}
+
+/// Run introspection over `program` with `config` (plus shadow
+/// mini-simulators for each of `shadows`), streaming every access
+/// batch into `sink`.
+///
+/// The native stream is fetched from the trace cache when a valid
+/// entry exists. On a miss the stream is captured and published
+/// (in-memory and on disk) when `UMI_TRACE_DIR` is set, and simply
+/// run live — no tracer, no capture overhead — when it is not.
+pub fn introspect_cached<S: AccessSink>(
+    program: &Program,
+    config: &UmiConfig,
+    shadows: &[UmiConfig],
+    sink: &mut S,
+) -> CachedIntrospection {
+    introspect(program, config, shadows, sink, store::trace_dir().is_some())
+}
+
+/// Like [`introspect_cached`], but always captures on a cache miss:
+/// the returned `trace` is guaranteed present, for callers that replay
+/// the stream into further consumers within the same process.
+pub fn introspect_traced<S: AccessSink>(
+    program: &Program,
+    config: &UmiConfig,
+    shadows: &[UmiConfig],
+    sink: &mut S,
+) -> CachedIntrospection {
+    introspect(program, config, shadows, sink, true)
+}
+
+fn introspect<S: AccessSink>(
+    program: &Program,
+    config: &UmiConfig,
+    shadows: &[UmiConfig],
+    sink: &mut S,
+    capture: bool,
+) -> CachedIntrospection {
+    let key = store::program_key(program);
+    if let Some(trace) = store::fetch(key) {
+        match ReplayCursor::new(program, Arc::clone(&trace)) {
+            Ok(cursor) => {
+                let dbi = DbiRuntime::from_source(cursor, CostModel::default());
+                let umi = UmiRuntime::with_dbi(dbi, config.clone());
+                let (_, report, shadow_miss_ratios) = drive(umi, shadows, sink);
+                return CachedIntrospection {
+                    report,
+                    shadow_miss_ratios,
+                    trace: Some(trace),
+                    replayed: true,
+                };
+            }
+            Err(err) => {
+                eprintln!(
+                    "umi-trace: cached trace for {} unusable ({err}); running live",
+                    program.name
+                );
+            }
+        }
+    }
+
+    if !capture {
+        let dbi = DbiRuntime::new(program, CostModel::default());
+        let umi = UmiRuntime::with_dbi(dbi, config.clone());
+        let (_, report, shadow_miss_ratios) = drive(umi, shadows, sink);
+        return CachedIntrospection {
+            report,
+            shadow_miss_ratios,
+            trace: None,
+            replayed: false,
+        };
+    }
+
+    let mut dbi = DbiRuntime::new(program, CostModel::default());
+    dbi.attach_tracer(TraceWriter::new());
+    let umi = UmiRuntime::with_dbi(dbi, config.clone());
+    let (mut umi, report, shadow_miss_ratios) = drive(umi, shadows, sink);
+    let writer = umi
+        .dbi_mut()
+        .take_tracer()
+        .expect("tracer attached above");
+    let trace = store::publish(writer.finish(key, report.vm_stats));
+    CachedIntrospection {
+        report,
+        shadow_miss_ratios,
+        trace: Some(trace),
+        replayed: false,
+    }
+}

@@ -13,7 +13,7 @@ use crate::stride::{detect_stride, StrideInfo};
 use std::collections::{HashMap, HashSet};
 use umi_dbi::{CostModel, DbiRuntime, TraceId};
 use umi_ir::{MemAccess, Pc, Program, CODE_BASE};
-use umi_vm::AccessSink;
+use umi_vm::{AccessSink, BlockSource, Vm};
 
 /// A running UMI session over one program.
 ///
@@ -24,9 +24,12 @@ use umi_vm::AccessSink;
 /// [`report`](Self::report) summarizes everything.
 ///
 /// See the [crate docs](crate) for an end-to-end example.
+/// Like the DBI layer it drives, the runtime is generic over the block
+/// supplier `X` — live interpretation ([`Vm`], the default) or a trace
+/// replay cursor; introspection behaves identically for both.
 #[derive(Debug)]
-pub struct UmiRuntime<'p> {
-    dbi: DbiRuntime<'p>,
+pub struct UmiRuntime<'p, X: BlockSource<'p> = Vm<'p>> {
+    dbi: DbiRuntime<'p, X>,
     config: UmiConfig,
     selector: RegionSelector,
     instrumentor: Instrumentor,
@@ -84,13 +87,15 @@ impl<'p> UmiRuntime<'p> {
     pub fn new(program: &'p Program, config: UmiConfig) -> UmiRuntime<'p> {
         UmiRuntime::with_dbi(DbiRuntime::new(program, CostModel::default()), config)
     }
+}
 
+impl<'p, X: BlockSource<'p>> UmiRuntime<'p, X> {
     /// Creates a UMI session over an existing (unstarted) DBI runtime.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
-    pub fn with_dbi(dbi: DbiRuntime<'p>, config: UmiConfig) -> UmiRuntime<'p> {
+    pub fn with_dbi(dbi: DbiRuntime<'p, X>, config: UmiConfig) -> UmiRuntime<'p, X> {
         if let Err(e) = config.validate() {
             panic!("invalid UMI configuration: {e}");
         }
@@ -156,8 +161,14 @@ impl<'p> UmiRuntime<'p> {
     }
 
     /// The underlying DBI runtime.
-    pub fn dbi(&self) -> &DbiRuntime<'p> {
+    pub fn dbi(&self) -> &DbiRuntime<'p, X> {
         &self.dbi
+    }
+
+    /// Mutable access to the underlying DBI runtime (e.g. to attach or
+    /// detach a trace-capture hook mid-session).
+    pub fn dbi_mut(&mut self) -> &mut DbiRuntime<'p, X> {
+        &mut self.dbi
     }
 
     /// UMI overhead cycles so far (profiling + analysis + instrumentation).

@@ -3,7 +3,8 @@
 use crate::cost::CostModel;
 use crate::trace::{TraceBuilder, TraceCache, TraceId};
 use umi_ir::{MemAccess, Program};
-use umi_vm::{AccessSink, BlockExit, Vm, VmStats};
+use umi_trace::TraceWriter;
+use umi_vm::{AccessSink, BlockExit, BlockSource, Vm, VmStats};
 
 /// Execution statistics of the DBI layer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,10 +62,15 @@ pub struct StepInfo<'r> {
 /// builds traces from hot control flow, charges DBI overhead cycles, and
 /// reports every step to the caller (the UMI layer).
 ///
+/// Generic over the block supplier `X`: the live interpreter
+/// ([`Vm`], the default) or a trace replay cursor — the dispatcher,
+/// trace builder, and cost model behave identically for both, because
+/// they only consume the [`BlockSource`] contract.
+///
 /// See the [crate docs](crate) for an example.
 #[derive(Debug)]
-pub struct DbiRuntime<'p> {
-    vm: Vm<'p>,
+pub struct DbiRuntime<'p, X: BlockSource<'p> = Vm<'p>> {
+    exec: X,
     program: &'p Program,
     cache: TraceCache,
     builder: TraceBuilder,
@@ -80,6 +86,9 @@ pub struct DbiRuntime<'p> {
     next_ctx: Option<(TraceId, usize)>,
     /// Whether the edge into the next block was backward/indirect.
     entered_backward: bool,
+    /// Optional capture hook: records every executed block and its
+    /// access batch into a compact execution trace.
+    tracer: Option<TraceWriter>,
 }
 
 impl<'p> DbiRuntime<'p> {
@@ -95,8 +104,32 @@ impl<'p> DbiRuntime<'p> {
         costs: CostModel,
         builder: TraceBuilder,
     ) -> DbiRuntime<'p> {
+        DbiRuntime::from_source_with_builder(Vm::new(program), costs, builder)
+    }
+
+    /// The underlying VM (registers, memory, architectural stats).
+    pub fn vm(&self) -> &Vm<'p> {
+        &self.exec
+    }
+}
+
+impl<'p, X: BlockSource<'p>> DbiRuntime<'p, X> {
+    /// Creates a runtime over an arbitrary block supplier (e.g. a trace
+    /// replay cursor) with the default NET parameters.
+    pub fn from_source(exec: X, costs: CostModel) -> DbiRuntime<'p, X> {
+        DbiRuntime::from_source_with_builder(exec, costs, TraceBuilder::default())
+    }
+
+    /// Creates a runtime over an arbitrary block supplier with a custom
+    /// trace builder.
+    pub fn from_source_with_builder(
+        exec: X,
+        costs: CostModel,
+        builder: TraceBuilder,
+    ) -> DbiRuntime<'p, X> {
+        let program = exec.program();
         DbiRuntime {
-            vm: Vm::new(program),
+            exec,
             program,
             cache: TraceCache::new(),
             builder,
@@ -107,22 +140,30 @@ impl<'p> DbiRuntime<'p> {
             block_addrs: program.blocks.iter().map(|b| b.addr.0).collect(),
             next_ctx: None,
             entered_backward: true, // program entry behaves like a head edge
+            tracer: None,
         }
+    }
+
+    /// Attach a capture hook: from now on every executed block and its
+    /// access batch are recorded into `writer`.
+    pub fn attach_tracer(&mut self, writer: TraceWriter) {
+        self.tracer = Some(writer);
+    }
+
+    /// Detach the capture hook, if any (typically at end of run, to
+    /// seal the trace).
+    pub fn take_tracer(&mut self) -> Option<TraceWriter> {
+        self.tracer.take()
     }
 
     /// Whether the program has finished.
     pub fn finished(&self) -> bool {
-        self.vm.is_finished()
-    }
-
-    /// The underlying VM (registers, memory, architectural stats).
-    pub fn vm(&self) -> &Vm<'p> {
-        &self.vm
+        self.exec.is_finished()
     }
 
     /// Architectural statistics (instructions, loads, stores…).
     pub fn vm_stats(&self) -> VmStats {
-        self.vm.stats()
+        self.exec.stats()
     }
 
     /// The program under execution.
@@ -179,7 +220,10 @@ impl<'p> DbiRuntime<'p> {
         // The VM buffers the block's accesses and batch-delivers them to
         // `sink`; the same buffer backs `StepInfo::accesses`, so no tee
         // copy is needed.
-        let exit = self.vm.step_block(sink);
+        let exit = self.exec.step_block(sink);
+        if let Some(w) = self.tracer.as_mut() {
+            w.record_block(exit.block, self.exec.block_accesses());
+        }
 
         // --- cost accounting ---
         let bi = exit.block.index();
@@ -207,7 +251,7 @@ impl<'p> DbiRuntime<'p> {
                 self.builder
                     .observe(self.program, &self.cache, &exit, self.entered_backward)
             {
-                let id = self.cache.insert_decoded(blocks, self.vm.decoded());
+                let id = self.cache.insert_decoded(blocks, self.exec.decoded());
                 self.stats.traces_built += 1;
                 self.overhead += self.costs.trace_build;
                 trace_created = Some(id);
@@ -244,17 +288,17 @@ impl<'p> DbiRuntime<'p> {
             trace_pos,
             entered_trace: entering,
             trace_created,
-            accesses: self.vm.block_accesses(),
+            accesses: self.exec.block_accesses(),
         }
     }
 
     /// Runs the program to completion (or until `max_insns`), discarding
     /// step details. Returns the architectural stats.
     pub fn run<S: AccessSink>(&mut self, sink: &mut S, max_insns: u64) -> VmStats {
-        while !self.finished() && self.vm.stats().insns < max_insns {
+        while !self.finished() && self.exec.stats().insns < max_insns {
             let _ = self.step(sink);
         }
-        self.vm.stats()
+        self.exec.stats()
     }
 }
 

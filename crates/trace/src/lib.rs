@@ -1,0 +1,51 @@
+//! # umi-trace — capture-once / replay-everywhere execution traces
+//!
+//! The native block/access stream of every UMI workload is
+//! deterministic, yet each harness binary re-interprets the same
+//! programs from scratch — the classic fix is trace-driven simulation.
+//! This crate captures the stream once in a compact binary encoding
+//! and replays it into every consumer:
+//!
+//! * [`TraceWriter`] records a live run — either hooked into the
+//!   execution loop one block at a time ([`TraceWriter::record_block`],
+//!   what `DbiRuntime::attach_tracer` does), or fed as a plain
+//!   [`umi_vm::AccessSink`] with explicit block boundaries.
+//! * [`ExecTrace`] (also exported as [`TraceReader`]) is the immutable
+//!   captured stream: `replay_into(&mut impl AccessSink)` drives any
+//!   existing consumer — `FullSimulator`, `Machine`, the analyzer
+//!   mini-sim, shadow sims via `Tee` — in the same `access_batch`
+//!   chunks a live `Vm` would deliver.
+//! * [`ReplayCursor`] steps a trace under the [`umi_vm::BlockSource`]
+//!   contract, so the whole DBI + UMI profiling stack runs unchanged
+//!   on replayed blocks (~the interpreter's share of the wall-clock
+//!   removed).
+//! * [`store`] is the cross-harness cache: per-process in-memory map
+//!   plus an optional checksummed on-disk cache (`UMI_TRACE_DIR`),
+//!   keyed by a content hash of the program ([`store::program_key`]).
+//!   Corrupt, truncated, or version-skewed entries are detected
+//!   ([`TraceError`]) and fall back to live interpretation with a
+//!   one-line warning.
+//!
+//! The encoding (see [`trace`] module docs): a block-template
+//! dictionary, zigzag+varint delta encoding of addresses against each
+//! block's previous execution, and run-length encoding of
+//! constant-stride re-executions. Feedback-dependent passes (prefetch
+//! injection, optimized-program runs) must stay live — a trace is only
+//! valid for the exact program it was captured from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod replay;
+pub mod store;
+#[allow(clippy::module_inception)]
+mod trace;
+mod writer;
+
+pub use replay::ReplayCursor;
+pub use trace::{
+    DictEntry, ExecTrace, SlotTemplate, TraceError, TraceKey, TraceReader, TraceSummary,
+    FORMAT_VERSION, MAGIC,
+};
+pub use writer::TraceWriter;

@@ -1,0 +1,214 @@
+//! Replay side: a [`ReplayCursor`] steps a captured trace block by
+//! block, presenting the exact [`BlockSource`] contract of a live
+//! `Vm` — identical access batches, identical statistics accumulation,
+//! identical [`BlockExit`] stream — without interpreting a single
+//! micro-op.
+
+use crate::trace::{EventState, ExecTrace, TraceError};
+use std::rc::Rc;
+use std::sync::Arc;
+use umi_ir::{BlockId, DecodedCache, FusionLevel, MemAccess, Program, Terminator};
+use umi_vm::{AccessSink, BlockExit, BlockSource, ExitKind, VmStats};
+
+/// Steps a captured [`ExecTrace`] as a [`BlockSource`].
+///
+/// Control-flow exits are not stored in the trace; they are derived on
+/// the fly from the program's terminators plus a one-record lookahead:
+/// direct jumps/calls/returns are static (the cursor maintains its own
+/// call stack), branches compare the staged next block against the
+/// taken edge, and indirect jumps take the staged block verbatim. The
+/// only unobservable case — a degenerate branch whose taken and
+/// fallthrough edges coincide — is reported as taken, which no
+/// consumer can distinguish from the live run.
+#[derive(Debug)]
+pub struct ReplayCursor<'p> {
+    program: &'p Program,
+    decoded: Rc<DecodedCache>,
+    trace: Arc<ExecTrace>,
+    st: EventState,
+    /// Dictionary index of the next (not yet delivered) record.
+    staged: Option<usize>,
+    /// Accesses of the most recently delivered block.
+    cur_buf: Vec<MemAccess>,
+    /// Accesses of the staged block.
+    next_buf: Vec<MemAccess>,
+    /// Dictionary index whose template `cur_buf` currently holds
+    /// (`usize::MAX` = none). Lets a re-decoded entry patch only the
+    /// address fields instead of rebuilding every record.
+    cur_entry: usize,
+    /// Same, for `next_buf`.
+    next_entry: usize,
+    call_stack: Vec<BlockId>,
+    stats: VmStats,
+}
+
+impl<'p> ReplayCursor<'p> {
+    /// Build a cursor over `trace`, validating that the trace's
+    /// dictionary actually fits `program` (defense in depth — the
+    /// content key should already guarantee it).
+    pub fn new(program: &'p Program, trace: Arc<ExecTrace>) -> Result<Self, TraceError> {
+        let decoded = Rc::new(DecodedCache::lower_with(program, FusionLevel::default()));
+        for entry in trace.dict() {
+            if entry.block.index() >= decoded.len() {
+                return Err(TraceError::Malformed("trace references unknown block"));
+            }
+            let db = decoded.block(entry.block);
+            if u64::from(entry.n_loads()) != u64::from(db.n_loads)
+                || u64::from(entry.n_stores()) != u64::from(db.n_stores)
+            {
+                return Err(TraceError::Malformed("trace template does not match program"));
+            }
+        }
+        let st = EventState::new(trace.dict());
+        let mut cursor = ReplayCursor {
+            program,
+            decoded,
+            trace,
+            st,
+            staged: None,
+            cur_buf: Vec::new(),
+            next_buf: Vec::new(),
+            cur_entry: usize::MAX,
+            next_entry: usize::MAX,
+            call_stack: Vec::new(),
+            stats: VmStats::default(),
+        };
+        cursor.staged = cursor.advance();
+        Ok(cursor)
+    }
+
+    /// Decode the next record into `next_buf`, returning its
+    /// dictionary index.
+    fn advance(&mut self) -> Option<usize> {
+        let d = self
+            .st
+            .next_record(&self.trace.events)
+            .expect("trace payload corrupt despite checksum")?;
+        if self.next_entry == d {
+            // The buffer already holds this entry's (pc, width, kind)
+            // template from two records ago — only addresses move.
+            for (a, &addr) in self.next_buf.iter_mut().zip(self.st.addrs(d)) {
+                a.addr = addr;
+            }
+        } else {
+            let entry = &self.trace.dict[d];
+            self.next_buf.clear();
+            for (slot, &addr) in entry.slots.iter().zip(self.st.addrs(d)) {
+                self.next_buf.push(MemAccess {
+                    pc: slot.pc,
+                    addr,
+                    width: slot.width,
+                    kind: slot.kind,
+                });
+            }
+            self.next_entry = d;
+        }
+        Some(d)
+    }
+
+    /// Derive the exit of `id` given the staged successor block.
+    fn derive_exit(&mut self, id: BlockId, next: Option<BlockId>) -> (Option<BlockId>, ExitKind) {
+        match &self.program.block(id).terminator {
+            Terminator::Jmp(t) => {
+                debug_assert_eq!(next, Some(*t));
+                (Some(*t), ExitKind::Jump)
+            }
+            Terminator::Br {
+                taken, fallthrough, ..
+            } => {
+                let n = next.expect("trace ends at a conditional branch");
+                debug_assert!(n == *taken || n == *fallthrough);
+                let kind = if n == *taken {
+                    ExitKind::BranchTaken
+                } else {
+                    ExitKind::BranchNotTaken
+                };
+                (Some(n), kind)
+            }
+            Terminator::JmpInd { .. } => {
+                let n = next.expect("trace ends at an indirect jump");
+                (Some(n), ExitKind::Indirect)
+            }
+            Terminator::Call { func, ret_to } => {
+                self.call_stack.push(*ret_to);
+                let entry = self.program.func(*func).entry;
+                debug_assert_eq!(next, Some(entry));
+                (Some(entry), ExitKind::Call)
+            }
+            Terminator::Ret => match self.call_stack.pop() {
+                Some(ret) => {
+                    debug_assert_eq!(next, Some(ret));
+                    (Some(ret), ExitKind::Ret)
+                }
+                None => {
+                    debug_assert_eq!(next, None);
+                    (None, ExitKind::Ret)
+                }
+            },
+            Terminator::Halt => {
+                debug_assert_eq!(next, None);
+                (None, ExitKind::Halt)
+            }
+        }
+    }
+}
+
+impl<'p> BlockSource<'p> for ReplayCursor<'p> {
+    fn step_block<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit {
+        let d = self.staged.expect("stepping a finished replay");
+        let id = self.trace.dict[d].block;
+        std::mem::swap(&mut self.cur_buf, &mut self.next_buf);
+        std::mem::swap(&mut self.cur_entry, &mut self.next_entry);
+
+        // Accumulate statistics exactly as `Vm::step_block` does, from
+        // the same decoded-block metadata.
+        let db = self.decoded.block(id);
+        self.stats.blocks += 1;
+        self.stats.insns += db.arch_insns;
+        self.stats.loads += u64::from(db.n_loads);
+        self.stats.stores += u64::from(db.n_stores);
+
+        self.staged = self.advance();
+        let staged_block = self.staged.map(|n| self.trace.dict[n].block);
+        let (next, kind) = self.derive_exit(id, staged_block);
+
+        if !self.cur_buf.is_empty() {
+            sink.access_batch(&self.cur_buf);
+        }
+        if self.staged.is_none() {
+            // `heap_allocated` is dynamic-only (ALLOC micro-ops move a
+            // cursor the trace does not model); source it from the
+            // capture-time trailer, then check full agreement.
+            self.stats.heap_allocated = self.trace.summary.stats.heap_allocated;
+            debug_assert_eq!(
+                self.stats, self.trace.summary.stats,
+                "replayed statistics diverge from the capture trailer"
+            );
+        }
+        BlockExit {
+            block: id,
+            next,
+            kind,
+        }
+    }
+
+    fn block_accesses(&self) -> &[MemAccess] {
+        &self.cur_buf
+    }
+
+    fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    fn is_finished(&self) -> bool {
+        self.staged.is_none()
+    }
+
+    fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    fn decoded(&self) -> &Rc<DecodedCache> {
+        &self.decoded
+    }
+}

@@ -1,0 +1,112 @@
+//! End-to-end: capture a live `Vm` run, replay it through a
+//! [`ReplayCursor`], and require the identical block-exit stream,
+//! access batches, and statistics — including across calls, returns,
+//! conditional branches, and indirect jumps.
+
+use std::sync::Arc;
+use umi_ir::{Program, ProgramBuilder, Reg, Width};
+use umi_trace::{store, ReplayCursor, TraceWriter};
+use umi_vm::{BlockExit, BlockSource, CollectSink, Vm};
+
+/// A program exercising every terminator kind: an outer loop calling a
+/// helper (Call/Ret), a conditional branch, and an indirect jump.
+fn control_flow_zoo(iters: i64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.name("zoo");
+
+    let helper = pb.begin_func("helper");
+    pb.block(helper.entry())
+        .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+        .ret();
+
+    let f = pb.begin_func("main");
+    let loop_head = pb.new_block();
+    let even = pb.new_block();
+    let odd = pb.new_block();
+    let dispatch = pb.new_block();
+    let latch = pb.new_block();
+    let done = pb.new_block();
+    pb.block(f.entry())
+        .movi(Reg::ECX, 0)
+        .alloc(Reg::ESI, 8 * 1024)
+        .jmp(loop_head);
+    pb.block(loop_head)
+        .movi(Reg::EDX, 2)
+        .call(helper, dispatch);
+    pb.block(dispatch).jmp_ind(Reg::ECX, vec![even, odd]);
+    pb.block(even)
+        .store(Reg::ESI + (Reg::ECX, 8), Reg::ECX, Width::W8)
+        .jmp(latch);
+    pb.block(odd)
+        .load(Reg::EBX, Reg::ESI + 0, Width::W8)
+        .jmp(latch);
+    pb.block(latch)
+        .addi(Reg::ECX, 1)
+        .cmpi(Reg::ECX, iters)
+        .br_lt(loop_head, done);
+    pb.block(done).ret();
+    pb.finish()
+}
+
+fn capture(program: &Program) -> (Vec<BlockExit>, Vec<umi_ir::MemAccess>, umi_vm::VmStats) {
+    let mut vm = Vm::new(program);
+    let mut writer = TraceWriter::new();
+    let mut sink = CollectSink::default();
+    let mut exits = Vec::new();
+    while !vm.is_finished() {
+        let exit = BlockSource::step_block(&mut vm, &mut sink);
+        writer.record_block(exit.block, BlockSource::block_accesses(&vm));
+        exits.push(exit);
+    }
+    let stats = BlockSource::stats(&vm);
+    let key = store::program_key(program);
+    store::publish(writer.finish(key, stats));
+    (exits, sink.accesses, stats)
+}
+
+#[test]
+fn cursor_reproduces_the_live_run_exactly() {
+    let program = control_flow_zoo(500);
+    let (live_exits, live_accesses, live_stats) = capture(&program);
+
+    let trace = store::fetch(store::program_key(&program)).expect("just published");
+    let mut cursor = ReplayCursor::new(&program, Arc::clone(&trace)).expect("trace fits program");
+    let mut sink = CollectSink::default();
+    let mut exits = Vec::new();
+    while !cursor.is_finished() {
+        let exit = cursor.step_block(&mut sink);
+        // The per-step access view matches the live VM contract too.
+        let n = cursor.block_accesses().len();
+        assert_eq!(&sink.accesses[sink.accesses.len() - n..], cursor.block_accesses());
+        exits.push(exit);
+    }
+
+    assert_eq!(exits.len(), live_exits.len(), "block count differs");
+    for (i, (a, b)) in live_exits.iter().zip(&exits).enumerate() {
+        assert_eq!(a.block, b.block, "block id at step {i}");
+        assert_eq!(a.next, b.next, "successor at step {i}");
+        assert_eq!(a.kind, b.kind, "exit kind at step {i}");
+    }
+    assert_eq!(live_accesses, sink.accesses, "access stream differs");
+    assert_eq!(live_stats, cursor.stats(), "statistics differ");
+}
+
+#[test]
+fn cursor_rejects_a_foreign_trace() {
+    let p1 = control_flow_zoo(100);
+    let p2 = {
+        let mut pb = ProgramBuilder::new();
+        pb.name("other");
+        let f = pb.begin_func("main");
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .load(Reg::EBX, Reg::ESI + 8, Width::W8)
+            .ret();
+        pb.finish()
+    };
+    let (_, _, _) = capture(&p1);
+    let trace = store::fetch(store::program_key(&p1)).expect("published");
+    // Replaying p1's trace against p2 must be detected, not misreplayed.
+    assert!(ReplayCursor::new(&p2, trace).is_err());
+}

@@ -49,6 +49,7 @@ mod memory;
 #[cfg(feature = "op-profile")]
 mod profile;
 mod sink;
+mod source;
 mod stats;
 #[allow(clippy::module_inception)]
 mod vm;
@@ -57,5 +58,6 @@ pub use memory::Memory;
 #[cfg(feature = "op-profile")]
 pub use profile::OpProfile;
 pub use sink::{AccessSink, CollectSink, CountSink, FnSink, NullSink, Tee};
+pub use source::BlockSource;
 pub use stats::VmStats;
 pub use vm::{BlockExit, ExitKind, RunResult, Vm};

@@ -1,0 +1,72 @@
+//! The [`BlockSource`] abstraction: anything that can produce a
+//! program's block/access stream one block at a time.
+//!
+//! The live interpreter ([`Vm`]) is the canonical source; `umi-trace`'s
+//! replay cursor is the other. The DBI substrate and the UMI runtime
+//! are generic over this trait, so every layer above the VM — trace
+//! building, cost charging, profiling, sampling — runs unchanged
+//! whether blocks come from interpretation or from a captured trace.
+
+use crate::{AccessSink, Vm, VmStats};
+use std::rc::Rc;
+use umi_ir::{DecodedCache, MemAccess, Program};
+use crate::vm::BlockExit;
+
+/// A supplier of executed blocks: either a live [`Vm`] or a trace
+/// replay cursor.
+///
+/// Contract (what [`Vm::step_block`] guarantees and consumers rely on):
+///
+/// * `step_block` executes exactly one block, delivers its accesses to
+///   `sink` as a single `access_batch` call **only when non-empty**,
+///   and returns the block's [`BlockExit`].
+/// * `block_accesses` exposes that same batch until the next step.
+/// * `stats` accumulates identically to live interpretation
+///   (`blocks`, `insns`, `loads`, `stores`; `heap_allocated` may only
+///   become exact once the stream is finished).
+pub trait BlockSource<'p> {
+    /// Execute/replay one block, streaming its accesses into `sink`.
+    fn step_block<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit;
+
+    /// The accesses of the most recently stepped block.
+    fn block_accesses(&self) -> &[MemAccess];
+
+    /// Execution statistics so far.
+    fn stats(&self) -> VmStats;
+
+    /// True once the stream has ended (`Halt` or final `Ret`).
+    fn is_finished(&self) -> bool;
+
+    /// The program whose stream this is.
+    fn program(&self) -> &'p Program;
+
+    /// The lowered micro-op cache for the program (shared, so trace
+    /// snapshots taken by the DBI reference identical decodings).
+    fn decoded(&self) -> &Rc<DecodedCache>;
+}
+
+impl<'p> BlockSource<'p> for Vm<'p> {
+    fn step_block<S: AccessSink>(&mut self, sink: &mut S) -> BlockExit {
+        Vm::step_block(self, sink)
+    }
+
+    fn block_accesses(&self) -> &[MemAccess] {
+        Vm::block_accesses(self)
+    }
+
+    fn stats(&self) -> VmStats {
+        Vm::stats(self)
+    }
+
+    fn is_finished(&self) -> bool {
+        Vm::is_finished(self)
+    }
+
+    fn program(&self) -> &'p Program {
+        Vm::program(self)
+    }
+
+    fn decoded(&self) -> &Rc<DecodedCache> {
+        Vm::decoded(self)
+    }
+}

@@ -29,4 +29,27 @@ for bin in table6 table4 fig3 table_static umi_lint cache_sink table_profile vm_
     echo "smoke: $bin matches golden output"
 done
 
+# Trace cache: run one golden harness twice against the same
+# UMI_TRACE_DIR — the cold pass captures every workload's execution
+# trace to disk, the warm pass replays from it. Both must still be
+# byte-identical to the golden (the cache can only change wall-clock,
+# never output), and the cold/warm timings + encoding density land in
+# results/BENCH_pipeline.json via trace_stat.
+tdir="$tmp/traces"
+t0=$(date +%s.%N)
+UMI_SCALE=test UMI_JOBS=1 UMI_TRACE_DIR="$tdir" ./target/release/table6 > "$tmp/table6.cold.txt"
+t1=$(date +%s.%N)
+UMI_SCALE=test UMI_JOBS=1 UMI_TRACE_DIR="$tdir" ./target/release/table6 > "$tmp/table6.warm.txt"
+t2=$(date +%s.%N)
+for pass in cold warm; do
+    if ! diff -u "results/golden/table6.txt" "$tmp/table6.$pass.txt"; then
+        echo "smoke: table6 $pass-cache output differs from golden" >&2
+        exit 1
+    fi
+done
+cold=$(awk "BEGIN{printf \"%.3f\", $t1 - $t0}")
+warm=$(awk "BEGIN{printf \"%.3f\", $t2 - $t1}")
+./target/release/trace_stat "$tdir" "$cold" "$warm"
+echo "smoke: table6 byte-identical cold and warm (capture ${cold}s, replay ${warm}s)"
+
 echo "smoke: OK"
