@@ -1,0 +1,1086 @@
+//! Abstract interpretation of cache behavior: must/persistence analysis
+//! over the decoded IR.
+//!
+//! For every memory-access site the interpreter tries to *prove* one of
+//! three per-level facts, each a hard bound the full simulator can audit:
+//!
+//! * **AlwaysHit** — in the steady state of its innermost loop the site's
+//!   line is must-resident, so at most the first iteration of each loop
+//!   entry misses: `misses ≤ entries_bound`.
+//! * **AlwaysMiss** — every execution provably opens a line nothing else
+//!   in the program touches: `misses == accesses` at every level.
+//! * **Persistent** — a sub-line sweep whose current line survives a full
+//!   trip around the loop: `misses ≤ lines_bound × entries_bound`.
+//! * **Unclassified** — no proof; the class dynamic profiling exists for.
+//!
+//! The machinery composes three layers. The affine layer
+//! ([`crate::affine`]) says how each address *moves* per loop iteration;
+//! the constant layer ([`crate::value`]) pins addresses the program
+//! determines outright; the cache layer ([`crate::domain`]) ages
+//! [`LineToken`]s through a must-cache that is set-aware for concrete
+//! lines and set-blind for symbolic ones (see the `domain` module docs).
+//!
+//! **Loop peeling.** Each loop is analyzed twice: a *peel* pass with the
+//! loop's own back edges cut and an **empty** must-state at the header
+//! (the first iteration of an arbitrary entry — starting from nothing is
+//! also what keeps symbolic residency from leaking across loop entries,
+//! where the registers behind an invariant expression may hold different
+//! values), and a *steady* pass seeded with the join of the peel pass's
+//! latch-out states and iterated over the back edges to fixpoint. Steady
+//! residency therefore holds from the second iteration of every entry
+//! onward. Inner-loop back edges stay intact in both passes, so an
+//! outer-loop pass conservatively self-joins over any number of inner
+//! iterations.
+//!
+//! **Cache levels.** L1 verdicts come from the must analysis at L1
+//! geometry. The hierarchy is non-inclusive and its L2 is touched only by
+//! L1 misses, so a full-stream must analysis at L2 geometry would be
+//! unsound: a line can sit L1-hot for millions of references, never
+//! refreshing its L2 age, and be evicted from L2 while abstractly
+//! "young". The sound direction is containment — per-site memory-level
+//! misses never exceed L1 misses, so an L1 miss bound *is* a memory-level
+//! miss bound, and a compulsory-missing line is fresh at every level. L2
+//! verdicts are derived that way, never analyzed against the full stream.
+//!
+//! **Calls.** A loop whose body contains a `Call` terminator is skipped
+//! outright: the callee shares the register file (invariance facts die)
+//! and the cache (aging becomes unbounded).
+//!
+//! Trip-count bounds reuse [`loop_trip_bound`], an upper bound under the
+//! zero-based up-counter convention every workload kernel follows (see
+//! the `cachepred` module docs); the soundness gate inherits exactly that
+//! assumption and no other.
+
+use crate::affine::{classify_ref, RegKind, StaticClass};
+use crate::cachepred::{loop_trip_bound, CacheGeometry};
+use crate::cfg::{
+    analyze_program, innermost_loop_map, intra_successors, Cfg, FuncAnalysis, NaturalLoop,
+};
+use crate::domain::{LineToken, MustState};
+use crate::loop_reg_kinds;
+use crate::value::{value_analysis, ValueAnalysis, ValueState};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use umi_ir::{BlockId, Insn, MemRef, Pc, Program, Reg, Terminator, Width};
+
+/// Statically proven cache behavior of one access site at one level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Steady-state must-resident: misses ≤ `entries_bound`.
+    AlwaysHit,
+    /// Every execution opens a fresh, unshared line: misses == accesses.
+    AlwaysMiss,
+    /// Sub-line sweep whose current line survives each iteration:
+    /// misses ≤ `lines_bound × entries_bound`.
+    Persistent,
+    /// No proof.
+    Unclassified,
+}
+
+impl Verdict {
+    /// Short stable label used in reports and goldens.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::AlwaysHit => "hit",
+            Verdict::AlwaysMiss => "miss",
+            Verdict::Persistent => "persist",
+            Verdict::Unclassified => "unknown",
+        }
+    }
+
+    /// Whether the interpreter proved anything for this site.
+    pub fn classified(self) -> bool {
+        self != Verdict::Unclassified
+    }
+}
+
+/// The abstract interpreter's result for one demand-access site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheBehavior {
+    /// The owning instruction.
+    pub pc: Pc,
+    /// The owning block.
+    pub block: BlockId,
+    /// Whether this site is a store (else a load).
+    pub is_store: bool,
+    /// Whether UMI's operation filter excludes it from profiling.
+    pub filtered: bool,
+    /// Whether the site sits inside a natural loop (the coverage
+    /// denominator of the `table_absint` report).
+    pub in_loop: bool,
+    /// Verdict against the L1 geometry.
+    pub l1: Verdict,
+    /// Verdict at the memory level, derived from L1 by containment (see
+    /// module docs).
+    pub l2: Verdict,
+    /// Upper bound on entries of the site's innermost loop (executions
+    /// of its entry edges): the miss allowance of `AlwaysHit`.
+    pub entries_bound: Option<u64>,
+    /// Upper bound on distinct lines one loop entry's sweep touches: the
+    /// per-entry miss allowance of `Persistent`.
+    pub lines_bound: Option<u64>,
+}
+
+/// How the must analysis treats one access site within one loop.
+#[derive(Clone, Copy, Debug)]
+enum Transfer {
+    /// The access provably touches this token's line (loop-invariant
+    /// expressions, concrete addresses): LRU refresh.
+    Refresh(LineToken),
+    /// A sub-line sweep: the site's rolling token enters at age 0 and
+    /// everything else ages (covering both the stay-on-line and the
+    /// line-crossing case at once).
+    Rolling(LineToken),
+    /// Line unknown: pure aging.
+    Unknown,
+}
+
+/// One access site inside one loop's per-block plan.
+#[derive(Clone, Copy, Debug)]
+struct Site {
+    pc: Pc,
+    /// Demand access (prefetches age the state but get no verdict and no
+    /// residency credit — the simulators may or may not honor them).
+    demand: bool,
+    mem: MemRef,
+    transfer: Transfer,
+    /// Index into the result rows, set only for demand sites whose
+    /// *innermost* loop is the one being analyzed.
+    row: Option<usize>,
+}
+
+/// Every memory touch of one instruction in access-stream order (loads,
+/// then stores — no instruction issues both — then the prefetch touch),
+/// as `(mem, width, is_store, demand)`.
+fn insn_sites(insn: &Insn) -> Vec<(MemRef, Width, bool, bool)> {
+    let mut v: Vec<(MemRef, Width, bool, bool)> = Vec::new();
+    for (m, w) in insn.loads() {
+        v.push((m, w, false, true));
+    }
+    for (m, w) in insn.stores() {
+        v.push((m, w, true, true));
+    }
+    if let Insn::Prefetch { mem } = insn {
+        v.push((*mem, Width::W8, false, false));
+    }
+    v
+}
+
+/// Everything the per-loop passes share, plus memo tables for the
+/// whole-program facts (trip bounds, entry bounds, first-iteration
+/// constant states, access-site footprints).
+struct Analysis<'p> {
+    program: &'p Program,
+    cfg: Cfg,
+    funcs: Vec<FuncAnalysis>,
+    innermost: Vec<Option<(usize, usize)>>,
+    values: ValueAnalysis,
+    /// Function index owning each block (first claim in RPO order).
+    owner: Vec<Option<usize>>,
+    kinds: HashMap<(usize, usize), [RegKind; Reg::COUNT]>,
+    trips: HashMap<(usize, usize), Option<u64>>,
+    func_entries: HashMap<usize, Option<u64>>,
+    /// First-iteration constant states per loop (back edges cut, header
+    /// seeded from the virtual preheader).
+    peel_vals: HashMap<(usize, usize), BTreeMap<BlockId, Option<ValueState>>>,
+    /// Byte footprint of every access site in global site order; `None`
+    /// per entry = unknown footprint. Built lazily (AlwaysMiss only).
+    ranges: Option<Vec<Option<(u64, u64)>>>,
+}
+
+impl<'p> Analysis<'p> {
+    fn new(program: &'p Program) -> Analysis<'p> {
+        let cfg = Cfg::build(program);
+        let funcs = analyze_program(program, &cfg);
+        let innermost = innermost_loop_map(program.blocks.len(), &funcs);
+        let values = value_analysis(program);
+        let mut owner = vec![None; program.blocks.len()];
+        for (fi, fa) in funcs.iter().enumerate() {
+            for &b in fa.doms.rpo() {
+                owner[b.index()].get_or_insert(fi);
+            }
+        }
+        Analysis {
+            program,
+            cfg,
+            funcs,
+            innermost,
+            values,
+            owner,
+            kinds: HashMap::new(),
+            trips: HashMap::new(),
+            func_entries: HashMap::new(),
+            peel_vals: HashMap::new(),
+            ranges: None,
+        }
+    }
+
+    fn kinds(&mut self, key: (usize, usize)) -> [RegKind; Reg::COUNT] {
+        if let Some(k) = self.kinds.get(&key) {
+            return *k;
+        }
+        let fa = &self.funcs[key.0];
+        let k = loop_reg_kinds(self.program, &fa.loops[key.1], &fa.doms);
+        self.kinds.insert(key, k);
+        k
+    }
+
+    fn trips(&mut self, key: (usize, usize)) -> Option<u64> {
+        if let Some(t) = self.trips.get(&key) {
+            return *t;
+        }
+        let kinds = self.kinds(key);
+        let fa = &self.funcs[key.0];
+        let t = loop_trip_bound(self.program, &fa.loops[key.1], &kinds);
+        self.trips.insert(key, t);
+        t
+    }
+
+    /// Upper bound on executions of `block`: entries of its function
+    /// times the trip bounds of every loop containing it.
+    fn executions_bound(&mut self, block: BlockId, visiting: &mut Vec<usize>) -> Option<u64> {
+        let fi = self.owner[block.index()]?;
+        let mut bound = self.func_entries_bound(fi, visiting)?;
+        for li in 0..self.funcs[fi].loops.len() {
+            if self.funcs[fi].loops[li].body.contains(&block) {
+                bound = bound.checked_mul(self.trips((fi, li))?)?;
+            }
+        }
+        Some(bound)
+    }
+
+    /// Upper bound on entries of function `fi`: the program entry runs
+    /// once; any other function is entered at most as often as its call
+    /// sites execute. A cycle in the walk (recursion) yields `None`.
+    fn func_entries_bound(&mut self, fi: usize, visiting: &mut Vec<usize>) -> Option<u64> {
+        if let Some(b) = self.func_entries.get(&fi) {
+            return *b;
+        }
+        if visiting.contains(&fi) {
+            return None;
+        }
+        let result = if self.program.funcs[fi].id == self.program.entry {
+            Some(1)
+        } else {
+            visiting.push(fi);
+            let target = self.program.funcs[fi].id;
+            let mut total: Option<u64> = Some(0);
+            for (bi, block) in self.program.blocks.iter().enumerate() {
+                let Terminator::Call { func, .. } = block.terminator else {
+                    continue;
+                };
+                if func != target || !self.values.reached(BlockId(bi as u32)) {
+                    continue;
+                }
+                total = match (total, self.executions_bound(BlockId(bi as u32), visiting)) {
+                    (Some(t), Some(e)) => t.checked_add(e),
+                    _ => None,
+                };
+            }
+            visiting.pop();
+            total
+        };
+        self.func_entries.insert(fi, result);
+        result
+    }
+
+    /// Upper bound on entries of loop `key`: the summed execution bounds
+    /// of its entry edges (header predecessors outside the body), plus
+    /// the function-entry path when the header is the function's entry.
+    fn loop_entries_bound(&mut self, key: (usize, usize)) -> Option<u64> {
+        let (fi, li) = key;
+        let header = self.funcs[fi].loops[li].header;
+        let body = self.funcs[fi].loops[li].body.clone();
+        let mut total: u64 = 0;
+        if self.program.funcs[fi].entry == header {
+            total = total.checked_add(self.func_entries_bound(fi, &mut Vec::new())?)?;
+        }
+        for p in self.cfg.preds(header).to_vec() {
+            if body.contains(&p) || !self.values.reached(p) {
+                continue;
+            }
+            total = total.checked_add(self.executions_bound(p, &mut Vec::new())?)?;
+        }
+        Some(total)
+    }
+
+    /// The constant state on the loop's entry edges (its virtual
+    /// preheader): the join over every non-latch path into the header —
+    /// a register is known here only if it is the same constant on
+    /// *every* entry, which is what lets first-iteration addresses stand
+    /// for all entries.
+    fn preheader_state(&self, key: (usize, usize)) -> ValueState {
+        let (fi, li) = key;
+        let lp = &self.funcs[fi].loops[li];
+        let mut ph: Option<ValueState> = None;
+        let join = |s: ValueState, ph: &mut Option<ValueState>| match ph {
+            None => *ph = Some(s),
+            Some(p) => {
+                p.join_from(&s);
+            }
+        };
+        if self.program.funcs[fi].entry == lp.header {
+            let seed = if self.program.funcs[fi].id == self.program.entry {
+                ValueState::vm_entry()
+            } else {
+                ValueState::top()
+            };
+            join(seed, &mut ph);
+        }
+        for &p in self.cfg.preds(lp.header) {
+            if lp.body.contains(&p) || !self.values.reached(p) {
+                continue;
+            }
+            if matches!(self.program.block(p).terminator, Terminator::Call { .. }) {
+                join(ValueState::top(), &mut ph);
+                continue;
+            }
+            let mut out = self.values.block_entry(p).clone();
+            for insn in &self.program.block(p).insns {
+                out.step(insn);
+            }
+            join(out, &mut ph);
+        }
+        ph.unwrap_or_else(ValueState::top)
+    }
+
+    /// First-iteration constant states: the value analysis over the loop
+    /// body with this loop's own back edges cut and the header seeded
+    /// from the virtual preheader. `Call` terminators inside the body
+    /// hand their resume block all-⊤, exactly like the global analysis.
+    fn peel_values(&mut self, key: (usize, usize)) -> &BTreeMap<BlockId, Option<ValueState>> {
+        if !self.peel_vals.contains_key(&key) {
+            let (fi, li) = key;
+            let lp = self.funcs[fi].loops[li].clone();
+            let seed = self.preheader_state(key);
+            let mut states: BTreeMap<BlockId, Option<ValueState>> =
+                lp.body.iter().map(|&b| (b, None)).collect();
+            states.insert(lp.header, Some(seed));
+            let mut work = vec![lp.header];
+            while let Some(b) = work.pop() {
+                let Some(mut out) = states[&b].clone() else {
+                    continue;
+                };
+                for insn in &self.program.block(b).insns {
+                    out.step(insn);
+                }
+                let term = &self.program.block(b).terminator;
+                if matches!(term, Terminator::Call { .. }) {
+                    out = ValueState::top();
+                }
+                for s in intra_successors(term) {
+                    if !lp.body.contains(&s) || (s == lp.header && lp.latches.contains(&b)) {
+                        continue;
+                    }
+                    let slot = states.get_mut(&s).expect("body block");
+                    let changed = match slot {
+                        None => {
+                            *slot = Some(out.clone());
+                            true
+                        }
+                        Some(cur) => cur.join_from(&out),
+                    };
+                    if changed && !work.contains(&s) {
+                        work.push(s);
+                    }
+                }
+            }
+            self.peel_vals.insert(key, states);
+        }
+        &self.peel_vals[&key]
+    }
+
+    /// The byte interval `[lo, hi)` one access site can ever touch, over
+    /// the program's whole run, or `None` when unknown. `Some((0, 0))`
+    /// (empty) for sites that never execute.
+    fn site_range(&mut self, b: BlockId, insn_idx: usize, site_idx: usize) -> Option<(u64, u64)> {
+        if !self.values.reached(b) {
+            return Some((0, 0));
+        }
+        let (mem, width) = {
+            let insn = &self.program.block(b).insns[insn_idx];
+            let (m, w, _, _) = insn_sites(insn)[site_idx];
+            (m, w)
+        };
+        // Constant at the global fixpoint: the same address on every
+        // execution.
+        let mut st = self.values.block_entry(b).clone();
+        for insn in &self.program.block(b).insns[..insn_idx] {
+            st.step(insn);
+        }
+        if let Some(a) = st.eval_addr(&mem) {
+            return Some((a, a.checked_add(width.bytes())?));
+        }
+        // Affine in the innermost loop with a known first-iteration
+        // address (concrete across *all* entries, since the peel seed is
+        // the join over every entry path) and a known trip bound.
+        let key = self.innermost[b.index()]?;
+        let kinds = self.kinds(key);
+        let StaticClass::ConstantStride(s) = classify_ref(&mem, &kinds) else {
+            return None;
+        };
+        let t = self.trips(key)?;
+        let mut st = self.peel_values(key).get(&b)?.clone()?;
+        for insn in &self.program.block(b).insns[..insn_idx] {
+            st.step(insn);
+        }
+        let a0 = st.eval_addr(&mem)?;
+        sweep_range(a0, s, t, width.bytes())
+    }
+
+    /// Footprints of every access site (demand and prefetch) in global
+    /// site order, built once on first use.
+    fn site_ranges(&mut self) -> Vec<Option<(u64, u64)>> {
+        if self.ranges.is_none() {
+            let mut out = Vec::new();
+            for bi in 0..self.program.blocks.len() {
+                let b = BlockId(bi as u32);
+                for i in 0..self.program.block(b).insns.len() {
+                    let n = insn_sites(&self.program.block(b).insns[i]).len();
+                    for si in 0..n {
+                        let r = self.site_range(b, i, si);
+                        out.push(r);
+                    }
+                }
+            }
+            self.ranges = Some(out);
+        }
+        self.ranges.clone().expect("just built")
+    }
+}
+
+/// The bytes `[lo, hi)` a `t`-iteration affine sweep from `a0` with
+/// per-iteration stride `s` and access width `width` can touch. `None`
+/// on address-space overflow.
+fn sweep_range(a0: u64, s: i64, t: u64, width: u64) -> Option<(u64, u64)> {
+    let steps = i128::from(t.max(1)) - 1;
+    let last = i128::from(a0) + i128::from(s) * steps;
+    let (lo, hi) = if s >= 0 {
+        (i128::from(a0), last + i128::from(width))
+    } else {
+        (last, i128::from(a0) + i128::from(width))
+    };
+    if lo < 0 || hi > i128::from(u64::MAX) {
+        return None;
+    }
+    Some((lo as u64, hi as u64))
+}
+
+/// The half-open line-number interval covering byte interval `r` at line
+/// size `line`; `(0, 0)` when `r` is empty.
+fn line_span(r: (u64, u64), line: u64) -> (u64, u64) {
+    if r.1 <= r.0 {
+        return (0, 0);
+    }
+    (r.0 / line, (r.1 - 1) / line + 1)
+}
+
+/// Runs the abstract cache interpreter over `program`.
+///
+/// `l1` must be the geometry the verdicts will be audited against; `l2`
+/// contributes only its line size, to the AlwaysMiss freshness threshold
+/// (no L2 must-analysis runs — see module docs). One row per demand
+/// access site, in `(pc, is_store)` order (stably, so an instruction
+/// issuing two loads keeps its block order), matching
+/// [`crate::classify_program`].
+pub fn absint_program(
+    program: &Program,
+    l1: &CacheGeometry,
+    l2: &CacheGeometry,
+) -> Vec<CacheBehavior> {
+    let mut az = Analysis::new(program);
+
+    // One row per demand site, addressed by (block, insn index, site
+    // index) while the per-loop passes run.
+    let mut rows: Vec<CacheBehavior> = Vec::new();
+    let mut row_of: HashMap<(BlockId, usize, usize), usize> = HashMap::new();
+    // Global site ordinal (demand *and* prefetch), the index into the
+    // footprint table the AlwaysMiss proof checks against.
+    let mut ord_of: HashMap<(BlockId, usize, usize), usize> = HashMap::new();
+    let mut next_ord = 0usize;
+    for block in &program.blocks {
+        for (i, (pc, insn)) in block.iter_with_pc().enumerate() {
+            for (si, (mem, _, is_store, demand)) in insn_sites(insn).into_iter().enumerate() {
+                ord_of.insert((block.id, i, si), next_ord);
+                next_ord += 1;
+                if !demand {
+                    continue;
+                }
+                row_of.insert((block.id, i, si), rows.len());
+                rows.push(CacheBehavior {
+                    pc,
+                    block: block.id,
+                    is_store,
+                    filtered: mem.is_filtered(),
+                    in_loop: az.innermost[block.id.index()].is_some(),
+                    l1: Verdict::Unclassified,
+                    l2: Verdict::Unclassified,
+                    entries_bound: None,
+                    lines_bound: None,
+                });
+            }
+        }
+    }
+
+    // Innermost loops owning at least one site, calls excluded.
+    let loops: BTreeSet<(usize, usize)> = az.innermost.iter().flatten().copied().collect();
+    for key in loops {
+        let has_call = az.funcs[key.0].loops[key.1]
+            .body
+            .iter()
+            .any(|&b| matches!(program.block(b).terminator, Terminator::Call { .. }));
+        if has_call {
+            continue;
+        }
+        analyze_loop(&mut az, key, l1, l2, &row_of, &ord_of, &mut rows);
+    }
+
+    rows.sort_by_key(|r| (r.pc, r.is_store));
+    rows
+}
+
+/// Builds each body block's site plan, runs the peel and steady must
+/// passes, and assigns verdicts to the loop's own (innermost) sites.
+fn analyze_loop(
+    az: &mut Analysis<'_>,
+    key: (usize, usize),
+    l1: &CacheGeometry,
+    l2: &CacheGeometry,
+    row_of: &HashMap<(BlockId, usize, usize), usize>,
+    ord_of: &HashMap<(BlockId, usize, usize), usize>,
+    rows: &mut [CacheBehavior],
+) {
+    let kinds = az.kinds(key);
+    let trips = az.trips(key);
+    let entries = az.loop_entries_bound(key);
+    let (fi, li) = key;
+    let lp = az.funcs[fi].loops[li].clone();
+
+    // Per-block site plans: token and transfer per access, in order.
+    // Addresses use the PRE-instruction state (a push stores below the
+    // incoming esp; a pop loads at it).
+    let mut plans: BTreeMap<BlockId, Vec<(Site, usize)>> = BTreeMap::new();
+    for &b in &lp.body {
+        let mut st = az.values.block_entry(b).clone();
+        let mut sites = Vec::new();
+        for (i, (pc, insn)) in az.program.block(b).iter_with_pc().enumerate() {
+            for (si, (mem, _w, is_store, demand)) in insn_sites(insn).into_iter().enumerate() {
+                let transfer = if let Some(addr) = st.eval_addr(&mem) {
+                    Transfer::Refresh(LineToken::Line(addr / l1.line_size))
+                } else {
+                    match classify_ref(&mem, &kinds) {
+                        StaticClass::LoopInvariant => Transfer::Refresh(LineToken::Expr {
+                            base: mem.base,
+                            index: mem.index,
+                            disp: mem.disp,
+                        }),
+                        StaticClass::ConstantStride(s)
+                            if s.unsigned_abs() < l1.line_size && demand =>
+                        {
+                            Transfer::Rolling(LineToken::Roll { pc, is_store })
+                        }
+                        _ => Transfer::Unknown,
+                    }
+                };
+                let row =
+                    (demand && az.innermost[b.index()] == Some(key)).then(|| row_of[&(b, i, si)]);
+                sites.push((
+                    Site {
+                        pc,
+                        demand,
+                        mem,
+                        transfer,
+                        row,
+                    },
+                    ord_of[&(b, i, si)],
+                ));
+            }
+            st.step(insn);
+        }
+        plans.insert(b, sites);
+    }
+
+    // Peel pass: back edges cut, empty must-state at the header.
+    let peel = loop_fixpoint(
+        az.program,
+        &lp,
+        &plans,
+        true,
+        MustState::empty(l1.ways, l1.sets),
+    );
+    // Steady pass: header seeded with the join of the peel latch-outs.
+    let mut seed: Option<MustState> = None;
+    for &latch in &lp.latches {
+        if let Some(out) = walk_out(peel.get(&latch), &plans[&latch]) {
+            seed = Some(match seed {
+                None => out,
+                Some(s) => s.join(&out),
+            });
+        }
+    }
+    let steady = loop_fixpoint(
+        az.program,
+        &lp,
+        &plans,
+        false,
+        seed.unwrap_or_else(|| MustState::empty(l1.ways, l1.sets)),
+    );
+
+    // Verdict walk over the steady in-states: residency is checked just
+    // before each site's own transfer applies.
+    for (&b, sites) in &plans {
+        let Some(mut state) = steady.get(&b).cloned().flatten() else {
+            continue;
+        };
+        for (site, ord) in sites {
+            let resident = match site.transfer {
+                Transfer::Refresh(tok) | Transfer::Rolling(tok) => state.resident(&tok),
+                Transfer::Unknown => false,
+            };
+            if let Some(row) = site.row {
+                let (verdict, lines) =
+                    site_verdict(az, key, site, *ord, resident, trips, entries, b, l1, l2);
+                let r = &mut rows[row];
+                r.entries_bound = entries;
+                r.lines_bound = lines;
+                r.l1 = verdict;
+                // Containment: an L1 miss bound is a memory-level miss
+                // bound, and a compulsory miss is fresh at every level.
+                r.l2 = verdict;
+            }
+            apply(&mut state, &site.transfer);
+        }
+    }
+}
+
+/// The verdict for one demand site of the loop under analysis, plus its
+/// `lines_bound` when the verdict is `Persistent`.
+#[allow(clippy::too_many_arguments)]
+fn site_verdict(
+    az: &mut Analysis<'_>,
+    key: (usize, usize),
+    site: &Site,
+    ord: usize,
+    resident: bool,
+    trips: Option<u64>,
+    entries: Option<u64>,
+    block: BlockId,
+    l1: &CacheGeometry,
+    l2: &CacheGeometry,
+) -> (Verdict, Option<u64>) {
+    match site.transfer {
+        Transfer::Refresh(_) if resident => (Verdict::AlwaysHit, None),
+        Transfer::Rolling(_) if resident => {
+            // The sweep's current line survives each iteration, so misses
+            // per entry are bounded by the distinct lines it crosses:
+            // span/line, +1 for the interval endpoints, +1 because the
+            // residency check sits before the transfer, not after.
+            let kinds = az.kinds(key);
+            let lines = match (classify_ref(&site.mem, &kinds), trips) {
+                (StaticClass::ConstantStride(s), Some(t)) => {
+                    Some(s.unsigned_abs().saturating_mul(t) / l1.line_size + 2)
+                }
+                _ => None,
+            };
+            (Verdict::Persistent, lines)
+        }
+        Transfer::Unknown if site.demand => {
+            let kinds = az.kinds(key);
+            let StaticClass::ConstantStride(s) = classify_ref(&site.mem, &kinds) else {
+                return (Verdict::Unclassified, None);
+            };
+            // Freshness needs strictly monotone line numbers at both
+            // levels, a single loop entry, a known extent, and a sweep
+            // provably disjoint from every other access in the program.
+            let line = l1.line_size.max(l2.line_size);
+            if s.unsigned_abs() < line || entries != Some(1) {
+                return (Verdict::Unclassified, None);
+            }
+            let Some(t) = trips else {
+                return (Verdict::Unclassified, None);
+            };
+            let Some(a0) = first_iteration_addr(az, key, block, site) else {
+                return (Verdict::Unclassified, None);
+            };
+            let Some(sweep) = sweep_range(a0, s, t, 8) else {
+                return (Verdict::Unclassified, None);
+            };
+            let my_span = line_span(sweep, line);
+            let ranges = az.site_ranges();
+            let disjoint = ranges.iter().enumerate().all(|(i, r)| {
+                if i == ord {
+                    return true;
+                }
+                match r {
+                    None => false,
+                    Some(other) => {
+                        let o = line_span(*other, line);
+                        o.1 <= my_span.0 || my_span.1 <= o.0
+                    }
+                }
+            });
+            if disjoint {
+                (Verdict::AlwaysMiss, None)
+            } else {
+                (Verdict::Unclassified, None)
+            }
+        }
+        _ => (Verdict::Unclassified, None),
+    }
+}
+
+/// The site's concrete address on the first iteration of any entry of
+/// loop `key` (the peel seed joins every entry path, so a constant here
+/// holds for all of them).
+fn first_iteration_addr(
+    az: &mut Analysis<'_>,
+    key: (usize, usize),
+    block: BlockId,
+    site: &Site,
+) -> Option<u64> {
+    let mut st = az.peel_values(key).get(&block)?.clone()?;
+    for (pc, insn) in az.program.block(block).iter_with_pc() {
+        if pc == site.pc {
+            break;
+        }
+        st.step(insn);
+    }
+    st.eval_addr(&site.mem)
+}
+
+/// Advances a must-state across one site.
+fn apply(state: &mut MustState, transfer: &Transfer) {
+    match transfer {
+        Transfer::Refresh(tok) => state.refresh(*tok),
+        Transfer::Rolling(tok) => state.insert_new(*tok),
+        Transfer::Unknown => state.insert_unknown(),
+    }
+}
+
+/// Walks a block's sites over its in-state, yielding the out-state.
+fn walk_out(in_state: Option<&Option<MustState>>, sites: &[(Site, usize)]) -> Option<MustState> {
+    let mut st = in_state?.clone()?;
+    for (site, _) in sites {
+        apply(&mut st, &site.transfer);
+    }
+    Some(st)
+}
+
+/// Must-dataflow over one loop body. `cut` removes the loop's own
+/// latch→header back edges (the peel pass); inner-loop cycles always
+/// stay intact and self-join. Returns the in-state per body block.
+fn loop_fixpoint(
+    program: &Program,
+    lp: &NaturalLoop,
+    plans: &BTreeMap<BlockId, Vec<(Site, usize)>>,
+    cut: bool,
+    header_init: MustState,
+) -> BTreeMap<BlockId, Option<MustState>> {
+    let mut in_states: BTreeMap<BlockId, Option<MustState>> =
+        lp.body.iter().map(|&b| (b, None)).collect();
+    in_states.insert(lp.header, Some(header_init));
+    let mut work: Vec<BlockId> = vec![lp.header];
+    while let Some(b) = work.pop() {
+        let Some(out) = walk_out(in_states.get(&b), &plans[&b]) else {
+            continue;
+        };
+        for s in intra_successors(&program.block(b).terminator) {
+            if !lp.body.contains(&s) || (cut && s == lp.header && lp.latches.contains(&b)) {
+                continue;
+            }
+            let slot = in_states.get_mut(&s).expect("body block");
+            let joined = match slot {
+                None => Some(out.clone()),
+                Some(cur) => {
+                    let j = cur.join(&out);
+                    (j != *cur).then_some(j)
+                }
+            };
+            if let Some(j) = joined {
+                *slot = Some(j);
+                if !work.contains(&s) {
+                    work.push(s);
+                }
+            }
+        }
+    }
+    in_states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{ProgramBuilder, Width};
+
+    const P4_L1: CacheGeometry = CacheGeometry {
+        sets: 32,
+        ways: 4,
+        line_size: 64,
+    };
+    const P4_L2: CacheGeometry = CacheGeometry {
+        sets: 1024,
+        ways: 8,
+        line_size: 64,
+    };
+
+    fn rows_of(p: &Program) -> Vec<CacheBehavior> {
+        absint_program(p, &P4_L1, &P4_L2)
+    }
+
+    #[test]
+    fn invariant_load_is_always_hit() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let r = rows.iter().find(|r| r.in_loop && !r.is_store).unwrap();
+        assert_eq!(r.l1, Verdict::AlwaysHit);
+        assert_eq!(r.l2, Verdict::AlwaysHit);
+        assert_eq!(r.entries_bound, Some(1));
+    }
+
+    #[test]
+    fn unit_stride_sweep_is_persistent_with_line_bound() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 800)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let r = rows.iter().find(|r| r.in_loop).unwrap();
+        assert_eq!(r.l1, Verdict::Persistent);
+        assert_eq!(r.l2, Verdict::Persistent);
+        // 8 bytes x 100 trips = 800 bytes / 64, + 2 slack lines.
+        assert_eq!(r.lines_bound, Some(800 / 64 + 2));
+        assert_eq!(r.entries_bound, Some(1));
+    }
+
+    #[test]
+    fn line_stride_sweep_is_always_miss() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64 * 100)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 8) // 8 elements x scale 8 = one line per trip
+            .cmpi(Reg::ECX, 800)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let r = rows.iter().find(|r| r.in_loop).unwrap();
+        assert_eq!(r.l1, Verdict::AlwaysMiss);
+        assert_eq!(r.l2, Verdict::AlwaysMiss);
+    }
+
+    #[test]
+    fn always_miss_dies_with_any_unknown_footprint() {
+        // Same sweep, but the loop also chases a pointer: that load's
+        // footprint is unknown, so freshness is unprovable program-wide.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64 * 100)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .addi(Reg::ECX, 8)
+            .cmpi(Reg::ECX, 800)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        for r in rows.iter().filter(|r| r.in_loop) {
+            assert_eq!(r.l1, Verdict::Unclassified);
+        }
+    }
+
+    #[test]
+    fn merge_of_unequal_ages_keeps_the_older_bound() {
+        // Two paths through the loop: one quiet, one with four irregular
+        // loads that age the whole state past 4-way residency. The
+        // header's invariant load must not be AlwaysHit after the join.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let head = pb.new_block();
+        let noisy = pb.new_block();
+        let quiet = pb.new_block();
+        let latch = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .movi(Reg::ECX, 0)
+            .jmp(head);
+        pb.block(head)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .cmpi(Reg::EAX, 7)
+            .br_eq(noisy, quiet);
+        pb.block(noisy)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .jmp(latch);
+        pb.block(quiet).jmp(latch);
+        pb.block(latch)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(head, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let head_id = rows
+            .iter()
+            .filter(|r| r.in_loop && !r.is_store)
+            .map(|r| r.block)
+            .min()
+            .unwrap();
+        let inv = rows
+            .iter()
+            .find(|r| r.in_loop && !r.is_store && r.block == head_id)
+            .unwrap();
+        assert_eq!(
+            inv.l1,
+            Verdict::Unclassified,
+            "the noisy path's aging must survive the header join"
+        );
+    }
+
+    #[test]
+    fn two_latch_loops_join_both_back_edges() {
+        // Both paths re-enter the header directly (two latches); both are
+        // quiet, so the invariant line stays must-resident.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let head = pb.new_block();
+        let a = pb.new_block();
+        let b = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .movi(Reg::ECX, 0)
+            .jmp(head);
+        pb.block(head)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_ge(exit, a);
+        pb.block(a).cmpi(Reg::EAX, 3).br_eq(head, b);
+        pb.block(b)
+            .load(Reg::EDX, Reg::ESI + 8, Width::W8)
+            .jmp(head);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let inv = rows
+            .iter()
+            .find(|r| r.in_loop && !r.is_store && r.block == head)
+            .unwrap();
+        assert_eq!(inv.l1, Verdict::AlwaysHit);
+    }
+
+    #[test]
+    fn trip_count_one_loop_still_bounds() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 1)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let r = rows.iter().find(|r| r.in_loop).unwrap();
+        assert_eq!(r.l1, Verdict::Persistent);
+        assert_eq!(r.lines_bound, Some(2), "8 bytes over one trip: slack only");
+        assert_eq!(r.entries_bound, Some(1));
+    }
+
+    #[test]
+    fn loops_containing_calls_stay_unclassified() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let body = pb.new_block();
+        let resume = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(main.entry())
+            .alloc(Reg::ESI, 4096)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .call(leaf, resume);
+        pb.block(resume)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(body, exit);
+        pb.block(leaf.entry()).ret();
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        for r in rows.iter().filter(|r| r.in_loop) {
+            assert_eq!(r.l1, Verdict::Unclassified, "callee clobbers everything");
+        }
+    }
+
+    #[test]
+    fn nested_loops_scale_the_entry_bound() {
+        // Outer loop of 10, inner invariant load: the inner loop is
+        // entered up to 10 times, so its AlwaysHit allowance is 10.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let outer = pb.new_block();
+        let inner = pb.new_block();
+        let outer_latch = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .movi(Reg::EDX, 0)
+            .jmp(outer);
+        pb.block(outer).movi(Reg::ECX, 0).jmp(inner);
+        pb.block(inner)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(inner, outer_latch);
+        pb.block(outer_latch)
+            .addi(Reg::EDX, 1)
+            .cmpi(Reg::EDX, 10)
+            .br_lt(outer, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let r = rows.iter().find(|r| r.in_loop).unwrap();
+        assert_eq!(r.l1, Verdict::AlwaysHit);
+        assert_eq!(r.entries_bound, Some(10));
+    }
+}

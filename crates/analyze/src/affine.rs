@@ -165,7 +165,7 @@ pub fn loop_reg_kinds(
 }
 
 /// Labels one reference given the per-loop register kinds.
-fn classify_ref(mem: &MemRef, kinds: &[RegKind; Reg::COUNT]) -> StaticClass {
+pub(crate) fn classify_ref(mem: &MemRef, kinds: &[RegKind; Reg::COUNT]) -> StaticClass {
     let mut stride = 0i64;
     let terms = mem
         .base

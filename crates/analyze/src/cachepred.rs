@@ -41,28 +41,12 @@ use crate::affine::{classify_program, loop_reg_kinds, RegKind, StaticClass, Stat
 use crate::cfg::{analyze_program, innermost_loop_map, Cfg, NaturalLoop};
 use umi_ir::{Insn, Operand, Program, Reg, Terminator};
 
-/// The cache geometry predictions are scored against.
-///
-/// A plain value mirror of `umi_cache::CacheConfig` (this crate sits
-/// *below* `umi-cache` in the dependency graph — the VM the cache's full
-/// simulator drives runs this crate's verifier). Callers copy the fields
-/// from the profiler's effective logical-cache config.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct CacheGeometry {
-    /// Number of sets (power of two).
-    pub sets: usize,
-    /// Associativity (lines per set).
-    pub ways: usize,
-    /// Line size in bytes (power of two).
-    pub line_size: u64,
-}
-
-impl CacheGeometry {
-    /// Total capacity in bytes.
-    pub fn capacity(&self) -> u64 {
-        self.sets as u64 * self.ways as u64 * self.line_size
-    }
-}
+/// The cache geometry predictions are scored against — the shared
+/// `umi-geom` type, the same value `umi_cache::CacheConfig::geometry()`
+/// returns (this crate sits *below* `umi-cache` in the dependency graph —
+/// the VM the cache's full simulator drives runs this crate's verifier —
+/// so the two meet in the `umi-geom` leaf and can never drift).
+pub use umi_geom::CacheGeometry;
 
 /// Static delinquency verdict for one memory operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -1,0 +1,327 @@
+//! Abstract cache states for must-analysis, à la Ferdinand & Wilhelm.
+//!
+//! A [`MustState`] maps cache-line tokens to an upper bound on their LRU
+//! age. A token present with age `a < ways` is **guaranteed resident**:
+//! at most `a` distinct younger lines sit between it and eviction, on
+//! every concrete execution reaching this point. Absence means "may have
+//! been evicted" — never "is absent", so the domain can only under-claim
+//! residency, which is the direction soundness needs.
+//!
+//! The domain is *set-aware where it can be and set-blind where it must
+//! be*. A token's age only grows when the aging access **may share its
+//! cache set**: two concrete line numbers map to known sets
+//! (`line & (sets-1)`, exactly the simulators' indexing), so accesses to
+//! provably different sets never age each other — that is the age vector
+//! of the token's own abstract set, à la Ferdinand. A symbolic token
+//! (invariant expression, rolling sweep line) has an unknown set, so it
+//! conservatively ages under every access and ages every token: for such
+//! pairs the domain degrades to the set-blind bound, where a line's real
+//! LRU age (distinct younger lines *in its own set*) is at most its
+//! abstract age (distinct younger lines anywhere). In both regimes
+//! abstract age bounds real age ⇒ abstract residency implies real
+//! residency.
+//!
+//! Two transfer functions model the two access shapes the affine layer
+//! can certify:
+//!
+//! * [`MustState::refresh`] — a reference known to touch *this exact
+//!   token's line* (loop-invariant refs, concrete addresses). LRU moves
+//!   the line to the front; only lines that were strictly younger age.
+//! * [`MustState::insert_new`] — a reference that may touch *any* line
+//!   (strided sweeps, irregular accesses). Everything resident may be
+//!   pushed one step toward eviction; the accessed token (if it names a
+//!   specific line) enters at age 0.
+//!
+//! The join at CFG merge points keeps a token only if it is resident on
+//! **both** paths, at the *older* (larger) of its two ages — the standard
+//! must-join (intersection with pointwise maximum).
+
+use std::collections::BTreeMap;
+use umi_ir::{Pc, Reg};
+
+/// Identity of a cache line in the abstract world.
+///
+/// Two tokens are the same line only if they compare equal; distinct
+/// tokens that happen to alias the same concrete line merely age each
+/// other (an over-approximation of real aging — sound for must-analysis,
+/// where extra aging can only evict, never fabricate residency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LineToken {
+    /// A concrete line number (address / line size) from the constant
+    /// propagation: same number ⇒ same physical line.
+    Line(u64),
+    /// The line named by a loop-invariant reference expression
+    /// `base + index·scale + disp` whose registers hold unknown but
+    /// *fixed* values for the duration of one loop entry: within that
+    /// scope, equal expressions read equal addresses, hence equal lines.
+    /// Shared by every reference spelling the same expression.
+    Expr {
+        /// Base register, if any.
+        base: Option<Reg>,
+        /// Index register and scale, if any.
+        index: Option<(Reg, u8)>,
+        /// Constant displacement.
+        disp: i64,
+    },
+    /// The line most recently touched by one sub-line-strided reference
+    /// (its "rolling" current line). Owned by a single `(pc, is_store)`
+    /// site; residency here means the sweep's current line survives a
+    /// full trip around the loop.
+    Roll {
+        /// The owning instruction.
+        pc: Pc,
+        /// Distinguishes the load and store halves of one instruction.
+        is_store: bool,
+    },
+}
+
+/// A must-cache: token → LRU-age upper bound within the token's own
+/// abstract set (see the module docs for the set-aware aging rule).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct MustState {
+    ages: BTreeMap<LineToken, u8>,
+    ways: u8,
+    /// `sets - 1`; concrete line `n` lives in set `n & set_mask`, the
+    /// simulators' exact indexing (sets is a power of two).
+    set_mask: u64,
+}
+
+/// Whether an access via token `a` can age token `b`: only when the two
+/// may map to the same cache set. Concrete lines have known sets; every
+/// other pairing is unknown, hence conservatively shared.
+fn may_share_set(a: &LineToken, b: &LineToken, set_mask: u64) -> bool {
+    match (a, b) {
+        (LineToken::Line(m), LineToken::Line(n)) => m & set_mask == n & set_mask,
+        _ => true,
+    }
+}
+
+impl MustState {
+    /// The empty state ("nothing is guaranteed resident") for a cache of
+    /// the given associativity and set count (a power of two).
+    pub fn empty(ways: usize, sets: usize) -> MustState {
+        debug_assert!(sets.is_power_of_two(), "sets {sets} not a power of two");
+        MustState {
+            ages: BTreeMap::new(),
+            ways: ways.min(u8::MAX as usize) as u8,
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// Whether `tok` is guaranteed resident in this state.
+    pub fn resident(&self, tok: &LineToken) -> bool {
+        self.ages.contains_key(tok)
+    }
+
+    /// Number of guaranteed-resident lines.
+    pub fn len(&self) -> usize {
+        self.ages.len()
+    }
+
+    /// Whether nothing is guaranteed resident.
+    pub fn is_empty(&self) -> bool {
+        self.ages.is_empty()
+    }
+
+    /// Access to a line known to be `tok`: LRU refresh. If the token is
+    /// already resident at age `a`, only set-sharing tokens strictly
+    /// younger than `a` age by one (they slide behind it); otherwise the
+    /// access may evict the oldest resident line of its set, so it
+    /// behaves like [`Self::insert_new`].
+    pub fn refresh(&mut self, tok: LineToken) {
+        match self.ages.get(&tok).copied() {
+            Some(a) => {
+                let mask = self.set_mask;
+                for (t, age) in &mut self.ages {
+                    if *age < a && may_share_set(&tok, t, mask) {
+                        *age += 1;
+                    }
+                }
+                self.ages.insert(tok, 0);
+            }
+            None => self.insert_new(tok),
+        }
+    }
+
+    /// Access to a line *not known* to be any resident token: everything
+    /// that may share the new line's set ages by one step (lines reaching
+    /// `ways` fall out), and `tok` enters at age 0.
+    pub fn insert_new(&mut self, tok: LineToken) {
+        let ways = self.ways;
+        let mask = self.set_mask;
+        self.ages.retain(|t, age| {
+            if !may_share_set(&tok, t, mask) {
+                return true;
+            }
+            *age += 1;
+            *age < ways
+        });
+        if ways > 0 {
+            self.ages.insert(tok, 0);
+        }
+    }
+
+    /// An access whose line is entirely unknown (no usable token):
+    /// everything ages, nothing enters.
+    pub fn insert_unknown(&mut self) {
+        let ways = self.ways;
+        self.ages.retain(|_, age| {
+            *age += 1;
+            *age < ways
+        });
+    }
+
+    /// Must-join: keep tokens resident on both sides, at the larger age.
+    pub fn join(&self, other: &MustState) -> MustState {
+        debug_assert_eq!(self.ways, other.ways);
+        debug_assert_eq!(self.set_mask, other.set_mask);
+        let mut ages = BTreeMap::new();
+        for (tok, &a) in &self.ages {
+            if let Some(&b) = other.ages.get(tok) {
+                ages.insert(*tok, a.max(b));
+            }
+        }
+        MustState {
+            ages,
+            ways: self.ways,
+            set_mask: self.set_mask,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(state: &MustState) -> Vec<(LineToken, u8)> {
+        state.ages.iter().map(|(t, a)| (*t, *a)).collect()
+    }
+
+    #[test]
+    fn refresh_ages_only_younger_lines() {
+        let mut s = MustState::empty(4, 1);
+        s.insert_new(LineToken::Line(1)); // 1@0
+        s.insert_new(LineToken::Line(2)); // 2@0, 1@1
+        s.insert_new(LineToken::Line(3)); // 3@0, 2@1, 1@2
+        s.refresh(LineToken::Line(1)); // 1 back to front; 2, 3 slide behind
+        assert_eq!(
+            lines(&s),
+            vec![
+                (LineToken::Line(1), 0),
+                (LineToken::Line(2), 2),
+                (LineToken::Line(3), 1),
+            ]
+        );
+        // A second refresh of the front line changes nothing.
+        let before = s.clone();
+        s.refresh(LineToken::Line(1));
+        assert_eq!(s, before);
+    }
+
+    #[test]
+    fn insert_new_evicts_at_ways() {
+        let mut s = MustState::empty(2, 1);
+        s.insert_new(LineToken::Line(1));
+        s.insert_new(LineToken::Line(2));
+        s.insert_new(LineToken::Line(3)); // 1 reaches age 2 == ways: gone
+        assert_eq!(
+            lines(&s),
+            vec![(LineToken::Line(2), 1), (LineToken::Line(3), 0)]
+        );
+    }
+
+    #[test]
+    fn refresh_of_absent_token_acts_like_insert() {
+        let mut s = MustState::empty(2, 1);
+        s.insert_new(LineToken::Line(1));
+        s.insert_new(LineToken::Line(2));
+        s.refresh(LineToken::Line(9)); // unknown residency: worst case
+        assert!(!s.resident(&LineToken::Line(1)));
+        assert!(s.resident(&LineToken::Line(9)));
+    }
+
+    #[test]
+    fn join_intersects_at_max_age() {
+        let mut a = MustState::empty(4, 1);
+        a.insert_new(LineToken::Line(1));
+        a.insert_new(LineToken::Line(2)); // 1@1, 2@0
+        let mut b = MustState::empty(4, 1);
+        b.insert_new(LineToken::Line(2));
+        b.insert_new(LineToken::Line(1));
+        b.insert_new(LineToken::Line(3)); // 2@2, 1@1, 3@0
+        let j = a.join(&b);
+        // 3 is only on one path; 1 keeps age 1; 2 takes the older bound.
+        assert_eq!(
+            lines(&j),
+            vec![(LineToken::Line(1), 1), (LineToken::Line(2), 2)]
+        );
+    }
+
+    #[test]
+    fn unknown_access_only_ages() {
+        let mut s = MustState::empty(2, 1);
+        s.insert_new(LineToken::Line(1));
+        s.insert_unknown(); // 1@1
+        assert!(s.resident(&LineToken::Line(1)));
+        s.insert_unknown(); // 1 out
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn disjoint_sets_never_age_each_other() {
+        // 4 sets: lines 0, 4, 8 share set 0; lines 1, 2, 3 sit elsewhere.
+        let mut s = MustState::empty(2, 4);
+        s.insert_new(LineToken::Line(0));
+        s.insert_new(LineToken::Line(1));
+        s.insert_new(LineToken::Line(2));
+        s.insert_new(LineToken::Line(3));
+        // Three other-set insertions cannot evict line 0 from its 2-way set.
+        assert!(s.resident(&LineToken::Line(0)));
+        // A same-set insertion ages it...
+        s.insert_new(LineToken::Line(4));
+        assert!(s.resident(&LineToken::Line(0)));
+        // ...and a second one evicts it, leaving the other sets alone.
+        s.insert_new(LineToken::Line(8));
+        assert!(!s.resident(&LineToken::Line(0)));
+        assert!(s.resident(&LineToken::Line(1)));
+        assert!(s.resident(&LineToken::Line(2)));
+        assert!(s.resident(&LineToken::Line(3)));
+        // Symbolic tokens have no set: they age under everything, and a
+        // refresh of one ages concrete tokens everywhere.
+        let e = LineToken::Expr {
+            base: Some(Reg::ESI),
+            index: None,
+            disp: 0,
+        };
+        let mut s = MustState::empty(2, 4);
+        s.insert_new(e);
+        s.insert_new(LineToken::Line(1));
+        s.insert_new(LineToken::Line(2)); // different set from 1, but ages e
+        assert!(!s.resident(&e), "two aging accesses at 2 ways evict");
+        assert!(s.resident(&LineToken::Line(1)));
+    }
+
+    #[test]
+    fn symbolic_tokens_compare_structurally() {
+        let t = |disp: i64| LineToken::Expr {
+            base: Some(Reg::ESI),
+            index: None,
+            disp,
+        };
+        let mut s = MustState::empty(4, 1);
+        s.insert_new(t(8));
+        assert!(s.resident(&t(8)), "same expression, same token");
+        assert!(!s.resident(&t(16)), "different disp, different token");
+        let roll = LineToken::Roll {
+            pc: Pc(100),
+            is_store: false,
+        };
+        s.refresh(t(8));
+        s.insert_new(roll);
+        assert!(s.resident(&roll));
+        assert!(!s.resident(&LineToken::Roll {
+            pc: Pc(100),
+            is_store: true,
+        }));
+    }
+}

@@ -20,6 +20,12 @@
 //!   labeling every memory op constant-stride, loop-invariant, or
 //!   irregular. The `table_static` harness in `umi-bench` cross-checks
 //!   these labels against UMI's dynamic profiles on all 32 workloads.
+//! * [`absint_program`] — an abstract interpreter composing the affine
+//!   facts with a constant-propagation layer ([`value_analysis`]) and
+//!   Ferdinand-style must-cache states ([`MustState`]), proving per-site
+//!   AlwaysHit / AlwaysMiss / Persistent cache verdicts that the full
+//!   simulator audits (the `table_absint` harness and the `umi_lint`
+//!   soundness gate).
 //!
 //! # Example
 //!
@@ -51,13 +57,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod absint;
 mod affine;
 mod cachepred;
 mod cfg;
+mod domain;
 mod lint;
 mod liveness;
+mod value;
 mod verify;
 
+pub use absint::{absint_program, CacheBehavior, Verdict};
 pub use affine::{classify_program, loop_reg_kinds, RegKind, StaticClass, StaticRef};
 pub use cachepred::{
     loop_trip_bound, predict_program, CacheGeometry, CachePrediction, Delinquency,
@@ -65,8 +75,10 @@ pub use cachepred::{
 pub use cfg::{
     analyze_program, innermost_loop_map, natural_loops, Cfg, Dominators, FuncAnalysis, NaturalLoop,
 };
+pub use domain::{LineToken, MustState};
 pub use lint::{lint_program, Lint, LintKind, Severity};
 pub use liveness::{insn_defs, insn_uses, liveness, reg_bit, regs_in, term_uses, Liveness};
+pub use value::{value_analysis, Val, ValueAnalysis, ValueState};
 pub use verify::{
     render_errors, sort_errors, verify, verify_decoded, verify_decoded_block,
     verify_decoded_block_with, verify_decoded_with, verify_program, VerifyError,

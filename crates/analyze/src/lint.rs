@@ -12,6 +12,7 @@
 //! internal map iteration order — a requirement for the golden-diffed
 //! `umi_lint` CI gate.
 
+use crate::absint::{absint_program, Verdict};
 use crate::affine::{classify_program, StaticClass};
 use crate::cfg::{analyze_program, Cfg};
 use crate::liveness::{insn_defs, insn_uses, liveness, regs_in, term_uses};
@@ -51,6 +52,11 @@ pub enum LintKind {
     /// An unfiltered memory op with provably-zero stride inside a loop:
     /// it re-touches one resident line every iteration.
     ZeroStrideHotLoop,
+    /// A loop-invariant load the must-cache analysis *proves* L1-resident
+    /// on every steady-state iteration ([`crate::Verdict::AlwaysHit`]):
+    /// the loop re-executes a load whose value could live in a register —
+    /// hoist it above the loop.
+    HoistableLoad,
 }
 
 impl LintKind {
@@ -61,6 +67,7 @@ impl LintKind {
             LintKind::UnreachableBlock => "unreachable-block",
             LintKind::DegenerateBranch => "degenerate-branch",
             LintKind::ZeroStrideHotLoop => "zero-stride-hot-loop",
+            LintKind::HoistableLoad => "hoistable-load",
         }
     }
 }
@@ -188,6 +195,27 @@ pub fn lint_program(program: &Program) -> Vec<Lint> {
         }
     }
 
+    // Hoistable loads: the must-cache abstract interpreter proves the
+    // load hits L1 on every steady-state iteration, so the loop is
+    // re-loading a register-promotable value. Runs at the Pentium 4 L1
+    // geometry — the smallest cache the repo models, hence the hardest
+    // residency proof; anything AlwaysHit there is hoistable everywhere.
+    // Filtered refs stay exempt for the same reason as above.
+    let geom_l1 = umi_geom::CacheGeometry::pentium4_l1d();
+    let geom_l2 = umi_geom::CacheGeometry::pentium4_l2();
+    for row in absint_program(program, &geom_l1, &geom_l2) {
+        if !row.is_store && !row.filtered && row.in_loop && row.l1 == Verdict::AlwaysHit {
+            out.push(Lint {
+                pc: row.pc,
+                block: row.block,
+                kind: LintKind::HoistableLoad,
+                severity: Severity::Warning,
+                message: "load provably L1-resident every iteration; hoist it out of the loop"
+                    .into(),
+            });
+        }
+    }
+
     out.sort_by(|a, b| {
         (a.pc, a.kind, a.block)
             .cmp(&(b.pc, b.kind, b.block))
@@ -302,13 +330,48 @@ mod tests {
             .br_lt(body, done);
         pb.block(done).push_val(Reg::EDX).ret();
         let lints = lint_program(&pb.finish());
-        assert_eq!(kinds(&lints), vec![LintKind::ZeroStrideHotLoop]);
+        // The invariant load draws both the affine-level lint and the
+        // must-cache hoistability proof, at the same pc in kind order.
+        assert_eq!(
+            kinds(&lints),
+            vec![LintKind::ZeroStrideHotLoop, LintKind::HoistableLoad]
+        );
+        assert_eq!(lints[0].pc, lints[1].pc);
         assert!(lints[0].message.contains("load"), "{}", lints[0].message);
     }
 
     #[test]
+    fn hoistable_load_needs_a_residency_proof() {
+        // Same invariant load, but the loop also sweeps a large array
+        // with an irregular (pointer-chased) reference each iteration:
+        // the must-analysis can no longer prove the invariant line stays
+        // resident, so only the affine-level zero-stride lint fires.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 64)
+            .alloc(Reg::EDI, 4096)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8) // invariant
+            .load(Reg::EDX, Reg::EDX + 0, Width::W8) // irregular x4: ages
+            .load(Reg::EDX, Reg::EDX + 0, Width::W8) // out the 4-way L1
+            .load(Reg::EDX, Reg::EDX + 0, Width::W8)
+            .load(Reg::EDX, Reg::EDX + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 64)
+            .br_lt(body, done);
+        pb.block(done).push_val(Reg::EAX).ret();
+        let lints = lint_program(&pb.finish());
+        assert_eq!(kinds(&lints), vec![LintKind::ZeroStrideHotLoop]);
+    }
+
+    #[test]
     fn lints_are_deterministic_and_sorted() {
-        // A program firing all four kinds at interleaved addresses.
+        // A program firing every kind at interleaved addresses.
         let mut pb = ProgramBuilder::new();
         let f = pb.begin_func("main");
         let body = pb.new_block();
@@ -331,7 +394,8 @@ mod tests {
         let a = lint_program(&p);
         let b = lint_program(&p);
         assert_eq!(a, b, "lint output must be run-to-run identical");
-        assert_eq!(a.len(), 4);
+        assert_eq!(a.len(), 5, "{a:?}");
+        assert!(a.iter().any(|l| l.kind == LintKind::HoistableLoad));
         let keys: Vec<_> = a.iter().map(|l| (l.pc, l.kind, l.block)).collect();
         let mut sorted = keys.clone();
         sorted.sort();

@@ -1,0 +1,510 @@
+//! Flow-sensitive constant propagation over registers and the heap
+//! cursor.
+//!
+//! The abstract cache interpreter ([`crate::absint`]) needs *concrete*
+//! addresses wherever the program determines them: a reference with a
+//! known address gets a cache-line identity the must-analysis can age
+//! precisely, and a strided sweep with a known start and extent can be
+//! proven disjoint from everything else. This module computes them by
+//! mirroring the VM's deterministic startup state instruction for
+//! instruction:
+//!
+//! * every register starts at zero except `esp`/`ebp`, which start at
+//!   [`STACK_TOP`] (exactly as `umi_vm::Vm::new` initializes them);
+//! * `Alloc` is the VM's bump allocator verbatim: the cursor starts at
+//!   [`HEAP_BASE`], the base is the cursor rounded up to the requested
+//!   alignment (64 or 8), and the cursor advances past the block;
+//! * arithmetic uses the VM's exact wrapping/shift-masking semantics.
+//!
+//! The lattice per register is the classic three-level constant domain
+//! (unknown ⊑ constant ⊑ conflicting). Anything the model cannot follow —
+//! loaded values, callee effects (a `Call` terminator hands the resume
+//! block a [`ValueState::havoc`] state: the callee shares the register
+//! file and the heap cursor), non-entry function parameters — degrades to
+//! ⊤, never to a wrong constant, with one whole-program refinement: a
+//! register no instruction anywhere writes keeps its startup constant
+//! across those boundaries. Soundness of every consumer rests on that
+//! one-way degradation.
+
+use crate::cfg::intra_successors;
+use std::collections::VecDeque;
+use umi_ir::{BinOp, BlockId, Insn, MemRef, Operand, Program, Reg, Terminator, UnOp};
+use umi_ir::{HEAP_BASE, STACK_TOP};
+
+/// One value in the constant lattice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Val {
+    /// No execution reaches this point yet (the bottom element).
+    #[default]
+    Bot,
+    /// Every execution reaching this point computes this exact value.
+    Const(i64),
+    /// Executions may disagree (the top element).
+    Top,
+}
+
+impl Val {
+    /// The constant, if this value is one.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Val::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    fn join(self, other: Val) -> Val {
+        match (self, other) {
+            (Val::Bot, v) | (v, Val::Bot) => v,
+            (Val::Const(a), Val::Const(b)) if a == b => Val::Const(a),
+            _ => Val::Top,
+        }
+    }
+}
+
+/// Abstract machine state at one program point: one lattice value per
+/// register plus the heap bump cursor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueState {
+    regs: [Val; Reg::COUNT],
+    heap_cursor: Val,
+}
+
+impl ValueState {
+    /// The VM's startup state: zeroed registers, `esp`/`ebp` at
+    /// [`STACK_TOP`], cursor at [`HEAP_BASE`].
+    pub fn vm_entry() -> ValueState {
+        let mut regs = [Val::Const(0); Reg::COUNT];
+        regs[Reg::ESP.index()] = Val::Const(STACK_TOP as i64);
+        regs[Reg::EBP.index()] = Val::Const(STACK_TOP as i64);
+        ValueState {
+            regs,
+            heap_cursor: Val::Const(HEAP_BASE as i64),
+        }
+    }
+
+    /// The all-⊤ state: what a block knows when reached from an
+    /// unanalyzable context (a non-entry function's entry, a call resume).
+    pub fn top() -> ValueState {
+        ValueState {
+            regs: [Val::Top; Reg::COUNT],
+            heap_cursor: Val::Top,
+        }
+    }
+
+    /// The state at an unanalyzable context boundary, refined by what the
+    /// whole program can possibly clobber: a register no instruction in
+    /// `program` ever writes holds its VM-startup constant forever (the
+    /// register file is shared across functions and `Call`/`Ret` use a
+    /// side stack, touching no register), so it survives call resumes and
+    /// non-entry function entries. Everything written anywhere is ⊤.
+    /// This is what keeps `ebp`-relative spill slots concrete in
+    /// workloads whose frame pointer is set up once and never moved.
+    pub fn havoc(program: &Program) -> ValueState {
+        let mut written = [false; Reg::COUNT];
+        let mut heap_written = false;
+        for block in &program.blocks {
+            for insn in &block.insns {
+                match insn {
+                    Insn::Mov { dst, .. }
+                    | Insn::Load { dst, .. }
+                    | Insn::Lea { dst, .. }
+                    | Insn::Binary { dst, .. }
+                    | Insn::Unary { dst, .. } => written[dst.index()] = true,
+                    Insn::Push { .. } => written[Reg::ESP.index()] = true,
+                    Insn::Pop { dst } => {
+                        written[dst.index()] = true;
+                        written[Reg::ESP.index()] = true;
+                    }
+                    Insn::Alloc { dst, .. } => {
+                        written[dst.index()] = true;
+                        heap_written = true;
+                    }
+                    Insn::Store { .. } | Insn::Cmp { .. } | Insn::Prefetch { .. } | Insn::Nop => {}
+                }
+            }
+        }
+        let init = ValueState::vm_entry();
+        let mut st = ValueState::top();
+        for (i, w) in written.iter().enumerate() {
+            if !w {
+                st.regs[i] = init.regs[i];
+            }
+        }
+        if !heap_written {
+            st.heap_cursor = init.heap_cursor;
+        }
+        st
+    }
+
+    fn bot() -> ValueState {
+        ValueState {
+            regs: [Val::Bot; Reg::COUNT],
+            heap_cursor: Val::Bot,
+        }
+    }
+
+    /// The abstract value of one register.
+    pub fn reg(&self, r: Reg) -> Val {
+        self.regs[r.index()]
+    }
+
+    /// Joins `other` into this state pointwise, reporting whether
+    /// anything changed (the dataflow engines' convergence signal).
+    pub(crate) fn join_from(&mut self, other: &ValueState) -> bool {
+        let mut changed = false;
+        for (mine, theirs) in self.regs.iter_mut().zip(other.regs) {
+            let j = mine.join(theirs);
+            changed |= j != *mine;
+            *mine = j;
+        }
+        let j = self.heap_cursor.join(other.heap_cursor);
+        changed |= j != self.heap_cursor;
+        self.heap_cursor = j;
+        changed
+    }
+
+    fn eval(&self, op: &Operand) -> Val {
+        match op {
+            Operand::Imm(c) => Val::Const(*c),
+            Operand::Reg(r) => self.reg(*r),
+            // A memory operand is a load; the model does not track memory.
+            Operand::Mem(..) => Val::Top,
+        }
+    }
+
+    /// The concrete effective address of `mem` in this state, when every
+    /// contributing register is a known constant (absolute references
+    /// always are). Mirrors the VM's wrapping address arithmetic.
+    pub fn eval_addr(&self, mem: &MemRef) -> Option<u64> {
+        let mut addr = mem.disp as u64;
+        if let Some(b) = mem.base {
+            addr = addr.wrapping_add(self.reg(b).as_const()? as u64);
+        }
+        if let Some((i, scale)) = mem.index {
+            let v = self.reg(i).as_const()? as u64;
+            addr = addr.wrapping_add(v.wrapping_mul(u64::from(scale)));
+        }
+        Some(addr)
+    }
+
+    /// Advances the state across one instruction (the VM's semantics on
+    /// the constant lattice; anything unmodeled goes to ⊤).
+    pub fn step(&mut self, insn: &Insn) {
+        match insn {
+            Insn::Mov { dst, src } => self.regs[dst.index()] = self.eval(src),
+            Insn::Load { dst, .. } => self.regs[dst.index()] = Val::Top,
+            Insn::Store { .. } | Insn::Cmp { .. } | Insn::Prefetch { .. } | Insn::Nop => {}
+            Insn::Lea { dst, mem } => {
+                self.regs[dst.index()] = match self.eval_addr(mem) {
+                    Some(a) => Val::Const(a as i64),
+                    None => Val::Top,
+                };
+            }
+            Insn::Binary { op, dst, src } => {
+                let d = self.reg(*dst);
+                let s = self.eval(src);
+                self.regs[dst.index()] = match (d, s) {
+                    (Val::Const(a), Val::Const(b)) => Val::Const(apply_binop(*op, a, b)),
+                    (Val::Bot, _) | (_, Val::Bot) => Val::Bot,
+                    _ => Val::Top,
+                };
+            }
+            Insn::Unary { op, dst } => {
+                self.regs[dst.index()] = match self.reg(*dst) {
+                    Val::Const(a) => Val::Const(match op {
+                        UnOp::Neg => a.wrapping_neg(),
+                        UnOp::Not => !a,
+                    }),
+                    v => v,
+                };
+            }
+            Insn::Push { .. } => {
+                self.regs[Reg::ESP.index()] = match self.reg(Reg::ESP) {
+                    Val::Const(esp) => Val::Const(esp.wrapping_sub(8)),
+                    v => v,
+                };
+            }
+            Insn::Pop { dst } => {
+                self.regs[dst.index()] = Val::Top;
+                self.regs[Reg::ESP.index()] = match self.reg(Reg::ESP) {
+                    Val::Const(esp) => Val::Const(esp.wrapping_add(8)),
+                    v => v,
+                };
+            }
+            Insn::Alloc { dst, size, align64 } => {
+                let align: u64 = if *align64 { 64 } else { 8 };
+                match (self.heap_cursor, self.eval(size)) {
+                    (Val::Const(cur), Val::Const(sz)) => {
+                        // The VM's bump allocator, verbatim.
+                        let base = (cur as u64).next_multiple_of(align);
+                        let sz = sz.max(0) as u64;
+                        self.regs[dst.index()] = Val::Const(base as i64);
+                        self.heap_cursor = Val::Const((base + sz) as i64);
+                    }
+                    (Val::Bot, _) | (_, Val::Bot) => {
+                        self.regs[dst.index()] = Val::Bot;
+                        self.heap_cursor = Val::Bot;
+                    }
+                    _ => {
+                        self.regs[dst.index()] = Val::Top;
+                        self.heap_cursor = Val::Top;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The VM's exact binary-op semantics (wrapping, masked shifts, total
+/// division).
+fn apply_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_div(b)
+            }
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                0
+            } else {
+                a.wrapping_rem(b)
+            }
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => ((a as u64) << (b as u64 & 63)) as i64,
+        BinOp::Shr => ((a as u64) >> (b as u64 & 63)) as i64,
+    }
+}
+
+/// Block-entry constant states for a whole program.
+#[derive(Clone, Debug)]
+pub struct ValueAnalysis {
+    entry: Vec<ValueState>,
+    reached: Vec<bool>,
+}
+
+impl ValueAnalysis {
+    /// The state on entry to `block`. Blocks no seed reaches stay ⊥
+    /// (every register [`Val::Bot`]).
+    pub fn block_entry(&self, block: BlockId) -> &ValueState {
+        &self.entry[block.index()]
+    }
+
+    /// Whether any seed (function entry or propagated edge) reaches
+    /// `block`; unreached blocks never execute.
+    pub fn reached(&self, block: BlockId) -> bool {
+        self.reached[block.index()]
+    }
+}
+
+/// Runs the constant propagation to fixpoint over every function.
+///
+/// The program entry function starts from [`ValueState::vm_entry`]; every
+/// other function starts from [`ValueState::havoc`] (its callers'
+/// register files are not threaded through, but registers nothing in the
+/// program writes keep their startup constants). `Call` terminators hand
+/// their resume block the same havoc state: the callee shares registers
+/// and the heap cursor, and may clobber anything it writes somewhere.
+pub fn value_analysis(program: &Program) -> ValueAnalysis {
+    let n = program.blocks.len();
+    let havoc = ValueState::havoc(program);
+    let mut entry = vec![ValueState::bot(); n];
+    let mut reached = vec![false; n];
+    let mut dirty = vec![false; n];
+    let mut work = VecDeque::new();
+
+    let seed = |state: &ValueState,
+                b: BlockId,
+                entry: &mut Vec<ValueState>,
+                reached: &mut Vec<bool>,
+                dirty: &mut Vec<bool>,
+                work: &mut VecDeque<BlockId>| {
+        if b.index() >= n {
+            return;
+        }
+        reached[b.index()] = true;
+        if entry[b.index()].join_from(state) && !dirty[b.index()] {
+            dirty[b.index()] = true;
+            work.push_back(b);
+        }
+    };
+
+    for f in &program.funcs {
+        let init = if f.id == program.entry {
+            ValueState::vm_entry()
+        } else {
+            havoc.clone()
+        };
+        seed(
+            &init,
+            f.entry,
+            &mut entry,
+            &mut reached,
+            &mut dirty,
+            &mut work,
+        );
+    }
+
+    // Plain worklist iteration; the lattice has height 2 per slot, so
+    // each block re-enters the queue a bounded number of times.
+    while let Some(b) = work.pop_front() {
+        dirty[b.index()] = false;
+        let block = program.block(b);
+        let mut out = entry[b.index()].clone();
+        for insn in &block.insns {
+            out.step(insn);
+        }
+        if let Terminator::Call { ret_to, .. } = block.terminator {
+            seed(
+                &havoc,
+                ret_to,
+                &mut entry,
+                &mut reached,
+                &mut dirty,
+                &mut work,
+            );
+        } else {
+            for s in intra_successors(&block.terminator) {
+                seed(&out, s, &mut entry, &mut reached, &mut dirty, &mut work);
+            }
+        }
+    }
+    ValueAnalysis { entry, reached }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{ProgramBuilder, Width};
+
+    #[test]
+    fn tracks_allocs_like_the_vm() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let next = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 100)
+            .alloc(Reg::EDI, 64)
+            .jmp(next);
+        pb.block(next).ret();
+        let p = pb.finish();
+        let va = value_analysis(&p);
+        let mut st = va.block_entry(f.entry()).clone();
+        for insn in &p.block(f.entry()).insns {
+            st.step(insn);
+        }
+        // First alloc at HEAP_BASE; second rounds the cursor
+        // (HEAP_BASE + 100) up to the next 8-byte boundary (the builder's
+        // `alloc` requests 8-byte alignment) — the VM's bump allocator
+        // exactly.
+        assert_eq!(st.reg(Reg::ESI), Val::Const(HEAP_BASE as i64));
+        let second = (HEAP_BASE + 100).next_multiple_of(8);
+        assert_eq!(st.reg(Reg::EDI), Val::Const(second as i64));
+        // And the state propagated to the successor block.
+        assert_eq!(
+            va.block_entry(next).reg(Reg::EDI),
+            Val::Const(second as i64)
+        );
+    }
+
+    #[test]
+    fn joins_degrade_disagreeing_constants() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let a = pb.new_block();
+        let b = pb.new_block();
+        let merge = pb.new_block();
+        pb.block(f.entry()).cmpi(Reg::ECX, 0).br_eq(a, b);
+        pb.block(a).movi(Reg::EAX, 1).movi(Reg::EBX, 7).jmp(merge);
+        pb.block(b).movi(Reg::EAX, 2).movi(Reg::EBX, 7).jmp(merge);
+        pb.block(merge).ret();
+        let va = value_analysis(&pb.finish());
+        assert_eq!(va.block_entry(merge).reg(Reg::EAX), Val::Top);
+        assert_eq!(va.block_entry(merge).reg(Reg::EBX), Val::Const(7));
+    }
+
+    #[test]
+    fn call_resume_and_callee_entry_are_top() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let after = pb.new_block();
+        pb.block(main.entry()).movi(Reg::EAX, 5).call(leaf, after);
+        pb.block(leaf.entry()).ret();
+        pb.block(after).ret();
+        let va = value_analysis(&pb.finish());
+        assert_eq!(va.block_entry(after).reg(Reg::EAX), Val::Top);
+        assert_eq!(va.block_entry(leaf.entry()).reg(Reg::EAX), Val::Top);
+        // The entry function's own entry still sees VM startup values.
+        assert_eq!(
+            va.block_entry(main.entry()).reg(Reg::ESP),
+            Val::Const(STACK_TOP as i64)
+        );
+    }
+
+    #[test]
+    fn never_written_registers_survive_call_boundaries() {
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let after = pb.new_block();
+        pb.block(main.entry()).movi(Reg::EAX, 5).call(leaf, after);
+        // The leaf loads through ebp but never writes it.
+        pb.block(leaf.entry())
+            .load(Reg::ECX, MemRef::base_disp(Reg::EBP, -8), Width::W8)
+            .ret();
+        pb.block(after).ret();
+        let va = value_analysis(&pb.finish());
+        // ebp: written nowhere, so its startup constant survives the call
+        // resume and is visible inside the callee.
+        let top = Val::Const(STACK_TOP as i64);
+        assert_eq!(va.block_entry(after).reg(Reg::EBP), top);
+        assert_eq!(va.block_entry(leaf.entry()).reg(Reg::EBP), top);
+        // eax: written in main, so both boundaries degrade it.
+        assert_eq!(va.block_entry(after).reg(Reg::EAX), Val::Top);
+        assert_eq!(va.block_entry(leaf.entry()).reg(Reg::EAX), Val::Top);
+    }
+
+    #[test]
+    fn push_pop_track_esp() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry()).ret();
+        let p = pb.finish();
+        let va = value_analysis(&p);
+        let mut st = va.block_entry(f.entry()).clone();
+        st.step(&Insn::Push {
+            src: Operand::Imm(1),
+        });
+        assert_eq!(st.reg(Reg::ESP), Val::Const(STACK_TOP as i64 - 8));
+        st.step(&Insn::Pop { dst: Reg::EAX });
+        assert_eq!(st.reg(Reg::ESP), Val::Const(STACK_TOP as i64));
+        assert_eq!(st.reg(Reg::EAX), Val::Top);
+    }
+
+    #[test]
+    fn absolute_and_register_addresses_evaluate() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        pb.block(f.entry()).ret();
+        let p = pb.finish();
+        let st = value_analysis(&p).block_entry(f.entry()).clone();
+        assert_eq!(
+            st.eval_addr(&MemRef::absolute(0x0800_0040)),
+            Some(0x0800_0040)
+        );
+        assert_eq!(
+            st.eval_addr(&MemRef::base_disp(Reg::EBP, -16)),
+            Some(STACK_TOP - 16)
+        );
+        let _ = Width::W8;
+    }
+}

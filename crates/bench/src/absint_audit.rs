@@ -1,0 +1,220 @@
+//! Shared audit of must-cache verdicts against exact simulation.
+//!
+//! The abstract interpreter ([`absint_program`]) proves, per memory
+//! access site, a cache verdict with an auditable miss bound; the
+//! [`FullSimulator`] (with its L1 audit enabled) measures the exact
+//! per-instruction miss counts the verdict constrains. This module runs
+//! both over one program and evaluates every checkable verdict group —
+//! one `(pc, is_store)` pair with a uniform classified verdict — against
+//! its promised predicate:
+//!
+//! * **AlwaysHit** — L1 misses ≤ Σ entries bounds (only the cold access
+//!   on each loop entry may miss);
+//! * **Persistent** — L1 misses ≤ Σ lines × entries bounds (each swept
+//!   line misses at most once per entry);
+//! * **AlwaysMiss** — misses == accesses, at L1 *and* at memory.
+//!
+//! A violated predicate means the static analysis over-claimed — a
+//! soundness bug, never a workload property — so the `umi_lint` gate
+//! treats it as Error severity and the `table_absint` harness exits
+//! non-zero. The property test in `tests/absint_soundness.rs` drives the
+//! same audit under randomized geometries and kernels.
+
+use umi_analyze::{absint_program, CacheBehavior, Verdict};
+use umi_cache::{CacheConfig, FullSimulator};
+use umi_ir::{Pc, Program};
+use umi_vm::Vm;
+
+/// One audited verdict group: every access site of one `(pc, is_store)`
+/// pair, all carrying the same classified verdict with known bounds.
+#[derive(Clone, Debug)]
+pub struct GroupCheck {
+    /// The audited instruction.
+    pub pc: Pc,
+    /// Whether the group is the instruction's store half.
+    pub is_store: bool,
+    /// The uniform verdict across the group's sites.
+    pub verdict: Verdict,
+    /// Simulated accesses attributed to the pc (demand only).
+    pub accesses: u64,
+    /// Simulated L1 misses.
+    pub l1_misses: u64,
+    /// Simulated memory-level (L2) misses.
+    pub mem_misses: u64,
+    /// The miss bound the verdict promised (Σ over the group's sites;
+    /// `accesses` itself for AlwaysMiss).
+    pub bound: u64,
+    /// Whether the simulation upheld the predicate.
+    pub ok: bool,
+}
+
+impl GroupCheck {
+    /// Human-readable description of a violated predicate. Only
+    /// meaningful when `ok` is false.
+    pub fn violation_message(&self) -> String {
+        let what = if self.is_store { "store" } else { "load" };
+        match self.verdict {
+            Verdict::AlwaysHit => format!(
+                "AlwaysHit {what}: {} L1 misses exceed the {}-entry bound over {} accesses",
+                self.l1_misses, self.bound, self.accesses
+            ),
+            Verdict::Persistent => format!(
+                "Persistent {what}: {} L1 misses exceed the lines*entries bound {} over {} accesses",
+                self.l1_misses, self.bound, self.accesses
+            ),
+            Verdict::AlwaysMiss => format!(
+                "AlwaysMiss {what}: {} L1 / {} memory misses over {} accesses (all three must be equal)",
+                self.l1_misses, self.mem_misses, self.accesses
+            ),
+            Verdict::Unclassified => unreachable!("unclassified groups are never checked"),
+        }
+    }
+}
+
+/// The result of auditing one program: the raw per-site verdicts plus
+/// every checkable group's evaluated predicate.
+#[derive(Debug)]
+pub struct AbsintAudit {
+    /// All per-site verdicts, sorted by `(pc, is_store)`.
+    pub rows: Vec<CacheBehavior>,
+    /// Every group whose predicate could be evaluated (uniform classified
+    /// verdict, bounds known, pc actually executed).
+    pub checked: Vec<GroupCheck>,
+    /// Instructions the audited run executed.
+    pub insns: u64,
+}
+
+impl AbsintAudit {
+    /// The checks the simulation contradicted.
+    pub fn violations(&self) -> impl Iterator<Item = &GroupCheck> {
+        self.checked.iter().filter(|c| !c.ok)
+    }
+}
+
+/// Audits `program` at the paper's Pentium 4 geometry, running it to
+/// completion under the exact simulator.
+pub fn audit_absint(program: &Program) -> AbsintAudit {
+    audit_absint_with(
+        program,
+        CacheConfig::pentium4_l1d(),
+        CacheConfig::pentium4_l2(),
+        u64::MAX,
+    )
+}
+
+/// Audits `program` at an arbitrary L1/L2 geometry with an instruction
+/// budget (the property test runs randomized kernels it cannot prove
+/// terminate fast).
+pub fn audit_absint_with(
+    program: &Program,
+    l1: CacheConfig,
+    l2: CacheConfig,
+    max_insns: u64,
+) -> AbsintAudit {
+    let rows = absint_program(program, &l1.geometry(), &l2.geometry());
+    let mut sim = FullSimulator::new(l1, l2).with_l1_audit();
+    let result = Vm::new(program).run(&mut sim, max_insns);
+
+    let mut checked = Vec::new();
+    let mut i = 0;
+    while i < rows.len() {
+        let mut j = i + 1;
+        while j < rows.len() && rows[j].pc == rows[i].pc && rows[j].is_store == rows[i].is_store {
+            j += 1;
+        }
+        if let Some(check) = audit_group(&rows[i..j], &sim) {
+            checked.push(check);
+        }
+        i = j;
+    }
+    AbsintAudit {
+        rows,
+        checked,
+        insns: result.stats.insns,
+    }
+}
+
+/// Evaluates one group's predicate, or `None` when it cannot be checked.
+fn audit_group(group: &[CacheBehavior], sim: &FullSimulator) -> Option<GroupCheck> {
+    let verdict = group[0].l1;
+    if group.iter().any(|r| r.l1 != verdict) || !verdict.classified() {
+        return None;
+    }
+    let pc = group[0].pc;
+    let is_store = group[0].is_store;
+    let l1 = sim.l1_per_pc().get(pc);
+    let mem = sim.per_pc().get(pc);
+    let (accesses, l1_misses, mem_misses) = if is_store {
+        (l1.store_accesses, l1.store_misses, mem.store_misses)
+    } else {
+        (l1.load_accesses, l1.load_misses, mem.load_misses)
+    };
+    if accesses == 0 {
+        return None; // never executed: nothing to audit
+    }
+    let (bound, ok) = match verdict {
+        Verdict::AlwaysHit => {
+            let bound: u64 = group.iter().map(|r| r.entries_bound).sum::<Option<u64>>()?;
+            (bound, l1_misses <= bound)
+        }
+        Verdict::Persistent => {
+            let bound: u64 = group
+                .iter()
+                .map(|r| Some(r.lines_bound? * r.entries_bound?))
+                .sum::<Option<u64>>()?;
+            (bound, l1_misses <= bound)
+        }
+        Verdict::AlwaysMiss => (accesses, l1_misses == accesses && mem_misses == accesses),
+        Verdict::Unclassified => return None,
+    };
+    Some(GroupCheck {
+        pc,
+        is_store,
+        verdict,
+        accesses,
+        l1_misses,
+        mem_misses,
+        bound,
+        ok,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use umi_ir::{ProgramBuilder, Reg, Width};
+
+    /// A loop re-reading one invariant line while sweeping another array:
+    /// the invariant load must audit as AlwaysHit, the sweep as
+    /// Persistent, both upheld.
+    #[test]
+    fn audit_confirms_verdicts_on_a_mixed_kernel() {
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 64)
+            .alloc(Reg::EDI, 8 * 256)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .load(Reg::EBX, Reg::EDI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 256)
+            .br_lt(body, done);
+        pb.block(done).push_val(Reg::EAX).push_val(Reg::EBX).ret();
+        let _ = f;
+        let audit = audit_absint(&pb.finish());
+        assert_eq!(audit.violations().count(), 0);
+        assert!(audit
+            .checked
+            .iter()
+            .any(|c| c.verdict == Verdict::AlwaysHit && c.ok));
+        assert!(audit
+            .checked
+            .iter()
+            .any(|c| c.verdict == Verdict::Persistent && c.ok));
+    }
+}

@@ -2,7 +2,7 @@
 //! lints, and prefetch-plan verification over all 32 workloads *and*
 //! their prefetch-rewritten variants.
 //!
-//! Per workload the gate runs four static passes:
+//! Per workload the gate runs five static passes:
 //!
 //! 1. the IR verifier ([`umi_analyze::verify`]) on the original program
 //!    (a rejection is a build bug and aborts the harness);
@@ -13,7 +13,11 @@
 //!    *dynamic* delinquency labels of a full UMI run;
 //! 4. the prefetch pipeline (`PrefetchPlan::from_report` →
 //!    [`inject_prefetches`]) followed by verifier + lints + the plan
-//!    checker ([`check_rewritten`]) on the rewritten program.
+//!    checker ([`check_rewritten`]) on the rewritten program;
+//! 5. the absint soundness gate ([`umi_bench::absint_audit`]): every
+//!    must-cache verdict (AlwaysHit / AlwaysMiss / Persistent) proved by
+//!    [`umi_analyze::absint_program`], audited against exact per-pc
+//!    simulation — a contradicted verdict is an Error and fails CI.
 //!
 //! Stdout is the agreement table plus every diagnostic, byte-stable at a
 //! fixed scale (diffed against `results/golden/umi_lint.txt` by
@@ -25,6 +29,7 @@
 use umi_analyze::{
     lint_program, predict_program, render_errors, verify, CacheGeometry, Delinquency, Severity,
 };
+use umi_bench::absint_audit::audit_absint;
 use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
 use umi_core::{DynamicDelinquency, UmiConfig, UmiRuntime};
@@ -71,6 +76,10 @@ struct Row {
     disagree: usize,
     /// Prefetch hints planted by the rewrite.
     hints: usize,
+    /// Must-cache verdict groups whose soundness predicate was audited
+    /// against exact simulation (violations land in `findings`).
+    absint_checked: usize,
+    absint_violations: usize,
     /// All diagnostics, already stably ordered per pass.
     findings: Vec<Finding>,
 }
@@ -113,12 +122,10 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
 
     let config = UmiConfig::no_sampling();
     let floor = config.delinquency_floor;
-    let sim = config.effective_sim_cache();
-    let geom = CacheGeometry {
-        sets: sim.sets,
-        ways: sim.ways,
-        line_size: sim.line_size,
-    };
+    // One shared source of truth for geometry: the profiler's effective
+    // logical cache, converted through `umi-geom` instead of hand-copied
+    // field by field (the fields can never silently drift again).
+    let geom = config.effective_sim_cache().geometry();
 
     let mut row = Row::default();
     for lint in lint_program(program) {
@@ -192,7 +199,7 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
             rendered: lint.to_string(),
         });
     }
-    for diag in check_rewritten(&rewritten, &geom, floor) {
+    for diag in check_rewritten(&rewritten, &geom, &CacheGeometry::pentium4_l2(), floor) {
         row.findings.push(Finding {
             variant: "rw",
             severity: diag.severity(),
@@ -200,6 +207,28 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
             kind: diag.kind.name(),
             message: diag.message.clone(),
             rendered: diag.to_string(),
+        });
+    }
+
+    // The absint soundness gate: every must-cache verdict the abstract
+    // interpreter proves over the original program, audited against
+    // exact per-pc simulation at the paper's P4 geometry. A violation is
+    // a soundness bug in the analysis — always Error severity.
+    let audit = audit_absint(program);
+    row.absint_checked = audit.checked.len();
+    for v in audit.violations() {
+        row.absint_violations += 1;
+        row.findings.push(Finding {
+            variant: "orig",
+            severity: Severity::Error,
+            pc: Some(v.pc.0),
+            kind: "absint-soundness",
+            message: v.violation_message(),
+            rendered: format!(
+                "{:#x} [error] absint-soundness: {}",
+                v.pc.0,
+                v.violation_message()
+            ),
         });
     }
 
@@ -241,6 +270,11 @@ fn write_json(scale: Scale, rows: &[(String, Row)], agree: usize, both: usize, e
         }
     ));
     out.push_str(&format!("  \"error_findings\": {errors},\n"));
+    let checked: usize = rows.iter().map(|(_, r)| r.absint_checked).sum();
+    let violated: usize = rows.iter().map(|(_, r)| r.absint_violations).sum();
+    out.push_str(&format!(
+        "  \"absint_soundness\": {{\"checked\": {checked}, \"violations\": {violated}}},\n"
+    ));
     out.push_str("  \"workloads\": [\n");
     for (i, (name, row)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -258,6 +292,10 @@ fn write_json(scale: Scale, rows: &[(String, Row)], agree: usize, both: usize, e
         out.push_str(&format!(
             "      \"agree\": {}, \"disagree\": {}, \"hints\": {},\n",
             row.agree, row.disagree, row.hints
+        ));
+        out.push_str(&format!(
+            "      \"absint\": {{\"checked\": {}, \"violations\": {}}},\n",
+            row.absint_checked, row.absint_violations
         ));
         out.push_str("      \"diagnostics\": [");
         for (j, f) in row.findings.iter().enumerate() {

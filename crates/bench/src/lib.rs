@@ -16,6 +16,7 @@
 //! | `fig5` | running time, P4, HW prefetch on: SW / HW / SW+HW |
 //! | `fig6` | L2 misses, P4: SW / HW / SW+HW |
 //! | `table_static` | static (umi-analyze) vs dynamic classification agreement |
+//! | `table_absint` | must-cache verdicts audited against exact simulation |
 //! | `sensitivity` | §7.2 threshold & profile-length sweeps |
 //! | `ablations` | design-choice ablations from DESIGN.md §5 |
 //!
@@ -28,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint_audit;
 pub mod corr;
 pub mod engine;
 pub mod report;

@@ -220,7 +220,11 @@ fn render(entries: &[(String, String)]) -> String {
         out.push_str(&format!("    \"{name}\": {secs:.2}{comma}\n"));
     }
     out.push_str("  },\n");
-    let interleaved = |out: &mut String, key: &str, note: &str, old_key: &str, rows: &[(&str, f64, f64)]| {
+    let interleaved = |out: &mut String,
+                       key: &str,
+                       note: &str,
+                       old_key: &str,
+                       rows: &[(&str, f64, f64)]| {
         out.push_str(&format!("  \"{key}\": {{\n"));
         out.push_str(&format!("    \"note\": \"{note}\",\n"));
         for (i, (name, new, old)) in rows.iter().enumerate() {

@@ -119,7 +119,10 @@ fn study_cell(
         // Replayed, not re-interpreted: the prefetch setting changes only
         // machine-internal behaviour, so the pass-1 trace drives the
         // prefetch-on machine to exactly the state a live run reaches.
-        let trace = ci.trace.as_ref().expect("traced introspection kept its capture");
+        let trace = ci
+            .trace
+            .as_ref()
+            .expect("traced introspection kept its capture");
         let out = run_native_trace(trace, platform.clone(), PrefetchSetting::Full);
         insns += out.insns;
         Some(out)

@@ -1,6 +1,12 @@
 //! Cache geometry and replacement policy.
+//!
+//! The geometry itself (sets/ways/line size and the paper's machine
+//! presets) lives in the leaf crate `umi-geom`, shared with the static
+//! analyses in `umi-analyze`; this module pairs it with a replacement
+//! policy for the simulators.
 
 use std::fmt;
+use umi_geom::CacheGeometry;
 
 /// Virtual page size in bytes. A software prefetch that stays within one
 /// page of its guarded load can never fault on a different page than the
@@ -68,17 +74,27 @@ impl CacheConfig {
     /// Panics if `sets` or `line_size` is not a power of two, or any
     /// dimension is zero.
     pub fn new(sets: usize, ways: usize, line_size: u64) -> CacheConfig {
-        assert!(sets.is_power_of_two(), "sets {sets} not a power of two");
-        assert!(
-            line_size.is_power_of_two(),
-            "line size {line_size} not a power of two"
-        );
-        assert!(ways > 0, "associativity must be positive");
+        CacheConfig::from_geometry(CacheGeometry::new(sets, ways, line_size))
+    }
+
+    /// Wraps a shared [`CacheGeometry`] with the default (LRU) policy.
+    pub fn from_geometry(geom: CacheGeometry) -> CacheConfig {
         CacheConfig {
-            sets,
-            ways,
-            line_size,
+            sets: geom.sets,
+            ways: geom.ways,
+            line_size: geom.line_size,
             policy: ReplacementPolicy::Lru,
+        }
+    }
+
+    /// The policy-free geometry — the value shared with the static
+    /// analyses in `umi-analyze`, so both worlds reason from one source
+    /// of truth.
+    pub fn geometry(&self) -> CacheGeometry {
+        CacheGeometry {
+            sets: self.sets,
+            ways: self.ways,
+            line_size: self.line_size,
         }
     }
 
@@ -89,8 +105,7 @@ impl CacheConfig {
     /// Panics if the capacity is not divisible into a power-of-two number
     /// of sets.
     pub fn with_capacity(capacity: u64, ways: usize, line_size: u64) -> CacheConfig {
-        let sets = capacity / (ways as u64 * line_size);
-        CacheConfig::new(sets as usize, ways, line_size)
+        CacheConfig::from_geometry(CacheGeometry::with_capacity(capacity, ways, line_size))
     }
 
     /// Overrides the replacement policy (builder-style).
@@ -101,44 +116,44 @@ impl CacheConfig {
 
     /// Total capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.sets as u64 * self.ways as u64 * self.line_size
+        self.geometry().capacity()
     }
 
     /// The line-aligned address containing `addr`.
     pub fn line_addr(&self, addr: u64) -> u64 {
-        addr & !(self.line_size - 1)
+        self.geometry().line_addr(addr)
     }
 
     /// The set index for `addr`.
     pub fn set_index(&self, addr: u64) -> usize {
-        ((addr / self.line_size) as usize) & (self.sets - 1)
+        self.geometry().set_index(addr)
     }
 
     /// The tag for `addr`.
     pub fn tag(&self, addr: u64) -> u64 {
-        addr / self.line_size / self.sets as u64
+        self.geometry().tag(addr)
     }
 
     // === The memory systems evaluated in the paper (§6) ===
 
     /// Pentium 4 L1 data cache: 8 KB, 4-way, 64-byte lines.
     pub fn pentium4_l1d() -> CacheConfig {
-        CacheConfig::with_capacity(8 << 10, 4, 64)
+        CacheConfig::from_geometry(CacheGeometry::pentium4_l1d())
     }
 
     /// Pentium 4 unified L2: 512 KB, 8-way, 64-byte lines.
     pub fn pentium4_l2() -> CacheConfig {
-        CacheConfig::with_capacity(512 << 10, 8, 64)
+        CacheConfig::from_geometry(CacheGeometry::pentium4_l2())
     }
 
     /// AMD Athlon K7 L1 data cache: 64 KB, 2-way, 64-byte lines.
     pub fn k7_l1d() -> CacheConfig {
-        CacheConfig::with_capacity(64 << 10, 2, 64)
+        CacheConfig::from_geometry(CacheGeometry::k7_l1d())
     }
 
     /// AMD Athlon K7 unified L2: 256 KB, 16-way, 64-byte lines.
     pub fn k7_l2() -> CacheConfig {
-        CacheConfig::with_capacity(256 << 10, 16, 64)
+        CacheConfig::from_geometry(CacheGeometry::k7_l2())
     }
 }
 
@@ -186,6 +201,26 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
         let _ = CacheConfig::new(3, 4, 64);
+    }
+
+    #[test]
+    fn geometry_round_trips() {
+        let c = CacheConfig::pentium4_l2().policy(ReplacementPolicy::Fifo);
+        let g = c.geometry();
+        assert_eq!(g, CacheGeometry::pentium4_l2());
+        // from_geometry resets to the default policy; the dimensions and
+        // the derived address math agree with the config's own.
+        let back = CacheConfig::from_geometry(g);
+        assert_eq!(
+            (back.sets, back.ways, back.line_size),
+            (c.sets, c.ways, c.line_size)
+        );
+        assert_eq!(back.policy, ReplacementPolicy::Lru);
+        for addr in [0u64, 0x12345, 0xdead_beef] {
+            assert_eq!(c.line_addr(addr), g.line_addr(addr));
+            assert_eq!(c.set_index(addr), g.set_index(addr));
+            assert_eq!(c.tag(addr), g.tag(addr));
+        }
     }
 
     #[test]

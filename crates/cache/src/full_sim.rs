@@ -87,6 +87,12 @@ pub struct FullSimulator {
     /// Whether per-instruction attribution is maintained (the default).
     /// See [`ratios_only`](Self::ratios_only).
     track_per_pc: bool,
+    /// Whether per-instruction *L1* attribution is maintained (off by
+    /// default). See [`with_l1_audit`](Self::with_l1_audit).
+    track_l1: bool,
+    /// Per-instruction L1 statistics (misses = L1 misses, not L2).
+    /// Empty unless [`with_l1_audit`](Self::with_l1_audit) was requested.
+    l1_per_pc: PerPcStats,
 }
 
 impl FullSimulator {
@@ -105,6 +111,8 @@ impl FullSimulator {
             pending_write: false,
             sample_mask: 0,
             track_per_pc: true,
+            track_l1: false,
+            l1_per_pc: PerPcStats::new(),
         }
     }
 
@@ -120,6 +128,25 @@ impl FullSimulator {
     pub fn ratios_only(mut self) -> FullSimulator {
         self.track_per_pc = false;
         self
+    }
+
+    /// Additionally attributes **L1** outcomes per instruction (the
+    /// default per-pc table counts L2/memory misses, the paper's
+    /// delinquency metric). The static must-analysis in `umi-analyze`
+    /// proves *L1* verdicts (AlwaysHit / Persistent), so its soundness
+    /// audits need exact per-pc L1 miss counts to compare against. Off by
+    /// default — the demand path is unchanged unless requested.
+    #[must_use]
+    pub fn with_l1_audit(mut self) -> FullSimulator {
+        self.track_l1 = true;
+        self
+    }
+
+    /// Per-instruction **L1** statistics (misses count L1 misses).
+    /// Empty unless built [`with_l1_audit`](Self::with_l1_audit). Raw
+    /// sampled counts in sampled mode, like [`per_pc`](Self::per_pc).
+    pub fn l1_per_pc(&self) -> &PerPcStats {
+        &self.l1_per_pc
     }
 
     /// Creates a *set-sampled* simulator: only references whose line
@@ -271,6 +298,9 @@ impl FullSimulator {
             if self.track_per_pc {
                 self.per_pc.record(access.pc, is_store, false);
             }
+            if self.track_l1 {
+                self.l1_per_pc.record(access.pc, is_store, false);
+            }
             return;
         }
         self.flush_run();
@@ -283,6 +313,10 @@ impl FullSimulator {
         let l2_miss = level == HitLevel::Memory;
         if self.track_per_pc {
             self.per_pc.record(access.pc, is_store, l2_miss);
+        }
+        if self.track_l1 {
+            self.l1_per_pc
+                .record(access.pc, is_store, level != HitLevel::L1);
         }
         if level != HitLevel::L1 {
             let l2 = if is_store {
@@ -334,6 +368,9 @@ impl FullSimulator {
                 if self.track_per_pc {
                     self.per_pc.record(a.pc, is_store, false);
                 }
+                if self.track_l1 {
+                    self.l1_per_pc.record(a.pc, is_store, false);
+                }
                 continue;
             }
             if pending > 0 {
@@ -350,6 +387,9 @@ impl FullSimulator {
             let l2_miss = level == HitLevel::Memory;
             if self.track_per_pc {
                 self.per_pc.record(a.pc, is_store, l2_miss);
+            }
+            if self.track_l1 {
+                self.l1_per_pc.record(a.pc, is_store, level != HitLevel::L1);
             }
             if level != HitLevel::L1 {
                 let l2 = if is_store {
@@ -511,6 +551,47 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn sampling_factor_must_be_power_of_two() {
         let _ = FullSimulator::pentium4_sampled(3);
+    }
+
+    #[test]
+    fn l1_audit_counts_l1_misses_not_l2() {
+        let mut sim = FullSimulator::pentium4().with_l1_audit();
+        // pc 1: compulsory L1+L2 miss, then two same-line run-tail hits;
+        // pc 2 touches a fresh line (misses both levels); pc 1 re-reads
+        // its line: an L1 hit (still resident in the 4-way set), but not
+        // a run tail, so it exercises the simulated branch.
+        let batch = [
+            acc(1, 0x1000, AccessKind::Load),
+            acc(1, 0x1008, AccessKind::Load),
+            acc(1, 0x1010, AccessKind::Store),
+            acc(2, 0x2000, AccessKind::Load),
+            acc(1, 0x1018, AccessKind::Load),
+        ];
+        sim.access_batch(&batch);
+        let s1 = sim.l1_per_pc().get(Pc(1));
+        assert_eq!(s1.load_accesses, 3);
+        assert_eq!(s1.load_misses, 1, "run tails and re-reads are L1 hits");
+        assert_eq!(s1.store_accesses, 1);
+        assert_eq!(s1.store_misses, 0);
+        let s2 = sim.l1_per_pc().get(Pc(2));
+        assert_eq!((s2.load_accesses, s2.load_misses), (1, 1));
+        // The L2-level table counts the same accesses but only memory
+        // misses — and agrees item-for-item with the per-item path.
+        assert_eq!(sim.per_pc().get(Pc(1)).load_accesses, 3);
+        let mut itemized = FullSimulator::pentium4().with_l1_audit();
+        for &a in &batch {
+            AccessSink::access(&mut itemized, a);
+        }
+        for pc in 1..=2u64 {
+            assert_eq!(
+                sim.l1_per_pc().get(Pc(pc)),
+                itemized.l1_per_pc().get(Pc(pc))
+            );
+        }
+        // Default builds keep the audit table empty.
+        let mut plain = FullSimulator::pentium4();
+        plain.access_batch(&batch);
+        assert!(plain.l1_per_pc().is_empty());
     }
 
     #[test]

@@ -46,3 +46,4 @@ pub use hierarchy::{Hierarchy, HitLevel};
 pub use per_insn::{PcMissStats, PerPcStats};
 pub use set_assoc::{AccessOutcome, SetAssocCache};
 pub use stats::CacheStats;
+pub use umi_geom::CacheGeometry;

@@ -136,10 +136,7 @@ fn introspect<S: AccessSink>(
     dbi.attach_tracer(TraceWriter::new());
     let umi = UmiRuntime::with_dbi(dbi, config.clone());
     let (mut umi, report, shadow_miss_ratios) = drive(umi, shadows, sink);
-    let writer = umi
-        .dbi_mut()
-        .take_tracer()
-        .expect("tracer attached above");
+    let writer = umi.dbi_mut().take_tracer().expect("tracer attached above");
     let trace = store::publish(writer.finish(key, report.vm_stats));
     CachedIntrospection {
         report,

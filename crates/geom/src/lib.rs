@@ -1,0 +1,157 @@
+//! Shared cache geometry: the one source of truth for line size, set
+//! count, and associativity.
+//!
+//! Both worlds import this leaf crate — `umi-cache` wraps a
+//! [`CacheGeometry`] with a replacement policy to drive the simulators,
+//! and `umi-analyze` reasons about the *same* value statically
+//! (delinquency prediction, abstract cache interpretation). Hoisting the
+//! geometry below both ends the copy-the-fields pattern where the
+//! delinquency floor math and the simulator could silently disagree on,
+//! say, line size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Geometry of one cache level: sets × ways lines of `line_size` bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity (lines per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_size` is not a power of two, or any
+    /// dimension is zero.
+    pub fn new(sets: usize, ways: usize, line_size: u64) -> CacheGeometry {
+        assert!(sets.is_power_of_two(), "sets {sets} not a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size {line_size} not a power of two"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        CacheGeometry {
+            sets,
+            ways,
+            line_size,
+        }
+    }
+
+    /// Creates a geometry from total capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into a power-of-two number
+    /// of sets.
+    pub fn with_capacity(capacity: u64, ways: usize, line_size: u64) -> CacheGeometry {
+        let sets = capacity / (ways as u64 * line_size);
+        CacheGeometry::new(sets as usize, ways, line_size)
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_size - 1)
+    }
+
+    /// The line number containing `addr` (address divided by line size).
+    pub fn line_number(&self, addr: u64) -> u64 {
+        addr / self.line_size
+    }
+
+    /// The set index for `addr`.
+    pub fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_size) as usize) & (self.sets - 1)
+    }
+
+    /// The tag for `addr`.
+    pub fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_size / self.sets as u64
+    }
+
+    // === The memory systems evaluated in the paper (§6) ===
+
+    /// Pentium 4 L1 data cache: 8 KB, 4-way, 64-byte lines.
+    pub fn pentium4_l1d() -> CacheGeometry {
+        CacheGeometry::with_capacity(8 << 10, 4, 64)
+    }
+
+    /// Pentium 4 unified L2: 512 KB, 8-way, 64-byte lines.
+    pub fn pentium4_l2() -> CacheGeometry {
+        CacheGeometry::with_capacity(512 << 10, 8, 64)
+    }
+
+    /// AMD Athlon K7 L1 data cache: 64 KB, 2-way, 64-byte lines.
+    pub fn k7_l1d() -> CacheGeometry {
+        CacheGeometry::with_capacity(64 << 10, 2, 64)
+    }
+
+    /// AMD Athlon K7 unified L2: 256 KB, 16-way, 64-byte lines.
+    pub fn k7_l2() -> CacheGeometry {
+        CacheGeometry::with_capacity(256 << 10, 16, 64)
+    }
+}
+
+impl fmt::Display for CacheGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}-way/{}B",
+            self.capacity() >> 10,
+            self.ways,
+            self.line_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheGeometry::pentium4_l1d().capacity(), 8 << 10);
+        assert_eq!(CacheGeometry::pentium4_l1d().sets, 32);
+        assert_eq!(CacheGeometry::pentium4_l2().sets, 1024);
+        assert_eq!(CacheGeometry::k7_l1d().ways, 2);
+        assert_eq!(CacheGeometry::k7_l2().capacity(), 256 << 10);
+    }
+
+    #[test]
+    fn address_math() {
+        let g = CacheGeometry::new(64, 4, 64);
+        assert_eq!(g.line_addr(0x12345), 0x12340);
+        assert_eq!(g.line_number(0x12345), 0x12345 / 64);
+        assert_eq!(g.set_index(0x12345), (0x12345 / 64) & 63);
+        let a = 0x1000u64;
+        let b = a + (64 * 64);
+        assert_eq!(g.set_index(a), g.set_index(b));
+        assert_ne!(g.tag(a), g.tag(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = CacheGeometry::new(3, 4, 64);
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let s = CacheGeometry::pentium4_l2().to_string();
+        assert!(s.contains("512KB"), "{s}");
+        assert!(s.contains("8-way"), "{s}");
+    }
+}

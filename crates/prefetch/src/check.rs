@@ -23,13 +23,23 @@
 //! * **MissedCandidate** (warning) — a load the static model predicts
 //!   delinquent ([`Delinquency::PredictHot`]) with a known stride has no
 //!   covering hint in its loop. A warning, not an error: the dynamic
-//!   profiler may have (correctly) measured the load cold.
+//!   profiler may have (correctly) measured the load cold — unless the
+//!   must-cache abstract interpreter *proves* the load misses every
+//!   iteration ([`Verdict::AlwaysMiss`]), in which case the message says
+//!   so: the candidate is confirmed, not merely predicted.
+//! * **PointlessPrefetch** (warning) — the hint guards a load the
+//!   must-cache analysis proves L1-resident on every steady-state
+//!   iteration ([`Verdict::AlwaysHit`]): the line is already in the
+//!   cache when the demand access arrives, so the hint can only spend an
+//!   issue slot. A warning, not an error — wasteful, never wrong.
 //!
 //! Diagnostics are stably ordered by `(pc, kind, block)`, like the
 //! `umi-analyze` lint suite they feed into the `umi_lint` CI gate with.
 
 use std::fmt;
-use umi_analyze::{predict_program, CacheGeometry, Delinquency, Severity, StaticClass};
+use umi_analyze::{
+    absint_program, predict_program, CacheGeometry, Delinquency, Severity, StaticClass, Verdict,
+};
 use umi_cache::{MIN_PREFETCH_DISTANCE_BYTES, PAGE_BYTES};
 use umi_ir::{BlockId, Insn, MemRef, Pc, Program, Reg};
 
@@ -44,6 +54,8 @@ pub enum CheckKind {
     RedundantPrefetch,
     /// A predicted-hot strided load left without any hint.
     MissedCandidate,
+    /// A hint guarding a load proven to hit L1 every iteration.
+    PointlessPrefetch,
 }
 
 impl CheckKind {
@@ -54,13 +66,14 @@ impl CheckKind {
             CheckKind::StrideMismatch => "stride-mismatch",
             CheckKind::RedundantPrefetch => "redundant-prefetch",
             CheckKind::MissedCandidate => "missed-candidate",
+            CheckKind::PointlessPrefetch => "pointless-prefetch",
         }
     }
 
     /// The severity this kind always carries.
     pub fn severity(self) -> Severity {
         match self {
-            CheckKind::MissedCandidate => Severity::Warning,
+            CheckKind::MissedCandidate | CheckKind::PointlessPrefetch => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -120,17 +133,21 @@ impl ExprShape {
 /// Checks every prefetch hint of a (typically rewritten) `program`
 /// against the static affine/cache model.
 ///
-/// `geom` is the cache geometry the delinquency predictions are scored
+/// `geom` is the L1 geometry the delinquency predictions are scored
 /// against and `hot_miss_floor` the dynamic threshold floor they assume —
-/// pass the same values as `umi_analyze::predict_program`.
+/// pass the same values as `umi_analyze::predict_program`. `l2` is the
+/// next level's geometry, which the must-cache abstract interpreter
+/// ([`absint_program`]) needs to certify AlwaysMiss verdicts.
 ///
 /// The result is sorted by `(pc, kind, block)` and deterministic.
 pub fn check_rewritten(
     program: &Program,
     geom: &CacheGeometry,
+    l2: &CacheGeometry,
     hot_miss_floor: f64,
 ) -> Vec<PlanDiagnostic> {
     let preds = predict_program(program, geom, hot_miss_floor);
+    let rows = absint_program(program, geom, l2);
     let mut out = Vec::new();
 
     // Classification and loop id per load pc (loads only: hints guard
@@ -140,6 +157,12 @@ pub fn check_rewritten(
             .iter()
             .find(|p| p.sref.pc == pc && !p.sref.is_store)
             .map(|p| p.sref.class)
+    };
+    // Proven steady-state L1 verdict per load pc, same ordering rule.
+    let verdict_of = |pc: Pc| {
+        rows.iter()
+            .find(|r| r.pc == pc && !r.is_store)
+            .map(|r| r.l1)
     };
 
     // Hints grouped per innermost loop for the redundancy / coverage
@@ -228,6 +251,19 @@ pub fn check_rewritten(
                 _ => {}
             }
 
+            // A hint for a line the must-analysis proves resident when the
+            // guarded load executes: correct, but it can never help.
+            if verdict_of(load_pc) == Some(Verdict::AlwaysHit) {
+                out.push(PlanDiagnostic {
+                    pc,
+                    block: block.id,
+                    kind: CheckKind::PointlessPrefetch,
+                    message: format!(
+                        "guarded load {load_mem} provably hits L1 every steady-state iteration"
+                    ),
+                });
+            }
+
             // Redundancy: an earlier hint in the same loop covering the
             // same expression within a line.
             let group = group_of(block.id);
@@ -264,12 +300,19 @@ pub fn check_rewritten(
         let shape = ExprShape::of(&p.sref.mem);
         let covered = seen.iter().any(|(g, sh, _, _)| *g == group && *sh == shape);
         if !covered {
+            // The heuristic prediction can be wrong; a proven AlwaysMiss
+            // verdict cannot, so say when the candidate is confirmed.
+            let confirmed = if verdict_of(p.sref.pc) == Some(Verdict::AlwaysMiss) {
+                "; must-analysis confirms it misses every iteration"
+            } else {
+                ""
+            };
             out.push(PlanDiagnostic {
                 pc: p.sref.pc,
                 block: p.sref.block,
                 kind: CheckKind::MissedCandidate,
                 message: format!(
-                    "predicted-hot load {} (footprint {} bytes) has no covering hint",
+                    "predicted-hot load {} (footprint {} bytes) has no covering hint{confirmed}",
                     p.sref.mem,
                     p.footprint.unwrap_or(0)
                 ),
@@ -298,6 +341,18 @@ mod tests {
             ways: 8,
             line_size: 64,
         }
+    }
+
+    fn geom_l2() -> CacheGeometry {
+        CacheGeometry {
+            sets: 2048,
+            ways: 8,
+            line_size: 64,
+        }
+    }
+
+    fn check(p: &Program) -> Vec<PlanDiagnostic> {
+        check_rewritten(p, &geom(), &geom_l2(), 0.10)
     }
 
     /// A hot streaming loop: load [esi]; esi += 64, 64K iterations.
@@ -347,21 +402,58 @@ mod tests {
     #[test]
     fn a_well_planned_rewrite_is_clean() {
         let rewritten = rewrite_with(&hot_stream(), 64, 2048);
-        assert_eq!(check_rewritten(&rewritten, &geom(), 0.10), Vec::new());
+        assert_eq!(check(&rewritten), Vec::new());
     }
 
     #[test]
     fn uncovered_hot_load_is_a_missed_candidate() {
-        let diags = check_rewritten(&hot_stream(), &geom(), 0.10);
+        let diags = check(&hot_stream());
         assert_eq!(kinds(&diags), vec![CheckKind::MissedCandidate]);
         assert_eq!(diags[0].severity(), Severity::Warning);
         assert_eq!(diags[0].pc, load_pc(&hot_stream()));
+        // The line-stride sweep is a provable AlwaysMiss, so the warning
+        // carries the must-analysis confirmation.
+        assert!(
+            diags[0].message.contains("confirms it misses"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn unprovable_missed_candidate_is_not_confirmed() {
+        // Sub-line stride: every line is touched 8 times, so the load is
+        // Persistent-shaped, not AlwaysMiss — the prediction stays a
+        // prediction.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let done = pb.new_block();
+        pb.block(f.entry())
+            .movi(Reg::ECX, 0)
+            .alloc(Reg::ESI, 8 * 65_537)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .addi(Reg::ESI, 8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 65_536)
+            .br_lt(body, done);
+        pb.block(done).ret();
+        let _ = f;
+        let diags = check(&pb.finish());
+        assert_eq!(kinds(&diags), vec![CheckKind::MissedCandidate]);
+        assert!(
+            !diags[0].message.contains("confirms"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]
     fn page_overreach_is_unsafe() {
         let rewritten = rewrite_with(&hot_stream(), 64, PAGE_BYTES as i64 + 64);
-        let diags = check_rewritten(&rewritten, &geom(), 0.10);
+        let diags = check(&rewritten);
         assert_eq!(kinds(&diags), vec![CheckKind::UnsafePrefetch]);
         assert_eq!(diags[0].severity(), Severity::Error);
     }
@@ -378,7 +470,7 @@ mod tests {
             .load(Reg::EAX, Reg::ESI + 0, Width::W8)
             .ret();
         let _ = f;
-        let diags = check_rewritten(&pb.finish(), &geom(), 0.10);
+        let diags = check(&pb.finish());
         assert_eq!(kinds(&diags), vec![CheckKind::UnsafePrefetch]);
         assert!(diags[0].message.contains("guards no following load"));
     }
@@ -387,7 +479,7 @@ mod tests {
     fn wrong_direction_is_a_stride_mismatch() {
         // The loop walks forward by 64; the hint reaches backward.
         let rewritten = rewrite_with(&hot_stream(), 64, -2048);
-        let diags = check_rewritten(&rewritten, &geom(), 0.10);
+        let diags = check(&rewritten);
         assert_eq!(kinds(&diags), vec![CheckKind::StrideMismatch]);
         assert!(diags[0].message.contains("against the provable stride"));
     }
@@ -395,7 +487,7 @@ mod tests {
     #[test]
     fn short_distance_is_a_stride_mismatch() {
         let rewritten = rewrite_with(&hot_stream(), 64, 64);
-        let diags = check_rewritten(&rewritten, &geom(), 0.10);
+        let diags = check(&rewritten);
         assert_eq!(kinds(&diags), vec![CheckKind::StrideMismatch]);
         assert!(diags[0].message.contains("minimum"));
     }
@@ -418,11 +510,18 @@ mod tests {
             .br_lt(body, done);
         pb.block(done).ret();
         let _ = f;
-        let diags = check_rewritten(&pb.finish(), &geom(), 0.10);
+        let diags = check(&pb.finish());
         // The invariant load also trips the zero-stride IR lint, but this
-        // checker reports the plan side: a stationary prefetch target.
-        assert_eq!(kinds(&diags), vec![CheckKind::StrideMismatch]);
+        // checker reports the plan side: a stationary prefetch target —
+        // which the must-analysis additionally proves always resident,
+        // so the same hint draws the pointless-prefetch warning.
+        assert_eq!(
+            kinds(&diags),
+            vec![CheckKind::StrideMismatch, CheckKind::PointlessPrefetch]
+        );
         assert!(diags[0].message.contains("loop-invariant"));
+        assert_eq!(diags[1].severity(), Severity::Warning);
+        assert!(diags[1].message.contains("provably hits L1"));
     }
 
     #[test]
@@ -445,7 +544,7 @@ mod tests {
             .br_lt(body, done);
         pb.block(done).ret();
         let _ = f;
-        let diags = check_rewritten(&pb.finish(), &geom(), 0.10);
+        let diags = check(&pb.finish());
         assert_eq!(kinds(&diags), vec![CheckKind::RedundantPrefetch]);
         assert_eq!(diags[0].severity(), Severity::Error);
     }
@@ -470,14 +569,14 @@ mod tests {
             .br_lt(body, done);
         pb.block(done).ret();
         let _ = f;
-        assert_eq!(check_rewritten(&pb.finish(), &geom(), 0.10), Vec::new());
+        assert_eq!(check(&pb.finish()), Vec::new());
     }
 
     #[test]
     fn diagnostics_are_deterministic_and_sorted() {
         let rewritten = rewrite_with(&hot_stream(), 64, 64);
-        let a = check_rewritten(&rewritten, &geom(), 0.10);
-        let b = check_rewritten(&rewritten, &geom(), 0.10);
+        let a = check(&rewritten);
+        let b = check(&rewritten);
         assert_eq!(a, b);
         let keys: Vec<_> = a.iter().map(|d| (d.pc, d.kind, d.block)).collect();
         let mut sorted = keys.clone();

@@ -56,7 +56,9 @@ impl<'p> ReplayCursor<'p> {
             if u64::from(entry.n_loads()) != u64::from(db.n_loads)
                 || u64::from(entry.n_stores()) != u64::from(db.n_stores)
             {
-                return Err(TraceError::Malformed("trace template does not match program"));
+                return Err(TraceError::Malformed(
+                    "trace template does not match program",
+                ));
             }
         }
         let st = EventState::new(trace.dict());

@@ -169,13 +169,13 @@ pub fn fetch(key: TraceKey) -> Option<Arc<ExecTrace>> {
 /// and best-effort onto disk when `UMI_TRACE_DIR` is set.
 pub fn publish(trace: ExecTrace) -> Arc<ExecTrace> {
     let arc = Arc::new(trace);
-    memory()
-        .lock()
-        .unwrap()
-        .insert(arc.key(), Arc::clone(&arc));
+    memory().lock().unwrap().insert(arc.key(), Arc::clone(&arc));
     if let Some(dir) = trace_dir() {
         if let Err(err) = store_to_dir(&dir, &arc) {
-            eprintln!("umi-trace: could not persist trace to {}: {err}", dir.display());
+            eprintln!(
+                "umi-trace: could not persist trace to {}: {err}",
+                dir.display()
+            );
         }
     }
     arc

@@ -428,7 +428,9 @@ impl ExecTrace {
             if op >= 1 {
                 let d = ((op - 1) >> 1) as usize;
                 if d >= dict.len() {
-                    return Err(TraceError::Malformed("record references unknown dict entry"));
+                    return Err(TraceError::Malformed(
+                        "record references unknown dict entry",
+                    ));
                 }
                 let slots = dict[d].slots.len() as u64;
                 if op & 1 == 1 {
@@ -543,7 +545,9 @@ impl EventState {
             if op >= 1 {
                 let d = ((op - 1) >> 1) as usize;
                 if d >= self.addrs.len() {
-                    return Err(TraceError::Malformed("record references unknown dict entry"));
+                    return Err(TraceError::Malformed(
+                        "record references unknown dict entry",
+                    ));
                 }
                 let (addrs, deltas) = (&mut self.addrs[d], &mut self.deltas[d]);
                 if op & 1 == 1 {
@@ -588,7 +592,8 @@ impl EventState {
                 .checked_mul(c)
                 .ok_or(TraceError::Malformed("run length overflows u64"))?;
             self.cycle.clear();
-            self.cycle.extend(self.tail.iter().skip(self.tail.len() - p));
+            self.cycle
+                .extend(self.tail.iter().skip(self.tail.len() - p));
             self.cycle_pos = 0;
         }
         // Inside a run: each entry re-advances by its recorded deltas.

@@ -152,10 +152,12 @@ impl TraceWriter {
             }
         }
         self.scratch.clear();
-        self.scratch
-            .extend(accesses.iter().zip(entry.addrs.iter()).map(|(a, &prev)| {
-                a.addr.wrapping_sub(prev) as i64
-            }));
+        self.scratch.extend(
+            accesses
+                .iter()
+                .zip(entry.addrs.iter())
+                .map(|(a, &prev)| a.addr.wrapping_sub(prev) as i64),
+        );
         let changed = self
             .scratch
             .iter()
@@ -186,7 +188,8 @@ impl TraceWriter {
             let max_p = self.tail.len().min(MAX_PERIOD);
             if let Some(p) = (1..=max_p).find(|&p| self.tail[self.tail.len() - p] == d) {
                 self.cycle.clear();
-                self.cycle.extend(self.tail.iter().skip(self.tail.len() - p));
+                self.cycle
+                    .extend(self.tail.iter().skip(self.tail.len() - p));
                 self.cycle_pos = 1 % p;
                 self.runs = u64::from(p == 1);
                 return;

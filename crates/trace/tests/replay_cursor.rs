@@ -30,9 +30,7 @@ fn control_flow_zoo(iters: i64) -> Program {
         .movi(Reg::ECX, 0)
         .alloc(Reg::ESI, 8 * 1024)
         .jmp(loop_head);
-    pb.block(loop_head)
-        .movi(Reg::EDX, 2)
-        .call(helper, dispatch);
+    pb.block(loop_head).movi(Reg::EDX, 2).call(helper, dispatch);
     pb.block(dispatch).jmp_ind(Reg::ECX, vec![even, odd]);
     pb.block(even)
         .store(Reg::ESI + (Reg::ECX, 8), Reg::ECX, Width::W8)
@@ -77,7 +75,10 @@ fn cursor_reproduces_the_live_run_exactly() {
         let exit = cursor.step_block(&mut sink);
         // The per-step access view matches the live VM contract too.
         let n = cursor.block_accesses().len();
-        assert_eq!(&sink.accesses[sink.accesses.len() - n..], cursor.block_accesses());
+        assert_eq!(
+            &sink.accesses[sink.accesses.len() - n..],
+            cursor.block_accesses()
+        );
         exits.push(exit);
     }
 

@@ -12,10 +12,8 @@ use umi_trace::{store, ExecTrace, TraceError, TraceKey, TraceWriter, MAGIC};
 /// dependency; each test uses its own subdirectory so they can run in
 /// parallel).
 fn scratch(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "umi-trace-robustness-{}-{tag}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("umi-trace-robustness-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     dir
@@ -50,8 +48,7 @@ fn make_entry(dir: &Path, context: &str) -> (TraceKey, PathBuf) {
     }
     let trace = writer.finish_raw(key);
     store::store_to_dir(dir, &trace).expect("store entry");
-    let path = dir
-        .join(format!("{}.{}", key.to_hex(), store::TRACE_EXT));
+    let path = dir.join(format!("{}.{}", key.to_hex(), store::TRACE_EXT));
     assert!(path.is_file(), "entry written where expected");
     (key, path)
 }
@@ -81,7 +78,10 @@ fn truncation_at_every_boundary_is_a_typed_error() {
     let dir = scratch("truncate");
     let (key, path) = make_entry(&dir, "robustness:truncate");
     let full = std::fs::read(&path).expect("read entry");
-    assert!(full.len() > 64, "trace large enough to truncate meaningfully");
+    assert!(
+        full.len() > 64,
+        "trace large enough to truncate meaningfully"
+    );
 
     // Empty file, mid-magic, header-only, mid-dictionary, one byte shy.
     let cuts = [0, 4, 24, 48, full.len() / 2, full.len() - 1];

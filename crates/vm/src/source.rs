@@ -7,10 +7,10 @@
 //! building, cost charging, profiling, sampling — runs unchanged
 //! whether blocks come from interpretation or from a captured trace.
 
+use crate::vm::BlockExit;
 use crate::{AccessSink, Vm, VmStats};
 use std::rc::Rc;
 use umi_ir::{DecodedCache, MemAccess, Program};
-use crate::vm::BlockExit;
 
 /// A supplier of executed blocks: either a live [`Vm`] or a trace
 /// replay cursor.

@@ -7,6 +7,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
+//! | [`geom`] | `umi-geom` | shared cache-geometry types |
 //! | [`ir`] | `umi-ir` | virtual x86-flavoured ISA |
 //! | [`analyze`] | `umi-analyze` | IR verifier + static CFG/stride analysis |
 //! | [`vm`] | `umi-vm` | block-stepping interpreter |
@@ -37,6 +38,7 @@ pub use umi_analyze as analyze;
 pub use umi_cache as cache;
 pub use umi_core as core;
 pub use umi_dbi as dbi;
+pub use umi_geom as geom;
 pub use umi_hw as hw;
 pub use umi_ir as ir;
 pub use umi_prefetch as prefetch;
