@@ -428,8 +428,9 @@ impl<'p> Analysis<'p> {
     }
 
     /// Footprints of every access site (demand and prefetch) in global
-    /// site order, built once on first use.
-    fn site_ranges(&mut self) -> Vec<Option<(u64, u64)>> {
+    /// site order, built once on first use and borrowed thereafter (the
+    /// disjointness pass walks it once per AlwaysMiss candidate).
+    fn site_ranges(&mut self) -> &[Option<(u64, u64)>] {
         if self.ranges.is_none() {
             let mut out = Vec::new();
             for bi in 0..self.program.blocks.len() {
@@ -444,7 +445,7 @@ impl<'p> Analysis<'p> {
             }
             self.ranges = Some(out);
         }
-        self.ranges.clone().expect("just built")
+        self.ranges.as_deref().expect("just built")
     }
 }
 
@@ -564,7 +565,13 @@ fn analyze_loop(
         let mut sites = Vec::new();
         for (i, (pc, insn)) in az.program.block(b).iter_with_pc().enumerate() {
             for (si, (mem, _w, is_store, demand)) in insn_sites(insn).into_iter().enumerate() {
-                let transfer = if let Some(addr) = st.eval_addr(&mem) {
+                // Prefetch sites age the state but never insert: the
+                // auditing simulators ignore hints outright, so a line
+                // only a hint keeps abstractly young can be cold in every
+                // real execution.
+                let transfer = if !demand {
+                    Transfer::Unknown
+                } else if let Some(addr) = st.eval_addr(&mem) {
                     Transfer::Refresh(LineToken::Line(addr / l1.line_size))
                 } else {
                     match classify_ref(&mem, &kinds) {
@@ -573,9 +580,7 @@ fn analyze_loop(
                             index: mem.index,
                             disp: mem.disp,
                         }),
-                        StaticClass::ConstantStride(s)
-                            if s.unsigned_abs() < l1.line_size && demand =>
-                        {
+                        StaticClass::ConstantStride(s) if s.unsigned_abs() < l1.line_size => {
                             Transfer::Rolling(LineToken::Roll { pc, is_store })
                         }
                         _ => Transfer::Unknown,
@@ -1024,6 +1029,43 @@ mod tests {
         assert_eq!(r.l1, Verdict::Persistent);
         assert_eq!(r.lines_bound, Some(2), "8 bytes over one trip: slack only");
         assert_eq!(r.entries_bound, Some(1));
+    }
+
+    #[test]
+    fn prefetch_grants_no_residency_credit() {
+        // The hint re-touches the demand load's line every iteration, but
+        // four irregular loads age the 4-way state past residency in
+        // between. The simulators ignore hints, so crediting the hint's
+        // refresh would prove an AlwaysHit the hardware never delivers.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .prefetch(Reg::ESI + 0)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let r = rows
+            .iter()
+            .find(|r| r.in_loop && !r.is_store && r.block == body)
+            .unwrap();
+        assert_eq!(
+            r.l1,
+            Verdict::Unclassified,
+            "the unsimulated hint must not keep the line must-resident"
+        );
     }
 
     #[test]

@@ -16,8 +16,10 @@
 //!    checker ([`check_rewritten`]) on the rewritten program;
 //! 5. the absint soundness gate ([`umi_bench::absint_audit`]): every
 //!    must-cache verdict (AlwaysHit / AlwaysMiss / Persistent) proved by
-//!    [`umi_analyze::absint_program`], audited against exact per-pc
-//!    simulation — a contradicted verdict is an Error and fails CI.
+//!    [`umi_analyze::absint_program`] over the original *and* the
+//!    rewritten program (hints must never earn residency credit), each
+//!    audited against exact per-pc simulation — a contradicted verdict
+//!    is an Error and fails CI.
 //!
 //! Stdout is the agreement table plus every diagnostic, byte-stable at a
 //! fixed scale (diffed against `results/golden/umi_lint.txt` by
@@ -211,25 +213,30 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
     }
 
     // The absint soundness gate: every must-cache verdict the abstract
-    // interpreter proves over the original program, audited against
-    // exact per-pc simulation at the paper's P4 geometry. A violation is
-    // a soundness bug in the analysis — always Error severity.
-    let audit = audit_absint(program);
-    row.absint_checked = audit.checked.len();
-    for v in audit.violations() {
-        row.absint_violations += 1;
-        row.findings.push(Finding {
-            variant: "orig",
-            severity: Severity::Error,
-            pc: Some(v.pc.0),
-            kind: "absint-soundness",
-            message: v.violation_message(),
-            rendered: format!(
-                "{:#x} [error] absint-soundness: {}",
-                v.pc.0,
-                v.violation_message()
-            ),
-        });
+    // interpreter proves, audited against exact per-pc simulation at the
+    // paper's P4 geometry. Both the original program and its rewritten
+    // variant are audited — the rewrite is the one program shape whose
+    // verdicts `check_rewritten` consumes, and its prefetch hints are
+    // exactly what the simulators ignore. A violation is a soundness bug
+    // in the analysis — always Error severity.
+    for (variant, prog) in [("orig", program), ("rw", &rewritten)] {
+        let audit = audit_absint(prog);
+        row.absint_checked += audit.checked.len();
+        for v in audit.violations() {
+            row.absint_violations += 1;
+            row.findings.push(Finding {
+                variant,
+                severity: Severity::Error,
+                pc: Some(v.pc.0),
+                kind: "absint-soundness",
+                message: v.violation_message(),
+                rendered: format!(
+                    "{:#x} [error] absint-soundness: {}",
+                    v.pc.0,
+                    v.violation_message()
+                ),
+            });
+        }
     }
 
     (row, insns)

@@ -6,8 +6,9 @@
 //! predicate. This property drives that audit over *randomized*
 //! geometries (set counts, associativities, line sizes) and randomized
 //! affine kernels (invariant refs, sub-line and line-crossing sweeps,
-//! pointer chases, conditional bodies, two-latch loops, trip counts down
-//! to 1), asserting that no verdict is ever contradicted — the same gate
+//! pointer chases, prefetch hints the simulators ignore, conditional
+//! bodies, two-latch loops, trip counts down to 1), asserting that no
+//! verdict is ever contradicted — the same gate
 //! `umi_lint` runs over the 32-workload suite, minus every assumption
 //! about what the programs look like.
 
@@ -41,7 +42,9 @@ const BASES: [Reg; 3] = [Reg::ESI, Reg::EDI, Reg::R8];
 
 /// Emits 1–3 random references on `bb` against the allocated bases:
 /// invariant loads/stores at small displacements, strided loads/stores
-/// through `ecx` at scales 1/2/4/8, and irregular pointer chases.
+/// through `ecx` at scales 1/2/4/8, irregular pointer chases, and
+/// prefetch hints (which the simulators ignore — verdicts on the demand
+/// accesses must hold without any residency credit from them).
 fn random_refs<'a>(
     mut bb: umi_ir::BlockBuilder<'a>,
     rng: &mut Xoshiro256pp,
@@ -51,7 +54,7 @@ fn random_refs<'a>(
         let base = BASES[rng.below(n_arrays as u64) as usize];
         let disp = 8 * rng.range_i64(0, 7);
         let scale = 1u8 << rng.below(4);
-        bb = match rng.below(5) {
+        bb = match rng.below(6) {
             0 => bb.load(Reg::EAX, MemRef::base_disp(base, disp), Width::W8),
             1 => bb.store(MemRef::base_disp(base, disp), Reg::EAX, Width::W8),
             2 => bb.load(
@@ -74,7 +77,14 @@ fn random_refs<'a>(
             ),
             // A pointer chase: the loaded value feeds the next address,
             // so the site is irregular and its footprint unknown.
-            _ => bb.load(Reg::R13, MemRef::base_disp(Reg::R13, 0), Width::W8),
+            4 => bb.load(Reg::R13, MemRef::base_disp(Reg::R13, 0), Width::W8),
+            // A prefetch hint, invariant or strided: ignored by the
+            // simulated caches, so any verdict leaning on it is unsound.
+            _ => bb.prefetch(MemRef {
+                base: Some(base),
+                index: (rng.below(2) == 0).then_some((Reg::ECX, scale)),
+                disp,
+            }),
         };
     }
     bb
@@ -140,7 +150,7 @@ fn random_kernel(rng: &mut Xoshiro256pp) -> Program {
 fn absint_verdicts_sound_under_random_geometries_and_kernels() {
     let mut classified = 0u64;
     let mut hits = 0u64;
-    check("absint-soundness", 128, |rng| {
+    check("absint-soundness", 256, |rng| {
         let program = random_kernel(rng);
         assert_eq!(program.validate(), Ok(()));
         let (l1, l2) = random_geometries(rng);
@@ -162,7 +172,7 @@ fn absint_verdicts_sound_under_random_geometries_and_kernels() {
     });
     // The property is vacuous if the interpreter never proves anything
     // on random kernels; require a healthy amount of audited claims
-    // (the fixed seed schedule currently yields 116 groups, 69 of them
+    // (the fixed seed schedule currently yields 200 groups, 117 of them
     // AlwaysHit).
     assert!(
         classified >= 100 && hits >= 50,

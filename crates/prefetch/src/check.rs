@@ -158,11 +158,13 @@ pub fn check_rewritten(
             .find(|p| p.sref.pc == pc && !p.sref.is_store)
             .map(|p| p.sref.class)
     };
-    // Proven steady-state L1 verdict per load pc, same ordering rule.
+    // Proven steady-state L1 verdict per load pc. An instruction can
+    // issue two load sites with different verdicts; like the soundness
+    // audit, treat the pc as proven only when every load site agrees.
     let verdict_of = |pc: Pc| {
-        rows.iter()
-            .find(|r| r.pc == pc && !r.is_store)
-            .map(|r| r.l1)
+        let mut loads = rows.iter().filter(|r| r.pc == pc && !r.is_store);
+        let first = loads.next()?.l1;
+        loads.all(|r| r.l1 == first).then_some(first)
     };
 
     // Hints grouped per innermost loop for the redundancy / coverage
