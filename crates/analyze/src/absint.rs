@@ -93,6 +93,58 @@ impl Verdict {
     }
 }
 
+/// Why one site stayed [`Verdict::Unclassified`] — the attribution that
+/// turns "coverage gap" into a statement about which proof failed.
+/// Surfaced per-site in `results/umi_absint.json`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnclassifiedReason {
+    /// The site is not inside any natural loop; straight-line code is
+    /// profiled, never proven (no steady state to reason about).
+    NotInLoop,
+    /// The innermost loop's body contains a `Call`: the callee shares
+    /// the register file and the cache, so the loop is skipped outright.
+    CallInLoop,
+    /// An address register varies irregularly (pointer chase,
+    /// conditional bump): the affine layer has no transfer for it.
+    IrregularAddress,
+    /// The must-state lost the site's line to aging or a CFG join
+    /// before the steady-state check.
+    JoinLoss,
+    /// Line-crossing sweep whose loop has no derivable trip bound, so
+    /// its extent — and thus freshness — is unknown.
+    NoTripBound,
+    /// The loop may be entered more than once: a first-iteration
+    /// address cannot stand for every entry's sweep.
+    MultipleEntries,
+    /// The stride crosses the L1 line but not the larger of the two
+    /// line sizes, so line numbers are not strictly monotone at every
+    /// level.
+    SubLineStride,
+    /// The sweep's start address stayed symbolic (the set-blind case):
+    /// neither freshness nor disjointness can be checked concretely.
+    SymbolicSetBlind,
+    /// The sweep could not be proven disjoint from every other access
+    /// footprint in the program.
+    FootprintOverlap,
+}
+
+impl UnclassifiedReason {
+    /// Short stable label used in the JSON report.
+    pub fn label(self) -> &'static str {
+        match self {
+            UnclassifiedReason::NotInLoop => "not_in_loop",
+            UnclassifiedReason::CallInLoop => "call_in_loop",
+            UnclassifiedReason::IrregularAddress => "irregular_address",
+            UnclassifiedReason::JoinLoss => "join_loss",
+            UnclassifiedReason::NoTripBound => "no_trip_bound",
+            UnclassifiedReason::MultipleEntries => "multiple_entries",
+            UnclassifiedReason::SubLineStride => "sub_line_stride",
+            UnclassifiedReason::SymbolicSetBlind => "symbolic_set_blind",
+            UnclassifiedReason::FootprintOverlap => "footprint_overlap",
+        }
+    }
+}
+
 /// The abstract interpreter's result for one demand-access site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheBehavior {
@@ -118,6 +170,9 @@ pub struct CacheBehavior {
     /// Upper bound on distinct lines one loop entry's sweep touches: the
     /// per-entry miss allowance of `Persistent`.
     pub lines_bound: Option<u64>,
+    /// Why the site stayed unclassified; `None` whenever a verdict was
+    /// proven.
+    pub reason: Option<UnclassifiedReason>,
 }
 
 /// How the must analysis treats one access site within one loop.
@@ -517,6 +572,7 @@ pub fn absint_program(
                     l2: Verdict::Unclassified,
                     entries_bound: None,
                     lines_bound: None,
+                    reason: None,
                 });
             }
         }
@@ -524,15 +580,32 @@ pub fn absint_program(
 
     // Innermost loops owning at least one site, calls excluded.
     let loops: BTreeSet<(usize, usize)> = az.innermost.iter().flatten().copied().collect();
+    let mut call_loops: BTreeSet<(usize, usize)> = BTreeSet::new();
     for key in loops {
         let has_call = az.funcs[key.0].loops[key.1]
             .body
             .iter()
             .any(|&b| matches!(program.block(b).terminator, Terminator::Call { .. }));
         if has_call {
+            call_loops.insert(key);
             continue;
         }
         analyze_loop(&mut az, key, l1, l2, &row_of, &ord_of, &mut rows);
+    }
+
+    // Attribute every remaining coverage gap: a site no verdict walk
+    // reached is either outside all loops, inside a skipped call loop,
+    // or in a body block the must-dataflow never seeded (a join loss).
+    for r in &mut rows {
+        if r.l1 == Verdict::Unclassified && r.reason.is_none() {
+            r.reason = Some(if !r.in_loop {
+                UnclassifiedReason::NotInLoop
+            } else if az.innermost[r.block.index()].is_some_and(|k| call_loops.contains(&k)) {
+                UnclassifiedReason::CallInLoop
+            } else {
+                UnclassifiedReason::JoinLoss
+            });
+        }
     }
 
     rows.sort_by_key(|r| (r.pc, r.is_store));
@@ -642,7 +715,7 @@ fn analyze_loop(
                 Transfer::Unknown => false,
             };
             if let Some(row) = site.row {
-                let (verdict, lines) =
+                let (verdict, lines, reason) =
                     site_verdict(az, key, site, *ord, resident, trips, entries, b, l1, l2);
                 let r = &mut rows[row];
                 r.entries_bound = entries;
@@ -651,6 +724,7 @@ fn analyze_loop(
                 // Containment: an L1 miss bound is a memory-level miss
                 // bound, and a compulsory miss is fresh at every level.
                 r.l2 = verdict;
+                r.reason = reason;
             }
             apply(&mut state, &site.transfer);
         }
@@ -658,7 +732,8 @@ fn analyze_loop(
 }
 
 /// The verdict for one demand site of the loop under analysis, plus its
-/// `lines_bound` when the verdict is `Persistent`.
+/// `lines_bound` when the verdict is `Persistent` and the reason when it
+/// stays `Unclassified`.
 #[allow(clippy::too_many_arguments)]
 fn site_verdict(
     az: &mut Analysis<'_>,
@@ -671,9 +746,10 @@ fn site_verdict(
     block: BlockId,
     l1: &CacheGeometry,
     l2: &CacheGeometry,
-) -> (Verdict, Option<u64>) {
+) -> (Verdict, Option<u64>, Option<UnclassifiedReason>) {
+    let unclassified = |why: UnclassifiedReason| (Verdict::Unclassified, None, Some(why));
     match site.transfer {
-        Transfer::Refresh(_) if resident => (Verdict::AlwaysHit, None),
+        Transfer::Refresh(_) if resident => (Verdict::AlwaysHit, None, None),
         Transfer::Rolling(_) if resident => {
             // The sweep's current line survives each iteration, so misses
             // per entry are bounded by the distinct lines it crosses:
@@ -686,28 +762,32 @@ fn site_verdict(
                 }
                 _ => None,
             };
-            (Verdict::Persistent, lines)
+            (Verdict::Persistent, lines, None)
         }
+        Transfer::Refresh(_) | Transfer::Rolling(_) => unclassified(UnclassifiedReason::JoinLoss),
         Transfer::Unknown if site.demand => {
             let kinds = az.kinds(key);
             let StaticClass::ConstantStride(s) = classify_ref(&site.mem, &kinds) else {
-                return (Verdict::Unclassified, None);
+                return unclassified(UnclassifiedReason::IrregularAddress);
             };
             // Freshness needs strictly monotone line numbers at both
             // levels, a single loop entry, a known extent, and a sweep
             // provably disjoint from every other access in the program.
             let line = l1.line_size.max(l2.line_size);
-            if s.unsigned_abs() < line || entries != Some(1) {
-                return (Verdict::Unclassified, None);
+            if s.unsigned_abs() < line {
+                return unclassified(UnclassifiedReason::SubLineStride);
+            }
+            if entries != Some(1) {
+                return unclassified(UnclassifiedReason::MultipleEntries);
             }
             let Some(t) = trips else {
-                return (Verdict::Unclassified, None);
+                return unclassified(UnclassifiedReason::NoTripBound);
             };
             let Some(a0) = first_iteration_addr(az, key, block, site) else {
-                return (Verdict::Unclassified, None);
+                return unclassified(UnclassifiedReason::SymbolicSetBlind);
             };
             let Some(sweep) = sweep_range(a0, s, t, 8) else {
-                return (Verdict::Unclassified, None);
+                return unclassified(UnclassifiedReason::SymbolicSetBlind);
             };
             let my_span = line_span(sweep, line);
             let ranges = az.site_ranges();
@@ -724,12 +804,12 @@ fn site_verdict(
                 }
             });
             if disjoint {
-                (Verdict::AlwaysMiss, None)
+                (Verdict::AlwaysMiss, None, None)
             } else {
-                (Verdict::Unclassified, None)
+                unclassified(UnclassifiedReason::FootprintOverlap)
             }
         }
-        _ => (Verdict::Unclassified, None),
+        Transfer::Unknown => unclassified(UnclassifiedReason::JoinLoss),
     }
 }
 
@@ -1092,7 +1172,83 @@ mod tests {
         let rows = rows_of(&pb.finish());
         for r in rows.iter().filter(|r| r.in_loop) {
             assert_eq!(r.l1, Verdict::Unclassified, "callee clobbers everything");
+            assert_eq!(r.reason, Some(UnclassifiedReason::CallInLoop));
         }
+    }
+
+    #[test]
+    fn unclassified_reasons_attribute_the_gaps() {
+        // One straight-line load, one pointer chase in a loop: the first
+        // is NotInLoop, the second IrregularAddress — and the chase also
+        // spoils every footprint, so proven verdicts keep reason None.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 4096)
+            .load(Reg::EBX, Reg::ESI + 0, Width::W8)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::R13, Reg::R13 + 0, Width::W8)
+            .addi(Reg::ECX, 1)
+            .cmpi(Reg::ECX, 100)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        let straight = rows.iter().find(|r| !r.in_loop).unwrap();
+        assert_eq!(straight.reason, Some(UnclassifiedReason::NotInLoop));
+        let chase = rows.iter().find(|r| r.in_loop).unwrap();
+        assert_eq!(chase.l1, Verdict::Unclassified);
+        assert_eq!(chase.reason, Some(UnclassifiedReason::IrregularAddress));
+    }
+
+    #[test]
+    fn proven_sites_carry_no_reason_and_overlap_is_attributed() {
+        // Two interleaved line-stride sweeps over the same buffer: each
+        // alone would be AlwaysMiss, together their footprints overlap.
+        let mut pb = ProgramBuilder::new();
+        let f = pb.begin_func("main");
+        let body = pb.new_block();
+        let exit = pb.new_block();
+        pb.block(f.entry())
+            .alloc(Reg::ESI, 64 * 100)
+            .movi(Reg::ECX, 0)
+            .jmp(body);
+        pb.block(body)
+            .load(Reg::EAX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .load(Reg::EDX, Reg::ESI + (Reg::ECX, 8), Width::W8)
+            .addi(Reg::ECX, 8)
+            .cmpi(Reg::ECX, 800)
+            .br_lt(body, exit);
+        pb.block(exit).ret();
+        let rows = rows_of(&pb.finish());
+        for r in rows.iter().filter(|r| r.in_loop) {
+            assert_eq!(r.l1, Verdict::Unclassified);
+            assert_eq!(r.reason, Some(UnclassifiedReason::FootprintOverlap));
+        }
+        // And the proven cases stay reasonless.
+        let (p, _, _) = {
+            let mut pb = ProgramBuilder::new();
+            let f = pb.begin_func("main");
+            let body = pb.new_block();
+            let exit = pb.new_block();
+            pb.block(f.entry())
+                .alloc(Reg::ESI, 4096)
+                .movi(Reg::ECX, 0)
+                .jmp(body);
+            pb.block(body)
+                .load(Reg::EAX, Reg::ESI + 0, Width::W8)
+                .addi(Reg::ECX, 1)
+                .cmpi(Reg::ECX, 100)
+                .br_lt(body, exit);
+            pb.block(exit).ret();
+            (pb.finish(), body, exit)
+        };
+        let hit = rows_of(&p).into_iter().find(|r| r.in_loop).unwrap();
+        assert_eq!(hit.l1, Verdict::AlwaysHit);
+        assert_eq!(hit.reason, None);
     }
 
     #[test]

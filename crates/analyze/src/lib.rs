@@ -61,13 +61,15 @@ mod absint;
 mod affine;
 mod cachepred;
 mod cfg;
+mod compose;
 mod domain;
 mod lint;
 mod liveness;
+mod trips;
 mod value;
 mod verify;
 
-pub use absint::{absint_program, CacheBehavior, Verdict};
+pub use absint::{absint_program, CacheBehavior, UnclassifiedReason, Verdict};
 pub use affine::{classify_program, loop_reg_kinds, RegKind, StaticClass, StaticRef};
 pub use cachepred::{
     loop_trip_bound, predict_program, CacheGeometry, CachePrediction, Delinquency,
@@ -75,9 +77,13 @@ pub use cachepred::{
 pub use cfg::{
     analyze_program, innermost_loop_map, natural_loops, Cfg, Dominators, FuncAnalysis, NaturalLoop,
 };
+pub use compose::{
+    compose_program, MissInterval, PcMissBound, SiteMissBound, StaticDelinquent, StaticReport,
+};
 pub use domain::{LineToken, MustState};
 pub use lint::{lint_program, Lint, LintKind, Severity};
 pub use liveness::{insn_defs, insn_uses, liveness, reg_bit, regs_in, term_uses, Liveness};
+pub use trips::{trip_analysis, ExecBound, TripAnalysis, TripBound};
 pub use value::{value_analysis, Val, ValueAnalysis, ValueState};
 pub use verify::{
     render_errors, sort_errors, verify, verify_decoded, verify_decoded_block,

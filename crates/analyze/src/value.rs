@@ -474,6 +474,65 @@ mod tests {
     }
 
     #[test]
+    fn unreachable_writes_still_havoc_the_register() {
+        // The havoc refinement is syntactic: it scans every block,
+        // reachable or not. A register written only in dead code
+        // therefore loses its startup constant at call boundaries —
+        // conservative, but sound without a reachability prerequisite
+        // (reachability itself is computed *from* these states).
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let after = pb.new_block();
+        let dead = pb.new_block();
+        pb.block(main.entry()).call(leaf, after);
+        pb.block(leaf.entry()).ret();
+        pb.block(after).ret();
+        // Nothing branches to `dead`, but it writes ebp.
+        pb.block(dead).movi(Reg::EBP, 0x1000).ret();
+        let va = value_analysis(&pb.finish());
+        assert!(!va.reached(dead));
+        assert_eq!(va.block_entry(after).reg(Reg::EBP), Val::Top);
+        assert_eq!(va.block_entry(leaf.entry()).reg(Reg::EBP), Val::Top);
+        // The entry function's own entry is still the VM startup state —
+        // havoc only applies at unanalyzable boundaries.
+        assert_eq!(
+            va.block_entry(main.entry()).reg(Reg::EBP),
+            Val::Const(STACK_TOP as i64)
+        );
+    }
+
+    #[test]
+    fn callee_writes_invalidate_the_startup_constant_at_the_resume() {
+        // The counterpart of `never_written_registers_survive_call_
+        // boundaries`: one write anywhere — here inside the callee — and
+        // the startup-constant assumption must die at every havoc point,
+        // or a frame-pointer-relative spill slot would alias a moved ebp.
+        let mut pb = ProgramBuilder::new();
+        let main = pb.begin_func("main");
+        let leaf = pb.begin_func("leaf");
+        let after = pb.new_block();
+        pb.block(main.entry()).call(leaf, after);
+        pb.block(leaf.entry()).movi(Reg::EBP, 0x2000).ret();
+        pb.block(after)
+            .load(Reg::ECX, MemRef::base_disp(Reg::EBP, -8), Width::W8)
+            .ret();
+        let va = value_analysis(&pb.finish());
+        assert_eq!(va.block_entry(after).reg(Reg::EBP), Val::Top);
+        // The resume block can no longer resolve the spill address.
+        assert_eq!(
+            va.block_entry(after)
+                .eval_addr(&MemRef::base_disp(Reg::EBP, -8)),
+            None
+        );
+        // Before the call, main still sees the startup value.
+        assert_eq!(
+            va.block_entry(main.entry()).reg(Reg::EBP),
+            Val::Const(STACK_TOP as i64)
+        );
+    }
+
+    #[test]
     fn push_pop_track_esp() {
         let mut pb = ProgramBuilder::new();
         let f = pb.begin_func("main");

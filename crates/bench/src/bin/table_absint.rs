@@ -17,7 +17,8 @@
 //! byte-stable at a fixed scale and diffed against
 //! `results/golden/table_absint.txt` by `scripts/smoke.sh`.
 
-use umi_analyze::{render_errors, verify, Verdict};
+use std::collections::BTreeMap;
+use umi_analyze::{render_errors, verify, UnclassifiedReason, Verdict};
 use umi_bench::absint_audit::audit_absint;
 use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
@@ -33,6 +34,9 @@ struct Row {
     miss: usize,
     persist: usize,
     unknown: usize,
+    /// Why each in-loop site stayed unclassified, tallied per reason
+    /// label — the JSON report's attribution of the coverage gap.
+    reasons: BTreeMap<&'static str, usize>,
     /// Verdict groups whose soundness predicate could be evaluated
     /// (uniform verdict, bounds known, pc executed).
     checked: usize,
@@ -65,7 +69,11 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
             Verdict::AlwaysHit => row.hit += 1,
             Verdict::AlwaysMiss => row.miss += 1,
             Verdict::Persistent => row.persist += 1,
-            Verdict::Unclassified => row.unknown += 1,
+            Verdict::Unclassified => {
+                row.unknown += 1;
+                let label = r.reason.unwrap_or(UnclassifiedReason::JoinLoss).label();
+                *row.reasons.entry(label).or_insert(0) += 1;
+            }
         }
     }
     row.checked = audit.checked.len();
@@ -95,9 +103,16 @@ fn write_json(scale: Scale, rows: &[(String, Row)], macro_avg: f64) {
     out.push_str("  \"workloads\": [\n");
     for (i, (name, row)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let reasons = row
+            .reasons
+            .iter()
+            .map(|(label, n)| format!("\"{label}\": {n}"))
+            .collect::<Vec<String>>()
+            .join(", ");
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"in_loop_sites\": {}, \"always_hit\": {}, \
              \"always_miss\": {}, \"persistent\": {}, \"unclassified\": {}, \
+             \"unclassified_reasons\": {{{reasons}}}, \
              \"coverage_percent\": {:.1}, \"checked_groups\": {}, \"violations\": {}}}{comma}\n",
             name,
             row.sites,

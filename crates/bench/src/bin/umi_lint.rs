@@ -2,7 +2,7 @@
 //! lints, and prefetch-plan verification over all 32 workloads *and*
 //! their prefetch-rewritten variants.
 //!
-//! Per workload the gate runs five static passes:
+//! Per workload the gate runs six static passes:
 //!
 //! 1. the IR verifier ([`umi_analyze::verify`]) on the original program
 //!    (a rejection is a build bug and aborts the harness);
@@ -19,7 +19,12 @@
 //!    [`umi_analyze::absint_program`] over the original *and* the
 //!    rewritten program (hints must never earn residency credit), each
 //!    audited against exact per-pc simulation — a contradicted verdict
-//!    is an Error and fails CI.
+//!    is an Error and fails CI;
+//! 6. the static-bound audit ([`umi_bench::staticplan_audit`]): the
+//!    composed whole-program miss-count intervals (absint verdicts ×
+//!    trip bounds, [`umi_analyze::compose_program`]) checked per
+//!    `(pc, kind)` group and in aggregate against the same exact
+//!    simulation — an escaped interval is likewise an Error.
 //!
 //! Stdout is the agreement table plus every diagnostic, byte-stable at a
 //! fixed scale (diffed against `results/golden/umi_lint.txt` by
@@ -34,6 +39,7 @@ use umi_analyze::{
 use umi_bench::absint_audit::audit_absint;
 use umi_bench::engine::{Cell, Harness};
 use umi_bench::scale_from_env;
+use umi_bench::staticplan_audit::audit_staticplan;
 use umi_core::{DynamicDelinquency, UmiConfig, UmiRuntime};
 use umi_prefetch::{check_rewritten, inject_prefetches, PrefetchPlan};
 use umi_vm::NullSink;
@@ -82,6 +88,10 @@ struct Row {
     /// against exact simulation (violations land in `findings`).
     absint_checked: usize,
     absint_violations: usize,
+    /// Composed miss-bound interval groups audited against the same
+    /// simulation (per-pc groups + the aggregate check).
+    staticplan_checked: usize,
+    staticplan_violations: usize,
     /// All diagnostics, already stably ordered per pass.
     findings: Vec<Finding>,
 }
@@ -112,7 +122,7 @@ fn agrees(s: Delinquency, d: DynamicDelinquency) -> bool {
     )
 }
 
-/// Runs the four static passes plus the dynamic cross-check for one
+/// Runs the static passes plus the dynamic cross-check for one
 /// workload. Pure function of the (program, scale) pair.
 fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
     if let Err(errs) = verify(program) {
@@ -239,6 +249,40 @@ fn gate_workload(program: &umi_ir::Program, name: &str) -> (Row, u64) {
         }
     }
 
+    // The static-bound audit: whole-program miss-count intervals
+    // (absint verdicts × trip bounds) against the same exact simulation.
+    // Original program only — the intervals are composed for it, and the
+    // rewritten variant's verdicts are already covered above.
+    let splan = audit_staticplan(program, floor);
+    row.staticplan_checked = splan.checked.len() + 1; // + the aggregate
+    for v in splan.violations() {
+        row.staticplan_violations += 1;
+        row.findings.push(Finding {
+            variant: "orig",
+            severity: Severity::Error,
+            pc: Some(v.bound.pc.0),
+            kind: "staticplan-bound",
+            message: v.violation_message(),
+            rendered: format!(
+                "{:#x} [error] staticplan-bound: {}",
+                v.bound.pc.0,
+                v.violation_message()
+            ),
+        });
+    }
+    if !splan.aggregate_ok {
+        row.staticplan_violations += 1;
+        row.findings.push(Finding {
+            variant: "orig",
+            severity: Severity::Error,
+            pc: None,
+            kind: "staticplan-bound",
+            message: "aggregate miss-count interval violated".to_string(),
+            rendered: "[error] staticplan-bound: aggregate miss-count interval violated"
+                .to_string(),
+        });
+    }
+
     (row, insns)
 }
 
@@ -282,6 +326,11 @@ fn write_json(scale: Scale, rows: &[(String, Row)], agree: usize, both: usize, e
     out.push_str(&format!(
         "  \"absint_soundness\": {{\"checked\": {checked}, \"violations\": {violated}}},\n"
     ));
+    let sp_checked: usize = rows.iter().map(|(_, r)| r.staticplan_checked).sum();
+    let sp_violated: usize = rows.iter().map(|(_, r)| r.staticplan_violations).sum();
+    out.push_str(&format!(
+        "  \"staticplan_bounds\": {{\"checked\": {sp_checked}, \"violations\": {sp_violated}}},\n"
+    ));
     out.push_str("  \"workloads\": [\n");
     for (i, (name, row)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
@@ -303,6 +352,10 @@ fn write_json(scale: Scale, rows: &[(String, Row)], agree: usize, both: usize, e
         out.push_str(&format!(
             "      \"absint\": {{\"checked\": {}, \"violations\": {}}},\n",
             row.absint_checked, row.absint_violations
+        ));
+        out.push_str(&format!(
+            "      \"staticplan\": {{\"checked\": {}, \"violations\": {}}},\n",
+            row.staticplan_checked, row.staticplan_violations
         ));
         out.push_str("      \"diagnostics\": [");
         for (j, f) in row.findings.iter().enumerate() {

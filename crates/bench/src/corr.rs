@@ -39,7 +39,8 @@ pub struct CorrRow {
 /// finishes in exactly the state its dedicated run would reach — the
 /// batched sinks consume whole blocks per call — and the K7
 /// mini-simulation is a shadow geometry on the same analyzer invocations
-/// ([`UmiRuntime::add_shadow_sim`]). Previously this cell re-interpreted
+/// ([`umi_core::UmiRuntime::add_shadow_sim`]). Previously this cell
+/// re-interpreted
 /// the workload six times; the ratios are bit-identical either way.
 ///
 /// Only the prefetch-*on* platform needs a [`Machine`]: with hardware

@@ -17,6 +17,7 @@
 //! | `fig6` | L2 misses, P4: SW / HW / SW+HW |
 //! | `table_static` | static (umi-analyze) vs dynamic classification agreement |
 //! | `table_absint` | must-cache verdicts audited against exact simulation |
+//! | `table_staticplan` | composed miss-bound intervals audited + static-vs-dynamic plan A/B |
 //! | `sensitivity` | §7.2 threshold & profile-length sweeps |
 //! | `ablations` | design-choice ablations from DESIGN.md §5 |
 //!
@@ -33,6 +34,7 @@ pub mod absint_audit;
 pub mod corr;
 pub mod engine;
 pub mod report;
+pub mod staticplan_audit;
 pub mod study;
 
 use umi_core::{SamplingMode, UmiConfig};

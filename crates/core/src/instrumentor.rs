@@ -23,7 +23,7 @@ pub struct TraceInstrumentation {
     op_of: U64Map<u16>,
     /// Pre-instrumented trace body: for component block `i`,
     /// `block_cols[i][slot]` is the profile column of the block's
-    /// `slot`-th memory access, or [`NO_COL`]. Aligned with the decoded
+    /// `slot`-th memory access, or `NO_COL`. Aligned with the decoded
     /// engine's per-block access batch, so recording is a zip over two
     /// slices instead of a per-access map lookup.
     pub block_cols: Vec<Box<[u16]>>,

@@ -113,6 +113,15 @@ impl UmiReport {
     pub fn total_overhead_cycles(&self) -> u64 {
         self.umi_overhead_cycles + self.dbi_overhead_cycles
     }
+
+    /// The predicted delinquent loads ranked by profiled L2 miss volume
+    /// (descending, ties by pc) — the dynamic ranking that static
+    /// delinquency rankings are scored against in `table_staticplan`.
+    pub fn ranked_delinquents(&self) -> Vec<Pc> {
+        let mut ranked: Vec<Pc> = self.predicted.iter().copied().collect();
+        ranked.sort_by_key(|pc| (std::cmp::Reverse(self.per_pc.get(*pc).load_misses), *pc));
+        ranked
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +173,22 @@ mod tests {
             DynamicDelinquency::Unprofiled
         );
         assert_eq!(DynamicDelinquency::Hot.label(), "hot");
+    }
+
+    #[test]
+    fn ranked_delinquents_order_by_miss_volume_then_pc() {
+        let mut r = blank();
+        for pc in [0x40_0000u64, 0x40_0004, 0x40_0008] {
+            r.predicted.insert(Pc(pc));
+        }
+        for _ in 0..5 {
+            r.per_pc.record_load(Pc(0x40_0004), true);
+        }
+        r.per_pc.record_load(Pc(0x40_0008), true);
+        assert_eq!(
+            r.ranked_delinquents(),
+            vec![Pc(0x40_0004), Pc(0x40_0008), Pc(0x40_0000)]
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use crate::reg::Reg;
 /// [`MicroTerm::CmpRIBr`]) pairs fuse. `Full` additionally applies the
 /// profile-guided superinstructions and effective-address
 /// specializations chosen from the `table_profile` opcode-pair ranking
-/// (see [`fuse_block`]). Both levels preserve the architectural
+/// (see `fuse_block`). Both levels preserve the architectural
 /// semantics and the access stream exactly; the `umi-bench` differential
 /// tests and the `umi-analyze` lowering verifier pin this.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -15,7 +15,7 @@
 //!   including indirect jumps, so a DynamoRIO-like trace builder can form
 //!   single-entry multi-exit traces;
 //! * most instruction kinds may carry a memory operand (as on x86, where
-//!   "most instructions [can] directly access memory", §4.1 of the paper).
+//!   "most instructions \[can\] directly access memory", §4.1 of the paper).
 //!
 //! Programs are constructed with [`ProgramBuilder`], executed by the
 //! `umi-vm` crate, and observed by the DBI and UMI layers.

@@ -26,7 +26,9 @@ mod check;
 pub mod harness;
 mod plan;
 mod rewrite;
+mod staticplan;
 
 pub use check::{check_rewritten, CheckKind, PlanDiagnostic};
 pub use plan::{PlanEntry, PrefetchPlan};
 pub use rewrite::inject_prefetches;
+pub use staticplan::{static_prefetch_plan, StaticPlanEntry, StaticPlanReport};

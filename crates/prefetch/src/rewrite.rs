@@ -18,7 +18,8 @@ const COALESCE_LINE_BYTES: i64 = 64;
 ///
 /// Hints are coalesced per innermost loop: when two planned loads share
 /// an address expression and their prefetch targets land within one
-/// cache line ([`COALESCE_LINE_BYTES`]), only the first is planted —
+/// cache line (`COALESCE_LINE_BYTES`, 64 bytes), only the first is
+/// planted —
 /// the line arrives once either way, and the duplicate would be pure
 /// overhead (flagged by [`crate::check_rewritten`] as
 /// `RedundantPrefetch` if planted).

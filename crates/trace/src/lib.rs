@@ -26,7 +26,7 @@
 //!   ([`TraceError`]) and fall back to live interpretation with a
 //!   one-line warning.
 //!
-//! The encoding (see [`trace`] module docs): a block-template
+//! The encoding (see the `trace` module docs): a block-template
 //! dictionary, zigzag+varint delta encoding of addresses against each
 //! block's previous execution, and run-length encoding of
 //! constant-stride re-executions. Feedback-dependent passes (prefetch

@@ -2,7 +2,7 @@
 //!
 //! Each kernel builds a [`Program`](umi_ir::Program) with a distinct,
 //! well-understood memory character; the named suites in
-//! [`suite`](crate::suite) are instantiations of these kernels.
+//! the crate's `suite` module are instantiations of these kernels.
 
 pub mod chase;
 pub mod compute;

@@ -1,5 +1,5 @@
 #!/bin/sh
-# Smoke test: build + tier-1 tests, then run nine representative
+# Smoke test: build + tier-1 tests, then run the representative
 # harnesses at CI scale and require byte-identical output against the
 # golden files — with the parallel engine on (UMI_JOBS=2), so any
 # nondeterminism in the fan-out shows up as a diff. cache_sink doubles
@@ -10,7 +10,8 @@
 # Error-severity static diagnostic or when static-vs-dynamic delinquency
 # agreement drops below its bar, which aborts this script before the
 # golden comparison. table_absint likewise exits non-zero when exact
-# simulation contradicts any must-analysis verdict (the soundness gate).
+# simulation contradicts any must-analysis verdict, and table_staticplan
+# when any composed miss-count interval is escaped (the soundness gates).
 #
 # Run from the repository root: scripts/smoke.sh
 set -eu
@@ -21,7 +22,9 @@ cargo test -q
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-for bin in table6 table4 fig3 table_static umi_lint table_absint cache_sink table_profile vm_dispatch; do
+harnesses="table6 table4 fig3 table_static umi_lint table_absint table_staticplan cache_sink table_profile vm_dispatch"
+
+for bin in $harnesses; do
     UMI_SCALE=test UMI_JOBS=2 ./target/release/$bin > "$tmp/$bin.txt"
     if ! diff -u "results/golden/$bin.txt" "$tmp/$bin.txt"; then
         echo "smoke: $bin output differs from results/golden/$bin.txt" >&2
@@ -29,6 +32,21 @@ for bin in table6 table4 fig3 table_static umi_lint table_absint cache_sink tabl
     fi
     echo "smoke: $bin matches golden output"
 done
+
+# Golden coverage: every file under results/golden/ must have been
+# diffed above. A golden nobody compares against is a gate that silently
+# stopped gating (the harness-list drift PR 9 had to repair by hand).
+for golden in results/golden/*.txt; do
+    bin=$(basename "$golden" .txt)
+    case " $harnesses " in
+        *" $bin "*) ;;
+        *)
+            echo "smoke: $golden was never diffed (add $bin to the harness list)" >&2
+            exit 1
+            ;;
+    esac
+done
+echo "smoke: all $(ls results/golden/*.txt | wc -l | tr -d ' ') goldens were diffed"
 
 # Trace cache: run one golden harness twice against the same
 # UMI_TRACE_DIR — the cold pass captures every workload's execution
